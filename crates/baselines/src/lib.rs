@@ -1,0 +1,30 @@
+//! # mdbs-baselines
+//!
+//! Comparator transaction-management methods used by the §6 restrictiveness
+//! and performance comparisons:
+//!
+//! * **CGM** — the Commit Graph Method of Breitbart, Silberschatz &
+//!   Thompson (SIGMOD 1990), re-implemented from its description in the
+//!   paper's §6: a *centralized* scheduler holding a site-granularity
+//!   global S2PL lock table ([`global_locks`]) and an undirected bipartite
+//!   *commit graph* over transactions and sites ([`commit_graph`]); a
+//!   transaction whose edges would close a loop in the commit graph may not
+//!   proceed to commit.
+//! * **Ticket / predeclared total order** (Elmagarmid & Du style, §5.2's
+//!   critique) — implemented as `CertifierMode::TicketOrder` in `mdbs-dtm`,
+//!   since it shares the agent machinery.
+//! * **Naive resubmission** — `CertifierMode::NoCertification` in
+//!   `mdbs-dtm`: the 2PCA without any certifier, exhibiting the H1–H3
+//!   anomalies.
+//! * **Oracle 2PC** — the full protocol with failure injection disabled
+//!   (an LDBS that honours the prepared state), giving the failure-free
+//!   reference point.
+//!
+//! The structures here are pure and synchronous; `mdbs-sim` wires them into
+//! the discrete-event simulation as the central scheduler node.
+
+pub mod commit_graph;
+pub mod global_locks;
+
+pub use commit_graph::CommitGraph;
+pub use global_locks::{GlobalLockManager, SiteLockMode};

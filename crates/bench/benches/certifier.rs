@@ -1,0 +1,128 @@
+//! Microbenchmarks of the 2PCA Certifier's hot paths: prepare
+//! certification against growing alive-interval tables and commit
+//! certification scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_dtm::{Agent, AgentConfig, AgentInput, Message, SerialNumber};
+use mdbs_histories::{GlobalTxnId, SiteId};
+use mdbs_ldbs::{Command, CommandResult, KeySpec};
+
+fn prepared_agent(n_prepared: u32) -> Agent {
+    let site = SiteId(0);
+    let mut agent = Agent::new(site, AgentConfig::default());
+    for k in 1..=n_prepared {
+        let g = GlobalTxnId(k);
+        agent.handle(0, AgentInput::Deliver(Message::Begin { gtxn: g, coord: 0 }));
+        agent.handle(
+            1,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g,
+                command: Command::Update(KeySpec::Key(k as u64), 1),
+            }),
+        );
+        agent.handle(
+            2,
+            AgentInput::LtmDone {
+                gtxn: g,
+                result: CommandResult {
+                    rows: vec![(k as u64, 0)],
+                    wrote: vec![k as u64],
+                },
+            },
+        );
+        agent.handle(
+            3,
+            AgentInput::Deliver(Message::Prepare {
+                gtxn: g,
+                sn: SerialNumber {
+                    ticks: k as u64,
+                    node: 0,
+                    seq: 0,
+                },
+            }),
+        );
+    }
+    agent
+}
+
+fn bench_prepare_certification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepare_certification");
+    for table_size in [1u32, 8, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(table_size),
+            &table_size,
+            |b, &n| {
+                b.iter_batched(
+                    || prepared_agent(n),
+                    |mut agent| {
+                        let g = GlobalTxnId(10_000);
+                        agent.handle(
+                            10,
+                            AgentInput::Deliver(Message::Begin { gtxn: g, coord: 0 }),
+                        );
+                        agent.handle(
+                            11,
+                            AgentInput::Deliver(Message::Dml {
+                                gtxn: g,
+                                command: Command::Select(KeySpec::Key(0)),
+                            }),
+                        );
+                        agent.handle(
+                            12,
+                            AgentInput::LtmDone {
+                                gtxn: g,
+                                result: CommandResult::default(),
+                            },
+                        );
+                        agent.handle(
+                            13,
+                            AgentInput::Deliver(Message::Prepare {
+                                gtxn: g,
+                                sn: SerialNumber {
+                                    ticks: 1_000_000,
+                                    node: 0,
+                                    seq: 0,
+                                },
+                            }),
+                        )
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_commit_certification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_certification");
+    for table_size in [1u32, 8, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(table_size),
+            &table_size,
+            |b, &n| {
+                b.iter_batched(
+                    || prepared_agent(n),
+                    |mut agent| {
+                        // Commit the smallest-sn entry: scan over the table.
+                        agent.handle(
+                            20,
+                            AgentInput::Deliver(Message::Commit {
+                                gtxn: GlobalTxnId(1),
+                            }),
+                        )
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prepare_certification,
+    bench_commit_certification
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end simulation benchmarks: one full multidatabase run per
+//! protocol (fixed workload), measuring simulator throughput — useful for
+//! tracking regressions in the whole stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_dtm::CertifierMode;
+use mdbs_sim::{Protocol, SimConfig, Simulation};
+
+fn cfg(protocol: Protocol) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.workload.seed = 5;
+    cfg.workload.sites = 3;
+    cfg.workload.global_txns = 40;
+    cfg.workload.local_txns_per_site = 15;
+    cfg.workload.unilateral_abort_prob = 0.15;
+    cfg.protocol = protocol;
+    cfg
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_simulation_40txn");
+    group.sample_size(20);
+    for protocol in [
+        Protocol::TwoCm(CertifierMode::Full),
+        Protocol::Cgm,
+        Protocol::TwoCm(CertifierMode::TicketOrder),
+        Protocol::TwoCm(CertifierMode::NoCertification),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, &p| {
+                b.iter(|| Simulation::new(cfg(p)).run());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the S2PL lock manager: uncontended acquisition,
+//! contended queues, and release grant passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_histories::{Instance, SiteId};
+use mdbs_ldbs::{LockManager, LockMode};
+
+const SITE: SiteId = SiteId(0);
+
+fn inst(k: u32) -> Instance {
+    Instance::global(k, SITE, 0)
+}
+
+fn bench_uncontended(c: &mut Criterion) {
+    c.bench_function("lock_acquire_release_uncontended_64keys", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::new();
+            for k in 0..64u64 {
+                lm.request(inst(1), k, LockMode::Exclusive, false);
+            }
+            lm.release_all(inst(1))
+        });
+    });
+}
+
+fn bench_contended_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_contended_release");
+    for waiters in [4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(waiters), &waiters, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut lm = LockManager::new();
+                    lm.request(inst(0), 0, LockMode::Exclusive, false);
+                    for t in 1..=n {
+                        lm.request(inst(t), 0, LockMode::Shared, false);
+                    }
+                    lm
+                },
+                |mut lm| lm.release_all(inst(0)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_deadlock_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waits_for_cycle_check");
+    for txns in [8u32, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &txns, |b, &n| {
+            // A long chain of waiters (no cycle): worst case for the scan.
+            let mut lm = LockManager::new();
+            for t in 0..n {
+                lm.request(inst(t), t as u64, LockMode::Exclusive, false);
+                if t > 0 {
+                    lm.request(inst(t - 1), t as u64, LockMode::Exclusive, false);
+                }
+            }
+            b.iter(|| lm.deadlocked());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended,
+    bench_contended_queue,
+    bench_deadlock_detection
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! The experiment runner: regenerates every table/figure artifact listed in
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p mdbs-bench --bin experiments -- all
+//! cargo run --release -p mdbs-bench --bin experiments -- xt1 xt3
+//! ```
+
+use mdbs_bench as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "xf2", "xh1", "xh2", "xh3", "xt1", "xt2", "xt3", "xt4", "xt5", "xt6", "xt7", "xt8",
+            "xg1",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for name in wanted {
+        let output = match name {
+            "xf2" | "fig2" => exp::xf2_fig2(),
+            "xh1" | "h1" => exp::xh1(),
+            "xh2" | "h2" => exp::xh2(),
+            "xh3" | "h3" => exp::xh3(),
+            "xt1" | "failure-free" => exp::xt1_failure_free(),
+            "xt2" | "failure-sweep" => exp::xt2_failure_sweep(),
+            "xt3" | "scaling" => exp::xt3_scaling(),
+            "xt4" | "drift" => exp::xt4_drift(),
+            "xt5" | "alive-interval" => exp::xt5_alive_interval(),
+            "xt6" | "dlu-ablation" => exp::xt6_dlu_ablation(),
+            "xt7" | "commit-retry" => exp::xt7_commit_retry(),
+            "xt8" | "site-crash" => exp::xt8_site_crash(),
+            "xg1" | "throughput-curves" => exp::xg1_throughput_curves(),
+            other => {
+                eprintln!(
+                    "unknown experiment '{other}'; known: xf2 xh1 xh2 xh3 xt1..xt8 xg1 (or 'all')"
+                );
+                std::process::exit(2);
+            }
+        };
+        println!("==============================================================");
+        println!("{output}");
+    }
+}

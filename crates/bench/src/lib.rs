@@ -1,0 +1,14 @@
+//! # mdbs-bench
+//!
+//! Shared machinery for the experiment harness (`experiments` binary) and
+//! the Criterion microbenchmarks: standard configurations, multi-seed
+//! aggregation, and plain-text table rendering.
+//!
+//! Every experiment in `EXPERIMENTS.md` maps to one function here; the
+//! binary only parses arguments and dispatches.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

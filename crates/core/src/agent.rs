@@ -1,0 +1,1740 @@
+//! The 2PC Agent (2PCA) and its Certifier — the paper's core contribution.
+//!
+//! One agent is co-located with each LTM (Fig. 1). It plays the Participant
+//! role of 2PC on behalf of an LDBS that has no prepared state: it keeps the
+//! *Agent log* of DML commands, simulates the prepared state, and when the
+//! LTM unilaterally aborts a prepared local subtransaction it **resubmits**
+//! the logged commands as a fresh local transaction (a new *incarnation*).
+//!
+//! The Certifier guards the two places where resubmission could corrupt
+//! serializability:
+//!
+//! * **Extended prepare certification** (Appendix B): refuse a PREPARE whose
+//!   serial number is below the largest locally committed serial number
+//!   (§5.3), then require the candidate's alive interval to intersect every
+//!   stored alive interval in the table (§4.2), then check aliveness.
+//! * **Commit certification** (Appendix C): hold a COMMIT (with retry) while
+//!   any table entry carries a smaller serial number, so local commits
+//!   happen in serial-number order at every site and the commit-order graph
+//!   stays acyclic (§5.2).
+//!
+//! The alive check (Appendix A) runs on a timer while prepared; a failed
+//! check triggers resubmission and a fresh alive interval once the replay
+//! completes.
+//!
+//! The agent is a pure state machine: [`Agent::handle`] consumes one
+//! [`AgentInput`] plus the local clock reading and returns the actions the
+//! host must carry out. The host owns the LTM, the network, and all timers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mdbs_histories::{GlobalTxnId, Instance, SiteId, Txn};
+use mdbs_ldbs::{Command, CommandResult};
+use serde::{Deserialize, Serialize};
+
+use crate::agent_log::{AgentLog, LogRecord, RecoveredTxn};
+use crate::config::AgentConfig;
+use crate::msg::Message;
+use crate::sn::SerialNumber;
+
+/// Why a PREPARE was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefuseReason {
+    /// §5.3 extension: the serial number is smaller than one already
+    /// locally committed (the COMMIT overtook this PREPARE).
+    SnOutOfOrder,
+    /// §4.2 basic certification: the alive intervals do not intersect —
+    /// the subtransactions may conflict.
+    AliveIntervalDisjoint,
+    /// The subtransaction is not alive at certification time (unilaterally
+    /// aborted and not yet resubmitted).
+    NotAlive,
+}
+
+/// Inputs to the agent state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentInput {
+    /// A 2PC message from a coordinator.
+    Deliver(Message),
+    /// The LTM finished the in-flight command of this transaction.
+    LtmDone {
+        /// The global transaction whose command completed.
+        gtxn: GlobalTxnId,
+        /// The command's result.
+        result: CommandResult,
+    },
+    /// Unilateral Abort Notification from the LTM.
+    Uan {
+        /// The aborted instance.
+        instance: Instance,
+    },
+    /// The periodic alive-check timer fired (Appendix A).
+    AliveTimer {
+        /// The prepared transaction being checked.
+        gtxn: GlobalTxnId,
+    },
+    /// The commit-certification retry timer fired (Appendix C).
+    CommitRetryTimer {
+        /// The transaction whose commit certification is retried.
+        gtxn: GlobalTxnId,
+    },
+}
+
+/// Actions the host must perform on the agent's behalf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentAction {
+    /// Send a message to the coordinator node.
+    Reply {
+        /// Destination coordinator node id.
+        coord: u32,
+        /// The message.
+        msg: Message,
+    },
+    /// Begin a transaction at the LTM.
+    LtmBegin(Instance),
+    /// Submit a command to the LTM for this instance.
+    LtmSubmit {
+        /// The executing instance.
+        instance: Instance,
+        /// The command.
+        command: Command,
+    },
+    /// Locally commit the instance at the LTM.
+    LtmCommit(Instance),
+    /// Locally abort the instance at the LTM.
+    LtmAbort(Instance),
+    /// Mark items as bound data of the owner (DLU enforcement).
+    Bind {
+        /// The items to bind.
+        keys: Vec<u64>,
+        /// The owning global transaction.
+        owner: Txn,
+    },
+    /// Release the owner's bound data.
+    Unbind {
+        /// The owning global transaction.
+        owner: Txn,
+    },
+    /// Record `P^s_k` in the global history (the force-written prepare
+    /// record of Appendix B).
+    RecordPrepare(GlobalTxnId),
+    /// Arm the alive-check timer.
+    StartAliveTimer {
+        /// The prepared transaction to check.
+        gtxn: GlobalTxnId,
+        /// Delay, in local-clock microseconds.
+        after_us: u64,
+    },
+    /// Arm the commit-certification retry timer.
+    StartCommitRetryTimer {
+        /// The transaction to retry.
+        gtxn: GlobalTxnId,
+        /// Delay, in local-clock microseconds.
+        after_us: u64,
+    },
+}
+
+/// Counters exposed for the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentStats {
+    /// PREPAREs answered READY.
+    pub prepares_accepted: u64,
+    /// PREPAREs refused, by reason.
+    pub refused_sn_out_of_order: u64,
+    /// PREPAREs refused because alive intervals were disjoint.
+    pub refused_interval_disjoint: u64,
+    /// PREPAREs refused because the subtransaction was not alive.
+    pub refused_not_alive: u64,
+    /// Resubmissions started.
+    pub resubmissions: u64,
+    /// Commit certifications that had to be retried.
+    pub commit_retries: u64,
+    /// Times the safety valve forced an out-of-order commit (anomaly
+    /// baselines only).
+    pub commit_cert_overrides: u64,
+    /// Local commits performed.
+    pub local_commits: u64,
+    /// Local aborts performed on coordinator ROLLBACK.
+    pub rollbacks: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Receiving and executing DML (2PC active state).
+    Active,
+    /// Prepared: READY sent, COMMIT/ROLLBACK pending.
+    Prepared,
+    /// COMMIT received but certification not yet passed.
+    CommitPending,
+}
+
+#[derive(Debug)]
+struct SubTxn {
+    coord: u32,
+    incarnation: u32,
+    /// The Agent log: every DML command received, in order.
+    commands: Vec<Command>,
+    /// Keys touched (read or written) — the bound data at prepare.
+    touched: BTreeSet<u64>,
+    /// A command is currently executing at the LTM.
+    executing: bool,
+    /// A DmlResult is owed to the coordinator for the newest command.
+    awaiting_reply: bool,
+    /// Index of the next command to replay, while resubmitting.
+    resubmit_next: Option<usize>,
+    /// The current incarnation was unilaterally aborted (UAN received).
+    aborted: bool,
+    /// Local time when the last command completed.
+    last_op_done: u64,
+    phase: Phase,
+    sn: Option<SerialNumber>,
+    /// Stored alive intervals [begin, end], most recent last; bounded by
+    /// `AgentConfig::stored_intervals` (§4.2's optimization — 1 reproduces
+    /// the paper's basic "store the last interval" variant).
+    intervals: Vec<(u64, u64)>,
+    /// Local prepare order (for the §5.3 strawman commit rule).
+    prepare_seq: u64,
+    /// Failed commit certifications so far (safety-valve counter).
+    commit_retries: u32,
+}
+
+impl SubTxn {
+    fn in_table(&self) -> bool {
+        matches!(self.phase, Phase::Prepared | Phase::CommitPending)
+    }
+
+    /// Extend the end of the current (most recent) alive interval.
+    fn extend_interval(&mut self, now: u64) {
+        if let Some(last) = self.intervals.last_mut() {
+            last.1 = now;
+        } else {
+            self.intervals.push((now, now));
+        }
+    }
+
+    /// Start a fresh alive interval (after a completed resubmission),
+    /// keeping at most `cap` stored intervals.
+    fn push_interval(&mut self, now: u64, cap: usize) {
+        self.intervals.push((now, now));
+        let cap = cap.max(1);
+        if self.intervals.len() > cap {
+            let excess = self.intervals.len() - cap;
+            self.intervals.drain(..excess);
+        }
+    }
+
+    /// Whether a candidate interval starting at `begin` intersects any
+    /// stored interval (candidate end = "now" ≥ every stored begin, so
+    /// the test reduces to `begin <= some stored end`).
+    fn intersects_candidate(&self, candidate_begin: u64) -> bool {
+        self.intervals
+            .iter()
+            .any(|&(_, end)| end >= candidate_begin)
+    }
+
+    /// Alive right now: all commands executed, current incarnation neither
+    /// aborted nor mid-resubmission.
+    fn alive(&self) -> bool {
+        !self.aborted && !self.executing && self.resubmit_next.is_none()
+    }
+}
+
+/// The 2PC Agent with Certifier for one site.
+#[derive(Debug)]
+pub struct Agent {
+    site: SiteId,
+    config: AgentConfig,
+    subtxns: BTreeMap<GlobalTxnId, SubTxn>,
+    /// §5.3 extension state: largest serial number locally committed.
+    max_committed_sn: Option<SerialNumber>,
+    /// Ticket-order comparator state: largest serial number ever prepared.
+    max_prepared_sn: Option<SerialNumber>,
+    prepare_counter: u64,
+    stats: AgentStats,
+    /// The durable Agent log (commands, prepare/commit records).
+    log: AgentLog,
+}
+
+impl Agent {
+    /// Create the agent for `site`.
+    pub fn new(site: SiteId, config: AgentConfig) -> Agent {
+        Agent {
+            site,
+            config,
+            subtxns: BTreeMap::new(),
+            max_committed_sn: None,
+            max_prepared_sn: None,
+            prepare_counter: 0,
+            stats: AgentStats::default(),
+            log: AgentLog::new(),
+        }
+    }
+
+    /// The durable Agent log (what survives a site crash).
+    pub fn log(&self) -> &AgentLog {
+        &self.log
+    }
+
+    /// Rebuild an agent after a site crash (the paper's *collective
+    /// abort*) from its durable log.
+    ///
+    /// Every unfinished subtransaction is restored in the aborted state —
+    /// the crash rolled back all LTM work — so prepared ones resubmit via
+    /// the alive check and forced commit decisions are redone. The returned
+    /// actions re-bind the bound data of prepared subtransactions, re-send
+    /// READY for prepared-but-uncommitted ones (a READY may have been lost
+    /// between the forced prepare record and the crash; the coordinator
+    /// treats duplicates idempotently), notify active-phase conversations
+    /// of the failure, and arm the alive timers that drive resubmission.
+    pub fn recover(site: SiteId, config: AgentConfig, log: AgentLog) -> (Agent, Vec<AgentAction>) {
+        let (recovered, max_committed_sn) = log.recover();
+        let mut agent = Agent {
+            site,
+            config,
+            subtxns: BTreeMap::new(),
+            max_committed_sn,
+            max_prepared_sn: None,
+            prepare_counter: 0,
+            stats: AgentStats::default(),
+            log,
+        };
+        let mut actions = Vec::new();
+
+        // Restore in serial-number order so the strawman prepare_seq (if
+        // in use) stays consistent with the certified order.
+        let mut prepared: Vec<&RecoveredTxn> =
+            recovered.iter().filter(|t| t.prepared.is_some()).collect();
+        prepared.sort_by_key(|t| t.prepared.as_ref().expect("filtered").0);
+        let order: Vec<GlobalTxnId> = prepared.iter().map(|t| t.gtxn).collect();
+
+        for txn in &recovered {
+            let phase = match (&txn.prepared, txn.committing) {
+                (Some(_), true) => Phase::CommitPending,
+                (Some(_), false) => Phase::Prepared,
+                (None, _) => Phase::Active,
+            };
+            let sn = txn.prepared.as_ref().map(|(sn, _)| *sn);
+            if let Some(sn) = sn {
+                if agent.max_prepared_sn.is_none_or(|m| sn > m) {
+                    agent.max_prepared_sn = Some(sn);
+                }
+            }
+            let prepare_seq = order
+                .iter()
+                .position(|g| *g == txn.gtxn)
+                .map_or(0, |p| p as u64 + 1);
+            agent.prepare_counter = agent.prepare_counter.max(prepare_seq);
+            let touched: BTreeSet<u64> = txn
+                .prepared
+                .as_ref()
+                .map(|(_, t)| t.iter().copied().collect())
+                .unwrap_or_default();
+            agent.subtxns.insert(
+                txn.gtxn,
+                SubTxn {
+                    coord: txn.coord,
+                    incarnation: txn.incarnation,
+                    commands: txn.commands.clone(),
+                    touched: touched.clone(),
+                    executing: false,
+                    awaiting_reply: false,
+                    resubmit_next: None,
+                    aborted: true, // the crash rolled everything back
+                    last_op_done: 0,
+                    phase,
+                    sn,
+                    // Frozen, conservative interval: candidates that ran
+                    // after the crash cannot certify against this entry
+                    // until its resubmission completes.
+                    intervals: vec![(0, 0)],
+                    prepare_seq,
+                    commit_retries: 0,
+                },
+            );
+            match phase {
+                Phase::Active => {
+                    // The in-flight conversation died with the site; tell
+                    // the coordinator (idempotent with a racing REFUSE).
+                    actions.push(AgentAction::Reply {
+                        coord: txn.coord,
+                        msg: Message::Failed {
+                            gtxn: txn.gtxn,
+                            site,
+                        },
+                    });
+                }
+                Phase::Prepared | Phase::CommitPending => {
+                    let keys: Vec<u64> = touched.iter().copied().collect();
+                    actions.push(AgentAction::Bind {
+                        keys,
+                        owner: Txn::Global(txn.gtxn),
+                    });
+                    if phase == Phase::Prepared {
+                        actions.push(AgentAction::Reply {
+                            coord: txn.coord,
+                            msg: Message::Ready {
+                                gtxn: txn.gtxn,
+                                site,
+                            },
+                        });
+                    }
+                    actions.push(AgentAction::StartAliveTimer {
+                        gtxn: txn.gtxn,
+                        after_us: agent.config.alive_check_interval_us,
+                    });
+                    if phase == Phase::CommitPending {
+                        actions.push(AgentAction::StartCommitRetryTimer {
+                            gtxn: txn.gtxn,
+                            after_us: agent.config.commit_retry_interval_us,
+                        });
+                    }
+                }
+            }
+        }
+        (agent, actions)
+    }
+
+    /// This agent's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The agent's counters.
+    pub fn stats(&self) -> &AgentStats {
+        &self.stats
+    }
+
+    /// Number of subtransactions currently in the prepared state (the
+    /// alive-interval table size).
+    pub fn table_len(&self) -> usize {
+        self.subtxns.values().filter(|s| s.in_table()).count()
+    }
+
+    /// Current incarnation index of a subtransaction (for tests).
+    pub fn incarnation_of(&self, gtxn: GlobalTxnId) -> Option<u32> {
+        self.subtxns.get(&gtxn).map(|s| s.incarnation)
+    }
+
+    fn instance(&self, gtxn: GlobalTxnId, st: &SubTxn) -> Instance {
+        Instance::global(gtxn.0, self.site, st.incarnation)
+    }
+
+    /// Process one input at local time `now` (microseconds, local clock).
+    pub fn handle(&mut self, now: u64, input: AgentInput) -> Vec<AgentAction> {
+        match input {
+            AgentInput::Deliver(msg) => self.on_message(now, msg),
+            AgentInput::LtmDone { gtxn, result } => self.on_ltm_done(now, gtxn, result),
+            AgentInput::Uan { instance } => self.on_uan(instance),
+            AgentInput::AliveTimer { gtxn } => self.on_alive_timer(now, gtxn),
+            AgentInput::CommitRetryTimer { gtxn } => self.on_commit_retry(now, gtxn),
+        }
+    }
+
+    fn on_message(&mut self, now: u64, msg: Message) -> Vec<AgentAction> {
+        match msg {
+            Message::Begin { gtxn, coord } => {
+                debug_assert!(!self.subtxns.contains_key(&gtxn), "duplicate BEGIN");
+                let st = SubTxn {
+                    coord,
+                    incarnation: 0,
+                    commands: Vec::new(),
+                    touched: BTreeSet::new(),
+                    executing: false,
+                    awaiting_reply: false,
+                    resubmit_next: None,
+                    aborted: false,
+                    last_op_done: now,
+                    phase: Phase::Active,
+                    sn: None,
+                    intervals: vec![(now, now)],
+                    prepare_seq: 0,
+                    commit_retries: 0,
+                };
+                let inst = self.instance(gtxn, &st);
+                self.subtxns.insert(gtxn, st);
+                self.log.append(LogRecord::Begin { gtxn, coord });
+                vec![AgentAction::LtmBegin(inst)]
+            }
+            Message::Dml { gtxn, command } => {
+                let Some(st) = self.subtxns.get_mut(&gtxn) else {
+                    debug_assert!(false, "DML for unknown transaction");
+                    return vec![];
+                };
+                debug_assert!(matches!(st.phase, Phase::Active), "DML after PREPARE");
+                debug_assert!(!st.executing, "DML while a command is in flight");
+                if st.aborted {
+                    // Unilaterally aborted between commands: fail the
+                    // conversation (no active-state resubmission, §2).
+                    let coord = st.coord;
+                    return vec![AgentAction::Reply {
+                        coord,
+                        msg: Message::Failed {
+                            gtxn,
+                            site: self.site,
+                        },
+                    }];
+                }
+                st.commands.push(command);
+                st.executing = true;
+                st.awaiting_reply = true;
+                let inst = Instance::global(gtxn.0, self.site, st.incarnation);
+                self.log.append(LogRecord::Command { gtxn, command });
+                vec![AgentAction::LtmSubmit {
+                    instance: inst,
+                    command,
+                }]
+            }
+            Message::Prepare { gtxn, sn } => self.on_prepare(now, gtxn, sn),
+            Message::Commit { gtxn } => {
+                if let Some(st) = self.subtxns.get_mut(&gtxn) {
+                    debug_assert!(st.in_table(), "COMMIT for unprepared transaction");
+                    st.phase = Phase::CommitPending;
+                    self.try_commit(now, gtxn)
+                } else {
+                    // Refused earlier and forgotten; the coordinator's
+                    // decision crossed our REFUSE. Nothing to commit.
+                    vec![]
+                }
+            }
+            Message::Rollback { gtxn } => self.on_rollback(gtxn),
+            other => {
+                debug_assert!(false, "agent received upstream message {other:?}");
+                vec![]
+            }
+        }
+    }
+
+    /// Appendix B: extended + basic prepare certification and alive check.
+    fn on_prepare(&mut self, now: u64, gtxn: GlobalTxnId, sn: SerialNumber) -> Vec<AgentAction> {
+        // Refresh the alive intervals of table entries that are alive right
+        // now (an inline alive check; keeps long alive-check periods from
+        // causing spurious refusals — the paper's §6 assumes exactly this).
+        let entries: Vec<GlobalTxnId> = self.subtxns.keys().copied().collect();
+        for g in entries {
+            let st = self.subtxns.get_mut(&g).expect("key");
+            if st.in_table() && st.alive() {
+                st.extend_interval(now);
+            }
+        }
+
+        let Some(st) = self.subtxns.get(&gtxn) else {
+            // Reachable race: a held/delayed PREPARE crossing a ROLLBACK we
+            // already processed (the coordinator is aborting and has our
+            // RollbackAck; nothing to answer).
+            return vec![];
+        };
+        debug_assert!(
+            matches!(st.phase, Phase::Active),
+            "duplicate PREPARE for {gtxn}"
+        );
+        // st.executing may be true here: an active-phase unilateral abort
+        // can leave a resubmission replay in flight when the PREPARE
+        // arrives. The alive check below refuses in that case.
+        let coord = st.coord;
+
+        // §5.3 extension: an "older" transaction already committed here?
+        if self.config.mode.prepare_extension() {
+            if let Some(max_sn) = self.max_committed_sn {
+                if sn < max_sn {
+                    self.stats.refused_sn_out_of_order += 1;
+                    return self.refuse(gtxn, coord, RefuseReason::SnOutOfOrder);
+                }
+            }
+        }
+
+        // Ticket comparator: the predeclared total order refuses any
+        // out-of-order PREPARE arrival outright.
+        if self.config.mode.ticket_prepare_check() {
+            if let Some(max_sn) = self.max_prepared_sn {
+                if sn < max_sn {
+                    self.stats.refused_sn_out_of_order += 1;
+                    return self.refuse(gtxn, coord, RefuseReason::SnOutOfOrder);
+                }
+            }
+        }
+
+        // §4.2 basic certification: candidate interval vs. table intervals.
+        let st = self.subtxns.get(&gtxn).expect("checked");
+        let candidate_begin = st.last_op_done;
+        if self.config.mode.prepare_certification() {
+            let disjoint = self
+                .subtxns
+                .iter()
+                .filter(|(g, other)| **g != gtxn && other.in_table())
+                .any(|(_, other)| !other.intersects_candidate(candidate_begin));
+            if disjoint {
+                self.stats.refused_interval_disjoint += 1;
+                return self.refuse(gtxn, coord, RefuseReason::AliveIntervalDisjoint);
+            }
+        }
+
+        // Alive check.
+        let st = self.subtxns.get_mut(&gtxn).expect("checked");
+        if !st.alive() {
+            self.stats.refused_not_alive += 1;
+            return self.refuse(gtxn, coord, RefuseReason::NotAlive);
+        }
+
+        // Certification passed: move to the prepared state.
+        st.sn = Some(sn);
+        st.intervals = vec![(candidate_begin, now)];
+        st.phase = Phase::Prepared;
+        if self.max_prepared_sn.is_none_or(|m| sn > m) {
+            self.max_prepared_sn = Some(sn);
+        }
+        self.prepare_counter += 1;
+        st.prepare_seq = self.prepare_counter;
+        let keys: Vec<u64> = st.touched.iter().copied().collect();
+        self.stats.prepares_accepted += 1;
+        self.log.append(LogRecord::Prepare {
+            gtxn,
+            sn,
+            touched: keys.clone(),
+        });
+        vec![
+            AgentAction::RecordPrepare(gtxn),
+            AgentAction::Bind {
+                keys,
+                owner: Txn::Global(gtxn),
+            },
+            AgentAction::Reply {
+                coord,
+                msg: Message::Ready {
+                    gtxn,
+                    site: self.site,
+                },
+            },
+            AgentAction::StartAliveTimer {
+                gtxn,
+                after_us: self.config.alive_check_interval_us,
+            },
+        ]
+    }
+
+    /// Refuse a PREPARE: abort the local subtransaction (if it still runs),
+    /// forget the transaction, answer REFUSE.
+    fn refuse(&mut self, gtxn: GlobalTxnId, coord: u32, reason: RefuseReason) -> Vec<AgentAction> {
+        let st = self.subtxns.remove(&gtxn).expect("refusing known txn");
+        self.log.append(LogRecord::Rollback { gtxn });
+        let mut actions = Vec::new();
+        if !st.aborted {
+            actions.push(AgentAction::LtmAbort(Instance::global(
+                gtxn.0,
+                self.site,
+                st.incarnation,
+            )));
+        }
+        actions.push(AgentAction::Reply {
+            coord,
+            msg: Message::Refuse {
+                gtxn,
+                site: self.site,
+                reason,
+            },
+        });
+        actions
+    }
+
+    fn on_ltm_done(
+        &mut self,
+        now: u64,
+        gtxn: GlobalTxnId,
+        result: CommandResult,
+    ) -> Vec<AgentAction> {
+        let Some(st) = self.subtxns.get_mut(&gtxn) else {
+            // Completed after we already refused/rolled back; ignore.
+            return vec![];
+        };
+        st.executing = false;
+        st.last_op_done = now;
+        st.touched.extend(result.touched_keys());
+
+        if let Some(next) = st.resubmit_next {
+            // Replaying the Agent log.
+            if next < st.commands.len() {
+                let command = st.commands[next];
+                st.resubmit_next = Some(next + 1);
+                st.executing = true;
+                let inst = Instance::global(gtxn.0, self.site, st.incarnation);
+                return vec![AgentAction::LtmSubmit {
+                    instance: inst,
+                    command,
+                }];
+            }
+            // Resubmission complete: fresh alive interval (Appendix A).
+            st.resubmit_next = None;
+            let cap = self.config.stored_intervals;
+            st.push_interval(now, cap);
+            if st.phase == Phase::CommitPending {
+                return self.try_commit(now, gtxn);
+            }
+            return vec![];
+        }
+
+        // Ordinary active-phase completion: report to the coordinator.
+        st.awaiting_reply = false;
+        let coord = st.coord;
+        vec![AgentAction::Reply {
+            coord,
+            msg: Message::DmlResult {
+                gtxn,
+                site: self.site,
+                result,
+            },
+        }]
+    }
+
+    fn on_uan(&mut self, instance: Instance) -> Vec<AgentAction> {
+        let Txn::Global(gtxn) = instance.txn else {
+            return vec![]; // local transactions are none of our business
+        };
+        let Some(st) = self.subtxns.get_mut(&gtxn) else {
+            return vec![];
+        };
+        if st.incarnation != instance.incarnation {
+            return vec![]; // stale notification for an old incarnation
+        }
+        st.aborted = true;
+        st.executing = false;
+        // If the abort struck a resubmission replay, that replay is dead at
+        // the LTM; clear the cursor so the next alive check (or the pending
+        // commit certification) starts a fresh incarnation.
+        st.resubmit_next = None;
+        if st.phase == Phase::Active && st.awaiting_reply {
+            // Active-state unilateral abort (e.g. a local deadlock victim)
+            // with a DML conversation pending: resubmission applies only to
+            // the *prepared* state (§2), so report the failure and let the
+            // coordinator abort the global transaction.
+            st.awaiting_reply = false;
+            let coord = st.coord;
+            return vec![AgentAction::Reply {
+                coord,
+                msg: Message::Failed {
+                    gtxn,
+                    site: self.site,
+                },
+            }];
+        }
+        vec![]
+    }
+
+    /// Appendix A: the alive check.
+    fn on_alive_timer(&mut self, now: u64, gtxn: GlobalTxnId) -> Vec<AgentAction> {
+        let Some(st) = self.subtxns.get_mut(&gtxn) else {
+            return vec![]; // committed or rolled back meanwhile
+        };
+        if !st.in_table() {
+            return vec![];
+        }
+        let mut actions = Vec::new();
+        if st.resubmit_next.is_some() {
+            // Replay still running; check again later.
+        } else if !st.aborted {
+            // Alive: extend the stored interval.
+            st.extend_interval(now);
+        } else {
+            // Unilaterally aborted: resubmit commands from the Agent log.
+            actions.extend(self.start_resubmission(gtxn));
+        }
+        actions.push(AgentAction::StartAliveTimer {
+            gtxn,
+            after_us: self.config.alive_check_interval_us,
+        });
+        actions
+    }
+
+    fn start_resubmission(&mut self, gtxn: GlobalTxnId) -> Vec<AgentAction> {
+        self.log.append(LogRecord::Resubmit { gtxn });
+        let st = self.subtxns.get_mut(&gtxn).expect("known txn");
+        debug_assert!(st.aborted && st.resubmit_next.is_none());
+        st.incarnation += 1;
+        st.aborted = false;
+        self.stats.resubmissions += 1;
+        let inst = Instance::global(gtxn.0, self.site, st.incarnation);
+        let mut actions = vec![AgentAction::LtmBegin(inst)];
+        if st.commands.is_empty() {
+            st.resubmit_next = None;
+            // Nothing to replay: instantly alive again. The interval restart
+            // happens on the next alive check / prepare refresh.
+        } else {
+            let command = st.commands[0];
+            st.resubmit_next = Some(1);
+            st.executing = true;
+            actions.push(AgentAction::LtmSubmit {
+                instance: inst,
+                command,
+            });
+        }
+        actions
+    }
+
+    /// Appendix C: commit certification, possibly retried.
+    fn try_commit(&mut self, _now: u64, gtxn: GlobalTxnId) -> Vec<AgentAction> {
+        let st = self.subtxns.get(&gtxn).expect("known txn");
+        debug_assert_eq!(st.phase, Phase::CommitPending);
+
+        // The incarnation must be alive to be committed; if it was aborted,
+        // resubmit first and retry.
+        if st.aborted || st.resubmit_next.is_some() {
+            let mut actions = Vec::new();
+            if st.aborted && st.resubmit_next.is_none() {
+                actions.extend(self.start_resubmission(gtxn));
+            }
+            self.stats.commit_retries += 1;
+            actions.push(AgentAction::StartCommitRetryTimer {
+                gtxn,
+                after_us: self.config.commit_retry_interval_us,
+            });
+            return actions;
+        }
+
+        // Certification: every other table entry must be "younger".
+        let passes = if self.config.mode.sn_commit_certification() {
+            let my_sn = st.sn.expect("prepared with sn");
+            self.subtxns
+                .iter()
+                .filter(|(g, o)| **g != gtxn && o.in_table())
+                .all(|(_, o)| o.sn.map(|s| s > my_sn).unwrap_or(true))
+        } else if self.config.mode.prepare_order_commit() {
+            let my_seq = st.prepare_seq;
+            self.subtxns
+                .iter()
+                .filter(|(g, o)| **g != gtxn && o.in_table())
+                .all(|(_, o)| o.prepare_seq > my_seq)
+        } else {
+            true
+        };
+
+        if !passes {
+            let st = self.subtxns.get_mut(&gtxn).expect("known txn");
+            st.commit_retries += 1;
+            self.stats.commit_retries += 1;
+            if st.commit_retries < self.config.max_commit_retries {
+                return vec![AgentAction::StartCommitRetryTimer {
+                    gtxn,
+                    after_us: self.config.commit_retry_interval_us,
+                }];
+            }
+            // Safety valve: fall through and commit out of order. Only
+            // reachable in the anomaly-baseline modes.
+            self.stats.commit_cert_overrides += 1;
+        }
+
+        // Commit certification OK: force the commit record, commit
+        // locally, ack, leave the table (Appendix C's ordering).
+        let st = self.subtxns.remove(&gtxn).expect("known txn");
+        if let Some(sn) = st.sn {
+            if self.max_committed_sn.is_none_or(|m| sn > m) {
+                self.max_committed_sn = Some(sn);
+            }
+        }
+        self.stats.local_commits += 1;
+        self.log.append(LogRecord::Commit { gtxn });
+        self.log.append(LogRecord::Done { gtxn });
+        vec![
+            AgentAction::LtmCommit(Instance::global(gtxn.0, self.site, st.incarnation)),
+            AgentAction::Unbind {
+                owner: Txn::Global(gtxn),
+            },
+            AgentAction::Reply {
+                coord: st.coord,
+                msg: Message::CommitAck {
+                    gtxn,
+                    site: self.site,
+                },
+            },
+        ]
+    }
+
+    fn on_commit_retry(&mut self, now: u64, gtxn: GlobalTxnId) -> Vec<AgentAction> {
+        match self.subtxns.get(&gtxn) {
+            Some(st) if st.phase == Phase::CommitPending => self.try_commit(now, gtxn),
+            _ => vec![],
+        }
+    }
+
+    fn on_rollback(&mut self, gtxn: GlobalTxnId) -> Vec<AgentAction> {
+        self.log.append(LogRecord::Rollback { gtxn });
+        let Some(st) = self.subtxns.remove(&gtxn) else {
+            // Already refused and forgotten: just acknowledge. The
+            // coordinator's ROLLBACK crossed our REFUSE; replying keeps the
+            // protocol idempotent.
+            return vec![];
+        };
+        let mut actions = Vec::new();
+        if !st.aborted {
+            actions.push(AgentAction::LtmAbort(Instance::global(
+                gtxn.0,
+                self.site,
+                st.incarnation,
+            )));
+        }
+        actions.push(AgentAction::Unbind {
+            owner: Txn::Global(gtxn),
+        });
+        self.stats.rollbacks += 1;
+        actions.push(AgentAction::Reply {
+            coord: st.coord,
+            msg: Message::RollbackAck {
+                gtxn,
+                site: self.site,
+            },
+        });
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CertifierMode;
+    use mdbs_ldbs::KeySpec;
+
+    const SITE: SiteId = SiteId(0);
+    const COORD: u32 = 100;
+
+    fn sn(t: u64) -> SerialNumber {
+        SerialNumber {
+            ticks: t,
+            node: COORD,
+            seq: 0,
+        }
+    }
+
+    fn agent() -> Agent {
+        Agent::new(SITE, AgentConfig::default())
+    }
+
+    fn g(k: u32) -> GlobalTxnId {
+        GlobalTxnId(k)
+    }
+
+    fn cmd() -> Command {
+        Command::Update(KeySpec::Key(0), 1)
+    }
+
+    fn result(keys: &[u64]) -> CommandResult {
+        CommandResult {
+            rows: keys.iter().map(|&k| (k, 0)).collect(),
+            wrote: keys.to_vec(),
+        }
+    }
+
+    /// Drive a transaction to the prepared state.
+    fn prepare_one(a: &mut Agent, k: u32, t0: u64, sn_ticks: u64) -> Vec<AgentAction> {
+        a.handle(
+            t0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(k),
+                coord: COORD,
+            }),
+        );
+        a.handle(
+            t0 + 1,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(k),
+                command: cmd(),
+            }),
+        );
+        a.handle(
+            t0 + 2,
+            AgentInput::LtmDone {
+                gtxn: g(k),
+                result: result(&[k as u64]),
+            },
+        );
+        a.handle(
+            t0 + 3,
+            AgentInput::Deliver(Message::Prepare {
+                gtxn: g(k),
+                sn: sn(sn_ticks),
+            }),
+        )
+    }
+
+    fn has_ready(actions: &[AgentAction]) -> bool {
+        actions.iter().any(|a| {
+            matches!(
+                a,
+                AgentAction::Reply {
+                    msg: Message::Ready { .. },
+                    ..
+                }
+            )
+        })
+    }
+
+    fn refuse_reason(actions: &[AgentAction]) -> Option<RefuseReason> {
+        actions.iter().find_map(|a| match a {
+            AgentAction::Reply {
+                msg: Message::Refuse { reason, .. },
+                ..
+            } => Some(*reason),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn happy_path_to_commit() {
+        let mut a = agent();
+        let acts = prepare_one(&mut a, 1, 0, 10);
+        assert!(has_ready(&acts), "{acts:?}");
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, AgentAction::RecordPrepare(_))));
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::Bind { .. })));
+        assert_eq!(a.table_len(), 1);
+
+        let acts = a.handle(10, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+        assert!(acts.iter().any(|x| matches!(
+            x,
+            AgentAction::Reply {
+                msg: Message::CommitAck { .. },
+                ..
+            }
+        )));
+        assert_eq!(a.table_len(), 0);
+        assert_eq!(a.stats().local_commits, 1);
+    }
+
+    #[test]
+    fn begin_and_dml_route_to_ltm() {
+        let mut a = agent();
+        let acts = a.handle(
+            0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        assert_eq!(acts.len(), 1);
+        assert!(matches!(acts[0], AgentAction::LtmBegin(_)));
+        let acts = a.handle(
+            1,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                command: cmd(),
+            }),
+        );
+        assert!(matches!(acts[0], AgentAction::LtmSubmit { .. }));
+        // Completion reports back to the coordinator.
+        let acts = a.handle(
+            2,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[0]),
+            },
+        );
+        assert!(matches!(
+            acts[0],
+            AgentAction::Reply {
+                coord: COORD,
+                msg: Message::DmlResult { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn two_simultaneously_alive_txns_both_prepare() {
+        // Both executed recently and are alive: intervals intersect.
+        let mut a = agent();
+        assert!(has_ready(&prepare_one(&mut a, 1, 0, 10)));
+        assert!(has_ready(&prepare_one(&mut a, 2, 5, 20)));
+        assert_eq!(a.table_len(), 2);
+    }
+
+    #[test]
+    fn prepare_refused_when_interval_disjoint() {
+        // T1 prepares, then is unilaterally aborted (interval freezes).
+        // T2 executes afterwards: intervals cannot intersect -> REFUSE.
+        let mut a = agent();
+        assert!(has_ready(&prepare_one(&mut a, 1, 0, 10)));
+        a.handle(
+            100,
+            AgentInput::Uan {
+                instance: Instance::global(1, SITE, 0),
+            },
+        );
+        let acts = prepare_one(&mut a, 2, 200, 20);
+        assert_eq!(
+            refuse_reason(&acts),
+            Some(RefuseReason::AliveIntervalDisjoint)
+        );
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::LtmAbort(_))));
+        assert_eq!(a.stats().refused_interval_disjoint, 1);
+    }
+
+    #[test]
+    fn prepare_accepted_after_resubmission_completes() {
+        // T1 aborted, then resubmitted to completion: T2 alive at the same
+        // time as the fresh incarnation -> READY.
+        let mut a = agent();
+        assert!(has_ready(&prepare_one(&mut a, 1, 0, 10)));
+        a.handle(
+            100,
+            AgentInput::Uan {
+                instance: Instance::global(1, SITE, 0),
+            },
+        );
+        // Alive timer notices and resubmits.
+        let acts = a.handle(10_000, AgentInput::AliveTimer { gtxn: g(1) });
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::LtmBegin(_))));
+        assert_eq!(a.incarnation_of(g(1)), Some(1));
+        // Replay completes.
+        a.handle(
+            10_050,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[1]),
+            },
+        );
+        let acts = prepare_one(&mut a, 2, 10_100, 20);
+        assert!(has_ready(&acts), "{acts:?}");
+    }
+
+    #[test]
+    fn prepare_refused_when_not_alive() {
+        let mut a = agent();
+        a.handle(
+            0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        a.handle(
+            1,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                command: cmd(),
+            }),
+        );
+        a.handle(
+            2,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[0]),
+            },
+        );
+        // Aborted before the PREPARE arrives. No DML is pending, so the
+        // agent stays silent (no Failed, no resubmission — active-state
+        // resubmission is not part of the protocol)...
+        let acts = a.handle(
+            3,
+            AgentInput::Uan {
+                instance: Instance::global(1, SITE, 0),
+            },
+        );
+        assert!(acts.is_empty(), "{acts:?}");
+        // ...and the PREPARE is refused as not alive; the LTM already
+        // rolled the instance back, so no LtmAbort is issued.
+        let acts = a.handle(
+            4,
+            AgentInput::Deliver(Message::Prepare {
+                gtxn: g(1),
+                sn: sn(5),
+            }),
+        );
+        assert_eq!(refuse_reason(&acts), Some(RefuseReason::NotAlive));
+        assert!(!acts.iter().any(|x| matches!(x, AgentAction::LtmAbort(_))));
+    }
+
+    #[test]
+    fn active_phase_abort_mid_command_fails_conversation() {
+        let mut a = agent();
+        a.handle(
+            0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        a.handle(
+            1,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                command: cmd(),
+            }),
+        );
+        // The LTM kills the transaction while the command is in flight.
+        let acts = a.handle(
+            2,
+            AgentInput::Uan {
+                instance: Instance::global(1, SITE, 0),
+            },
+        );
+        assert!(
+            acts.iter().any(|x| matches!(
+                x,
+                AgentAction::Reply {
+                    msg: Message::Failed { .. },
+                    ..
+                }
+            )),
+            "{acts:?}"
+        );
+        // The coordinator reacts with ROLLBACK; the agent acknowledges.
+        let acts = a.handle(3, AgentInput::Deliver(Message::Rollback { gtxn: g(1) }));
+        assert!(acts.iter().any(|x| matches!(
+            x,
+            AgentAction::Reply {
+                msg: Message::RollbackAck { .. },
+                ..
+            }
+        )));
+        assert!(!acts.iter().any(|x| matches!(x, AgentAction::LtmAbort(_))));
+    }
+
+    #[test]
+    fn dml_after_idle_abort_fails_conversation() {
+        let mut a = agent();
+        a.handle(
+            0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        a.handle(
+            1,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                command: cmd(),
+            }),
+        );
+        a.handle(
+            2,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[0]),
+            },
+        );
+        // Abort strikes between commands: silent until the next DML.
+        let acts = a.handle(
+            3,
+            AgentInput::Uan {
+                instance: Instance::global(1, SITE, 0),
+            },
+        );
+        assert!(acts.is_empty());
+        let acts = a.handle(
+            4,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                command: cmd(),
+            }),
+        );
+        assert!(acts.iter().any(|x| matches!(
+            x,
+            AgentAction::Reply {
+                msg: Message::Failed { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn extension_refuses_sn_below_committed() {
+        // Commit T1 with sn=50; a PREPARE with sn=40 must be refused
+        // (§5.3: its COMMIT elsewhere may already have happened).
+        let mut a = agent();
+        assert!(has_ready(&prepare_one(&mut a, 1, 0, 50)));
+        a.handle(10, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        let acts = prepare_one(&mut a, 2, 20, 40);
+        assert_eq!(refuse_reason(&acts), Some(RefuseReason::SnOutOfOrder));
+        assert_eq!(a.stats().refused_sn_out_of_order, 1);
+    }
+
+    #[test]
+    fn commit_certification_waits_for_smaller_sn() {
+        // T1 (sn=10) and T2 (sn=20) both prepared; T2's COMMIT arrives
+        // first: it must wait for T1.
+        let mut a = agent();
+        assert!(has_ready(&prepare_one(&mut a, 1, 0, 10)));
+        assert!(has_ready(&prepare_one(&mut a, 2, 5, 20)));
+        let acts = a.handle(30, AgentInput::Deliver(Message::Commit { gtxn: g(2) }));
+        assert!(
+            acts.iter()
+                .any(|x| matches!(x, AgentAction::StartCommitRetryTimer { .. })),
+            "{acts:?}"
+        );
+        assert!(!acts.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+        // T1 commits; T2's retry then succeeds.
+        let acts = a.handle(40, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+        let acts = a.handle(50, AgentInput::CommitRetryTimer { gtxn: g(2) });
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+        assert_eq!(a.stats().commit_retries, 1);
+        assert_eq!(a.stats().local_commits, 2);
+    }
+
+    #[test]
+    fn commit_order_follows_sn_not_arrival() {
+        // Even if T2's COMMIT arrives first, T1 (smaller sn) commits first.
+        let mut a = agent();
+        prepare_one(&mut a, 1, 0, 10);
+        prepare_one(&mut a, 2, 5, 20);
+        let acts2 = a.handle(30, AgentInput::Deliver(Message::Commit { gtxn: g(2) }));
+        assert!(!acts2.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+        let acts1 = a.handle(31, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert!(acts1.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+    }
+
+    #[test]
+    fn commit_resubmits_aborted_incarnation_first() {
+        let mut a = agent();
+        prepare_one(&mut a, 1, 0, 10);
+        a.handle(
+            20,
+            AgentInput::Uan {
+                instance: Instance::global(1, SITE, 0),
+            },
+        );
+        let acts = a.handle(30, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        // Starts resubmission and schedules a retry, but does not commit.
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::LtmBegin(_))));
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, AgentAction::StartCommitRetryTimer { .. })));
+        assert!(!acts.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+        // Replay completes: the pending commit certification re-runs
+        // immediately and commits incarnation 1.
+        let acts = a.handle(
+            40,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[0]),
+            },
+        );
+        let committed = acts.iter().find_map(|x| match x {
+            AgentAction::LtmCommit(i) => Some(*i),
+            _ => None,
+        });
+        assert_eq!(committed, Some(Instance::global(1, SITE, 1)));
+    }
+
+    #[test]
+    fn prepare_after_rollback_is_ignored() {
+        let mut a = agent();
+        a.handle(0, AgentInput::Deliver(Message::Begin { gtxn: g(1), coord: COORD }));
+        a.handle(1, AgentInput::Deliver(Message::Rollback { gtxn: g(1) }));
+        // A delayed PREPARE crossing the rollback must be silently dropped.
+        let acts = a.handle(2, AgentInput::Deliver(Message::Prepare { gtxn: g(1), sn: sn(5) }));
+        assert!(acts.is_empty(), "{acts:?}");
+    }
+
+    #[test]
+    fn rollback_aborts_and_acks() {
+        let mut a = agent();
+        prepare_one(&mut a, 1, 0, 10);
+        let acts = a.handle(20, AgentInput::Deliver(Message::Rollback { gtxn: g(1) }));
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::LtmAbort(_))));
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::Unbind { .. })));
+        assert!(acts.iter().any(|x| matches!(
+            x,
+            AgentAction::Reply {
+                msg: Message::RollbackAck { .. },
+                ..
+            }
+        )));
+        assert_eq!(a.table_len(), 0);
+    }
+
+    #[test]
+    fn alive_timer_extends_interval_and_rearms() {
+        let mut a = agent();
+        prepare_one(&mut a, 1, 0, 10);
+        let acts = a.handle(10_000, AgentInput::AliveTimer { gtxn: g(1) });
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, AgentAction::StartAliveTimer { .. })));
+        // T2 executing later still intersects thanks to the extension.
+        let acts = prepare_one(&mut a, 2, 9_000, 20);
+        assert!(has_ready(&acts));
+    }
+
+    #[test]
+    fn alive_timer_for_finished_txn_is_inert() {
+        let mut a = agent();
+        prepare_one(&mut a, 1, 0, 10);
+        a.handle(10, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        let acts = a.handle(10_000, AgentInput::AliveTimer { gtxn: g(1) });
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn no_certification_mode_admits_everything() {
+        let mut a = Agent::new(
+            SITE,
+            AgentConfig {
+                mode: CertifierMode::NoCertification,
+                ..AgentConfig::default()
+            },
+        );
+        prepare_one(&mut a, 1, 0, 50);
+        a.handle(
+            100,
+            AgentInput::Uan {
+                instance: Instance::global(1, SITE, 0),
+            },
+        );
+        // Interval-disjoint candidate is still accepted.
+        let acts = prepare_one(&mut a, 2, 200, 40);
+        assert!(has_ready(&acts), "{acts:?}");
+        // And commits happen immediately regardless of smaller SNs pending.
+        let acts = a.handle(300, AgentInput::Deliver(Message::Commit { gtxn: g(2) }));
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+    }
+
+    #[test]
+    fn prepare_order_mode_orders_by_local_prepare() {
+        let mut a = Agent::new(
+            SITE,
+            AgentConfig {
+                mode: CertifierMode::PrepareOrder,
+                ..AgentConfig::default()
+            },
+        );
+        prepare_one(&mut a, 1, 0, 99); // prepared first, huge sn
+        prepare_one(&mut a, 2, 5, 1); // prepared second, tiny sn
+                                      // T2's commit must wait for T1 despite T2's smaller sn.
+        let acts = a.handle(30, AgentInput::Deliver(Message::Commit { gtxn: g(2) }));
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, AgentAction::StartCommitRetryTimer { .. })));
+        let acts = a.handle(40, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+    }
+
+    #[test]
+    fn ticket_mode_refuses_out_of_order_prepare_arrival() {
+        let mut a = Agent::new(
+            SITE,
+            AgentConfig {
+                mode: CertifierMode::TicketOrder,
+                ..AgentConfig::default()
+            },
+        );
+        // T1 with sn=50 prepares first; T2 with the *smaller* sn=40 then
+        // arrives: the predeclared total order refuses it outright even
+        // though nothing conflicts and nothing committed yet — the
+        // unnecessary abort the paper criticizes in §5.2.
+        assert!(has_ready(&prepare_one(&mut a, 1, 0, 50)));
+        let acts = prepare_one(&mut a, 2, 10, 40);
+        assert_eq!(refuse_reason(&acts), Some(RefuseReason::SnOutOfOrder));
+        // Under the full certifier the same schedule is accepted.
+        let mut full = agent();
+        assert!(has_ready(&prepare_one(&mut full, 1, 0, 50)));
+        assert!(has_ready(&prepare_one(&mut full, 2, 10, 40)));
+    }
+
+    #[test]
+    fn ticket_mode_still_orders_commits_by_sn() {
+        let mut a = Agent::new(
+            SITE,
+            AgentConfig {
+                mode: CertifierMode::TicketOrder,
+                ..AgentConfig::default()
+            },
+        );
+        prepare_one(&mut a, 1, 0, 10);
+        prepare_one(&mut a, 2, 5, 20);
+        let acts = a.handle(30, AgentInput::Deliver(Message::Commit { gtxn: g(2) }));
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, AgentAction::StartCommitRetryTimer { .. })));
+    }
+
+    #[test]
+    fn uan_for_stale_incarnation_ignored() {
+        let mut a = agent();
+        prepare_one(&mut a, 1, 0, 10);
+        a.handle(
+            20,
+            AgentInput::Uan {
+                instance: Instance::global(1, SITE, 0),
+            },
+        );
+        a.handle(10_000, AgentInput::AliveTimer { gtxn: g(1) });
+        a.handle(
+            10_050,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[0]),
+            },
+        );
+        // A late UAN for incarnation 0 must not poison incarnation 1.
+        a.handle(
+            10_060,
+            AgentInput::Uan {
+                instance: Instance::global(1, SITE, 0),
+            },
+        );
+        let acts = a.handle(10_100, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert!(acts.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+    }
+
+    #[test]
+    fn stored_interval_count_cannot_change_decisions() {
+        // Reproduction finding: §4.2 suggests storing several past alive
+        // intervals "as an optimization". Under the paper's own convention
+        // that the candidate's interval ends at the checking moment, the
+        // intersection test reduces to `candidate_begin <= entry_end`, and
+        // an entry's interval ends are monotone — so only the *latest*
+        // stored interval can ever matter. Verify k=1 and k=3 agents make
+        // identical decisions across the interesting scenarios.
+        for (abort_t1, resubmit) in [(false, false), (true, false), (true, true)] {
+            let mut decisions = Vec::new();
+            for k in [1usize, 3] {
+                let mut a = Agent::new(
+                    SITE,
+                    AgentConfig {
+                        stored_intervals: k,
+                        ..AgentConfig::default()
+                    },
+                );
+                prepare_one(&mut a, 1, 0, 10);
+                if abort_t1 {
+                    a.handle(
+                        100,
+                        AgentInput::Uan {
+                            instance: Instance::global(1, SITE, 0),
+                        },
+                    );
+                }
+                if resubmit {
+                    a.handle(10_000, AgentInput::AliveTimer { gtxn: g(1) });
+                    a.handle(
+                        10_050,
+                        AgentInput::LtmDone {
+                            gtxn: g(1),
+                            result: result(&[1]),
+                        },
+                    );
+                }
+                let acts = prepare_one(&mut a, 2, 20_000, 20);
+                decisions.push((k, has_ready(&acts)));
+            }
+            assert_eq!(
+                decisions[0].1, decisions[1].1,
+                "k=1 and k=3 disagreed in scenario {abort_t1}/{resubmit}: {decisions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_recovery_restores_prepared_txns() {
+        use crate::agent_log::AgentLog;
+        let mut a = agent();
+        prepare_one(&mut a, 1, 0, 10); // prepared, not committed
+        prepare_one(&mut a, 2, 5, 20);
+        a.handle(30, AgentInput::Deliver(Message::Commit { gtxn: g(2) }));
+        // T2's COMMIT arrived but certification is still waiting on T1
+        // (smaller sn), so no commit record was forced. Crash now: both
+        // recover as *prepared* (the commit decision was not yet durable
+        // at this site), re-send READY, re-bind, and re-arm alive timers.
+        // The coordinator's COMMIT retransmission (on duplicate READY)
+        // re-delivers T2's decision.
+        let log: AgentLog = a.log().clone();
+        let (recovered, actions) = Agent::recover(SITE, AgentConfig::default(), log);
+        assert_eq!(recovered.table_len(), 2, "both subtxns restored");
+        let readies = actions
+            .iter()
+            .filter(|x| {
+                matches!(
+                    x,
+                    AgentAction::Reply {
+                        msg: Message::Ready { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(readies, 2);
+        assert!(
+            actions
+                .iter()
+                .filter(|x| matches!(x, AgentAction::Bind { .. }))
+                .count()
+                >= 2
+        );
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, AgentAction::StartAliveTimer { .. })));
+    }
+
+    #[test]
+    fn crash_recovery_replays_and_commits_pending_decision() {
+        use crate::agent_log::AgentLog;
+        let mut a = agent();
+        prepare_one(&mut a, 1, 0, 10);
+        let log: AgentLog = a.log().clone();
+        let (mut rec, _) = Agent::recover(SITE, AgentConfig::default(), log);
+        // COMMIT arrives after the crash: the aborted incarnation must be
+        // resubmitted first, then committed.
+        let acts = rec.handle(100, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert!(
+            acts.iter().any(|x| matches!(x, AgentAction::LtmBegin(_))),
+            "{acts:?}"
+        );
+        assert!(!acts.iter().any(|x| matches!(x, AgentAction::LtmCommit(_))));
+        let acts = rec.handle(
+            200,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[1]),
+            },
+        );
+        let committed = acts.iter().find_map(|x| match x {
+            AgentAction::LtmCommit(i) => Some(*i),
+            _ => None,
+        });
+        assert_eq!(committed, Some(Instance::global(1, SITE, 1)));
+    }
+
+    #[test]
+    fn crash_recovery_restores_extension_state() {
+        use crate::agent_log::AgentLog;
+        let mut a = agent();
+        prepare_one(&mut a, 1, 0, 50);
+        a.handle(10, AgentInput::Deliver(Message::Commit { gtxn: g(1) })); // commits, sn 50
+        let log: AgentLog = a.log().clone();
+        let (mut rec, _) = Agent::recover(SITE, AgentConfig::default(), log);
+        // The §5.3 extension must still refuse smaller serial numbers.
+        let acts = prepare_one(&mut rec, 2, 100, 40);
+        assert_eq!(refuse_reason(&acts), Some(RefuseReason::SnOutOfOrder));
+    }
+
+    #[test]
+    fn crash_recovery_fails_active_conversations() {
+        use crate::agent_log::AgentLog;
+        let mut a = agent();
+        a.handle(
+            0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        a.handle(
+            1,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                command: cmd(),
+            }),
+        );
+        // Crash mid-execution.
+        let log: AgentLog = a.log().clone();
+        let (rec, actions) = Agent::recover(SITE, AgentConfig::default(), log);
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            AgentAction::Reply {
+                msg: Message::Failed { .. },
+                ..
+            }
+        )));
+        assert_eq!(rec.table_len(), 0);
+    }
+
+    #[test]
+    fn recovered_entries_block_new_candidates_until_replayed() {
+        use crate::agent_log::AgentLog;
+        let mut a = agent();
+        prepare_one(&mut a, 1, 0, 10);
+        let log: AgentLog = a.log().clone();
+        let (mut rec, _) = Agent::recover(SITE, AgentConfig::default(), log);
+        // A fresh transaction executing after the crash cannot certify
+        // against the frozen recovered entry.
+        let acts = prepare_one(&mut rec, 2, 1_000, 20);
+        assert_eq!(
+            refuse_reason(&acts),
+            Some(RefuseReason::AliveIntervalDisjoint)
+        );
+        // After the recovered entry replays, candidates pass again.
+        rec.handle(10_000, AgentInput::AliveTimer { gtxn: g(1) });
+        rec.handle(
+            10_050,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[1]),
+            },
+        );
+        let acts = prepare_one(&mut rec, 3, 10_100, 30);
+        assert!(has_ready(&acts), "{acts:?}");
+    }
+
+    #[test]
+    fn resubmission_replays_all_commands_in_order() {
+        let mut a = agent();
+        a.handle(
+            0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        let c1 = Command::Update(KeySpec::Key(1), 1);
+        let c2 = Command::Update(KeySpec::Key(2), 2);
+        a.handle(
+            1,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                command: c1,
+            }),
+        );
+        a.handle(
+            2,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[1]),
+            },
+        );
+        a.handle(
+            3,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                command: c2,
+            }),
+        );
+        a.handle(
+            4,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[2]),
+            },
+        );
+        a.handle(
+            5,
+            AgentInput::Deliver(Message::Prepare {
+                gtxn: g(1),
+                sn: sn(9),
+            }),
+        );
+        a.handle(
+            6,
+            AgentInput::Uan {
+                instance: Instance::global(1, SITE, 0),
+            },
+        );
+        let acts = a.handle(10_000, AgentInput::AliveTimer { gtxn: g(1) });
+        let first = acts.iter().find_map(|x| match x {
+            AgentAction::LtmSubmit { command, .. } => Some(*command),
+            _ => None,
+        });
+        assert_eq!(first, Some(c1));
+        let acts = a.handle(
+            10_010,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[1]),
+            },
+        );
+        let second = acts.iter().find_map(|x| match x {
+            AgentAction::LtmSubmit { command, .. } => Some(*command),
+            _ => None,
+        });
+        assert_eq!(second, Some(c2));
+        assert_eq!(a.stats().resubmissions, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Agent configuration: certification mode and timing parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Which certification mechanisms the 2PCA applies.
+///
+/// `Full` is the paper's protocol (2CM). The others are in-family ablations
+/// used by the anomaly replays and benchmarks: each one re-admits a specific
+/// anomaly class, demonstrating why the corresponding mechanism exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CertifierMode {
+    /// Extended prepare certification + basic prepare certification +
+    /// serial-number commit certification (§§4–5, the Appendix algorithms).
+    #[default]
+    Full,
+    /// No certification at all: READY to every PREPARE, immediate local
+    /// commit on COMMIT. Resubmission still happens. Admits both global and
+    /// local view distortions (histories H1–H3).
+    NoCertification,
+    /// Basic prepare certification only; commits are immediate. Prevents
+    /// global view distortion but admits local view distortion (H2, H3).
+    PrepareCertOnly,
+    /// Prepare certification + the §5.3 strawman commit rule: local commits
+    /// follow the order in which PREPAREs were certified at *this* site,
+    /// with no serial numbers. Fixes H2 (directly conflicting globals
+    /// prepare in serialization order everywhere) but not H3 (indirect
+    /// conflicts let prepare orders differ across sites).
+    PrepareOrder,
+    /// The predeclared-total-order comparator the paper criticizes in §5.2
+    /// ("all global transactions [are] serialized in the same order even if
+    /// they could not have caused any problems", cf. Elmagarmid & Du): a
+    /// PREPARE is refused whenever its serial number is below the largest
+    /// serial number *ever prepared* at this agent, and commits follow
+    /// serial-number order. No alive-interval certification.
+    TicketOrder,
+}
+
+impl CertifierMode {
+    /// Whether the basic (alive-interval) prepare certification runs.
+    pub fn prepare_certification(&self) -> bool {
+        !matches!(
+            self,
+            CertifierMode::NoCertification | CertifierMode::TicketOrder
+        )
+    }
+
+    /// Whether the §5.3 extension (max-committed-SN check) runs.
+    pub fn prepare_extension(&self) -> bool {
+        matches!(self, CertifierMode::Full)
+    }
+
+    /// Whether local commits are ordered by serial number.
+    pub fn sn_commit_certification(&self) -> bool {
+        matches!(self, CertifierMode::Full | CertifierMode::TicketOrder)
+    }
+
+    /// Whether local commits are ordered by local prepare order.
+    pub fn prepare_order_commit(&self) -> bool {
+        matches!(self, CertifierMode::PrepareOrder)
+    }
+
+    /// Whether PREPAREs must arrive in serial-number order (the ticket
+    /// comparator's predeclared total order).
+    pub fn ticket_prepare_check(&self) -> bool {
+        matches!(self, CertifierMode::TicketOrder)
+    }
+}
+
+/// Timing and policy knobs of one 2PC Agent. Durations are in microseconds
+/// of *local* clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Certification mechanisms in force.
+    pub mode: CertifierMode,
+    /// Appendix A: period of the alive check while prepared.
+    pub alive_check_interval_us: u64,
+    /// Appendix C: delay before retrying a failed commit certification.
+    pub commit_retry_interval_us: u64,
+    /// §4.2: "The easiest way to implement the Certifier is to simply
+    /// *store the last* alive time interval for each global subtransaction
+    /// being in the prepared state. As an optimization, several of them
+    /// might be stored." Number of past alive intervals kept per prepared
+    /// subtransaction (1 = the paper's basic variant). With k > 1, a
+    /// candidate passes against an entry if it intersects *any* of the
+    /// entry's stored intervals, eliminating refusals of transactions that
+    /// overlapped an earlier life of a since-resubmitted entry.
+    pub stored_intervals: usize,
+    /// Safety valve: after this many failed commit certifications the agent
+    /// commits anyway. Unreachable under the full protocol (the serial
+    /// numbers form a total order, so certification always makes progress);
+    /// the in-family anomaly baselines can livelock without it, and a
+    /// forced commit surfaces exactly the anomaly the run measures.
+    pub max_commit_retries: u32,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            mode: CertifierMode::Full,
+            alive_check_interval_us: 10_000,
+            commit_retry_interval_us: 5_000,
+            stored_intervals: 1,
+            max_commit_retries: 1_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mode_enables_everything() {
+        let m = CertifierMode::Full;
+        assert!(m.prepare_certification());
+        assert!(m.prepare_extension());
+        assert!(m.sn_commit_certification());
+        assert!(!m.prepare_order_commit());
+    }
+
+    #[test]
+    fn naive_mode_disables_everything() {
+        let m = CertifierMode::NoCertification;
+        assert!(!m.prepare_certification());
+        assert!(!m.prepare_extension());
+        assert!(!m.sn_commit_certification());
+    }
+
+    #[test]
+    fn prepare_order_mode() {
+        let m = CertifierMode::PrepareOrder;
+        assert!(m.prepare_certification());
+        assert!(!m.prepare_extension());
+        assert!(!m.sn_commit_certification());
+        assert!(m.prepare_order_commit());
+    }
+
+    #[test]
+    fn default_config_is_full() {
+        let c = AgentConfig::default();
+        assert_eq!(c.mode, CertifierMode::Full);
+        assert!(c.alive_check_interval_us > 0);
+    }
+}

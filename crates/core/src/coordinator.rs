@@ -1,0 +1,847 @@
+//! The Coordinator side of the DTM (§2).
+//!
+//! A coordinator decomposes a global transaction into global
+//! subtransactions (at most one per site), submits the DML commands one by
+//! one, and — when the application issues the global Commit — draws the
+//! serial number (§5.2) and runs standard 2PC: PREPARE to all participants,
+//! COMMIT on unanimous READY, ROLLBACK otherwise.
+//!
+//! Coordinators are fully decentralized: any node can host any number of
+//! them, and they share no state — the whole point of the 2CM architecture
+//! (§6, "the DTM of CGM uses a centralized scheduler while the scheduling in
+//! the 2CM is decentralized").
+//!
+//! Like the agent, the coordinator is a pure state machine returning
+//! [`CoordAction`]s for the host to carry out.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mdbs_histories::{GlobalTxnId, SiteId};
+use mdbs_ldbs::{Command, CommandResult};
+use serde::{Deserialize, Serialize};
+
+use crate::msg::Message;
+use crate::sn::{SerialNumber, SnGenerator};
+
+/// One step of a global transaction's program: a command for a site.
+pub type GlobalProgram = Vec<(SiteId, Command)>;
+
+/// Final fate of a global transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GlobalOutcome {
+    /// Globally committed and locally committed everywhere.
+    Committed,
+    /// Globally aborted (certification refusal or explicit rollback).
+    Aborted,
+}
+
+/// Actions the host must perform for the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordAction {
+    /// Send a 2PC message to the agent at a site.
+    ToAgent {
+        /// Destination site.
+        site: SiteId,
+        /// The message.
+        msg: Message,
+    },
+    /// The coordinator durably recorded the decision to commit: append
+    /// `C_k` to the global history.
+    RecordGlobalCommit(GlobalTxnId),
+    /// The coordinator durably recorded the decision to abort: append
+    /// `A_k`.
+    RecordGlobalAbort(GlobalTxnId),
+    /// The transaction reached a terminal state (all acks collected).
+    Finished {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// Its outcome.
+        outcome: GlobalOutcome,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnPhase {
+    /// Executing the program step by step.
+    Executing,
+    /// PREPAREs sent; collecting READY/REFUSE votes.
+    Preparing,
+    /// COMMITs sent; collecting acks.
+    Committing,
+    /// ROLLBACKs sent; collecting acks.
+    Aborting,
+}
+
+#[derive(Debug)]
+struct GlobalTxn {
+    program: GlobalProgram,
+    step: usize,
+    participants: BTreeSet<SiteId>,
+    phase: TxnPhase,
+    ready: BTreeSet<SiteId>,
+    acked: BTreeSet<SiteId>,
+    /// Sites whose vote or ack is no longer expected (they refused).
+    refused: BTreeSet<SiteId>,
+    sn: Option<SerialNumber>,
+    /// Results of completed steps (what the application computed with).
+    results: Vec<CommandResult>,
+}
+
+/// A 2PC coordinator hosted at one node.
+#[derive(Debug)]
+pub struct Coordinator {
+    node: u32,
+    sn_gen: SnGenerator,
+    txns: BTreeMap<GlobalTxnId, GlobalTxn>,
+}
+
+impl Coordinator {
+    /// Create a coordinator at network node `node`.
+    pub fn new(node: u32) -> Coordinator {
+        Coordinator {
+            node,
+            sn_gen: SnGenerator::new(node),
+            txns: BTreeMap::new(),
+        }
+    }
+
+    /// This coordinator's node id.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Number of transactions still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// The serial number assigned to a transaction, once drawn.
+    pub fn sn_of(&self, gtxn: GlobalTxnId) -> Option<SerialNumber> {
+        self.txns.get(&gtxn).and_then(|t| t.sn)
+    }
+
+    /// Start a global transaction with the given program.
+    ///
+    /// Sends BEGIN to every participant, then the first DML command.
+    ///
+    /// # Panics
+    /// If the program is empty or the transaction id is already in flight.
+    pub fn begin(&mut self, gtxn: GlobalTxnId, program: GlobalProgram) -> Vec<CoordAction> {
+        assert!(!program.is_empty(), "empty global program");
+        assert!(
+            !self.txns.contains_key(&gtxn),
+            "transaction {gtxn} already in flight"
+        );
+        let participants: BTreeSet<SiteId> = program.iter().map(|(s, _)| *s).collect();
+        let mut actions: Vec<CoordAction> = participants
+            .iter()
+            .map(|&site| CoordAction::ToAgent {
+                site,
+                msg: Message::Begin {
+                    gtxn,
+                    coord: self.node,
+                },
+            })
+            .collect();
+        let txn = GlobalTxn {
+            program,
+            step: 0,
+            participants,
+            phase: TxnPhase::Executing,
+            ready: BTreeSet::new(),
+            acked: BTreeSet::new(),
+            refused: BTreeSet::new(),
+            sn: None,
+            results: Vec::new(),
+        };
+        let (site, command) = txn.program[0];
+        self.txns.insert(gtxn, txn);
+        actions.push(CoordAction::ToAgent {
+            site,
+            msg: Message::Dml { gtxn, command },
+        });
+        actions
+    }
+
+    /// Handle an upstream message from an agent. `now_local` is this node's
+    /// local clock reading (used when drawing the serial number).
+    pub fn on_message(&mut self, now_local: u64, msg: Message) -> Vec<CoordAction> {
+        match msg {
+            Message::DmlResult { gtxn, result, .. } => self.on_dml_result(now_local, gtxn, result),
+            Message::Ready { gtxn, site } => self.on_ready(gtxn, site),
+            Message::Refuse { gtxn, site, .. } => self.on_refuse(gtxn, site),
+            Message::Failed { gtxn, site } => self.on_refuse(gtxn, site),
+            Message::CommitAck { gtxn, site } => self.on_ack(gtxn, site, GlobalOutcome::Committed),
+            Message::RollbackAck { gtxn, site } => self.on_ack(gtxn, site, GlobalOutcome::Aborted),
+            other => {
+                debug_assert!(false, "coordinator received downstream message {other:?}");
+                vec![]
+            }
+        }
+    }
+
+    fn on_dml_result(
+        &mut self,
+        now_local: u64,
+        gtxn: GlobalTxnId,
+        result: CommandResult,
+    ) -> Vec<CoordAction> {
+        let Some(txn) = self.txns.get_mut(&gtxn) else {
+            return vec![];
+        };
+        if txn.phase != TxnPhase::Executing {
+            // A stale DmlResult that was in flight when the transaction
+            // was aborted (e.g. its site crashed and reported Failed while
+            // the result travelled). Ignore it.
+            return vec![];
+        }
+        txn.results.push(result);
+        txn.step += 1;
+        if txn.step < txn.program.len() {
+            let (site, command) = txn.program[txn.step];
+            return vec![CoordAction::ToAgent {
+                site,
+                msg: Message::Dml { gtxn, command },
+            }];
+        }
+        // Program complete: the application submits the global Commit.
+        // "At this moment, the Coordinator gives a globally unique serial
+        // number to the transaction" (§5.2), shipped in the PREPAREs.
+        let sn = self.sn_gen.next(now_local);
+        txn.sn = Some(sn);
+        txn.phase = TxnPhase::Preparing;
+        txn.participants
+            .iter()
+            .map(|&site| CoordAction::ToAgent {
+                site,
+                msg: Message::Prepare { gtxn, sn },
+            })
+            .collect()
+    }
+
+    fn on_ready(&mut self, gtxn: GlobalTxnId, site: SiteId) -> Vec<CoordAction> {
+        let Some(txn) = self.txns.get_mut(&gtxn) else {
+            return vec![];
+        };
+        if txn.phase == TxnPhase::Committing {
+            // A duplicate READY from a site that crashed and recovered
+            // after voting: retransmit the decision (2PC recovery).
+            return vec![CoordAction::ToAgent {
+                site,
+                msg: Message::Commit { gtxn },
+            }];
+        }
+        if txn.phase != TxnPhase::Preparing {
+            return vec![]; // late READY after an abort decision
+        }
+        txn.ready.insert(site);
+        if txn.ready.len() < txn.participants.len() {
+            return vec![];
+        }
+        // Unanimous READY: record the commit decision, then COMMIT.
+        txn.phase = TxnPhase::Committing;
+        let mut actions = vec![CoordAction::RecordGlobalCommit(gtxn)];
+        actions.extend(txn.participants.iter().map(|&site| CoordAction::ToAgent {
+            site,
+            msg: Message::Commit { gtxn },
+        }));
+        actions
+    }
+
+    fn on_refuse(&mut self, gtxn: GlobalTxnId, site: SiteId) -> Vec<CoordAction> {
+        let Some(txn) = self.txns.get_mut(&gtxn) else {
+            return vec![];
+        };
+        match txn.phase {
+            TxnPhase::Executing | TxnPhase::Preparing => {
+                txn.refused.insert(site);
+                txn.phase = TxnPhase::Aborting;
+                let mut actions = vec![CoordAction::RecordGlobalAbort(gtxn)];
+                let others: Vec<SiteId> = txn
+                    .participants
+                    .iter()
+                    .copied()
+                    .filter(|s| !txn.refused.contains(s))
+                    .collect();
+                actions.extend(others.iter().map(|&s| CoordAction::ToAgent {
+                    site: s,
+                    msg: Message::Rollback { gtxn },
+                }));
+                if txn.refused.len() == txn.participants.len() {
+                    self.txns.remove(&gtxn);
+                    actions.push(CoordAction::Finished {
+                        gtxn,
+                        outcome: GlobalOutcome::Aborted,
+                    });
+                }
+                actions
+            }
+            TxnPhase::Aborting => {
+                // A refusal crossing our ROLLBACK counts as its ack.
+                txn.refused.insert(site);
+                self.maybe_finish_abort(gtxn)
+            }
+            _ => {
+                debug_assert!(false, "REFUSE in phase {:?}", txn.phase);
+                vec![]
+            }
+        }
+    }
+
+    fn on_ack(
+        &mut self,
+        gtxn: GlobalTxnId,
+        site: SiteId,
+        expect: GlobalOutcome,
+    ) -> Vec<CoordAction> {
+        let Some(txn) = self.txns.get_mut(&gtxn) else {
+            return vec![];
+        };
+        match (txn.phase, expect) {
+            (TxnPhase::Committing, GlobalOutcome::Committed) => {
+                txn.acked.insert(site);
+                if txn.acked.len() == txn.participants.len() {
+                    self.txns.remove(&gtxn);
+                    return vec![CoordAction::Finished {
+                        gtxn,
+                        outcome: GlobalOutcome::Committed,
+                    }];
+                }
+                vec![]
+            }
+            (TxnPhase::Aborting, GlobalOutcome::Aborted) => {
+                txn.acked.insert(site);
+                self.maybe_finish_abort(gtxn)
+            }
+            _ => {
+                debug_assert!(false, "unexpected ack {expect:?} in phase {:?}", txn.phase);
+                vec![]
+            }
+        }
+    }
+
+    /// Abort a transaction from outside the 2PC vote flow (an external
+    /// scheduler decision, e.g. CGM's commit-graph loop check, or an
+    /// application abort). Valid while executing or preparing: records the
+    /// abort decision and sends ROLLBACK to every participant.
+    pub fn abort_externally(&mut self, gtxn: GlobalTxnId) -> Vec<CoordAction> {
+        let Some(txn) = self.txns.get_mut(&gtxn) else {
+            return vec![];
+        };
+        if txn.phase == TxnPhase::Aborting {
+            // Already aborting: a site failure (e.g. a crash) beat the
+            // external decision to it. Nothing more to do.
+            return vec![];
+        }
+        assert!(
+            matches!(txn.phase, TxnPhase::Executing | TxnPhase::Preparing),
+            "external abort in phase {:?}",
+            txn.phase
+        );
+        txn.phase = TxnPhase::Aborting;
+        let mut actions = vec![CoordAction::RecordGlobalAbort(gtxn)];
+        actions.extend(txn.participants.iter().map(|&site| CoordAction::ToAgent {
+            site,
+            msg: Message::Rollback { gtxn },
+        }));
+        actions
+    }
+
+    fn maybe_finish_abort(&mut self, gtxn: GlobalTxnId) -> Vec<CoordAction> {
+        let txn = self.txns.get(&gtxn).expect("known txn");
+        let settled = txn.acked.len() + txn.refused.len();
+        if settled == txn.participants.len() {
+            self.txns.remove(&gtxn);
+            return vec![CoordAction::Finished {
+                gtxn,
+                outcome: GlobalOutcome::Aborted,
+            }];
+        }
+        vec![]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbs_ldbs::KeySpec;
+
+    const A: SiteId = SiteId(0);
+    const B: SiteId = SiteId(1);
+
+    fn g(k: u32) -> GlobalTxnId {
+        GlobalTxnId(k)
+    }
+
+    fn program2() -> GlobalProgram {
+        vec![
+            (A, Command::Update(KeySpec::Key(0), -10)),
+            (B, Command::Update(KeySpec::Key(0), 10)),
+        ]
+    }
+
+    fn result() -> CommandResult {
+        CommandResult::default()
+    }
+
+    fn sent_to(actions: &[CoordAction]) -> Vec<(SiteId, &Message)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                CoordAction::ToAgent { site, msg } => Some((*site, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn begin_sends_begins_and_first_dml() {
+        let mut c = Coordinator::new(100);
+        let acts = c.begin(g(1), program2());
+        let msgs = sent_to(&acts);
+        assert_eq!(msgs.len(), 3); // Begin x2 + first Dml
+        assert!(matches!(msgs[0].1, Message::Begin { .. }));
+        assert!(matches!(msgs[2], (SiteId(0), Message::Dml { .. })));
+    }
+
+    #[test]
+    fn steps_execute_sequentially_then_prepare() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        let acts = c.on_message(
+            10,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                result: result(),
+            },
+        );
+        let msgs = sent_to(&acts);
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(msgs[0], (SiteId(1), Message::Dml { .. })));
+
+        let acts = c.on_message(
+            20,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: B,
+                result: result(),
+            },
+        );
+        let msgs = sent_to(&acts);
+        assert_eq!(msgs.len(), 2, "PREPARE to both participants");
+        assert!(msgs
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Prepare { .. })));
+        let sn = c.sn_of(g(1)).expect("sn drawn at commit submission");
+        assert_eq!(sn.ticks, 20);
+    }
+
+    #[test]
+    fn unanimous_ready_commits() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        c.on_message(
+            1,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                result: result(),
+            },
+        );
+        c.on_message(
+            2,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: B,
+                result: result(),
+            },
+        );
+        let acts = c.on_message(
+            3,
+            Message::Ready {
+                gtxn: g(1),
+                site: A,
+            },
+        );
+        assert!(acts.is_empty(), "waiting for second vote");
+        let acts = c.on_message(
+            4,
+            Message::Ready {
+                gtxn: g(1),
+                site: B,
+            },
+        );
+        assert!(matches!(acts[0], CoordAction::RecordGlobalCommit(_)));
+        assert_eq!(sent_to(&acts).len(), 2);
+        // Acks finish the transaction.
+        assert!(c
+            .on_message(
+                5,
+                Message::CommitAck {
+                    gtxn: g(1),
+                    site: A
+                }
+            )
+            .is_empty());
+        let acts = c.on_message(
+            6,
+            Message::CommitAck {
+                gtxn: g(1),
+                site: B,
+            },
+        );
+        assert_eq!(
+            acts,
+            vec![CoordAction::Finished {
+                gtxn: g(1),
+                outcome: GlobalOutcome::Committed
+            }]
+        );
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn refuse_aborts_and_rolls_back_others() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        c.on_message(
+            1,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                result: result(),
+            },
+        );
+        c.on_message(
+            2,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: B,
+                result: result(),
+            },
+        );
+        c.on_message(
+            3,
+            Message::Ready {
+                gtxn: g(1),
+                site: A,
+            },
+        );
+        let acts = c.on_message(
+            4,
+            Message::Refuse {
+                gtxn: g(1),
+                site: B,
+                reason: crate::agent::RefuseReason::NotAlive,
+            },
+        );
+        assert!(matches!(acts[0], CoordAction::RecordGlobalAbort(_)));
+        let msgs = sent_to(&acts);
+        assert_eq!(msgs.len(), 1, "ROLLBACK only to the non-refusing site");
+        assert!(matches!(msgs[0], (SiteId(0), Message::Rollback { .. })));
+        let acts = c.on_message(
+            5,
+            Message::RollbackAck {
+                gtxn: g(1),
+                site: A,
+            },
+        );
+        assert_eq!(
+            acts,
+            vec![CoordAction::Finished {
+                gtxn: g(1),
+                outcome: GlobalOutcome::Aborted
+            }]
+        );
+    }
+
+    #[test]
+    fn double_refuse_crossing_rollback() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        c.on_message(
+            1,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                result: result(),
+            },
+        );
+        c.on_message(
+            2,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: B,
+                result: result(),
+            },
+        );
+        let r = crate::agent::RefuseReason::AliveIntervalDisjoint;
+        c.on_message(
+            3,
+            Message::Refuse {
+                gtxn: g(1),
+                site: A,
+                reason: r,
+            },
+        );
+        // B's refusal crosses the ROLLBACK we sent it.
+        let acts = c.on_message(
+            4,
+            Message::Refuse {
+                gtxn: g(1),
+                site: B,
+                reason: r,
+            },
+        );
+        assert_eq!(
+            acts,
+            vec![CoordAction::Finished {
+                gtxn: g(1),
+                outcome: GlobalOutcome::Aborted
+            }]
+        );
+    }
+
+    #[test]
+    fn single_site_transaction() {
+        let mut c = Coordinator::new(7);
+        let acts = c.begin(g(2), vec![(A, Command::Select(KeySpec::Key(0)))]);
+        assert_eq!(sent_to(&acts).len(), 2); // Begin + Dml
+        let acts = c.on_message(
+            9,
+            Message::DmlResult {
+                gtxn: g(2),
+                site: A,
+                result: result(),
+            },
+        );
+        assert_eq!(sent_to(&acts).len(), 1); // single PREPARE
+        let acts = c.on_message(
+            10,
+            Message::Ready {
+                gtxn: g(2),
+                site: A,
+            },
+        );
+        assert!(matches!(acts[0], CoordAction::RecordGlobalCommit(_)));
+        let acts = c.on_message(
+            11,
+            Message::CommitAck {
+                gtxn: g(2),
+                site: A,
+            },
+        );
+        assert!(matches!(acts[0], CoordAction::Finished { .. }));
+    }
+
+    #[test]
+    fn sn_ticks_use_local_clock() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), vec![(A, Command::Select(KeySpec::Key(0)))]);
+        c.on_message(
+            12_345,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                result: result(),
+            },
+        );
+        assert_eq!(c.sn_of(g(1)).unwrap().ticks, 12_345);
+        assert_eq!(c.sn_of(g(1)).unwrap().node, 100);
+    }
+
+    #[test]
+    fn late_ready_after_abort_ignored() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        c.on_message(
+            1,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                result: result(),
+            },
+        );
+        c.on_message(
+            2,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: B,
+                result: result(),
+            },
+        );
+        let r = crate::agent::RefuseReason::NotAlive;
+        c.on_message(
+            3,
+            Message::Refuse {
+                gtxn: g(1),
+                site: A,
+                reason: r,
+            },
+        );
+        let acts = c.on_message(
+            4,
+            Message::Ready {
+                gtxn: g(1),
+                site: B,
+            },
+        );
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty global program")]
+    fn empty_program_rejected() {
+        Coordinator::new(1).begin(g(1), vec![]);
+    }
+
+    #[test]
+    fn external_abort_after_failure_is_inert() {
+        // CGM + crash race: a site's Failed arrives (coordinator starts
+        // aborting) before the central scheduler's vote verdict triggers
+        // abort_externally. The second abort must be a no-op, not a panic.
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        c.on_message(1, Message::Failed { gtxn: g(1), site: A });
+        let acts = c.abort_externally(g(1));
+        assert!(acts.is_empty());
+        let acts = c.on_message(2, Message::RollbackAck { gtxn: g(1), site: B });
+        assert!(matches!(acts[0], CoordAction::Finished { .. }));
+    }
+
+    #[test]
+    fn duplicate_ready_while_committing_retransmits_commit() {
+        // 2PC recovery: a site that crashed after voting re-sends READY;
+        // the coordinator must retransmit its COMMIT decision.
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        c.on_message(
+            1,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                result: result(),
+            },
+        );
+        c.on_message(
+            2,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: B,
+                result: result(),
+            },
+        );
+        c.on_message(
+            3,
+            Message::Ready {
+                gtxn: g(1),
+                site: A,
+            },
+        );
+        c.on_message(
+            4,
+            Message::Ready {
+                gtxn: g(1),
+                site: B,
+            },
+        );
+        let acts = c.on_message(
+            5,
+            Message::Ready {
+                gtxn: g(1),
+                site: B,
+            },
+        );
+        assert_eq!(sent_to(&acts), vec![(B, &Message::Commit { gtxn: g(1) })]);
+    }
+
+    #[test]
+    fn failed_during_execution_aborts_globally() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        let acts = c.on_message(
+            1,
+            Message::Failed {
+                gtxn: g(1),
+                site: A,
+            },
+        );
+        assert!(matches!(acts[0], CoordAction::RecordGlobalAbort(_)));
+        let msgs = sent_to(&acts);
+        assert_eq!(msgs.len(), 1, "ROLLBACK to the other site only");
+        assert!(matches!(msgs[0], (SiteId(1), Message::Rollback { .. })));
+        let acts = c.on_message(
+            2,
+            Message::RollbackAck {
+                gtxn: g(1),
+                site: B,
+            },
+        );
+        assert!(matches!(acts[0], CoordAction::Finished { .. }));
+    }
+
+    #[test]
+    fn stale_dml_result_after_abort_ignored() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        c.on_message(
+            1,
+            Message::Failed {
+                gtxn: g(1),
+                site: A,
+            },
+        );
+        // The DML result that was in flight when the site failed.
+        let acts = c.on_message(
+            2,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                result: result(),
+            },
+        );
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn external_abort_rolls_back_everyone() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        c.on_message(
+            1,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                result: result(),
+            },
+        );
+        c.on_message(
+            2,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: B,
+                result: result(),
+            },
+        );
+        // Preparing phase: an external scheduler (CGM) vetoes the commit.
+        let acts = c.abort_externally(g(1));
+        assert!(matches!(acts[0], CoordAction::RecordGlobalAbort(_)));
+        assert_eq!(sent_to(&acts).len(), 2, "ROLLBACK to both participants");
+        c.on_message(
+            3,
+            Message::RollbackAck {
+                gtxn: g(1),
+                site: A,
+            },
+        );
+        let acts = c.on_message(
+            4,
+            Message::RollbackAck {
+                gtxn: g(1),
+                site: B,
+            },
+        );
+        assert!(matches!(acts[0], CoordAction::Finished { .. }));
+    }
+}

@@ -1,0 +1,167 @@
+//! The 2PC message vocabulary (§2).
+//!
+//! "The Coordinator sends BEGIN, PREPARE and COMMIT (or ROLLBACK) messages.
+//! The Participant may send READY or REFUSE in response to PREPARE, and it
+//! acknowledges the Coordinator's decision messages with COMMIT-ACK or
+//! ROLLBACK-ACK." Data manipulation commands travel while the participant is
+//! in the active state; PREPARE additionally carries the §5.2 serial number.
+
+use mdbs_histories::{GlobalTxnId, SiteId};
+use mdbs_ldbs::{Command, CommandResult};
+use serde::{Deserialize, Serialize};
+
+use crate::agent::RefuseReason;
+use crate::sn::SerialNumber;
+
+/// A message between a Coordinator and a 2PC Agent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Message {
+    /// Coordinator → Agent: open a global subtransaction at the site.
+    Begin {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+        /// The coordinator's node id (for replies).
+        coord: u32,
+    },
+    /// Coordinator → Agent: one DML command of the global subtransaction.
+    Dml {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+        /// The command to execute at the local interface.
+        command: Command,
+    },
+    /// Coordinator → Agent: PREPARE, carrying the transaction's serial
+    /// number.
+    Prepare {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+        /// The serial number drawn at global-commit submission.
+        sn: SerialNumber,
+    },
+    /// Coordinator → Agent: COMMIT decision.
+    Commit {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+    },
+    /// Coordinator → Agent: ROLLBACK decision.
+    Rollback {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+    },
+
+    /// Agent → Coordinator: result of one DML command.
+    DmlResult {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+        /// The replying site.
+        site: SiteId,
+        /// Rows observed / written by the command.
+        result: CommandResult,
+    },
+    /// Agent → Coordinator: the local subtransaction was unilaterally
+    /// aborted in the *active* state (before any prepare), e.g. as a local
+    /// deadlock victim. The site has already rolled back; the coordinator
+    /// must abort the global transaction. (The paper's resubmission
+    /// machinery applies only to the prepared state; an active-state abort
+    /// simply fails the conversation, like a SQL error in a real LDBS.)
+    Failed {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+        /// The failing site.
+        site: SiteId,
+    },
+    /// Agent → Coordinator: READY (the subtransaction is prepared).
+    Ready {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+        /// The replying site.
+        site: SiteId,
+    },
+    /// Agent → Coordinator: REFUSE (certification or aliveness failure; the
+    /// local subtransaction has been aborted).
+    Refuse {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+        /// The replying site.
+        site: SiteId,
+        /// Why the agent refused.
+        reason: RefuseReason,
+    },
+    /// Agent → Coordinator: the local subtransaction committed.
+    CommitAck {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+        /// The replying site.
+        site: SiteId,
+    },
+    /// Agent → Coordinator: the local subtransaction rolled back.
+    RollbackAck {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+        /// The replying site.
+        site: SiteId,
+    },
+}
+
+impl Message {
+    /// The global transaction a message concerns.
+    pub fn gtxn(&self) -> GlobalTxnId {
+        match *self {
+            Message::Begin { gtxn, .. }
+            | Message::Dml { gtxn, .. }
+            | Message::Prepare { gtxn, .. }
+            | Message::Commit { gtxn }
+            | Message::Rollback { gtxn }
+            | Message::DmlResult { gtxn, .. }
+            | Message::Failed { gtxn, .. }
+            | Message::Ready { gtxn, .. }
+            | Message::Refuse { gtxn, .. }
+            | Message::CommitAck { gtxn, .. }
+            | Message::RollbackAck { gtxn, .. } => gtxn,
+        }
+    }
+
+    /// Whether this is a coordinator-to-agent message.
+    pub fn is_downstream(&self) -> bool {
+        matches!(
+            self,
+            Message::Begin { .. }
+                | Message::Dml { .. }
+                | Message::Prepare { .. }
+                | Message::Commit { .. }
+                | Message::Rollback { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtxn_extraction() {
+        let m = Message::Commit {
+            gtxn: GlobalTxnId(7),
+        };
+        assert_eq!(m.gtxn(), GlobalTxnId(7));
+        let m = Message::Ready {
+            gtxn: GlobalTxnId(3),
+            site: SiteId(1),
+        };
+        assert_eq!(m.gtxn(), GlobalTxnId(3));
+    }
+
+    #[test]
+    fn direction_classification() {
+        assert!(Message::Begin {
+            gtxn: GlobalTxnId(1),
+            coord: 0
+        }
+        .is_downstream());
+        assert!(!Message::CommitAck {
+            gtxn: GlobalTxnId(1),
+            site: SiteId(0)
+        }
+        .is_downstream());
+    }
+}

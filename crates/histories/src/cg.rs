@@ -1,0 +1,211 @@
+//! The commit-order graph `CG(H)` of §5.1.
+//!
+//! "Its nodes are those transactions `T_k` that have at least one local
+//! commit `C^x_kj` in H. There is an arc from `T_k` to `T_i` iff
+//! `C^x_kj <_H C^x_ig` for some x in H" — i.e. some *site* x at which `T_k`
+//! commits locally before `T_i` does.
+//!
+//! "Evidently, local view distortion is possible in H only if `CG(C(H))` is
+//! cyclic; if it is acyclic, then it can be topologically sorted" and the
+//! sort order yields a view-equivalent serial history (given CI, SRS, DLU).
+//! The commit certification's entire job is to keep this graph acyclic.
+
+use std::collections::BTreeMap;
+
+use crate::graph::DiGraph;
+use crate::history::History;
+use crate::ids::{SiteId, Txn};
+use crate::op::OpKind;
+
+/// The commit-order graph with its analysis results.
+#[derive(Debug, Clone)]
+pub struct CgReport {
+    /// The graph itself (nodes: transactions with ≥1 local commit).
+    pub graph: DiGraph<Txn>,
+    /// Whether the graph is acyclic.
+    pub acyclic: bool,
+    /// A witnessing cycle if cyclic.
+    pub cycle: Option<Vec<Txn>>,
+    /// A topological order if acyclic — a *global view serialization
+    /// order* per §5.1.
+    pub topo_order: Option<Vec<Txn>>,
+}
+
+/// Build `CG(H)` and analyze it.
+pub fn commit_order_graph(h: &History) -> CgReport {
+    // Collect local-commit positions per (site, txn): the position of the
+    // *first* local commit of that transaction at that site. (A transaction
+    // commits at most one incarnation per site; first occurrence is it.)
+    let mut commits_per_site: BTreeMap<SiteId, Vec<(usize, Txn)>> = BTreeMap::new();
+    for (p, op) in h.ops().iter().enumerate() {
+        if let OpKind::LocalCommit(s) = op.kind {
+            let v = commits_per_site.entry(s).or_default();
+            if !v.iter().any(|&(_, t)| t == op.txn) {
+                v.push((p, op.txn));
+            }
+        }
+    }
+
+    let mut graph = DiGraph::new();
+    for v in commits_per_site.values() {
+        for &(_, t) in v {
+            graph.add_node(t);
+        }
+    }
+    // Arc T_k -> T_i iff at some site, T_k's local commit precedes T_i's.
+    for v in commits_per_site.values() {
+        for i in 0..v.len() {
+            for j in (i + 1)..v.len() {
+                // v is in position order already (pushed in scan order).
+                graph.add_edge(v[i].1, v[j].1);
+            }
+        }
+    }
+
+    let cycle = graph.find_cycle();
+    let acyclic = cycle.is_none();
+    let topo_order = if acyclic { graph.topo_sort() } else { None };
+    CgReport {
+        graph,
+        acyclic,
+        cycle,
+        topo_order,
+    }
+}
+
+/// Build a serial history ordered by the topological order of `CG(H)`,
+/// if the graph is acyclic: the §5.1 construction of the view-equivalent
+/// serial yardstick `H_s`. Transactions without local commits (absent from
+/// CG) are appended at the end in first-appearance order.
+pub fn serial_by_commit_order(h: &History) -> Option<History> {
+    let report = commit_order_graph(h);
+    let order = report.topo_order?;
+    let mut serial = History::new();
+    for t in &order {
+        for op in h.txn_projection(*t).ops() {
+            serial.push(*op);
+        }
+    }
+    for t in h.txns() {
+        if !order.contains(&t) {
+            for op in h.txn_projection(t).ops() {
+                serial.push(*op);
+            }
+        }
+    }
+    Some(serial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Item, SiteId};
+    use crate::op::Op;
+
+    const A: SiteId = SiteId(0);
+    const B: SiteId = SiteId(1);
+    const XA: Item = Item::new(A, 0);
+
+    #[test]
+    fn empty_history_acyclic() {
+        let r = commit_order_graph(&History::new());
+        assert!(r.acyclic);
+        assert_eq!(r.graph.node_count(), 0);
+    }
+
+    #[test]
+    fn same_order_at_both_sites_acyclic() {
+        let h = History::from_ops([
+            Op::local_commit_g(1, 0, A),
+            Op::local_commit_g(1, 0, B),
+            Op::local_commit_g(2, 0, A),
+            Op::local_commit_g(2, 0, B),
+        ]);
+        let r = commit_order_graph(&h);
+        assert!(r.acyclic);
+        assert_eq!(r.topo_order, Some(vec![Txn::global(1), Txn::global(2)]));
+    }
+
+    #[test]
+    fn reversed_orders_make_cycle() {
+        // The situation of H2: commits in reversed orders at two sites.
+        let h = History::from_ops([
+            Op::local_commit_g(1, 0, B),
+            Op::local_commit_g(3, 0, B),
+            Op::local_commit_g(3, 0, A),
+            Op::local_commit_g(1, 1, A),
+        ]);
+        let r = commit_order_graph(&h);
+        assert!(!r.acyclic);
+        let cycle = r.cycle.unwrap();
+        assert!(cycle.contains(&Txn::global(1)) && cycle.contains(&Txn::global(3)));
+    }
+
+    #[test]
+    fn only_first_commit_per_site_counts() {
+        // A resubmitted transaction commits only once per site; a repeated
+        // LocalCommit (which the model never produces) would be ignored.
+        let h = History::from_ops([
+            Op::local_commit_g(1, 0, A),
+            Op::local_commit_g(1, 0, A),
+            Op::local_commit_g(2, 0, A),
+        ]);
+        let r = commit_order_graph(&h);
+        assert!(r.acyclic);
+        assert!(r.graph.has_edge(&Txn::global(1), &Txn::global(2)));
+        assert!(!r.graph.has_edge(&Txn::global(1), &Txn::global(1)));
+    }
+
+    #[test]
+    fn local_txns_participate() {
+        let h = History::from_ops([
+            Op::local_commit_g(1, 0, A),
+            Op::local_commit_l(4, A),
+            Op::local_commit_g(2, 0, A),
+        ]);
+        let r = commit_order_graph(&h);
+        assert!(r.acyclic);
+        let order = r.topo_order.unwrap();
+        assert_eq!(
+            order,
+            vec![Txn::global(1), Txn::local(A, 4), Txn::global(2)]
+        );
+    }
+
+    #[test]
+    fn serial_by_commit_order_is_view_equivalent_for_nice_history() {
+        // Rigorous, same commit order: the topological serial history must
+        // be view-equivalent to the original (the §5.1 argument).
+        let h = History::from_ops([
+            Op::write_g(1, 0, XA),
+            Op::local_commit_g(1, 0, A),
+            Op::read_g(2, 0, XA),
+            Op::local_commit_g(2, 0, A),
+        ]);
+        let serial = serial_by_commit_order(&h).unwrap();
+        assert!(crate::view::view_equivalent(&h, &serial));
+    }
+
+    #[test]
+    fn serial_by_commit_order_none_when_cyclic() {
+        let h = History::from_ops([
+            Op::local_commit_g(1, 0, B),
+            Op::local_commit_g(3, 0, B),
+            Op::local_commit_g(3, 0, A),
+            Op::local_commit_g(1, 1, A),
+        ]);
+        assert!(serial_by_commit_order(&h).is_none());
+    }
+
+    #[test]
+    fn appends_commitless_txns() {
+        let h = History::from_ops([
+            Op::write_g(1, 0, XA),
+            Op::local_commit_g(1, 0, A),
+            Op::read_g(9, 0, XA), // T9 never commits anywhere
+        ]);
+        let serial = serial_by_commit_order(&h).unwrap();
+        assert_eq!(serial.len(), h.len());
+        assert_eq!(serial.ops().last().unwrap().txn, Txn::global(9));
+    }
+}

@@ -1,0 +1,272 @@
+//! A small directed-graph utility used by the serialization-graph and
+//! commit-order-graph analyses: cycle detection, cycle extraction for
+//! diagnostics, and topological sorting (the paper's §5.1 uses a topological
+//! sort of the commit-order graph to exhibit the equivalent serial history).
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A directed graph over arbitrary ordered node keys.
+///
+/// Node and edge insertion order does not affect the results; iteration is
+/// in key order so analyses are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph<N: Ord + Clone> {
+    adj: BTreeMap<N, Vec<N>>,
+}
+
+impl<N: Ord + Clone + Hash + Debug> DiGraph<N> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DiGraph {
+            adj: BTreeMap::new(),
+        }
+    }
+
+    /// Insert a node (no-op if present).
+    pub fn add_node(&mut self, n: N) {
+        self.adj.entry(n).or_default();
+    }
+
+    /// Insert a directed edge, adding endpoints as needed. Parallel edges
+    /// are collapsed; self-loops are kept (they make the graph cyclic).
+    pub fn add_edge(&mut self, from: N, to: N) {
+        self.add_node(to.clone());
+        let succ = self.adj.entry(from).or_default();
+        if !succ.contains(&to) {
+            succ.push(to);
+        }
+    }
+
+    /// Whether the edge exists.
+    pub fn has_edge(&self, from: &N, to: &N) -> bool {
+        self.adj.get(from).is_some_and(|s| s.contains(to))
+    }
+
+    /// All nodes, in key order.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.adj.keys()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (collapsed) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(Vec::len).sum()
+    }
+
+    /// All edges as (from, to) pairs, in deterministic order.
+    pub fn edges(&self) -> Vec<(N, N)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for (from, succ) in &self.adj {
+            for to in succ {
+                out.push((from.clone(), to.clone()));
+            }
+        }
+        out
+    }
+
+    /// Find a directed cycle, if any, returned as a node sequence
+    /// `v0 → v1 → … → vk → v0` (without repeating `v0` at the end).
+    pub fn find_cycle(&self) -> Option<Vec<N>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<&N, Color> = self.adj.keys().map(|n| (n, Color::White)).collect();
+        let mut parent: BTreeMap<&N, &N> = BTreeMap::new();
+
+        for start in self.adj.keys() {
+            if color[start] != Color::White {
+                continue;
+            }
+            // Iterative DFS with an explicit stack of (node, child index).
+            let mut stack: Vec<(&N, usize)> = vec![(start, 0)];
+            color.insert(start, Color::Gray);
+            while let Some((node, idx)) = stack.pop() {
+                let succ = &self.adj[node];
+                if idx < succ.len() {
+                    stack.push((node, idx + 1));
+                    let next = self.adj.keys().find(|k| **k == succ[idx]).expect("node");
+                    match color[next] {
+                        Color::White => {
+                            parent.insert(next, node);
+                            color.insert(next, Color::Gray);
+                            stack.push((next, 0));
+                        }
+                        Color::Gray => {
+                            // Found a back edge node → next: reconstruct.
+                            let mut cycle = vec![node.clone()];
+                            let mut cur = node;
+                            while *cur != *next {
+                                cur = parent[cur];
+                                cycle.push(cur.clone());
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(node, Color::Black);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// Kahn topological sort; `None` if the graph has a cycle. Ties are
+    /// broken by node key order, so the result is deterministic.
+    pub fn topo_sort(&self) -> Option<Vec<N>> {
+        let mut indeg: BTreeMap<&N, usize> = self.adj.keys().map(|n| (n, 0)).collect();
+        for succ in self.adj.values() {
+            for to in succ {
+                let key = self.adj.keys().find(|k| *k == to).expect("node");
+                *indeg.get_mut(key).unwrap() += 1;
+            }
+        }
+        let mut ready: Vec<&N> = indeg
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        let mut out = Vec::with_capacity(self.adj.len());
+        while let Some(&n) = ready.first() {
+            ready.remove(0);
+            out.push(n.clone());
+            for to in &self.adj[n] {
+                let key = self.adj.keys().find(|k| **k == *to).expect("node");
+                let d = indeg.get_mut(key).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    // Insert keeping `ready` sorted for determinism.
+                    let pos = ready.partition_point(|m| *m < key);
+                    ready.insert(pos, key);
+                }
+            }
+        }
+        if out.len() == self.adj.len() {
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g: DiGraph<u32> = DiGraph::new();
+        assert!(g.is_acyclic());
+        assert_eq!(g.topo_sort(), Some(vec![]));
+    }
+
+    #[test]
+    fn chain_topo_sorts() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert!(g.is_acyclic());
+        assert_eq!(g.topo_sort(), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = DiGraph::new();
+        g.add_edge("x", "y");
+        g.add_edge("y", "x");
+        assert!(!g.is_acyclic());
+        assert_eq!(g.topo_sort(), None);
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn three_cycle_reconstructed_in_order() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 1);
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 3);
+        // Consecutive cycle nodes must be actual edges.
+        for w in 0..cycle.len() {
+            let from = &cycle[w];
+            let to = &cycle[(w + 1) % cycle.len()];
+            assert!(g.has_edge(from, to), "{from:?} -> {to:?} missing");
+        }
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(5, 5);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.find_cycle(), Some(vec![5]));
+    }
+
+    #[test]
+    fn diamond_is_acyclic() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 4);
+        g.add_edge(3, 4);
+        assert!(g.is_acyclic());
+        let order = g.topo_sort().unwrap();
+        let pos = |n: u32| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(1) < pos(2) && pos(1) < pos(3));
+        assert!(pos(2) < pos(4) && pos(3) < pos(4));
+    }
+
+    #[test]
+    fn parallel_edges_collapse() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(1, 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn topo_ties_broken_by_key_order() {
+        let mut g = DiGraph::new();
+        g.add_node(3);
+        g.add_node(1);
+        g.add_node(2);
+        assert_eq!(g.topo_sort(), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(10, 11);
+        g.add_edge(11, 10);
+        assert!(!g.is_acyclic());
+        let cycle = g.find_cycle().unwrap();
+        assert!(cycle.contains(&10) && cycle.contains(&11));
+    }
+
+    #[test]
+    fn edges_listing() {
+        let mut g = DiGraph::new();
+        g.add_edge(2, 1);
+        g.add_edge(1, 3);
+        assert_eq!(g.edges(), vec![(1, 3), (2, 1)]);
+        assert_eq!(g.node_count(), 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! A parser for the paper's history notation.
+//!
+//! Round-trips with the `Display` implementations, so histories can be
+//! written in tests and tooling exactly as they appear in the paper:
+//!
+//! ```
+//! use mdbs_histories::History;
+//!
+//! let h: History = "R_10[X^a] W_20[Y^a] P^a_1 C_1 A^a_10 C^a_11".parse().unwrap();
+//! assert_eq!(h.to_string(), "R_10[X^a] W_20[Y^a] P^a_1 C_1 A^a_10 C^a_11");
+//! ```
+//!
+//! Conventions (matching `Display`):
+//!
+//! * data/terminal subscripts with **two or more digits** denote a global
+//!   transaction: all but the last digit are the transaction number, the
+//!   last digit is the resubmission index (`R_10` = T1, incarnation 0).
+//!   For transaction numbers ≥ 10 or incarnations ≥ 10, a dot separates
+//!   the parts: `R_12.3[...]`.
+//! * a **single-digit** subscript denotes a local transaction (`R_4`,
+//!   `C^a_4`); a dot form `L7.` is not needed since locals never resubmit.
+//! * items: `X^a`, `Y^a`, `Z^b`, `Q^a`, `U^b` (the paper's names) or
+//!   `x<key>^<site>`; sites are `a`–`z` or `s<id>`.
+//! * `P^s_k` prepares, `C^s_…`/`A^s_…` local commits/aborts, `C_k`/`A_k`
+//!   global commit/abort.
+
+use std::str::FromStr;
+
+use crate::history::History;
+use crate::ids::{Item, SiteId};
+use crate::op::Op;
+
+/// A notation parse error with position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The offending token.
+    pub token: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot parse '{}': {}", self.token, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(token: &str, message: &str) -> ParseError {
+    ParseError {
+        token: token.to_owned(),
+        message: message.to_owned(),
+    }
+}
+
+fn parse_site(s: &str, token: &str) -> Result<SiteId, ParseError> {
+    if let Some(rest) = s.strip_prefix('s') {
+        if let Ok(n) = rest.parse::<u32>() {
+            return Ok(SiteId(n));
+        }
+    }
+    let mut chars = s.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) if c.is_ascii_lowercase() => Ok(SiteId(c as u32 - 'a' as u32)),
+        _ => Err(err(token, "bad site name")),
+    }
+}
+
+fn parse_item(s: &str, token: &str) -> Result<Item, ParseError> {
+    let (name, site) = s
+        .split_once('^')
+        .ok_or_else(|| err(token, "item missing '^site'"))?;
+    let site = parse_site(site, token)?;
+    let key = match name {
+        "X" => 0,
+        "Y" => 1,
+        "Z" => 2,
+        "Q" => 3,
+        "U" => 4,
+        other => other
+            .strip_prefix('x')
+            .and_then(|k| k.parse::<u64>().ok())
+            .ok_or_else(|| err(token, "bad item name"))?,
+    };
+    Ok(Item::new(site, key))
+}
+
+/// Subscript of a data/terminal op: local single digit, or global digits
+/// (+ optional dot form).
+enum Sub {
+    Local(u32),
+    Global(u32, u32),
+}
+
+fn parse_sub(s: &str, token: &str) -> Result<Sub, ParseError> {
+    if let Some((t, j)) = s.split_once('.') {
+        let t = t.parse().map_err(|_| err(token, "bad txn number"))?;
+        let j = j.parse().map_err(|_| err(token, "bad incarnation"))?;
+        return Ok(Sub::Global(t, j));
+    }
+    if !s.chars().all(|c| c.is_ascii_digit()) || s.is_empty() {
+        return Err(err(token, "bad subscript"));
+    }
+    if s.len() == 1 {
+        Ok(Sub::Local(s.parse().expect("digit")))
+    } else {
+        let (t, j) = s.split_at(s.len() - 1);
+        Ok(Sub::Global(
+            t.parse().map_err(|_| err(token, "bad txn number"))?,
+            j.parse().expect("digit"),
+        ))
+    }
+}
+
+fn parse_op(token: &str) -> Result<Op, ParseError> {
+    // R_<sub>[item] / W_<sub>[item]
+    if let Some(rest) = token
+        .strip_prefix("R_")
+        .or_else(|| token.strip_prefix("W_"))
+    {
+        let write = token.starts_with('W');
+        let (sub, item) = rest
+            .strip_suffix(']')
+            .and_then(|r| r.split_once('['))
+            .ok_or_else(|| err(token, "expected [item]"))?;
+        let item = parse_item(item, token)?;
+        return match parse_sub(sub, token)? {
+            Sub::Local(n) => Ok(if write {
+                Op::write_l(n, item)
+            } else {
+                Op::read_l(n, item)
+            }),
+            Sub::Global(t, j) => Ok(if write {
+                Op::write_g(t, j, item)
+            } else {
+                Op::read_g(t, j, item)
+            }),
+        };
+    }
+    // P^s_k
+    if let Some(rest) = token.strip_prefix("P^") {
+        let (site, k) = rest
+            .split_once('_')
+            .ok_or_else(|| err(token, "expected P^site_k"))?;
+        let site = parse_site(site, token)?;
+        let k = k.parse().map_err(|_| err(token, "bad txn number"))?;
+        return Ok(Op::prepare(k, site));
+    }
+    // C^s_<sub> / A^s_<sub>
+    if let Some(rest) = token
+        .strip_prefix("C^")
+        .or_else(|| token.strip_prefix("A^"))
+    {
+        let commit = token.starts_with('C');
+        let (site, sub) = rest
+            .split_once('_')
+            .ok_or_else(|| err(token, "expected C^site_sub"))?;
+        let site = parse_site(site, token)?;
+        return match parse_sub(sub, token)? {
+            Sub::Local(n) => Ok(if commit {
+                Op::local_commit_l(n, site)
+            } else {
+                Op::local_abort_l(n, site)
+            }),
+            Sub::Global(t, j) => Ok(if commit {
+                Op::local_commit_g(t, j, site)
+            } else {
+                Op::local_abort_g(t, j, site)
+            }),
+        };
+    }
+    // C_k / A_k (global decision)
+    if let Some(k) = token.strip_prefix("C_") {
+        let k = k.parse().map_err(|_| err(token, "bad txn number"))?;
+        return Ok(Op::global_commit(k));
+    }
+    if let Some(k) = token.strip_prefix("A_") {
+        let k = k.parse().map_err(|_| err(token, "bad txn number"))?;
+        return Ok(Op::global_abort(k));
+    }
+    Err(err(token, "unknown operation"))
+}
+
+impl FromStr for History {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<History, ParseError> {
+        let mut h = History::new();
+        for token in s.split_whitespace() {
+            h.push(parse_op(token)?);
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+    use crate::paper;
+
+    #[test]
+    fn parses_all_op_kinds() {
+        let h: History = "R_10[X^a] W_11[Y^a] R_4[Q^a] W_4[U^a] P^a_1 C^a_11 A^a_10 C^b_4 C_1 A_2"
+            .parse()
+            .unwrap();
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.ops()[0], Op::read_g(1, 0, Item::new(SiteId(0), 0)));
+        assert_eq!(h.ops()[2], Op::read_l(4, Item::new(SiteId(0), 3)));
+        assert_eq!(h.ops()[4].kind, OpKind::Prepare(SiteId(0)));
+        assert_eq!(h.ops()[8], Op::global_commit(1));
+    }
+
+    #[test]
+    fn round_trips_paper_histories() {
+        for h in [paper::h1(), paper::h2(), paper::h3()] {
+            let parsed: History = h.to_string().parse().unwrap();
+            assert_eq!(parsed, h);
+        }
+    }
+
+    #[test]
+    fn dot_form_for_large_ids() {
+        let h: History = "R_12.3[x40^s7] C^s7_12.3".parse().unwrap();
+        assert_eq!(h.ops()[0], Op::read_g(12, 3, Item::new(SiteId(7), 40)));
+        assert_eq!(h.ops()[1], Op::local_commit_g(12, 3, SiteId(7)));
+    }
+
+    #[test]
+    fn whitespace_flexible() {
+        let h: History = "  R_10[X^a]\n\tW_20[Y^b]  ".parse().unwrap();
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("Q_10[X^a]".parse::<History>().is_err());
+        assert!("R_10".parse::<History>().is_err());
+        assert!("R_[X^a]".parse::<History>().is_err());
+        assert!("R_10[X]".parse::<History>().is_err());
+        assert!("P^a".parse::<History>().is_err());
+        assert!("C_x".parse::<History>().is_err());
+    }
+
+    #[test]
+    fn error_reports_token() {
+        let e = "R_10[X^a] BOGUS".parse::<History>().unwrap_err();
+        assert_eq!(e.token, "BOGUS");
+        assert!(e.to_string().contains("BOGUS"));
+    }
+
+    #[test]
+    fn h1_from_the_paper_text() {
+        // The printed H1 from §3, entered verbatim (plus the restored C_2),
+        // equals our programmatic construction.
+        let h: History = "R_10[X^a] R_10[Y^a] W_10[Y^a] R_10[Z^b] W_10[Z^b] P^a_1 \
+                          P^b_1 C_1 A^a_10 C^b_10 W_20[Y^a] R_20[X^a] W_20[X^a] \
+                          R_20[Z^b] W_20[Z^b] P^a_2 P^b_2 C_2 C^a_20 C^b_20 \
+                          R_11[X^a] C^a_11"
+            .parse()
+            .unwrap();
+        assert_eq!(h, paper::h1());
+    }
+}

@@ -1,0 +1,318 @@
+//! Rollback-aware replay semantics: reads-from and final writers.
+//!
+//! Unilateral aborts make the classical syntactic reads-from relation
+//! insufficient: under the RR assumption an abort restores before-images, so
+//! a read that follows an aborted write sees the value the aborted write
+//! replaced. [`Replay`] computes, for every read in a history, the *writer
+//! instance* whose value the read physically observes, skipping writes whose
+//! instance aborted before the read. Writer `None` denotes the paper's
+//! hypothetical initializing transaction `T_0`.
+//!
+//! Final writers follow the paper's view-equivalence convention: "only
+//! committed writes are taken into account as final writes".
+
+use std::collections::BTreeMap;
+
+use crate::history::History;
+use crate::ids::{Instance, Item, Txn};
+use crate::op::OpKind;
+
+/// The computed read/write semantics of one history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// For each read op, by history position: the instance it reads from
+    /// (`None` = initial value `T_0`).
+    reads_from: BTreeMap<usize, Option<Instance>>,
+    /// Per item: the committed write that survives at the end of the
+    /// history (`None` entry = item never written by a committed,
+    /// unaborted instance).
+    final_writers: BTreeMap<Item, Option<Instance>>,
+    /// Per instance: its reads in program order as (item, writer).
+    views: BTreeMap<Instance, Vec<(Item, Option<Instance>)>>,
+}
+
+impl Replay {
+    /// Replay a history and compute its semantics.
+    pub fn of(h: &History) -> Replay {
+        let ops = h.ops();
+
+        // Terminal fate of each instance: position of its local commit /
+        // local abort, if any.
+        let mut commit_pos: BTreeMap<Instance, usize> = BTreeMap::new();
+        let mut abort_pos: BTreeMap<Instance, usize> = BTreeMap::new();
+        for (p, op) in ops.iter().enumerate() {
+            if let Some(inst) = op.instance() {
+                match op.kind {
+                    OpKind::LocalCommit(_) => {
+                        commit_pos.entry(inst).or_insert(p);
+                    }
+                    OpKind::LocalAbort(_) => {
+                        abort_pos.entry(inst).or_insert(p);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let aborted_between = |inst: Instance, after: usize, before: usize| -> bool {
+            abort_pos
+                .get(&inst)
+                .is_some_and(|&a| a > after && a < before)
+        };
+
+        let mut reads_from = BTreeMap::new();
+        let mut views: BTreeMap<Instance, Vec<(Item, Option<Instance>)>> = BTreeMap::new();
+
+        for (p, op) in ops.iter().enumerate() {
+            let item = match op.kind {
+                OpKind::Read(it) => it,
+                _ => continue,
+            };
+            let reader = op.instance().expect("reads are site-bound");
+            // Scan backwards for the latest surviving write of `item`.
+            let mut writer: Option<Instance> = None;
+            for q in (0..p).rev() {
+                let prev = &ops[q];
+                if prev.kind != OpKind::Write(item) {
+                    continue;
+                }
+                let w = prev.instance().expect("writes are site-bound");
+                // A write rolled back before the read is invisible.
+                if aborted_between(w, q, p) {
+                    continue;
+                }
+                writer = Some(w);
+                break;
+            }
+            reads_from.insert(p, writer);
+            views.entry(reader).or_default().push((item, writer));
+        }
+
+        // Final writers: last committed, never-aborted write per item.
+        let mut final_writers: BTreeMap<Item, Option<Instance>> = BTreeMap::new();
+        for it in h.items() {
+            final_writers.insert(it, None);
+        }
+        for (p, op) in ops.iter().enumerate() {
+            if let OpKind::Write(it) = op.kind {
+                let w = op.instance().expect("writes are site-bound");
+                if commit_pos.contains_key(&w) && !abort_pos.contains_key(&w) {
+                    final_writers.insert(it, Some(w));
+                } else {
+                    // An aborted (or never-committed) write does not count as
+                    // final; the previous committed write remains final, so
+                    // leave the entry untouched.
+                    let _ = p;
+                }
+            }
+        }
+
+        Replay {
+            reads_from,
+            final_writers,
+            views,
+        }
+    }
+
+    /// The writer the read at history position `pos` observes.
+    /// `None` in the outer option: not a read position.
+    pub fn reads_from_at(&self, pos: usize) -> Option<Option<Instance>> {
+        self.reads_from.get(&pos).copied()
+    }
+
+    /// Per-instance views: reads in program order as (item, writer).
+    pub fn views(&self) -> &BTreeMap<Instance, Vec<(Item, Option<Instance>)>> {
+        &self.views
+    }
+
+    /// The view of one instance (empty if it performed no reads).
+    pub fn view_of(&self, inst: Instance) -> &[(Item, Option<Instance>)] {
+        self.views.get(&inst).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The view of an instance lifted to the transaction level: writers are
+    /// reported as transactions (all incarnations collapse), which is the
+    /// granularity at which the paper compares the views of the original
+    /// and resubmitted local subtransactions.
+    pub fn txn_view_of(&self, inst: Instance) -> Vec<(Item, Option<Txn>)> {
+        self.view_of(inst)
+            .iter()
+            .map(|&(it, w)| (it, w.map(|i| i.txn)))
+            .collect()
+    }
+
+    /// Final committed writer per item.
+    pub fn final_writers(&self) -> &BTreeMap<Item, Option<Instance>> {
+        &self.final_writers
+    }
+
+    /// Final committed writer of one item (`None` = initial value survives
+    /// or item unknown).
+    pub fn final_writer(&self, item: Item) -> Option<Instance> {
+        self.final_writers.get(&item).copied().flatten()
+    }
+}
+
+/// Convenience: the reads-from relation as (reader, item, writer) triples at
+/// the transaction level, in history order.
+pub fn reads_from_triples(h: &History) -> Vec<(Txn, Item, Option<Txn>)> {
+    let rep = Replay::of(h);
+    let mut out = Vec::new();
+    for (p, op) in h.ops().iter().enumerate() {
+        if let OpKind::Read(it) = op.kind {
+            let w = rep.reads_from_at(p).unwrap();
+            out.push((op.txn, it, w.map(|i| i.txn)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SiteId;
+    use crate::op::Op;
+
+    const A: SiteId = SiteId(0);
+    const XA: Item = Item::new(A, 0);
+    const YA: Item = Item::new(A, 1);
+
+    #[test]
+    fn read_with_no_writer_reads_initial() {
+        let h = History::from_ops([Op::read_g(1, 0, XA)]);
+        let r = Replay::of(&h);
+        assert_eq!(r.reads_from_at(0), Some(None));
+    }
+
+    #[test]
+    fn read_sees_latest_write() {
+        let h = History::from_ops([
+            Op::write_g(1, 0, XA),
+            Op::local_commit_g(1, 0, A),
+            Op::write_g(2, 0, XA),
+            Op::local_commit_g(2, 0, A),
+            Op::read_l(9, XA),
+        ]);
+        let r = Replay::of(&h);
+        assert_eq!(r.reads_from_at(4), Some(Some(Instance::global(2, A, 0))));
+    }
+
+    #[test]
+    fn aborted_write_is_invisible_after_rollback() {
+        // W1[X] A1 R9[X]: the read sees the initial value.
+        let h = History::from_ops([
+            Op::write_g(1, 0, XA),
+            Op::local_abort_g(1, 0, A),
+            Op::read_l(9, XA),
+        ]);
+        let r = Replay::of(&h);
+        assert_eq!(r.reads_from_at(2), Some(None));
+    }
+
+    #[test]
+    fn aborted_write_visible_before_rollback() {
+        // W1[X] R9[X] A1: dirty read physically observed T1's write.
+        let h = History::from_ops([
+            Op::write_g(1, 0, XA),
+            Op::read_l(9, XA),
+            Op::local_abort_g(1, 0, A),
+        ]);
+        let r = Replay::of(&h);
+        assert_eq!(r.reads_from_at(1), Some(Some(Instance::global(1, A, 0))));
+    }
+
+    #[test]
+    fn rollback_exposes_previous_committed_write() {
+        // W1[X] C1 W2[X] A2 R9[X]: read sees T1 again.
+        let h = History::from_ops([
+            Op::write_g(1, 0, XA),
+            Op::local_commit_g(1, 0, A),
+            Op::write_g(2, 0, XA),
+            Op::local_abort_g(2, 0, A),
+            Op::read_l(9, XA),
+        ]);
+        let r = Replay::of(&h);
+        assert_eq!(r.reads_from_at(4), Some(Some(Instance::global(1, A, 0))));
+    }
+
+    #[test]
+    fn final_writer_only_committed() {
+        let h = History::from_ops([
+            Op::write_g(1, 0, XA),
+            Op::local_commit_g(1, 0, A),
+            Op::write_g(2, 0, XA),
+            Op::local_abort_g(2, 0, A),
+            Op::write_g(3, 0, YA),
+            // T3 never commits.
+        ]);
+        let r = Replay::of(&h);
+        assert_eq!(r.final_writer(XA), Some(Instance::global(1, A, 0)));
+        assert_eq!(r.final_writer(YA), None);
+    }
+
+    #[test]
+    fn later_committed_write_wins_final() {
+        let h = History::from_ops([
+            Op::write_g(1, 0, XA),
+            Op::local_commit_g(1, 0, A),
+            Op::write_g(2, 0, XA),
+            Op::local_commit_g(2, 0, A),
+        ]);
+        let r = Replay::of(&h);
+        assert_eq!(r.final_writer(XA), Some(Instance::global(2, A, 0)));
+    }
+
+    #[test]
+    fn views_collect_in_program_order() {
+        let h = History::from_ops([
+            Op::write_g(1, 0, XA),
+            Op::local_commit_g(1, 0, A),
+            Op::read_l(9, XA),
+            Op::read_l(9, YA),
+        ]);
+        let r = Replay::of(&h);
+        let v = r.view_of(Instance::local(A, 9));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], (XA, Some(Instance::global(1, A, 0))));
+        assert_eq!(v[1], (YA, None));
+        let tv = r.txn_view_of(Instance::local(A, 9));
+        assert_eq!(tv[0], (XA, Some(Txn::global(1))));
+    }
+
+    #[test]
+    fn own_write_read_back() {
+        // An instance reads its own uncommitted write.
+        let h = History::from_ops([Op::write_g(1, 0, XA), Op::read_g(1, 0, XA)]);
+        let r = Replay::of(&h);
+        assert_eq!(r.reads_from_at(1), Some(Some(Instance::global(1, A, 0))));
+    }
+
+    #[test]
+    fn triples_helper() {
+        let h = History::from_ops([
+            Op::write_g(1, 0, XA),
+            Op::local_commit_g(1, 0, A),
+            Op::read_l(9, XA),
+        ]);
+        let t = reads_from_triples(&h);
+        assert_eq!(t, vec![(Txn::local(A, 9), XA, Some(Txn::global(1)))]);
+    }
+
+    #[test]
+    fn h1_fragment_global_view_distortion_views() {
+        // From the paper's H1(a): T^a_10 reads X from T_0, but after T2
+        // commits a write of X, the resubmission T^a_11 reads X from T2.
+        let h = History::from_ops([
+            Op::read_g(1, 0, XA), // reads T0
+            Op::local_abort_g(1, 0, A),
+            Op::write_g(2, 0, XA),
+            Op::local_commit_g(2, 0, A),
+            Op::read_g(1, 1, XA), // reads T2 — distorted view
+        ]);
+        let r = Replay::of(&h);
+        let v0 = r.txn_view_of(Instance::global(1, A, 0));
+        let v1 = r.txn_view_of(Instance::global(1, A, 1));
+        assert_eq!(v0[0], (XA, None));
+        assert_eq!(v1[0], (XA, Some(Txn::global(2))));
+    }
+}

@@ -1,0 +1,42 @@
+//! # mdbs-ldbs
+//!
+//! A complete local database system (LDBS) substrate satisfying exactly the
+//! assumptions the paper makes about Local Transaction Managers (§2):
+//!
+//! * **DDF** — a deterministic decomposition function `D(O, S)` turning
+//!   SQL-like DML commands into elementary `R`/`W` operations as a function
+//!   of the command and the current database state ([`command`]);
+//! * **RR** — rollback recovery: aborts restore concrete before-images
+//!   ([`store`]);
+//! * **RTT** — real-time transparency: identical command sequences over
+//!   identical values produce identical results (the engine is a pure state
+//!   machine; time never enters the data path);
+//! * **SRS** — rigorous histories via strict two-phase locking: shared locks
+//!   for reads, exclusive for writes, all held until local commit or abort
+//!   ([`lock`], [`engine`]);
+//! * **TW** — trustworthiness: resubmitted work can always eventually
+//!   commit (no hidden permanent failures);
+//! * **UAN** — unilateral-abort notification: [`engine::Ldbs::unilateral_abort`]
+//!   reports the event to its caller for delivery to the 2PC Agent.
+//!
+//! On top of the LTM proper, the engine enforces the **DLU** restriction on
+//! local transactions (no update of another transaction's *bound data*,
+//! reads allowed), with a switch to deliberately violate it for the ablation
+//! experiment XT6.
+//!
+//! Heterogeneity (D-autonomy) is modeled by [`profile::SiteProfile`]:
+//! per-site differences in decomposition order and deadlock-resolution
+//! settings — the aspects of local implementation the protocol is actually
+//! sensitive to.
+
+pub mod command;
+pub mod engine;
+pub mod lock;
+pub mod profile;
+pub mod store;
+
+pub use command::{Command, CommandResult, KeySpec};
+pub use engine::{EngineError, ExecStep, Ldbs, ResumedExec};
+pub use lock::{LockManager, LockMode, LockOutcome};
+pub use profile::SiteProfile;
+pub use store::Store;

@@ -1,0 +1,142 @@
+//! Simulation configuration.
+
+use mdbs_dtm::{AgentConfig, CertifierMode};
+use mdbs_simkit::SimTime;
+use mdbs_workload::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which transaction-management method schedules the global transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// The paper's decentralized 2PC-Agent Certifier method, with the given
+    /// certification mode (`CertifierMode::Full` = the 2CM protocol;
+    /// other modes are the in-family ablations/baselines).
+    TwoCm(CertifierMode),
+    /// The Commit Graph Method (§6 comparison): centralized scheduler with
+    /// site-granularity global locks and a commit-graph loop check; agents
+    /// run without certification.
+    Cgm,
+}
+
+impl Protocol {
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::TwoCm(CertifierMode::Full) => "2CM",
+            Protocol::TwoCm(CertifierMode::NoCertification) => "Naive",
+            Protocol::TwoCm(CertifierMode::PrepareCertOnly) => "2CM-prep-only",
+            Protocol::TwoCm(CertifierMode::PrepareOrder) => "2CM-prep-order",
+            Protocol::TwoCm(CertifierMode::TicketOrder) => "Ticket",
+            Protocol::Cgm => "CGM",
+        }
+    }
+
+    /// The agent certification mode this protocol runs with.
+    pub fn agent_mode(&self) -> CertifierMode {
+        match self {
+            Protocol::TwoCm(m) => *m,
+            Protocol::Cgm => CertifierMode::NoCertification,
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The workload (sites, transactions, access patterns, failure rate).
+    pub workload: WorkloadSpec,
+    /// The scheduling method under test.
+    pub protocol: Protocol,
+    /// Number of coordinator nodes; transactions round-robin across them.
+    pub coordinators: u32,
+    /// Mean one-way network latency, µs.
+    pub net_latency_us: u64,
+    /// Uniform jitter added on top of the mean, µs.
+    pub net_jitter_us: u64,
+    /// LTM service time per DML command, µs.
+    pub ltm_service_us: u64,
+    /// Maximum per-node clock skew, µs (each node draws uniformly from
+    /// `[-max, +max]`).
+    pub max_clock_skew_us: i64,
+    /// Maximum per-node clock drift, ppm (drawn uniformly from
+    /// `[-max, +max]`).
+    pub max_drift_ppm: i64,
+    /// 2PC Agent configuration (certifier mode is overridden by
+    /// `protocol.agent_mode()`).
+    pub agent: AgentConfig,
+    /// Period of the local deadlock scan, µs.
+    pub deadlock_scan_us: u64,
+    /// A transaction blocked longer than this is aborted (the paper's
+    /// timeout-based deadlock resolution, §6).
+    pub wait_timeout_us: u64,
+    /// Injected unilateral aborts strike within this window after the
+    /// prepare, µs. Strikes that land after the local commit are skipped
+    /// (the transaction escaped), so this should be comparable to the
+    /// typical prepared-state duration (~2 network round trips).
+    pub abort_delay_max_us: u64,
+    /// Scheduled site crashes `(site, at_us)`: at the given instant every
+    /// transaction active at the site is rolled back (the paper's
+    /// *collective abort*) and the 2PC Agent is rebuilt from its durable
+    /// log.
+    pub crashes: Vec<(u32, u64)>,
+    /// Per-link latency overrides `(from_node, to_node, lo_us, hi_us)` —
+    /// heterogeneous links are what make the §5.3 COMMIT-overtakes-PREPARE
+    /// race observable (a slow coordinator→site link delays one PREPARE
+    /// while another coordinator's whole 2PC completes over fast links).
+    pub link_overrides: Vec<(u32, u32, u64, u64)>,
+    /// Hard stop for the simulation.
+    pub time_limit: SimTime,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            workload: WorkloadSpec::default(),
+            protocol: Protocol::TwoCm(CertifierMode::Full),
+            coordinators: 2,
+            net_latency_us: 500,
+            net_jitter_us: 200,
+            ltm_service_us: 100,
+            max_clock_skew_us: 0,
+            max_drift_ppm: 0,
+            agent: AgentConfig::default(),
+            deadlock_scan_us: 5_000,
+            wait_timeout_us: 400_000,
+            abort_delay_max_us: 800,
+            crashes: Vec::new(),
+            link_overrides: Vec::new(),
+            time_limit: SimTime::from_secs(300),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Protocol::TwoCm(CertifierMode::Full).label(), "2CM");
+        assert_eq!(Protocol::Cgm.label(), "CGM");
+        assert_eq!(
+            Protocol::TwoCm(CertifierMode::TicketOrder).label(),
+            "Ticket"
+        );
+    }
+
+    #[test]
+    fn cgm_agents_run_uncertified() {
+        assert_eq!(Protocol::Cgm.agent_mode(), CertifierMode::NoCertification);
+        assert_eq!(
+            Protocol::TwoCm(CertifierMode::Full).agent_mode(),
+            CertifierMode::Full
+        );
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = SimConfig::default();
+        assert!(c.coordinators >= 1);
+        assert!(c.wait_timeout_us > c.deadlock_scan_us);
+    }
+}

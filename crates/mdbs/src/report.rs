@@ -1,0 +1,181 @@
+//! Run reports and post-hoc correctness checking.
+
+use mdbs_histories::{
+    cg::commit_order_graph,
+    distortion::{detect_global_view_distortion, Distortion},
+    rigor::rigor_violation,
+    view::view_serializable_capped,
+    History, RigorViolation, SiteId,
+};
+use mdbs_simkit::{Metrics, SimTime};
+use serde::Serialize;
+
+/// Upper bound on committed transactions for the exact view-serializability
+/// decider (factorial blow-up beyond this).
+pub const EXACT_CHECK_MAX_TXNS: usize = 8;
+
+/// The correctness verdict of one run, per the paper's criterion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CorrectnessReport {
+    /// First rigorousness violation in any site projection (must be
+    /// `None`: the LDBS substrate guarantees SRS).
+    pub rigor_violation: Option<RigorViolation>,
+    /// Whether `CG(C(H))` is acyclic (the §5.1 sufficient condition for
+    /// no local view distortion).
+    pub cg_acyclic: bool,
+    /// A global view distortion found in `C(H)`, if any.
+    pub global_distortion: Option<Distortion>,
+    /// Exact view-serializability of `C(H)` — only computed when the run is
+    /// small enough ([`EXACT_CHECK_MAX_TXNS`]).
+    pub view_serializable_exact: Option<bool>,
+    /// Number of transactions in the committed projection.
+    pub committed_txns: usize,
+}
+
+impl CorrectnessReport {
+    /// Analyze a captured global history.
+    pub fn analyze(history: &History, sites: u32) -> CorrectnessReport {
+        let mut rigor = None;
+        for s in 0..sites {
+            let proj = history.site_projection(SiteId(s));
+            if let Some(v) = rigor_violation(&proj) {
+                rigor = Some(v);
+                break;
+            }
+        }
+        let c = history.committed_projection();
+        let committed_txns = c.txns().len();
+        let cg = commit_order_graph(&c);
+        let global_distortion = detect_global_view_distortion(&c);
+        let view_serializable_exact = if committed_txns <= EXACT_CHECK_MAX_TXNS {
+            Some(view_serializable_capped(&c, EXACT_CHECK_MAX_TXNS).serializable)
+        } else {
+            None
+        };
+        CorrectnessReport {
+            rigor_violation: rigor,
+            cg_acyclic: cg.acyclic,
+            global_distortion,
+            view_serializable_exact,
+            committed_txns,
+        }
+    }
+
+    /// The paper's sufficient condition for view serializability of
+    /// `C(H)`: rigorous local histories, acyclic commit-order graph, and no
+    /// global view distortion — plus the exact check where available.
+    pub fn passed(&self) -> bool {
+        self.rigor_violation.is_none()
+            && self.cg_acyclic
+            && self.global_distortion.is_none()
+            && self.view_serializable_exact.unwrap_or(true)
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Protocol label (for result tables).
+    pub protocol: &'static str,
+    /// The complete global history in the paper's operation vocabulary.
+    pub history: History,
+    /// Counters and latency samples.
+    pub metrics: Metrics,
+    /// The correctness verdict.
+    pub checks: CorrectnessReport,
+    /// Globally committed (and completed) transactions.
+    pub committed: u64,
+    /// Globally aborted transactions.
+    pub aborted: u64,
+    /// Committed local transactions.
+    pub local_committed: u64,
+    /// Aborted local transactions (deadlock/timeout victims).
+    pub local_aborted: u64,
+    /// 2PC + scheduler messages exchanged.
+    pub messages: u64,
+    /// Simulated time at which the run finished.
+    pub finished_at: SimTime,
+}
+
+impl SimReport {
+    /// Global abort rate = aborted / (committed + aborted).
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / total as f64
+        }
+    }
+
+    /// Committed global transactions per simulated second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.finished_at.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / secs
+        }
+    }
+
+    /// Mean global commit latency in milliseconds, if any commits happened.
+    pub fn mean_commit_latency_ms(&self) -> Option<f64> {
+        self.metrics
+            .stats("commit_latency_ms")
+            .and_then(|s| s.mean())
+    }
+
+    /// p99 global commit latency in milliseconds.
+    pub fn p99_commit_latency_ms(&self) -> Option<f64> {
+        self.metrics
+            .stats("commit_latency_ms")
+            .and_then(|s| s.p99())
+    }
+
+    /// Messages per finished global transaction.
+    pub fn messages_per_txn(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.messages as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbs_histories::paper;
+
+    #[test]
+    fn h1_fails_checks() {
+        let r = CorrectnessReport::analyze(&paper::h1(), 2);
+        assert!(r.rigor_violation.is_none(), "H1 projections are rigorous");
+        assert!(r.global_distortion.is_some());
+        assert_eq!(r.view_serializable_exact, Some(false));
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn h2_fails_via_cg_cycle() {
+        let r = CorrectnessReport::analyze(&paper::h2(), 2);
+        assert!(!r.cg_acyclic);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn h3_fails_without_global_distortion() {
+        let r = CorrectnessReport::analyze(&paper::h3(), 2);
+        assert!(r.global_distortion.is_none());
+        assert!(!r.cg_acyclic);
+        assert_eq!(r.view_serializable_exact, Some(false));
+    }
+
+    #[test]
+    fn empty_history_passes() {
+        let r = CorrectnessReport::analyze(&History::new(), 3);
+        assert!(r.passed());
+        assert_eq!(r.committed_txns, 0);
+    }
+}

@@ -1,0 +1,1250 @@
+//! The discrete-event simulation of the whole multidatabase.
+//!
+//! One [`Simulation`] owns: one [`mdbs_ldbs::Ldbs`] engine and one
+//! [`mdbs_dtm::Agent`] per participating site, a set of
+//! [`mdbs_dtm::Coordinator`]s on coordinator nodes, the FIFO network, the
+//! per-node drifting clocks, the workload generator, and — for the CGM
+//! baseline — the centralized scheduler (global site locks + commit graph).
+//!
+//! The run is fully deterministic: a `SimConfig` (which embeds the seed)
+//! maps to exactly one history.
+//!
+//! Node numbering: site agents live at node = site id; coordinators at
+//! `COORD_BASE + i`; the CGM central scheduler at [`CENTRAL`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+use mdbs_baselines::{CommitGraph, GlobalLockManager, SiteLockMode};
+use mdbs_dtm::{Agent, AgentAction, AgentInput, CoordAction, Coordinator, GlobalOutcome, Message};
+use mdbs_histories::{GlobalTxnId, Instance, Op, SiteId, Txn};
+use mdbs_ldbs::{Command, EngineError, ExecStep, Ldbs, ResumedExec, SiteProfile, Store};
+use mdbs_simkit::{
+    DetRng, EventQueue, LatencyModel, Metrics, Network, SimDuration, SimTime, SiteClock,
+};
+use mdbs_workload::WorkloadGen;
+
+use crate::config::{Protocol, SimConfig};
+use crate::report::{CorrectnessReport, SimReport};
+
+/// First coordinator node id.
+pub const COORD_BASE: u32 = 1_000_000;
+/// The CGM central scheduler's node id.
+pub const CENTRAL: u32 = 2_000_000;
+
+/// A protocol-level trace event, delivered to the observer installed with
+/// [`Simulation::set_observer`]. Useful for narrated demos and debugging;
+/// the default simulation has no observer and pays nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A 2PC message was handed to the network.
+    MessageSent {
+        /// Simulated send time.
+        at: SimTime,
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// The message.
+        msg: Message,
+    },
+    /// A subtransaction entered the prepared state at a site.
+    Prepared {
+        /// Simulated time.
+        at: SimTime,
+        /// The site.
+        site: SiteId,
+        /// The transaction.
+        gtxn: GlobalTxnId,
+    },
+    /// An injected unilateral abort struck an instance.
+    UnilateralAbort {
+        /// Simulated time.
+        at: SimTime,
+        /// The aborted instance.
+        instance: Instance,
+    },
+    /// A whole site crashed.
+    SiteCrash {
+        /// Simulated time.
+        at: SimTime,
+        /// The site.
+        site: SiteId,
+    },
+    /// A local waits-for cycle was broken by aborting a victim.
+    DeadlockVictim {
+        /// Simulated time.
+        at: SimTime,
+        /// The aborted instance.
+        instance: Instance,
+    },
+    /// A transaction blocked past the wait timeout was aborted.
+    WaitTimeout {
+        /// Simulated time.
+        at: SimTime,
+        /// The aborted instance.
+        instance: Instance,
+    },
+    /// A global transaction reached its final outcome.
+    Finished {
+        /// Simulated time.
+        at: SimTime,
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// Whether it committed.
+        committed: bool,
+    },
+}
+
+/// Observer callback type.
+pub type Observer = Box<dyn FnMut(&TraceEvent)>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    /// Network delivery of a 2PC message.
+    Deliver { from: u32, to: u32, msg: Message },
+    /// Agent alive-check timer (Appendix A).
+    AliveTimer { site: SiteId, gtxn: GlobalTxnId },
+    /// Agent commit-certification retry timer (Appendix C).
+    RetryTimer { site: SiteId, gtxn: GlobalTxnId },
+    /// The LTM starts executing a command (service delay elapsed).
+    LtmExec {
+        site: SiteId,
+        instance: Instance,
+        command: Command,
+    },
+    /// Next global transaction arrival.
+    GlobalArrival,
+    /// Next local transaction arrival at a site.
+    LocalArrival { site: SiteId },
+    /// An injected unilateral abort strikes.
+    InjectAbort { site: SiteId, instance: Instance },
+    /// Periodic deadlock / wait-timeout scan.
+    DeadlockScan,
+    /// A whole-site crash: collective abort + agent recovery from its log.
+    SiteCrash { site: SiteId },
+    /// CGM: admission request reaches the central scheduler.
+    CgmRequest { gtxn: GlobalTxnId },
+    /// CGM: admission grant reaches the coordinator.
+    CgmAdmitted { gtxn: GlobalTxnId },
+    /// CGM: commit-graph vote request reaches the central scheduler.
+    CgmVote { gtxn: GlobalTxnId },
+    /// CGM: vote verdict reaches the coordinator.
+    CgmVoteResult { gtxn: GlobalTxnId, ok: bool },
+    /// CGM: completion notice reaches the central scheduler.
+    CgmFinished { gtxn: GlobalTxnId },
+}
+
+/// A local transaction being driven directly against its LTM.
+#[derive(Debug)]
+struct LocalRunner {
+    commands: Vec<Command>,
+    next: usize,
+}
+
+/// CGM bookkeeping for one global transaction.
+#[derive(Debug)]
+struct CgmTxn {
+    sites: std::collections::BTreeSet<SiteId>,
+    modes: Vec<(SiteId, SiteLockMode)>,
+    program: Vec<(SiteId, Command)>,
+    /// PREPARE messages buffered until the commit-graph vote passes.
+    held_prepares: Vec<(SiteId, Message)>,
+}
+
+/// The simulation world.
+pub struct Simulation {
+    cfg: SimConfig,
+    queue: EventQueue<Ev>,
+    net: Network,
+    clocks: BTreeMap<u32, SiteClock>,
+    ldbs: BTreeMap<SiteId, Ldbs>,
+    agents: BTreeMap<SiteId, Agent>,
+    coords: BTreeMap<u32, Coordinator>,
+    gen: WorkloadGen,
+    history: Vec<Op>,
+    metrics: Metrics,
+
+    // Global transaction lifecycle.
+    programs: BTreeMap<GlobalTxnId, Vec<(SiteId, Command)>>,
+    coord_of: BTreeMap<GlobalTxnId, u32>,
+    start_time: BTreeMap<GlobalTxnId, SimTime>,
+    arrivals_emitted: u32,
+    next_gtxn: u32,
+    ready_queue: VecDeque<GlobalTxnId>,
+    in_flight: u32,
+    committed: u64,
+    aborted: u64,
+
+    // Local transactions.
+    local_runners: BTreeMap<Instance, LocalRunner>,
+    local_emitted: BTreeMap<SiteId, u32>,
+    next_local_n: u32,
+    local_committed: u64,
+    local_aborted: u64,
+
+    // Blocked-instance tracking for the wait timeout.
+    blocked_since: BTreeMap<Instance, SimTime>,
+
+    // CGM central scheduler state.
+    cgm_locks: GlobalLockManager,
+    cgm_graph: CommitGraph,
+    cgm_txns: BTreeMap<GlobalTxnId, CgmTxn>,
+
+    inject_rng: DetRng,
+    observer: Option<Observer>,
+}
+
+impl Simulation {
+    /// Build the world from a configuration.
+    pub fn new(cfg: SimConfig) -> Simulation {
+        let spec = cfg.workload.clone();
+        let root = DetRng::new(spec.seed);
+        let mut net = Network::new(
+            LatencyModel::Uniform(
+                SimDuration::from_micros(cfg.net_latency_us),
+                SimDuration::from_micros(cfg.net_latency_us + cfg.net_jitter_us),
+            ),
+            root.substream("network"),
+        );
+        for &(from, to, lo, hi) in &cfg.link_overrides {
+            net.set_link(
+                from,
+                to,
+                LatencyModel::Uniform(SimDuration::from_micros(lo), SimDuration::from_micros(hi)),
+            );
+        }
+
+        // Per-node clocks (agents, coordinators, central scheduler).
+        let mut clock_rng = root.substream("clocks");
+        let mut clocks = BTreeMap::new();
+        let draw_clock = |rng: &mut DetRng| {
+            let skew = if cfg.max_clock_skew_us == 0 {
+                0
+            } else {
+                rng.uniform_u64(0, (2 * cfg.max_clock_skew_us + 1) as u64) as i64
+                    - cfg.max_clock_skew_us
+            };
+            let drift = if cfg.max_drift_ppm == 0 {
+                0
+            } else {
+                rng.uniform_u64(0, (2 * cfg.max_drift_ppm + 1) as u64) as i64 - cfg.max_drift_ppm
+            };
+            SiteClock::new(skew, drift)
+        };
+        for s in 0..spec.sites {
+            clocks.insert(s, draw_clock(&mut clock_rng));
+        }
+        for c in 0..cfg.coordinators {
+            clocks.insert(COORD_BASE + c, draw_clock(&mut clock_rng));
+        }
+        clocks.insert(CENTRAL, draw_clock(&mut clock_rng));
+
+        let mut agent_cfg = cfg.agent;
+        agent_cfg.mode = cfg.protocol.agent_mode();
+        if !matches!(cfg.protocol, Protocol::TwoCm(mdbs_dtm::CertifierMode::Full)) {
+            // Anomaly baselines need the liveness safety valve.
+            agent_cfg.max_commit_retries = agent_cfg.max_commit_retries.min(200);
+        }
+
+        let mut ldbs = BTreeMap::new();
+        let mut agents = BTreeMap::new();
+        for s in 0..spec.sites {
+            let site = SiteId(s);
+            let mut engine = Ldbs::new(
+                site,
+                SiteProfile::for_site(s),
+                Store::with_rows(spec.items_per_site, spec.initial_value),
+            );
+            engine.set_enforce_dlu(spec.enforce_dlu);
+            ldbs.insert(site, engine);
+            agents.insert(site, Agent::new(site, agent_cfg));
+        }
+        let mut coords = BTreeMap::new();
+        for c in 0..cfg.coordinators {
+            coords.insert(COORD_BASE + c, Coordinator::new(COORD_BASE + c));
+        }
+
+        let mut queue = EventQueue::new();
+        queue.schedule_at(SimTime::from_micros(1), Ev::GlobalArrival);
+        for s in 0..spec.sites {
+            if spec.local_txns_per_site > 0 {
+                queue.schedule_at(
+                    SimTime::from_micros(2 + s as u64),
+                    Ev::LocalArrival { site: SiteId(s) },
+                );
+            }
+        }
+        queue.schedule_at(SimTime::from_micros(cfg.deadlock_scan_us), Ev::DeadlockScan);
+        for &(site, at_us) in &cfg.crashes {
+            queue.schedule_at(
+                SimTime::from_micros(at_us),
+                Ev::SiteCrash { site: SiteId(site) },
+            );
+        }
+
+        Simulation {
+            gen: WorkloadGen::new(spec.clone()),
+            inject_rng: root.substream("inject"),
+            cfg,
+            queue,
+            net,
+            clocks,
+            ldbs,
+            agents,
+            coords,
+            history: Vec::new(),
+            metrics: Metrics::new(),
+            programs: BTreeMap::new(),
+            coord_of: BTreeMap::new(),
+            start_time: BTreeMap::new(),
+            arrivals_emitted: 0,
+            next_gtxn: 1,
+            ready_queue: VecDeque::new(),
+            in_flight: 0,
+            committed: 0,
+            aborted: 0,
+            local_runners: BTreeMap::new(),
+            local_emitted: BTreeMap::new(),
+            next_local_n: 1,
+            local_committed: 0,
+            local_aborted: 0,
+            blocked_since: BTreeMap::new(),
+            cgm_locks: GlobalLockManager::new(),
+            cgm_graph: CommitGraph::new(),
+            cgm_txns: BTreeMap::new(),
+            observer: None,
+        }
+    }
+
+    /// Install a trace observer receiving [`TraceEvent`]s as the run
+    /// unfolds (protocol messages, prepares, failures, crashes, outcomes).
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = Some(observer);
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs(&event);
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    fn local_time(&self, node: u32) -> u64 {
+        // Local clocks are read against an epoch far from zero: real
+        // deployments do not boot at the epoch, and `SiteClock::read`
+        // saturates at 0, which would blind interval certification for the
+        // first |negative skew| microseconds of the run (all local times
+        // collapse to 0 and every alive-interval check trivially passes).
+        const CLOCK_EPOCH: SimDuration = SimDuration::from_secs(3_600);
+        self.clocks[&node].read(self.now() + CLOCK_EPOCH)
+    }
+
+    fn all_work_done(&self) -> bool {
+        let spec = self.gen.spec();
+        let globals_done = self.arrivals_emitted >= spec.global_txns
+            && self.in_flight == 0
+            && self.ready_queue.is_empty();
+        let locals_done = (0..spec.sites).all(|s| {
+            self.local_emitted.get(&SiteId(s)).copied().unwrap_or(0) >= spec.local_txns_per_site
+        }) && self.local_runners.is_empty();
+        globals_done && locals_done
+    }
+
+    /// Run to completion (or the time limit) and report.
+    pub fn run(mut self) -> SimReport {
+        while let Some(ev) = self.queue.pop() {
+            if ev.at > self.cfg.time_limit {
+                break;
+            }
+            self.dispatch(ev.payload);
+        }
+        let history = mdbs_histories::History::from_ops(self.history.iter().copied());
+        let checks = CorrectnessReport::analyze(&history, self.gen.spec().sites);
+        let mut metrics = self.metrics;
+        for (site, agent) in &self.agents {
+            let st = agent.stats();
+            metrics.add("prepares_accepted", st.prepares_accepted);
+            metrics.add("refused_sn_out_of_order", st.refused_sn_out_of_order);
+            metrics.add("refused_interval_disjoint", st.refused_interval_disjoint);
+            metrics.add("refused_not_alive", st.refused_not_alive);
+            metrics.add("resubmissions", st.resubmissions);
+            metrics.add("commit_retries", st.commit_retries);
+            metrics.add("commit_cert_overrides", st.commit_cert_overrides);
+            let _ = site;
+        }
+        SimReport {
+            protocol: self.cfg.protocol.label(),
+            history,
+            checks,
+            committed: self.committed,
+            aborted: self.aborted,
+            local_committed: self.local_committed,
+            local_aborted: self.local_aborted,
+            messages: self.net.messages_sent(),
+            finished_at: self.queue.now(),
+            metrics,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Deliver { from, to, msg } => self.on_deliver(from, to, msg),
+            Ev::AliveTimer { site, gtxn } => {
+                self.agent_input(site, AgentInput::AliveTimer { gtxn })
+            }
+            Ev::RetryTimer { site, gtxn } => {
+                self.agent_input(site, AgentInput::CommitRetryTimer { gtxn })
+            }
+            Ev::LtmExec {
+                site,
+                instance,
+                command,
+            } => self.on_ltm_exec(site, instance, command),
+            Ev::GlobalArrival => self.on_global_arrival(),
+            Ev::LocalArrival { site } => self.on_local_arrival(site),
+            Ev::InjectAbort { site, instance } => self.on_inject_abort(site, instance),
+            Ev::DeadlockScan => self.on_deadlock_scan(),
+            Ev::SiteCrash { site } => self.on_site_crash(site),
+            Ev::CgmRequest { gtxn } => self.on_cgm_request(gtxn),
+            Ev::CgmAdmitted { gtxn } => self.on_cgm_admitted(gtxn),
+            Ev::CgmVote { gtxn } => self.on_cgm_vote(gtxn),
+            Ev::CgmVoteResult { gtxn, ok } => self.on_cgm_vote_result(gtxn, ok),
+            Ev::CgmFinished { gtxn } => self.on_cgm_finished(gtxn),
+        }
+    }
+
+    fn send(&mut self, from: u32, to: u32, msg: Message) {
+        let kind = message_kind(&msg);
+        self.metrics.inc(kind);
+        if self.observer.is_some() {
+            self.emit(TraceEvent::MessageSent {
+                at: self.now(),
+                from,
+                to,
+                msg: msg.clone(),
+            });
+        }
+        let at = self.net.delivery_time(from, to, self.now());
+        self.queue.schedule_at(at, Ev::Deliver { from, to, msg });
+    }
+
+    /// A central-scheduler control hop (CGM), billed like any message.
+    fn send_ctrl(&mut self, from: u32, to: u32, ev: Ev) {
+        let at = self.net.delivery_time(from, to, self.now());
+        self.queue.schedule_at(at, ev);
+    }
+
+    fn on_deliver(&mut self, _from: u32, to: u32, msg: Message) {
+        if to >= COORD_BASE {
+            let now_local = self.local_time(to);
+            let actions = self
+                .coords
+                .get_mut(&to)
+                .expect("coordinator node")
+                .on_message(now_local, msg);
+            self.run_coord_actions(to, actions);
+        } else {
+            let site = SiteId(to);
+            self.agent_input(site, AgentInput::Deliver(msg));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Agent plumbing
+    // ------------------------------------------------------------------
+
+    fn agent_input(&mut self, site: SiteId, input: AgentInput) {
+        let now_local = self.local_time(site.0);
+        let actions = self
+            .agents
+            .get_mut(&site)
+            .expect("agent")
+            .handle(now_local, input);
+        self.run_agent_actions(site, actions);
+    }
+
+    fn run_agent_actions(&mut self, site: SiteId, actions: Vec<AgentAction>) {
+        for action in actions {
+            match action {
+                AgentAction::Reply { coord, msg } => self.send(site.0, coord, msg),
+                AgentAction::LtmBegin(instance) => {
+                    self.ldbs
+                        .get_mut(&site)
+                        .expect("ldbs")
+                        .begin(instance)
+                        .expect("begin");
+                }
+                AgentAction::LtmSubmit { instance, command } => {
+                    self.queue.schedule_after(
+                        SimDuration::from_micros(self.cfg.ltm_service_us),
+                        Ev::LtmExec {
+                            site,
+                            instance,
+                            command,
+                        },
+                    );
+                }
+                AgentAction::LtmCommit(instance) => {
+                    let resumed = self
+                        .ldbs
+                        .get_mut(&site)
+                        .expect("ldbs")
+                        .commit(instance)
+                        .expect("agent commit");
+                    self.drain_site_log(site);
+                    self.process_resumed(site, resumed);
+                }
+                AgentAction::LtmAbort(instance) => {
+                    match self.ldbs.get_mut(&site).expect("ldbs").abort(instance) {
+                        Ok(resumed) => {
+                            self.blocked_since.remove(&instance);
+                            self.drain_site_log(site);
+                            self.process_resumed(site, resumed);
+                        }
+                        Err(EngineError::UnknownTransaction(_)) => {}
+                        Err(e) => panic!("agent abort failed: {e:?}"),
+                    }
+                }
+                AgentAction::Bind { keys, owner } => {
+                    self.ldbs.get_mut(&site).expect("ldbs").bind(keys, owner);
+                }
+                AgentAction::Unbind { owner } => {
+                    let resumed = self.ldbs.get_mut(&site).expect("ldbs").unbind_all_of(owner);
+                    self.drain_site_log(site);
+                    self.process_resumed(site, resumed);
+                }
+                AgentAction::RecordPrepare(gtxn) => {
+                    self.history.push(Op::prepare(gtxn.0, site));
+                    self.emit(TraceEvent::Prepared {
+                        at: self.now(),
+                        site,
+                        gtxn,
+                    });
+                    self.maybe_inject_failure(site, gtxn);
+                }
+                AgentAction::StartAliveTimer { gtxn, after_us } => {
+                    self.queue.schedule_after(
+                        SimDuration::from_micros(after_us),
+                        Ev::AliveTimer { site, gtxn },
+                    );
+                }
+                AgentAction::StartCommitRetryTimer { gtxn, after_us } => {
+                    self.queue.schedule_after(
+                        SimDuration::from_micros(after_us),
+                        Ev::RetryTimer { site, gtxn },
+                    );
+                }
+            }
+        }
+    }
+
+    fn maybe_inject_failure(&mut self, site: SiteId, gtxn: GlobalTxnId) {
+        if !self.gen.draw_unilateral_abort() {
+            return;
+        }
+        self.metrics.inc("injections_scheduled");
+        let inc = self.agents[&site]
+            .incarnation_of(gtxn)
+            .expect("just prepared");
+        let instance = Instance::global(gtxn.0, site, inc);
+        let delay = if self.cfg.abort_delay_max_us == 0 {
+            0
+        } else {
+            self.inject_rng.uniform_u64(0, self.cfg.abort_delay_max_us)
+        };
+        self.queue.schedule_after(
+            SimDuration::from_micros(delay),
+            Ev::InjectAbort { site, instance },
+        );
+    }
+
+    fn on_ltm_exec(&mut self, site: SiteId, instance: Instance, command: Command) {
+        let step = match self
+            .ldbs
+            .get_mut(&site)
+            .expect("ldbs")
+            .submit(instance, &command)
+        {
+            Ok(step) => step,
+            Err(EngineError::UnknownTransaction(_)) => return, // aborted meanwhile
+            Err(e) => panic!("submit failed: {e:?}"),
+        };
+        self.drain_site_log(site);
+        self.handle_exec_step(site, instance, step);
+    }
+
+    fn handle_exec_step(&mut self, site: SiteId, instance: Instance, step: ExecStep) {
+        match step {
+            ExecStep::Blocked => {
+                // Every Blocked report follows fresh progress (a new
+                // submission, or a lock grant that advanced the plan to its
+                // next operation), so the wait-timeout clock restarts.
+                let now = self.now();
+                self.blocked_since.insert(instance, now);
+            }
+            ExecStep::Done(result) => {
+                self.blocked_since.remove(&instance);
+                match instance.txn {
+                    Txn::Global(gtxn) => {
+                        self.agent_input(site, AgentInput::LtmDone { gtxn, result });
+                    }
+                    Txn::Local(_) => self.advance_local(site, instance),
+                }
+            }
+        }
+    }
+
+    fn process_resumed(&mut self, site: SiteId, resumed: Vec<ResumedExec>) {
+        for r in resumed {
+            self.handle_exec_step(site, r.instance, r.step);
+        }
+    }
+
+    fn drain_site_log(&mut self, site: SiteId) {
+        let ops = self.ldbs.get_mut(&site).expect("ldbs").take_log();
+        self.history.extend(ops);
+    }
+
+    // ------------------------------------------------------------------
+    // Coordinator plumbing
+    // ------------------------------------------------------------------
+
+    fn run_coord_actions(&mut self, cnode: u32, actions: Vec<CoordAction>) {
+        for action in actions {
+            match action {
+                CoordAction::ToAgent { site, msg } => {
+                    // CGM: hold PREPAREs until the commit-graph vote.
+                    if matches!(self.cfg.protocol, Protocol::Cgm) {
+                        if let Message::Prepare { gtxn, .. } = msg {
+                            let entry = self.cgm_txns.get_mut(&gtxn).expect("cgm txn");
+                            entry.held_prepares.push((site, msg));
+                            if entry.held_prepares.len() == entry.sites.len() {
+                                self.send_ctrl(cnode, CENTRAL, Ev::CgmVote { gtxn });
+                            }
+                            continue;
+                        }
+                    }
+                    self.send(cnode, site.0, msg);
+                }
+                CoordAction::RecordGlobalCommit(gtxn) => {
+                    self.history.push(Op::global_commit(gtxn.0));
+                }
+                CoordAction::RecordGlobalAbort(gtxn) => {
+                    self.history.push(Op::global_abort(gtxn.0));
+                }
+                CoordAction::Finished { gtxn, outcome } => self.on_finished(cnode, gtxn, outcome),
+            }
+        }
+    }
+
+    fn on_finished(&mut self, cnode: u32, gtxn: GlobalTxnId, outcome: GlobalOutcome) {
+        self.emit(TraceEvent::Finished {
+            at: self.now(),
+            gtxn,
+            committed: outcome == GlobalOutcome::Committed,
+        });
+        match outcome {
+            GlobalOutcome::Committed => {
+                self.committed += 1;
+                self.metrics.inc("global_committed");
+            }
+            GlobalOutcome::Aborted => {
+                self.aborted += 1;
+                self.metrics.inc("global_aborted");
+            }
+        }
+        if let Some(start) = self.start_time.remove(&gtxn) {
+            let latency_ms = (self.now() - start).as_millis_f64();
+            self.metrics.observe("commit_latency_ms", latency_ms);
+            if outcome == GlobalOutcome::Committed {
+                self.metrics.observe("committed_latency_ms", latency_ms);
+            }
+        }
+        self.in_flight -= 1;
+        if matches!(self.cfg.protocol, Protocol::Cgm) {
+            self.send_ctrl(cnode, CENTRAL, Ev::CgmFinished { gtxn });
+        }
+        self.try_start_ready();
+    }
+
+    // ------------------------------------------------------------------
+    // Global transaction arrivals
+    // ------------------------------------------------------------------
+
+    fn on_global_arrival(&mut self) {
+        let spec = self.gen.spec();
+        if self.arrivals_emitted >= spec.global_txns {
+            return;
+        }
+        self.arrivals_emitted += 1;
+        let gtxn = GlobalTxnId(self.next_gtxn);
+        self.next_gtxn += 1;
+        let program = self.gen.global_program();
+        self.programs.insert(gtxn, program);
+        self.ready_queue.push_back(gtxn);
+        if self.arrivals_emitted < self.gen.spec().global_txns {
+            let gap = self.gen.global_gap_us();
+            self.queue
+                .schedule_after(SimDuration::from_micros(gap), Ev::GlobalArrival);
+        }
+        self.try_start_ready();
+    }
+
+    fn try_start_ready(&mut self) {
+        while self.in_flight < self.gen.spec().mpl {
+            let Some(gtxn) = self.ready_queue.pop_front() else {
+                return;
+            };
+            self.in_flight += 1;
+            self.start_time.insert(gtxn, self.now());
+            let cnode = COORD_BASE + (gtxn.0 % self.cfg.coordinators);
+            self.coord_of.insert(gtxn, cnode);
+            let program = self.programs[&gtxn].clone();
+            if matches!(self.cfg.protocol, Protocol::Cgm) {
+                // Admission through the central scheduler first.
+                let sites: std::collections::BTreeSet<SiteId> =
+                    program.iter().map(|(s, _)| *s).collect();
+                let mut modes: BTreeMap<SiteId, SiteLockMode> = BTreeMap::new();
+                for (s, c) in &program {
+                    let e = modes.entry(*s).or_insert(SiteLockMode::Read);
+                    if c.is_update() {
+                        *e = SiteLockMode::Update;
+                    }
+                }
+                self.cgm_txns.insert(
+                    gtxn,
+                    CgmTxn {
+                        sites,
+                        modes: modes.into_iter().collect(),
+                        program,
+                        held_prepares: Vec::new(),
+                    },
+                );
+                self.send_ctrl(cnode, CENTRAL, Ev::CgmRequest { gtxn });
+            } else {
+                let actions = self
+                    .coords
+                    .get_mut(&cnode)
+                    .expect("coordinator")
+                    .begin(gtxn, program);
+                self.run_coord_actions(cnode, actions);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Local transactions
+    // ------------------------------------------------------------------
+
+    fn on_local_arrival(&mut self, site: SiteId) {
+        let spec = self.gen.spec();
+        let emitted = self.local_emitted.entry(site).or_insert(0);
+        if *emitted >= spec.local_txns_per_site {
+            return;
+        }
+        *emitted += 1;
+        let more = *emitted < spec.local_txns_per_site;
+
+        let n = self.next_local_n;
+        self.next_local_n += 1;
+        let instance = Instance::local(site, n);
+        let commands = self.gen.local_program(site);
+        self.ldbs
+            .get_mut(&site)
+            .expect("ldbs")
+            .begin(instance)
+            .expect("local begin");
+        let first = commands[0];
+        self.local_runners
+            .insert(instance, LocalRunner { commands, next: 0 });
+        self.queue.schedule_after(
+            SimDuration::from_micros(self.cfg.ltm_service_us),
+            Ev::LtmExec {
+                site,
+                instance,
+                command: first,
+            },
+        );
+
+        if more {
+            let gap = self.gen.local_gap_us();
+            self.queue
+                .schedule_after(SimDuration::from_micros(gap), Ev::LocalArrival { site });
+        }
+    }
+
+    fn advance_local(&mut self, site: SiteId, instance: Instance) {
+        let Some(runner) = self.local_runners.get_mut(&instance) else {
+            return; // aborted meanwhile
+        };
+        runner.next += 1;
+        if runner.next < runner.commands.len() {
+            let command = runner.commands[runner.next];
+            self.queue.schedule_after(
+                SimDuration::from_micros(self.cfg.ltm_service_us),
+                Ev::LtmExec {
+                    site,
+                    instance,
+                    command,
+                },
+            );
+            return;
+        }
+        // Program complete: commit at the LTM.
+        self.local_runners.remove(&instance);
+        let resumed = self
+            .ldbs
+            .get_mut(&site)
+            .expect("ldbs")
+            .commit(instance)
+            .expect("local commit");
+        self.local_committed += 1;
+        self.metrics.inc("local_committed");
+        self.drain_site_log(site);
+        self.process_resumed(site, resumed);
+    }
+
+    // ------------------------------------------------------------------
+    // Failures, deadlocks, timeouts
+    // ------------------------------------------------------------------
+
+    fn on_inject_abort(&mut self, site: SiteId, instance: Instance) {
+        if !self.ldbs[&site].is_active(instance) {
+            return; // already committed or replaced
+        }
+        self.metrics.inc("injected_unilateral_aborts");
+        self.emit(TraceEvent::UnilateralAbort {
+            at: self.now(),
+            instance,
+        });
+        self.abort_instance(site, instance);
+    }
+
+    /// Unilaterally abort an instance at its LTM and notify the agent (UAN).
+    fn abort_instance(&mut self, site: SiteId, instance: Instance) {
+        let resumed = match self
+            .ldbs
+            .get_mut(&site)
+            .expect("ldbs")
+            .unilateral_abort(instance)
+        {
+            Ok(r) => r,
+            Err(EngineError::UnknownTransaction(_)) => return,
+            Err(e) => panic!("unilateral abort failed: {e:?}"),
+        };
+        self.blocked_since.remove(&instance);
+        self.drain_site_log(site);
+        match instance.txn {
+            Txn::Global(_) => {
+                self.agent_input(site, AgentInput::Uan { instance });
+            }
+            Txn::Local(_) => {
+                self.local_runners.remove(&instance);
+                self.local_aborted += 1;
+                self.metrics.inc("local_aborted");
+            }
+        }
+        self.process_resumed(site, resumed);
+    }
+
+    fn on_deadlock_scan(&mut self) {
+        let sites: Vec<SiteId> = self.ldbs.keys().copied().collect();
+        for site in sites {
+            // Local waits-for cycles.
+            while let Some(victim) = self.ldbs[&site].deadlock_victim() {
+                self.metrics.inc("deadlock_victims");
+                self.emit(TraceEvent::DeadlockVictim {
+                    at: self.now(),
+                    instance: victim,
+                });
+                self.abort_instance(site, victim);
+            }
+        }
+        // Wait timeouts (covers DLU holds and cross-site waits the local
+        // graphs cannot see — the paper's timeout-based resolution, §6).
+        let timeout = SimDuration::from_micros(self.cfg.wait_timeout_us);
+        let expired: Vec<Instance> = self
+            .blocked_since
+            .iter()
+            .filter(|(_, since)| self.now().since(**since) > timeout)
+            .map(|(i, _)| *i)
+            .collect();
+        for instance in expired {
+            self.metrics.inc("wait_timeouts");
+            self.emit(TraceEvent::WaitTimeout {
+                at: self.now(),
+                instance,
+            });
+            self.abort_instance(instance.site, instance);
+        }
+        if !self.all_work_done() {
+            self.queue.schedule_after(
+                SimDuration::from_micros(self.cfg.deadlock_scan_us),
+                Ev::DeadlockScan,
+            );
+        }
+    }
+
+    /// A whole-site crash: every active transaction is unilaterally
+    /// aborted at once (collective abort), the volatile DLU bindings die,
+    /// and the 2PC Agent is rebuilt from its durable log (`Agent::recover`).
+    /// The durable store itself survives — committed data is safe.
+    fn on_site_crash(&mut self, site: SiteId) {
+        self.metrics.inc("site_crashes");
+        self.emit(TraceEvent::SiteCrash {
+            at: self.now(),
+            site,
+        });
+
+        // Collective abort at the LTM: roll back all active instances.
+        let victims = self.ldbs[&site].active_instances();
+        for instance in victims {
+            let resumed = match self
+                .ldbs
+                .get_mut(&site)
+                .expect("ldbs")
+                .unilateral_abort(instance)
+            {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            self.blocked_since.remove(&instance);
+            if instance.txn.is_local() {
+                self.local_runners.remove(&instance);
+                self.local_aborted += 1;
+                self.metrics.inc("local_aborted");
+            }
+            // Crash-time resumptions are moot: any resumed instance at
+            // this site is itself about to be aborted by this loop; ones
+            // already aborted return UnknownTransaction above.
+            drop(resumed);
+        }
+        self.drain_site_log(site);
+        self.ldbs.get_mut(&site).expect("ldbs").clear_bindings();
+
+        // The agent process dies; rebuild it from the durable log.
+        let log = self.agents[&site].log().clone();
+        let mut agent_cfg = self.cfg.agent;
+        agent_cfg.mode = self.cfg.protocol.agent_mode();
+        let (agent, actions) = Agent::recover(site, agent_cfg, log);
+        let old = self.agents.insert(site, agent);
+        if let Some(old) = old {
+            // Keep the cumulative counters comparable across the crash.
+            let st = *old.stats();
+            self.metrics.add("prepares_accepted", st.prepares_accepted);
+            self.metrics
+                .add("refused_sn_out_of_order", st.refused_sn_out_of_order);
+            self.metrics
+                .add("refused_interval_disjoint", st.refused_interval_disjoint);
+            self.metrics.add("refused_not_alive", st.refused_not_alive);
+            self.metrics.add("resubmissions", st.resubmissions);
+            self.metrics.add("commit_retries", st.commit_retries);
+            self.metrics
+                .add("commit_cert_overrides", st.commit_cert_overrides);
+        }
+        self.run_agent_actions(site, actions);
+    }
+
+    // ------------------------------------------------------------------
+    // CGM central scheduler
+    // ------------------------------------------------------------------
+
+    fn on_cgm_request(&mut self, gtxn: GlobalTxnId) {
+        let entry = self.cgm_txns.get(&gtxn).expect("cgm txn");
+        let modes = entry.modes.clone();
+        let cnode = self.coord_of[&gtxn];
+        if self.cgm_locks.request(gtxn, modes) {
+            self.send_ctrl(CENTRAL, cnode, Ev::CgmAdmitted { gtxn });
+        }
+        // Otherwise queued; admission happens on a later release.
+    }
+
+    fn on_cgm_admitted(&mut self, gtxn: GlobalTxnId) {
+        let cnode = self.coord_of[&gtxn];
+        let program = self.cgm_txns[&gtxn].program.clone();
+        let actions = self
+            .coords
+            .get_mut(&cnode)
+            .expect("coordinator")
+            .begin(gtxn, program);
+        self.run_coord_actions(cnode, actions);
+    }
+
+    fn on_cgm_vote(&mut self, gtxn: GlobalTxnId) {
+        let entry = self.cgm_txns.get(&gtxn).expect("cgm txn");
+        let cnode = self.coord_of[&gtxn];
+        let ok = !self.cgm_graph.would_cycle(gtxn, &entry.sites);
+        if ok {
+            self.cgm_graph.insert(gtxn, entry.sites.clone());
+        }
+        self.metrics.inc(if ok {
+            "cgm_votes_ok"
+        } else {
+            "cgm_votes_cycle"
+        });
+        self.send_ctrl(CENTRAL, cnode, Ev::CgmVoteResult { gtxn, ok });
+    }
+
+    fn on_cgm_vote_result(&mut self, gtxn: GlobalTxnId, ok: bool) {
+        let cnode = self.coord_of[&gtxn];
+        if ok {
+            // Release the held PREPAREs.
+            let held =
+                std::mem::take(&mut self.cgm_txns.get_mut(&gtxn).expect("cgm txn").held_prepares);
+            for (site, msg) in held {
+                self.send(cnode, site.0, msg);
+            }
+        } else {
+            let actions = self
+                .coords
+                .get_mut(&cnode)
+                .expect("coordinator")
+                .abort_externally(gtxn);
+            self.run_coord_actions(cnode, actions);
+        }
+    }
+
+    fn on_cgm_finished(&mut self, gtxn: GlobalTxnId) {
+        self.cgm_graph.remove(gtxn);
+        self.cgm_txns.remove(&gtxn);
+        let admitted = self.cgm_locks.release(gtxn);
+        for g in admitted {
+            let cnode = self.coord_of[&g];
+            self.send_ctrl(CENTRAL, cnode, Ev::CgmAdmitted { gtxn: g });
+        }
+    }
+}
+
+/// Metric name for a message (per-kind traffic breakdown).
+fn message_kind(msg: &Message) -> &'static str {
+    match msg {
+        Message::Begin { .. } => "msg_begin",
+        Message::Dml { .. } => "msg_dml",
+        Message::Prepare { .. } => "msg_prepare",
+        Message::Commit { .. } => "msg_commit",
+        Message::Rollback { .. } => "msg_rollback",
+        Message::DmlResult { .. } => "msg_dml_result",
+        Message::Failed { .. } => "msg_failed",
+        Message::Ready { .. } => "msg_ready",
+        Message::Refuse { .. } => "msg_refuse",
+        Message::CommitAck { .. } => "msg_commit_ack",
+        Message::RollbackAck { .. } => "msg_rollback_ack",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbs_dtm::CertifierMode;
+
+    fn small_cfg() -> SimConfig {
+        let mut cfg = SimConfig::default();
+        cfg.workload.global_txns = 12;
+        cfg.workload.local_txns_per_site = 6;
+        cfg.workload.items_per_site = 32;
+        cfg
+    }
+
+    #[test]
+    fn failure_free_run_commits_everything() {
+        let report = Simulation::new(small_cfg()).run();
+        assert_eq!(report.committed, 12, "metrics:\n{}", report.metrics);
+        assert_eq!(report.aborted, 0, "2CM must not abort when failure-free");
+        assert_eq!(report.local_committed, 12);
+        assert!(report.checks.rigor_violation.is_none());
+        assert!(report.checks.cg_acyclic);
+        assert!(report.checks.global_distortion.is_none());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = Simulation::new(small_cfg()).run();
+        let b = Simulation::new(small_cfg()).run();
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let mut cfg = small_cfg();
+        cfg.workload.seed = 777;
+        let a = Simulation::new(small_cfg()).run();
+        let b = Simulation::new(cfg).run();
+        assert_ne!(a.history, b.history);
+    }
+
+    #[test]
+    fn run_with_failures_stays_correct() {
+        let mut cfg = small_cfg();
+        cfg.workload.global_txns = 25;
+        cfg.workload.unilateral_abort_prob = 0.3;
+        cfg.workload.access = mdbs_workload::AccessPattern::Zipf(0.9);
+        let report = Simulation::new(cfg).run();
+        assert!(report.committed + report.aborted == 25, "all settled");
+        assert!(
+            report.metrics.counter("injected_unilateral_aborts") > 0,
+            "injector must have fired; metrics:\n{}",
+            report.metrics
+        );
+        assert!(report.metrics.counter("resubmissions") > 0);
+        assert!(
+            report.checks.passed(),
+            "2CM must stay view serializable under failures: {:?}",
+            report.checks
+        );
+    }
+
+    #[test]
+    fn cgm_run_completes_and_is_correct_failure_free() {
+        let mut cfg = small_cfg();
+        cfg.protocol = Protocol::Cgm;
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.committed + report.aborted, 12);
+        assert!(report.checks.rigor_violation.is_none());
+        assert!(report.checks.cg_acyclic, "{:?}", report.checks);
+    }
+
+    #[test]
+    fn ticket_run_completes() {
+        let mut cfg = small_cfg();
+        cfg.protocol = Protocol::TwoCm(CertifierMode::TicketOrder);
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.committed + report.aborted, 12);
+    }
+
+    #[test]
+    fn naive_protocol_under_failures_can_distort() {
+        // The anomaly the paper motivates: without certification, failures
+        // plus resubmission produce non-serializable global histories.
+        // With a hot, tiny database and aggressive failures the naive
+        // protocol reliably violates correctness for at least one seed.
+        let mut violated = false;
+        for seed in 0..12 {
+            let mut cfg = SimConfig::default();
+            cfg.workload.seed = seed;
+            cfg.workload.global_txns = 30;
+            cfg.workload.local_txns_per_site = 20;
+            cfg.workload.items_per_site = 4;
+            cfg.workload.unilateral_abort_prob = 0.5;
+            cfg.workload.write_fraction = 0.8;
+            cfg.protocol = Protocol::TwoCm(CertifierMode::NoCertification);
+            let report = Simulation::new(cfg).run();
+            if !report.checks.passed() {
+                violated = true;
+                break;
+            }
+        }
+        assert!(
+            violated,
+            "naive resubmission should violate view serializability on some seed"
+        );
+    }
+
+    #[test]
+    fn messages_counted() {
+        let report = Simulation::new(small_cfg()).run();
+        // Each 2-site committed transaction needs >= 12 messages.
+        assert!(report.messages >= 12 * 12);
+        assert!(report.messages_per_txn() >= 12.0);
+    }
+
+    #[test]
+    fn two_site_transaction_message_complexity() {
+        // One 2-site committed transaction needs exactly 14 messages:
+        // 2xBEGIN + 2xDML + 2xRESULT + 2xPREPARE + 2xREADY + 2xCOMMIT +
+        // 2xCOMMIT-ACK.
+        let mut cfg = SimConfig::default();
+        cfg.workload.global_txns = 1;
+        cfg.workload.local_txns_per_site = 0;
+        cfg.workload.sites_per_txn = (2, 2);
+        cfg.workload.commands_per_site = (1, 1);
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.messages, 14);
+    }
+
+    #[test]
+    fn crash_under_cgm_settles() {
+        let mut cfg = small_cfg();
+        cfg.protocol = Protocol::Cgm;
+        cfg.crashes = vec![(0, 25_000)];
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.metrics.counter("site_crashes"), 1);
+        assert_eq!(report.committed + report.aborted, 12);
+        assert!(report.checks.rigor_violation.is_none());
+    }
+
+    #[test]
+    fn crash_with_zero_activity_is_harmless() {
+        let mut cfg = small_cfg();
+        cfg.workload.global_txns = 0;
+        cfg.workload.local_txns_per_site = 0;
+        cfg.crashes = vec![(0, 10_000), (1, 10_000)];
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.metrics.counter("site_crashes"), 2);
+        assert_eq!(report.committed, 0);
+        assert!(report.checks.passed());
+    }
+
+    #[test]
+    fn observer_sees_protocol_lifecycle() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut cfg = small_cfg();
+        cfg.workload.global_txns = 3;
+        cfg.workload.local_txns_per_site = 0;
+        cfg.workload.unilateral_abort_prob = 1.0;
+        let events: Rc<RefCell<Vec<TraceEvent>>> = Rc::default();
+        let sink = Rc::clone(&events);
+        let mut sim = Simulation::new(cfg);
+        sim.set_observer(Box::new(move |e| sink.borrow_mut().push(e.clone())));
+        let report = sim.run();
+        let events = events.borrow();
+        let count = |f: fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count();
+        assert!(
+            count(|e| matches!(e, TraceEvent::MessageSent { .. })) as u64 >= report.messages / 2
+        );
+        assert!(count(|e| matches!(e, TraceEvent::Prepared { .. })) >= 3);
+        assert!(count(|e| matches!(e, TraceEvent::UnilateralAbort { .. })) >= 1);
+        assert_eq!(count(|e| matches!(e, TraceEvent::Finished { .. })), 3);
+    }
+
+    #[test]
+    fn message_kind_breakdown_sums_to_total() {
+        let report = Simulation::new(small_cfg()).run();
+        let kinds = [
+            "msg_begin",
+            "msg_dml",
+            "msg_prepare",
+            "msg_commit",
+            "msg_rollback",
+            "msg_dml_result",
+            "msg_failed",
+            "msg_ready",
+            "msg_refuse",
+            "msg_commit_ack",
+            "msg_rollback_ack",
+        ];
+        let sum: u64 = kinds.iter().map(|k| report.metrics.counter(k)).sum();
+        assert_eq!(sum, report.messages);
+    }
+
+    #[test]
+    fn store_totals_conserved_by_update_workload() {
+        // Update(+1) commands change totals, but rollback-restored state
+        // must equal the sum of committed increments.
+        let cfg = small_cfg();
+        let report = Simulation::new(cfg).run();
+        // Sanity proxy: the run produced a consistent, checkable history.
+        assert!(!report.history.is_empty());
+        assert!(report.checks.rigor_violation.is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! The simulated network.
+//!
+//! §2: "In order not to have to deal with failures of purely
+//! telecommunications nature, we assume the messages are not corrupted, lost
+//! or out of order." We therefore model a *reliable FIFO* network: each
+//! directed link `(src, dst)` delivers messages in send order, never dropping
+//! any. Latency is configurable per link; because *different* links may have
+//! different latencies, end-to-end races such as §5.3's "the COMMIT message
+//! of Tk could overtake the PREPARE message of Tj at site s" remain
+//! possible — that race is between two different links, not within one.
+//!
+//! [`Network`] does not own an event queue; it computes a *delivery time* for
+//! each send and the caller schedules the delivery. Per-link FIFO is enforced
+//! by clamping each delivery to be no earlier than the previous delivery on
+//! the same link.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a network endpoint (a site, including coordinator sites).
+pub type NodeId = u32;
+
+/// Latency model for a directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(SimDuration),
+    /// Uniformly distributed in `[lo, hi]`.
+    Uniform(SimDuration, SimDuration),
+}
+
+impl LatencyModel {
+    /// Draw one latency sample.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform(lo, hi) => {
+                assert!(lo <= hi, "uniform latency with lo > hi");
+                if lo == hi {
+                    lo
+                } else {
+                    SimDuration::from_micros(rng.uniform_u64(lo.as_micros(), hi.as_micros() + 1))
+                }
+            }
+        }
+    }
+
+    /// The smallest latency this model can produce.
+    pub fn min(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform(lo, _) => lo,
+        }
+    }
+}
+
+/// Per-link latency override.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Sending endpoint.
+    pub src: NodeId,
+    /// Receiving endpoint.
+    pub dst: NodeId,
+    /// Latency for this directed link.
+    pub latency: LatencyModel,
+}
+
+/// A reliable FIFO network between nodes.
+#[derive(Debug)]
+pub struct Network {
+    default_latency: LatencyModel,
+    overrides: HashMap<(NodeId, NodeId), LatencyModel>,
+    /// Last delivery time per directed link, used to enforce FIFO.
+    last_delivery: HashMap<(NodeId, NodeId), SimTime>,
+    rng: DetRng,
+    messages_sent: u64,
+}
+
+impl Network {
+    /// A network where every link uses `default_latency`.
+    pub fn new(default_latency: LatencyModel, rng: DetRng) -> Self {
+        Network {
+            default_latency,
+            overrides: HashMap::new(),
+            last_delivery: HashMap::new(),
+            rng,
+            messages_sent: 0,
+        }
+    }
+
+    /// Override the latency of specific directed links.
+    pub fn with_links(mut self, links: impl IntoIterator<Item = LinkSpec>) -> Self {
+        for l in links {
+            self.overrides.insert((l.src, l.dst), l.latency);
+        }
+        self
+    }
+
+    /// Set or replace one directed link's latency.
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, latency: LatencyModel) {
+        self.overrides.insert((src, dst), latency);
+    }
+
+    /// Total messages routed through this network.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Compute the delivery time of a message sent from `src` to `dst` at
+    /// time `now`. FIFO per link: the result never precedes an earlier
+    /// message's delivery on the same link, and strictly follows it so two
+    /// messages on one link never arrive simultaneously out of order.
+    pub fn delivery_time(&mut self, src: NodeId, dst: NodeId, now: SimTime) -> SimTime {
+        let model = self
+            .overrides
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_latency);
+        let raw = now + model.sample(&mut self.rng);
+        let slot = self
+            .last_delivery
+            .entry((src, dst))
+            .or_insert(SimTime::ZERO);
+        let delivery = if raw <= *slot {
+            SimTime::from_micros(slot.as_micros() + 1)
+        } else {
+            raw
+        };
+        *slot = delivery;
+        self.messages_sent += 1;
+        delivery
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(default: LatencyModel) -> Network {
+        Network::new(default, DetRng::new(77))
+    }
+
+    #[test]
+    fn constant_latency() {
+        let mut n = net(LatencyModel::Constant(SimDuration::from_millis(5)));
+        let d = n.delivery_time(0, 1, SimTime::from_millis(10));
+        assert_eq!(d, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn fifo_per_link_even_with_jitter() {
+        let mut n = net(LatencyModel::Uniform(
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(10_000),
+        ));
+        let mut prev = SimTime::ZERO;
+        for i in 0..200u64 {
+            let sent = SimTime::from_micros(i * 10);
+            let d = n.delivery_time(3, 4, sent);
+            assert!(d > prev, "FIFO violated: {d:?} after {prev:?}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn different_links_are_independent() {
+        let mut n = net(LatencyModel::Constant(SimDuration::from_millis(1)));
+        n.set_link(0, 2, LatencyModel::Constant(SimDuration::from_millis(50)));
+        // Message on slow link sent first can be overtaken by fast link.
+        let slow = n.delivery_time(0, 2, SimTime::ZERO);
+        let fast = n.delivery_time(0, 1, SimTime::from_micros(10));
+        assert!(fast < slow, "fast link should overtake slow link");
+    }
+
+    #[test]
+    fn overtaking_enables_commit_before_prepare_race() {
+        // Reproduces the §5.3 topology: coordinator of Tj at node 10 has a
+        // slow link to site 1; coordinator of Tk at node 11 a fast one. Tj's
+        // PREPARE (sent earlier) arrives after Tk's COMMIT.
+        let mut n = net(LatencyModel::Constant(SimDuration::from_millis(1)));
+        n.set_link(10, 1, LatencyModel::Constant(SimDuration::from_millis(20)));
+        n.set_link(11, 1, LatencyModel::Constant(SimDuration::from_millis(1)));
+        let prepare_j = n.delivery_time(10, 1, SimTime::from_millis(0));
+        let commit_k = n.delivery_time(11, 1, SimTime::from_millis(5));
+        assert!(commit_k < prepare_j);
+    }
+
+    #[test]
+    fn counts_messages() {
+        let mut n = net(LatencyModel::Constant(SimDuration::ZERO));
+        for _ in 0..7 {
+            n.delivery_time(0, 1, SimTime::ZERO);
+        }
+        assert_eq!(n.messages_sent(), 7);
+    }
+
+    #[test]
+    fn zero_latency_still_strictly_ordered() {
+        let mut n = net(LatencyModel::Constant(SimDuration::ZERO));
+        let a = n.delivery_time(0, 1, SimTime::from_micros(5));
+        let b = n.delivery_time(0, 1, SimTime::from_micros(5));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let lo = SimDuration::from_micros(200);
+        let hi = SimDuration::from_micros(300);
+        let model = LatencyModel::Uniform(lo, hi);
+        let mut rng = DetRng::new(5);
+        for _ in 0..500 {
+            let s = model.sample(&mut rng);
+            assert!(s >= lo && s <= hi);
+        }
+        assert_eq!(model.min(), lo);
+    }
+}

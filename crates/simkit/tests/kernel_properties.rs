@@ -1,0 +1,84 @@
+//! Property tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use mdbs_simkit::{DetRng, EventQueue, LatencyModel, Network, SimDuration, SimTime, SiteClock};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut prev = SimTime::ZERO;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= prev);
+            prev = ev.at;
+        }
+        prop_assert_eq!(q.events_processed(), times.len() as u64);
+    }
+
+    #[test]
+    fn equal_time_events_fire_in_insertion_order(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule_at(SimTime::from_micros(42), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn network_is_fifo_per_link(
+        sends in proptest::collection::vec((0u32..4, 0u32..4, 0u64..1000), 1..150),
+        seed in any::<u64>(),
+    ) {
+        use std::collections::BTreeMap;
+        let mut net = Network::new(
+            LatencyModel::Uniform(SimDuration::from_micros(10), SimDuration::from_micros(5_000)),
+            DetRng::new(seed),
+        );
+        let mut clock = 0u64;
+        let mut last: BTreeMap<(u32, u32), SimTime> = BTreeMap::new();
+        for (from, to, gap) in sends {
+            clock += gap;
+            let d = net.delivery_time(from, to, SimTime::from_micros(clock));
+            let prev = last.entry((from, to)).or_insert(SimTime::ZERO);
+            prop_assert!(d > *prev, "FIFO violated on link {from}->{to}");
+            *prev = d;
+            prop_assert!(d >= SimTime::from_micros(clock), "delivery before send");
+        }
+    }
+
+    #[test]
+    fn clocks_with_sane_drift_are_monotone(
+        skew in -100_000i64..100_000,
+        drift in -10_000i64..10_000,
+        times in proptest::collection::vec(0u64..10_000_000, 2..50),
+    ) {
+        let c = SiteClock::new(skew, drift);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut prev = c.read(SimTime::from_micros(sorted[0]));
+        for &t in &sorted[1..] {
+            let cur = c.read(SimTime::from_micros(t));
+            prop_assert!(cur >= prev, "clock regressed at t={t}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn substreams_are_stable(seed in any::<u64>(), label in "[a-z]{1,8}", skip in 0usize..32) {
+        let mut parent1 = DetRng::new(seed);
+        let parent2 = DetRng::new(seed);
+        for _ in 0..skip {
+            parent1.unit();
+        }
+        let mut s1 = parent1.substream(&label);
+        let mut s2 = parent2.substream(&label);
+        for _ in 0..8 {
+            prop_assert_eq!(s1.uniform_u64(0, 1_000_000), s2.uniform_u64(0, 1_000_000));
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # mdbs-workload
+//!
+//! Workload generation for the multidatabase experiments: parameterized
+//! global/local transaction mixes, item-access distributions, and failure
+//! injection parameters. Everything derives deterministically from a seed,
+//! so two protocol variants can be compared on *identical* workloads.
+
+pub mod spec;
+pub mod zipf;
+
+pub use spec::{AccessPattern, WorkloadGen, WorkloadSpec};
+pub use zipf::Zipf;

@@ -1,0 +1,113 @@
+//! A Zipf(θ) sampler over `0..n` via a precomputed CDF.
+//!
+//! θ = 0 degenerates to uniform; larger θ concentrates probability on small
+//! ranks. Used to generate skewed item access, the regime where
+//! certification conflicts actually happen.
+
+use mdbs_simkit::DetRng;
+
+/// A Zipf distribution over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` ranks with exponent `theta >= 0`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `theta < 0`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf over empty domain");
+        assert!(theta >= 0.0, "negative zipf exponent");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let u = rng.unit();
+        // First index whose cumulative probability reaches u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) as u64
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = DetRng::new(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let (lo, hi) = (1_600, 2_400); // 2_000 ± 20%
+        for (i, c) in counts.iter().enumerate() {
+            assert!((lo..hi).contains(c), "rank {i} count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = DetRng::new(2);
+        let mut low = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        assert!(
+            low > n * 6 / 10,
+            "θ=1.2 should put >60% of mass on the first 10 ranks, got {low}"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 0.8);
+        let mut rng = DetRng::new(3);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn single_rank_domain() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = DetRng::new(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Anomaly gallery: the paper's own histories H1, H2, H3, replayed.
+//!
+//! Prints each history in the paper's notation, then runs the full checker
+//! suite on it: per-site rigorousness, the serialization graph, the
+//! commit-order graph, the distortion detectors, and the exact
+//! view-serializability decider. This is Fig. 2 and §§3–5 of the paper as
+//! a runnable artifact.
+//!
+//! Run with: `cargo run --example anomaly_gallery`
+
+use rigorous_mdbs::histories::{
+    cg::commit_order_graph,
+    conflict::serialization_graph,
+    distortion::{detect_global_view_distortion, detect_local_view_distortion},
+    paper,
+    rigor::is_rigorous,
+    view::view_serializable,
+    History, SiteId,
+};
+
+fn inspect(name: &str, description: &str, h: &History) {
+    println!("──────────────────────────────────────────────────────");
+    println!("{name}: {description}\n");
+    println!("H = {h}\n");
+
+    for s in [SiteId(0), SiteId(1)] {
+        let proj = h.site_projection(s);
+        if proj.is_empty() {
+            continue;
+        }
+        println!("  H({s}) rigorous        : {}", is_rigorous(&proj));
+    }
+
+    let c = h.committed_projection();
+    let sg = serialization_graph(&c);
+    println!("  SG(C(H)) acyclic      : {}", sg.is_acyclic());
+    if let Some(cycle) = sg.find_cycle() {
+        let names: Vec<String> = cycle.iter().map(|t| t.to_string()).collect();
+        println!("    cycle: {}", names.join(" -> "));
+    }
+
+    let cg = commit_order_graph(&c);
+    println!("  CG(C(H)) acyclic      : {}", cg.acyclic);
+    if let Some(cycle) = &cg.cycle {
+        let names: Vec<String> = cycle.iter().map(|t| t.to_string()).collect();
+        println!("    cycle: {}", names.join(" -> "));
+    }
+
+    match detect_global_view_distortion(&c) {
+        Some(d) => println!("  global view distortion: YES — {d:?}"),
+        None => println!("  global view distortion: no"),
+    }
+    match detect_local_view_distortion(h) {
+        Some(d) => println!("  local view distortion : YES — {d:?}"),
+        None => println!("  local view distortion : no"),
+    }
+
+    let vs = view_serializable(&c);
+    println!(
+        "  view serializable     : {} ({} serial orders examined)",
+        vs.serializable, vs.orders_tried
+    );
+    println!();
+}
+
+fn main() {
+    println!("== the paper's anomaly histories, machine-checked ==\n");
+
+    inspect(
+        "H1 (§3)",
+        "global view distortion — T1's resubmitted subtransaction gets \
+         another view AND another decomposition after T2 deletes Y^a",
+        &paper::h1(),
+    );
+    inspect(
+        "H2 (§5.1)",
+        "local view distortion with a direct conflict — cycle T1→T3→L4→T1, \
+         local commits in reversed orders at sites a and b",
+        &paper::h2(),
+    );
+    inspect(
+        "H3 (§5.1/5.3, reconstructed)",
+        "local view distortion with only *indirect* conflicts — T5 and T6 \
+         share no items, yet L7 and L8 obtain jointly non-serializable views",
+        &paper::h3(),
+    );
+
+    println!("──────────────────────────────────────────────────────");
+    println!(
+        "All three histories have perfectly serializable *local* projections\n\
+         — the anomalies are invisible to every individual LDBS, which is\n\
+         why the 2PC-Agent certifier has to exist."
+    );
+}

@@ -1,0 +1,70 @@
+//! Site crash and recovery: the paper's "collective abort", survived.
+//!
+//! Crashes one bank's site in the middle of a transfer workload. Every
+//! transaction active at the site is rolled back at once, the volatile
+//! lock table and DLU bindings evaporate — but the 2PC Agent's durable log
+//! (forced prepare and commit records, per the paper's Appendix) lets the
+//! recovered agent re-bind its bound data, resubmit its prepared work, and
+//! finish the two-phase commits it had already voted for.
+//!
+//! Run with: `cargo run --example site_crash`
+
+use rigorous_mdbs::sim::{SimConfig, Simulation};
+
+fn main() {
+    println!("== site crash & recovery ==\n");
+
+    let mut cfg = SimConfig::default();
+    cfg.workload.seed = 21;
+    cfg.workload.sites = 3;
+    cfg.workload.items_per_site = 24;
+    cfg.workload.global_txns = 40;
+    cfg.workload.local_txns_per_site = 12;
+    cfg.workload.unilateral_abort_prob = 0.1;
+    // Site 1 crashes twice while the workload runs.
+    cfg.crashes = vec![(1, 40_000), (1, 150_000)];
+
+    let report = Simulation::new(cfg).run();
+
+    println!(
+        "site crashes          : {}",
+        report.metrics.counter("site_crashes")
+    );
+    println!("global committed      : {}", report.committed);
+    println!("global aborted        : {}", report.aborted);
+    println!("local committed       : {}", report.local_committed);
+    println!("local aborted         : {}", report.local_aborted);
+    println!(
+        "resubmissions         : {}",
+        report.metrics.counter("resubmissions")
+    );
+    println!(
+        "every transaction settled: {}",
+        report.committed + report.aborted == 40
+    );
+
+    println!("\n-- correctness after recovery --");
+    let c = &report.checks;
+    println!("local histories rigorous : {}", c.rigor_violation.is_none());
+    println!("CG(C(H)) acyclic         : {}", c.cg_acyclic);
+    println!("global view distortion   : {:?}", c.global_distortion);
+    println!(
+        "verdict                  : {}",
+        if c.passed() { "PASS" } else { "FAIL" }
+    );
+
+    assert_eq!(report.metrics.counter("site_crashes"), 2);
+    assert_eq!(report.committed + report.aborted, 40);
+    assert!(
+        c.passed(),
+        "crash recovery must preserve view serializability"
+    );
+
+    println!(
+        "\nThe agent log carried {} prepared subtransactions across the\n\
+         crashes; each was resubmitted and either committed (if the\n\
+         coordinator's decision arrived) or rolled back — no transaction\n\
+         was left in doubt and no anomaly was admitted.",
+        report.metrics.counter("resubmissions")
+    );
+}

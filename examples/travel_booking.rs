@@ -1,0 +1,83 @@
+//! Travel booking: three autonomous reservation systems in one trip.
+//!
+//! A classic HMDBS motivating workload: a travel agency books flight +
+//! hotel + car as *one global transaction* across three pre-existing
+//! systems (airline, hotel chain, car rental), each of which keeps serving
+//! its own local customers. The airline occasionally aborts prepared work
+//! unilaterally (log-buffer overflow, in the INGRES spirit of §1) — the
+//! certifier's job is to make sure neither the agencies nor the local
+//! customers ever observe an inconsistent world.
+//!
+//! Compares the full certifier against the naive no-certification agent on
+//! the same seeds and prints which anomalies the checker finds.
+//!
+//! Run with: `cargo run --example travel_booking`
+
+use rigorous_mdbs::dtm::CertifierMode;
+use rigorous_mdbs::sim::{Protocol, SimConfig, Simulation};
+use rigorous_mdbs::workload::AccessPattern;
+
+fn config(seed: u64, protocol: Protocol) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.workload.seed = seed;
+    cfg.workload.sites = 3; // airline, hotel, car rental
+    cfg.workload.items_per_site = 12; // inventory slots
+    cfg.workload.global_txns = 30; // trips
+    cfg.workload.local_txns_per_site = 15; // walk-in customers
+    cfg.workload.sites_per_txn = (2, 3);
+    cfg.workload.write_fraction = 0.8; // bookings mutate inventory
+    cfg.workload.access = AccessPattern::Zipf(0.9); // popular dates
+    cfg.workload.unilateral_abort_prob = 0.35;
+    cfg.protocol = protocol;
+    cfg
+}
+
+fn main() {
+    println!("== travel booking: airline + hotel + car rental ==\n");
+    println!(
+        "{:<8} {:>5} {:>10} {:>8} {:>8} {:>13} {:>8}",
+        "agent", "seed", "committed", "aborted", "resubs", "local-commits", "verdict"
+    );
+
+    let mut naive_failures = 0;
+    for seed in [3, 5, 8] {
+        for protocol in [
+            Protocol::TwoCm(CertifierMode::Full),
+            Protocol::TwoCm(CertifierMode::NoCertification),
+        ] {
+            let report = Simulation::new(config(seed, protocol)).run();
+            let ok = report.checks.passed();
+            println!(
+                "{:<8} {:>5} {:>10} {:>8} {:>8} {:>13} {:>8}",
+                report.protocol,
+                seed,
+                report.committed,
+                report.aborted,
+                report.metrics.counter("resubmissions"),
+                report.local_committed,
+                if ok { "PASS" } else { "FAIL" }
+            );
+            match protocol {
+                Protocol::TwoCm(CertifierMode::Full) => {
+                    assert!(ok, "2CM must pass on seed {seed}")
+                }
+                _ => {
+                    if !ok {
+                        naive_failures += 1;
+                        if let Some(d) = &report.checks.global_distortion {
+                            println!("          anomaly: {d:?}");
+                        } else if !report.checks.cg_acyclic {
+                            println!("          anomaly: cyclic commit-order graph");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "\nThe certified agent passes every seed; the naive agent violated\n\
+         view serializability on {naive_failures} of 3 seeds — the H1/H2-style\n\
+         anomalies the paper's certification exists to prevent."
+    );
+}

@@ -1,0 +1,97 @@
+//! Long-running randomized soak test (ignored by default).
+//!
+//! Sweeps hundreds of random configurations across every protocol and
+//! failure regime, asserting the global invariants: every transaction
+//! settles, local rigor always holds, and the full certifier never
+//! violates the paper's correctness criterion.
+//!
+//! Run with: `cargo test --test soak -- --ignored --nocapture`
+
+use rigorous_mdbs::dtm::CertifierMode;
+use rigorous_mdbs::sim::{Protocol, SimConfig, Simulation};
+use rigorous_mdbs::simkit::DetRng;
+use rigorous_mdbs::workload::AccessPattern;
+
+fn random_config(rng: &mut DetRng) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.workload.seed = rng.uniform_u64(0, u64::MAX - 1);
+    cfg.workload.sites = rng.uniform_u64(1, 5) as u32;
+    cfg.workload.items_per_site = rng.uniform_u64(4, 64);
+    cfg.workload.global_txns = rng.uniform_u64(10, 50) as u32;
+    cfg.workload.local_txns_per_site = rng.uniform_u64(0, 20) as u32;
+    cfg.workload.mpl = rng.uniform_u64(1, 12) as u32;
+    cfg.workload.sites_per_txn = (1, cfg.workload.sites.min(3));
+    cfg.workload.write_fraction = rng.unit();
+    cfg.workload.range_fraction = rng.unit() * 0.4;
+    cfg.workload.unilateral_abort_prob = rng.unit() * 0.5;
+    cfg.workload.access = match rng.uniform_u64(0, 3) {
+        0 => AccessPattern::Uniform,
+        1 => AccessPattern::Zipf(rng.unit() * 1.2),
+        _ => AccessPattern::Hotspot {
+            hot_frac: 0.1 + rng.unit() * 0.3,
+            hot_prob: 0.5 + rng.unit() * 0.4,
+        },
+    };
+    cfg.max_clock_skew_us = rng.uniform_u64(0, 10_000) as i64;
+    cfg.max_drift_ppm = rng.uniform_u64(0, 10_000) as i64;
+    if rng.chance(0.3) {
+        let site = rng.uniform_u64(0, cfg.workload.sites as u64) as u32;
+        cfg.crashes = vec![(site, rng.uniform_u64(10_000, 200_000))];
+    }
+    cfg
+}
+
+#[test]
+#[ignore = "long-running; invoke explicitly"]
+fn soak_two_cm_never_violates_correctness() {
+    let mut rng = DetRng::new(0xC0FFEE);
+    for round in 0..200 {
+        let cfg = random_config(&mut rng);
+        let total = cfg.workload.global_txns as u64;
+        let report = Simulation::new(cfg.clone()).run();
+        assert_eq!(
+            report.committed + report.aborted,
+            total,
+            "round {round}: stall under {cfg:?}"
+        );
+        assert!(
+            report.checks.passed(),
+            "round {round}: correctness violation {:?} under {cfg:?}",
+            report.checks
+        );
+        if round % 20 == 0 {
+            println!("round {round}: ok ({} committed)", report.committed);
+        }
+    }
+}
+
+#[test]
+#[ignore = "long-running; invoke explicitly"]
+fn soak_all_protocols_always_settle_and_stay_rigorous() {
+    let mut rng = DetRng::new(0xBEEF);
+    let protocols = [
+        Protocol::TwoCm(CertifierMode::Full),
+        Protocol::TwoCm(CertifierMode::NoCertification),
+        Protocol::TwoCm(CertifierMode::PrepareCertOnly),
+        Protocol::TwoCm(CertifierMode::PrepareOrder),
+        Protocol::TwoCm(CertifierMode::TicketOrder),
+        Protocol::Cgm,
+    ];
+    for round in 0..120 {
+        let mut cfg = random_config(&mut rng);
+        cfg.protocol = protocols[round % protocols.len()];
+        let total = cfg.workload.global_txns as u64;
+        let report = Simulation::new(cfg.clone()).run();
+        assert_eq!(
+            report.committed + report.aborted,
+            total,
+            "round {round}: stall under {} {cfg:?}",
+            report.protocol
+        );
+        assert!(
+            report.checks.rigor_violation.is_none(),
+            "round {round}: SRS violated under {} — substrate bug",
+            report.protocol
+        );
+    }
+}
