@@ -15,7 +15,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use mdbs_baselines::{CommitGraph, GlobalLockManager, SiteLockMode};
-use mdbs_dtm::{Agent, AgentAction, AgentInput, CoordAction, Coordinator, GlobalOutcome, Message};
+use mdbs_dtm::{
+    Agent, AgentAction, AgentConfig, AgentInput, CoordAction, Coordinator, GlobalOutcome, Message,
+};
 use mdbs_histories::{GlobalTxnId, Instance, Op, SiteId, Txn};
 use mdbs_ldbs::{Command, EngineError, ExecStep, Ldbs, ResumedExec, SiteProfile, Store};
 use mdbs_simkit::{
@@ -154,6 +156,10 @@ struct CgmTxn {
 /// The simulation world.
 pub struct Simulation {
     cfg: SimConfig,
+    /// Effective agent configuration (protocol mode + safety-valve clamp
+    /// applied); crash recovery must rebuild agents from *this*, not from
+    /// the raw `cfg.agent`.
+    agent_cfg: AgentConfig,
     queue: EventQueue<Ev>,
     net: Network,
     clocks: BTreeMap<u32, SiteClock>,
@@ -286,6 +292,7 @@ impl Simulation {
             gen: WorkloadGen::new(spec.clone()),
             inject_rng: root.substream("inject"),
             cfg,
+            agent_cfg,
             queue,
             net,
             clocks,
@@ -929,11 +936,10 @@ impl Simulation {
         self.drain_site_log(site);
         self.ldbs.get_mut(&site).expect("ldbs").clear_bindings();
 
-        // The agent process dies; rebuild it from the durable log.
+        // The agent process dies; rebuild it from the durable log with the
+        // same effective config it was created with (mode + retry clamp).
         let log = self.agents[&site].log().clone();
-        let mut agent_cfg = self.cfg.agent;
-        agent_cfg.mode = self.cfg.protocol.agent_mode();
-        let (agent, actions) = Agent::recover(site, agent_cfg, log);
+        let (agent, actions) = Agent::recover(site, self.agent_cfg, log);
         let old = self.agents.insert(site, agent);
         if let Some(old) = old {
             // Keep the cumulative counters comparable across the crash.
@@ -1180,6 +1186,40 @@ mod tests {
         assert_eq!(report.metrics.counter("site_crashes"), 1);
         assert_eq!(report.committed + report.aborted, 12);
         assert!(report.checks.rigor_violation.is_none());
+    }
+
+    /// Regression: crash recovery must rebuild the agent with the same
+    /// effective config the simulation started it with. It used to reapply
+    /// only the protocol mode and lose the `max_commit_retries` clamp, so
+    /// after a crash a ticket-order commit stuck behind a smaller in-table
+    /// serial number lost its safety valve and retried until the time
+    /// limit, stranding several globally-decided transactions.
+    #[test]
+    fn crash_under_ticket_order_keeps_retry_clamp() {
+        let mut cfg = SimConfig::default();
+        cfg.workload.seed = 10489668181200133594;
+        cfg.workload.sites = 4;
+        cfg.workload.items_per_site = 48;
+        cfg.workload.global_txns = 26;
+        cfg.workload.mpl = 5;
+        cfg.workload.local_txns_per_site = 5;
+        cfg.workload.sites_per_txn = (1, 3);
+        cfg.workload.write_fraction = 0.6508479431830019;
+        cfg.workload.range_fraction = 0.2477313499966841;
+        cfg.workload.unilateral_abort_prob = 0.499785136878249;
+        cfg.protocol = Protocol::TwoCm(CertifierMode::TicketOrder);
+        cfg.max_clock_skew_us = 3809;
+        cfg.max_drift_ppm = 7886;
+        cfg.crashes = vec![(2, 183_596)];
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.metrics.counter("site_crashes"), 1);
+        assert_eq!(
+            report.committed + report.aborted,
+            26,
+            "every global transaction must settle after crash recovery; \
+             metrics:\n{}",
+            report.metrics
+        );
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Golden-seed regression harness.
+//!
+//! Pins a digest of the complete simulated history (plus the headline
+//! counters) for a grid of seeds × protocols. Any change to RNG stream
+//! consumption, event ordering, or protocol state machines shows up here
+//! as a digest mismatch — the runtime-layer refactor must reproduce these
+//! histories bit for bit.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! cargo test --test golden_seeds -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN`.
+
+use rigorous_mdbs::dtm::CertifierMode;
+use rigorous_mdbs::sim::{Protocol, SimConfig, SimReport, Simulation};
+
+const SEEDS: [u64; 3] = [42, 1337, 9001];
+
+const PROTOCOLS: [(&str, Protocol); 3] = [
+    ("2CM", Protocol::TwoCm(CertifierMode::Full)),
+    ("CGM", Protocol::Cgm),
+    ("Naive", Protocol::TwoCm(CertifierMode::NoCertification)),
+];
+
+/// Digests captured on the pre-refactor monolithic `Simulation`.
+const GOLDEN: [(u64, &str, u64); 9] = [
+    (42, "2CM", 0xbff3f3fbbd61c00e),
+    (42, "CGM", 0xadb9c309183a4d5b),
+    (42, "Naive", 0x2c0602bf75827de9),
+    (1337, "2CM", 0xc63898751d5f8f27),
+    (1337, "CGM", 0x38ff652e093b456e),
+    (1337, "Naive", 0x0dbe42e943d72a82),
+    (9001, "2CM", 0xe6bf1d85b1d596b8),
+    (9001, "CGM", 0xda8541d72c506efc),
+    (9001, "Naive", 0x07059dcf0053b9b7),
+];
+
+fn golden_cfg(seed: u64, protocol: Protocol) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.workload.seed = seed;
+    cfg.workload.sites = 3;
+    cfg.workload.global_txns = 16;
+    cfg.workload.local_txns_per_site = 6;
+    cfg.workload.items_per_site = 32;
+    cfg.workload.unilateral_abort_prob = 0.2;
+    cfg.protocol = protocol;
+    cfg
+}
+
+/// FNV-1a over the full history (op by op) and the headline counters.
+fn digest(report: &SimReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for op in report.history.ops() {
+        eat(format!("{op:?}").as_bytes());
+    }
+    eat(
+        format!(
+            "committed={} aborted={} local_committed={} local_aborted={} messages={} finished_at={:?}",
+            report.committed,
+            report.aborted,
+            report.local_committed,
+            report.local_aborted,
+            report.messages,
+            report.finished_at,
+        )
+        .as_bytes(),
+    );
+    h
+}
+
+fn run(seed: u64, protocol: Protocol) -> SimReport {
+    Simulation::new(golden_cfg(seed, protocol)).run()
+}
+
+#[test]
+fn golden_digests_reproduce() {
+    for (seed, label, expected) in GOLDEN {
+        let protocol = PROTOCOLS
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, p)| *p)
+            .expect("label in table");
+        let got = digest(&run(seed, protocol));
+        assert_eq!(
+            got, expected,
+            "history digest drifted for seed={seed} protocol={label}: \
+             got {got:#018x}, expected {expected:#018x}"
+        );
+    }
+}
+
+#[test]
+fn golden_runs_settle_all_transactions() {
+    for (label, protocol) in PROTOCOLS {
+        let report = run(SEEDS[0], protocol);
+        assert_eq!(
+            report.committed + report.aborted,
+            16,
+            "{label}: every global transaction must settle"
+        );
+    }
+}
+
+/// Regeneration helper — prints the table literal for `GOLDEN`.
+#[test]
+#[ignore = "regeneration helper, run with --ignored --nocapture"]
+fn print_golden_digests() {
+    for seed in SEEDS {
+        for (label, protocol) in PROTOCOLS {
+            let d = digest(&run(seed, protocol));
+            println!("    ({seed}, {label:?}, {d:#018x}),");
+        }
+    }
+}

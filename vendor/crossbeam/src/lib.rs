@@ -1,0 +1,319 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two facilities this workspace uses:
+//!
+//! * [`thread::scope`] — crossbeam-style scoped threads, implemented over
+//!   `std::thread::scope` (the std API postdates crossbeam's and covers it).
+//! * [`channel`] — MPMC channels with clonable senders *and* receivers and
+//!   `recv_timeout`, implemented with a mutex-guarded queue and condvar.
+//!   Throughput is adequate for the runner workloads in this repo; the
+//!   upstream lock-free implementation is not reproduced.
+
+pub mod thread {
+    //! Crossbeam-compatible scoped threads.
+
+    use std::any::Any;
+
+    /// A scope in which borrowing threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives a unit
+        /// placeholder where crossbeam passes the scope handle; callers in
+        /// this workspace ignore it (`|_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. Unlike crossbeam, panics in children propagate when joined
+    /// implicitly, so the `Result` is always `Ok` unless `f` itself panics.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! MPMC channels with clonable endpoints.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; clonable.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error: all receivers dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error: channel empty and all senders dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Non-blocking receive outcomes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Nothing queued and no sender remains.
+        Disconnected,
+    }
+
+    /// Timed receive outcomes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed first.
+        Timeout,
+        /// Nothing queued and no sender remains.
+        Disconnected,
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message, failing if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.senders -= 1;
+                st.senders
+            };
+            if remaining == 0 {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .ready
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Take a message if one is queued.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = st.queue.pop_front() {
+                Ok(v)
+            } else if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Block up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .shared
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Number of queued messages (racy; diagnostic only).
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is empty right now (racy; diagnostic only).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn scoped_threads_run_and_join() {
+        let data = vec![1, 2, 3];
+        let mut out = vec![0; 3];
+        super::thread::scope(|scope| {
+            for (slot, &x) in out.iter_mut().zip(&data) {
+                scope.spawn(move |_| {
+                    *slot = x * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        let t = std::thread::spawn(move || tx.send(9).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_fanout() {
+        let (tx, rx) = channel::unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let a = std::thread::spawn(move || {
+            let mut got = 0;
+            while rx.recv().is_ok() {
+                got += 1;
+            }
+            got
+        });
+        let b = std::thread::spawn(move || {
+            let mut got = 0;
+            while rx2.recv().is_ok() {
+                got += 1;
+            }
+            got
+        });
+        assert_eq!(a.join().unwrap() + b.join().unwrap(), 100);
+    }
+}

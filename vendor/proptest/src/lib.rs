@@ -1,0 +1,481 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy/macro surface this workspace's property tests
+//! use: range and tuple strategies, `prop_map`, `prop_oneof!`,
+//! `collection::vec`, `any::<T>()`, a single-character-class string
+//! pattern, and the `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: cases are drawn from a deterministic
+//! per-test RNG (seeded from the test name), there is **no shrinking**,
+//! and `.proptest-regressions` files are ignored. A failing case panics
+//! with the generated inputs left to the assertion message.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// Generates values of an output type from randomness.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase the strategy (needed by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A mapped strategy (see [`Strategy::prop_map`]).
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    #[derive(Clone)]
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the alternative arms.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.int_in(self.start as i128, self.end as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit() * (self.end - self.start)
+        }
+    }
+
+    /// String pattern strategy: the `[X-Y]{m,n}` subset of proptest's
+    /// regex-shaped string strategies (the only form used here).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let (lo_ch, hi_ch, min_len, max_len) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported string pattern {self:?} (shim handles only \"[X-Y]{{m,n}}\")"));
+            let len = rng.int_in(min_len as i128, max_len as i128 + 1) as usize;
+            (0..len)
+                .map(|_| rng.int_in(lo_ch as i128, hi_ch as i128 + 1) as u8 as char)
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pat: &str) -> Option<(char, char, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let mut chars = class.chars();
+        let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+        if dash != '-' || chars.next().is_some() || !lo.is_ascii() || !hi.is_ascii() {
+            return None;
+        }
+        let rest = rest.strip_prefix('{')?;
+        let (counts, tail) = rest.split_once('}')?;
+        if !tail.is_empty() {
+            return None;
+        }
+        let (m, n) = counts.split_once(',')?;
+        Some((lo, hi, m.trim().parse().ok()?, n.trim().parse().ok()?))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident : $idx:tt),+ );)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0);
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4);
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    }
+
+    /// Strategy for `any::<T>()`.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    /// Types with a full-domain `any` strategy.
+    pub trait ArbValue: Sized {
+        /// Draw an unconstrained value.
+        fn arb(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbValue for bool {
+        fn arb(rng: &mut TestRng) -> bool {
+            rng.raw() & 1 == 1
+        }
+    }
+
+    impl ArbValue for u64 {
+        fn arb(rng: &mut TestRng) -> u64 {
+            rng.raw()
+        }
+    }
+
+    impl ArbValue for u32 {
+        fn arb(rng: &mut TestRng) -> u32 {
+            rng.raw() as u32
+        }
+    }
+
+    impl ArbValue for i64 {
+        fn arb(rng: &mut TestRng) -> i64 {
+            rng.raw() as i64
+        }
+    }
+
+    impl<T: ArbValue> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arb(rng)
+        }
+    }
+
+    /// Unconstrained values of `T` (upstream `proptest::prelude::any`).
+    pub fn any<T: ArbValue>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of elements drawn from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.int_in(self.size.lo as i128, self.size.hi_exclusive as i128) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case-loop configuration and the deterministic test RNG.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Deterministic randomness source for one test function.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeded from the test name: stable across runs and machines.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// Raw 64 random bits.
+        pub fn raw(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit(&mut self) -> f64 {
+            (self.raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[lo, hi)` over i128 to cover all int types.
+        pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo < hi, "empty range [{lo}, {hi})");
+            let span = (hi - lo) as u128;
+            let draw = (self.raw() as u128).wrapping_mul(span) >> 64;
+            lo + draw as i128
+        }
+
+        /// Uniform index below `n`.
+        pub fn below(&mut self, n: usize) -> usize {
+            self.int_in(0, n as i128) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable surface (`use proptest::prelude::*`).
+
+    pub use crate::strategy::{any, BoxedStrategy, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skip the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn` runs `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(1_000);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest shim: prop_assume! rejected too many cases"
+                );
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                let ran = (move || -> bool { $body true })();
+                if ran {
+                    accepted += 1;
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..9, y in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in crate::collection::vec((0u8..4, any::<bool>()).prop_map(|(a, b)| (a, b)), 1..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            for (a, _) in v {
+                prop_assert!(a < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_picks_every_arm_eventually(x in prop_oneof![(0u32..1), (10u32..11), (20u32..21)]) {
+            prop_assert!(x == 0 || x == 10 || x == 20);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn string_pattern_generates_in_class(s in "[a-z]{1,8}") {
+            prop_assert!((1..=8).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

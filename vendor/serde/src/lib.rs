@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize` / `Deserialize` names both as marker traits and
+//! as (no-op) derive macros, mirroring upstream's `derive` feature. The
+//! workspace only ever uses the derive position — nothing in the
+//! dependency tree drives an actual serializer — so empty expansions are
+//! sufficient and keep the build fully offline.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its types but never
+//! serializes through a serde `Serializer` (no `serde_json` etc. in the
+//! dependency tree), so the derives expand to nothing. The `serde`
+//! attribute is still declared so `#[serde(...)]` field/container attributes
+//! would not break compilation if one appears later.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
