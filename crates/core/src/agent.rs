@@ -1317,10 +1317,22 @@ mod tests {
     #[test]
     fn prepare_after_rollback_is_ignored() {
         let mut a = agent();
-        a.handle(0, AgentInput::Deliver(Message::Begin { gtxn: g(1), coord: COORD }));
+        a.handle(
+            0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
         a.handle(1, AgentInput::Deliver(Message::Rollback { gtxn: g(1) }));
         // A delayed PREPARE crossing the rollback must be silently dropped.
-        let acts = a.handle(2, AgentInput::Deliver(Message::Prepare { gtxn: g(1), sn: sn(5) }));
+        let acts = a.handle(
+            2,
+            AgentInput::Deliver(Message::Prepare {
+                gtxn: g(1),
+                sn: sn(5),
+            }),
+        );
         assert!(acts.is_empty(), "{acts:?}");
     }
 

@@ -703,10 +703,22 @@ mod tests {
         // abort_externally. The second abort must be a no-op, not a panic.
         let mut c = Coordinator::new(100);
         c.begin(g(1), program2());
-        c.on_message(1, Message::Failed { gtxn: g(1), site: A });
+        c.on_message(
+            1,
+            Message::Failed {
+                gtxn: g(1),
+                site: A,
+            },
+        );
         let acts = c.abort_externally(g(1));
         assert!(acts.is_empty());
-        let acts = c.on_message(2, Message::RollbackAck { gtxn: g(1), site: B });
+        let acts = c.on_message(
+            2,
+            Message::RollbackAck {
+                gtxn: g(1),
+                site: B,
+            },
+        );
         assert!(matches!(acts[0], CoordAction::Finished { .. }));
     }
 

@@ -26,7 +26,9 @@
 pub mod config;
 pub mod report;
 pub mod sim;
+pub mod threaded;
 
 pub use config::{Protocol, SimConfig};
 pub use report::{CorrectnessReport, SimReport};
 pub use sim::{Observer, Simulation, TraceEvent};
+pub use threaded::ThreadedRunner;

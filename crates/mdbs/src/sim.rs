@@ -1,10 +1,13 @@
 //! The discrete-event simulation of the whole multidatabase.
 //!
-//! One [`Simulation`] owns: one [`mdbs_ldbs::Ldbs`] engine and one
-//! [`mdbs_dtm::Agent`] per participating site, a set of
-//! [`mdbs_dtm::Coordinator`]s on coordinator nodes, the FIFO network, the
-//! per-node drifting clocks, the workload generator, and — for the CGM
-//! baseline — the centralized scheduler (global site locks + commit graph).
+//! The protocol logic lives in `mdbs-runtime`: one
+//! [`mdbs_runtime::SiteRuntime`] per participating site (2PC Agent + LDBS
+//! engine + local runners), one [`mdbs_runtime::CoordinatorRuntime`] per
+//! coordinator node, and — for the CGM baseline — the
+//! [`mdbs_runtime::CentralRuntime`] scheduler. [`Simulation`] is the
+//! deterministic *driver*: it owns the event queue, the FIFO network, the
+//! per-node drifting clocks, the workload generator and failure injector,
+//! and implements the runtimes' host traits on top of them.
 //!
 //! The run is fully deterministic: a `SimConfig` (which embeds the seed)
 //! maps to exactly one history.
@@ -14,12 +17,13 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use mdbs_baselines::{CommitGraph, GlobalLockManager, SiteLockMode};
-use mdbs_dtm::{
-    Agent, AgentAction, AgentConfig, AgentInput, CoordAction, Coordinator, GlobalOutcome, Message,
+use mdbs_dtm::{AgentConfig, AgentInput, GlobalOutcome, Message};
+use mdbs_histories::{GlobalTxnId, Instance, Op, SiteId};
+use mdbs_ldbs::{Command, Ldbs, SiteProfile, Store};
+use mdbs_runtime::{
+    message_kind, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeHost, SiteRuntime,
+    TimeSource, Timer, Transport,
 };
-use mdbs_histories::{GlobalTxnId, Instance, Op, SiteId, Txn};
-use mdbs_ldbs::{Command, EngineError, ExecStep, Ldbs, ResumedExec, SiteProfile, Store};
 use mdbs_simkit::{
     DetRng, EventQueue, LatencyModel, Metrics, Network, SimDuration, SimTime, SiteClock,
 };
@@ -28,92 +32,16 @@ use mdbs_workload::WorkloadGen;
 use crate::config::{Protocol, SimConfig};
 use crate::report::{CorrectnessReport, SimReport};
 
-/// First coordinator node id.
-pub const COORD_BASE: u32 = 1_000_000;
-/// The CGM central scheduler's node id.
-pub const CENTRAL: u32 = 2_000_000;
-
-/// A protocol-level trace event, delivered to the observer installed with
-/// [`Simulation::set_observer`]. Useful for narrated demos and debugging;
-/// the default simulation has no observer and pays nothing.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// A 2PC message was handed to the network.
-    MessageSent {
-        /// Simulated send time.
-        at: SimTime,
-        /// Sending node.
-        from: u32,
-        /// Receiving node.
-        to: u32,
-        /// The message.
-        msg: Message,
-    },
-    /// A subtransaction entered the prepared state at a site.
-    Prepared {
-        /// Simulated time.
-        at: SimTime,
-        /// The site.
-        site: SiteId,
-        /// The transaction.
-        gtxn: GlobalTxnId,
-    },
-    /// An injected unilateral abort struck an instance.
-    UnilateralAbort {
-        /// Simulated time.
-        at: SimTime,
-        /// The aborted instance.
-        instance: Instance,
-    },
-    /// A whole site crashed.
-    SiteCrash {
-        /// Simulated time.
-        at: SimTime,
-        /// The site.
-        site: SiteId,
-    },
-    /// A local waits-for cycle was broken by aborting a victim.
-    DeadlockVictim {
-        /// Simulated time.
-        at: SimTime,
-        /// The aborted instance.
-        instance: Instance,
-    },
-    /// A transaction blocked past the wait timeout was aborted.
-    WaitTimeout {
-        /// Simulated time.
-        at: SimTime,
-        /// The aborted instance.
-        instance: Instance,
-    },
-    /// A global transaction reached its final outcome.
-    Finished {
-        /// Simulated time.
-        at: SimTime,
-        /// The transaction.
-        gtxn: GlobalTxnId,
-        /// Whether it committed.
-        committed: bool,
-    },
-}
-
-/// Observer callback type.
-pub type Observer = Box<dyn FnMut(&TraceEvent)>;
+pub use mdbs_runtime::{Observer, TraceEvent, CENTRAL, COORD_BASE};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Ev {
     /// Network delivery of a 2PC message.
     Deliver { from: u32, to: u32, msg: Message },
-    /// Agent alive-check timer (Appendix A).
-    AliveTimer { site: SiteId, gtxn: GlobalTxnId },
-    /// Agent commit-certification retry timer (Appendix C).
-    RetryTimer { site: SiteId, gtxn: GlobalTxnId },
-    /// The LTM starts executing a command (service delay elapsed).
-    LtmExec {
-        site: SiteId,
-        instance: Instance,
-        command: Command,
-    },
+    /// Network delivery of a CGM control message.
+    Ctrl { from: u32, to: u32, ctrl: CtrlMsg },
+    /// A node-local timer fired (alive check, commit retry, LTM service).
+    Timer { node: u32, timer: Timer },
     /// Next global transaction arrival.
     GlobalArrival,
     /// Next local transaction arrival at a site.
@@ -124,53 +52,140 @@ enum Ev {
     DeadlockScan,
     /// A whole-site crash: collective abort + agent recovery from its log.
     SiteCrash { site: SiteId },
-    /// CGM: admission request reaches the central scheduler.
-    CgmRequest { gtxn: GlobalTxnId },
-    /// CGM: admission grant reaches the coordinator.
-    CgmAdmitted { gtxn: GlobalTxnId },
-    /// CGM: commit-graph vote request reaches the central scheduler.
-    CgmVote { gtxn: GlobalTxnId },
-    /// CGM: vote verdict reaches the coordinator.
-    CgmVoteResult { gtxn: GlobalTxnId, ok: bool },
-    /// CGM: completion notice reaches the central scheduler.
-    CgmFinished { gtxn: GlobalTxnId },
 }
 
-/// A local transaction being driven directly against its LTM.
-#[derive(Debug)]
-struct LocalRunner {
-    commands: Vec<Command>,
-    next: usize,
-}
-
-/// CGM bookkeeping for one global transaction.
-#[derive(Debug)]
-struct CgmTxn {
-    sites: std::collections::BTreeSet<SiteId>,
-    modes: Vec<(SiteId, SiteLockMode)>,
-    program: Vec<(SiteId, Command)>,
-    /// PREPARE messages buffered until the commit-graph vote passes.
-    held_prepares: Vec<(SiteId, Message)>,
-}
-
-/// The simulation world.
-pub struct Simulation {
-    cfg: SimConfig,
-    /// Effective agent configuration (protocol mode + safety-valve clamp
-    /// applied); crash recovery must rebuild agents from *this*, not from
-    /// the raw `cfg.agent`.
-    agent_cfg: AgentConfig,
+/// The deterministic host: event queue, network, clocks, sinks, and the
+/// driver-side halves of failure injection and lifecycle accounting.
+struct SimHost {
     queue: EventQueue<Ev>,
     net: Network,
     clocks: BTreeMap<u32, SiteClock>,
-    ldbs: BTreeMap<SiteId, Ldbs>,
-    agents: BTreeMap<SiteId, Agent>,
-    coords: BTreeMap<u32, Coordinator>,
-    gen: WorkloadGen,
-    history: Vec<Op>,
     metrics: Metrics,
+    history: Vec<Op>,
+    observer: Option<Observer>,
+    gen: WorkloadGen,
+    inject_rng: DetRng,
+    abort_delay_max_us: u64,
+    committed: u64,
+    aborted: u64,
+    local_committed: u64,
+    local_aborted: u64,
+    /// Terminal outcomes reported by coordinators during the current
+    /// event, processed by the driver once the action batch unwinds.
+    pending_finished: Vec<(u32, GlobalTxnId, GlobalOutcome)>,
+}
 
-    // Global transaction lifecycle.
+impl SimHost {
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs(&event);
+        }
+    }
+}
+
+impl TimeSource for SimHost {
+    fn local_time_us(&mut self, node: u32) -> u64 {
+        // Local clocks are read against an epoch far from zero: real
+        // deployments do not boot at the epoch, and `SiteClock::read`
+        // saturates at 0, which would blind interval certification for the
+        // first |negative skew| microseconds of the run (all local times
+        // collapse to 0 and every alive-interval check trivially passes).
+        const CLOCK_EPOCH: SimDuration = SimDuration::from_secs(3_600);
+        self.clocks[&node].read(self.queue.now() + CLOCK_EPOCH)
+    }
+
+    fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+}
+
+impl Transport for SimHost {
+    fn send(&mut self, from: u32, to: u32, msg: Message) {
+        self.metrics.inc(message_kind(&msg));
+        if self.observer.is_some() {
+            self.emit(TraceEvent::MessageSent {
+                at: self.queue.now(),
+                from,
+                to,
+                msg: msg.clone(),
+            });
+        }
+        let at = self.net.delivery_time(from, to, self.queue.now());
+        self.queue.schedule_at(at, Ev::Deliver { from, to, msg });
+    }
+
+    /// A central-scheduler control hop (CGM), billed like any message.
+    fn send_ctrl(&mut self, from: u32, to: u32, ctrl: CtrlMsg) {
+        let at = self.net.delivery_time(from, to, self.queue.now());
+        self.queue.schedule_at(at, Ev::Ctrl { from, to, ctrl });
+    }
+
+    fn set_timer(&mut self, node: u32, after_us: u64, timer: Timer) {
+        self.queue.schedule_after(
+            SimDuration::from_micros(after_us),
+            Ev::Timer { node, timer },
+        );
+    }
+}
+
+impl RuntimeHost for SimHost {
+    fn record_op(&mut self, op: Op) {
+        self.history.push(op);
+    }
+
+    fn inc(&mut self, name: &'static str) {
+        self.metrics.inc(name);
+    }
+
+    fn add(&mut self, name: &'static str, n: u64) {
+        self.metrics.add(name, n);
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        self.emit(event);
+    }
+
+    fn prepared(&mut self, site: SiteId, gtxn: GlobalTxnId, incarnation: u32) {
+        if !self.gen.draw_unilateral_abort() {
+            return;
+        }
+        self.metrics.inc("injections_scheduled");
+        let instance = Instance::global(gtxn.0, site, incarnation);
+        let delay = if self.abort_delay_max_us == 0 {
+            0
+        } else {
+            self.inject_rng.uniform_u64(0, self.abort_delay_max_us)
+        };
+        self.queue.schedule_after(
+            SimDuration::from_micros(delay),
+            Ev::InjectAbort { site, instance },
+        );
+    }
+
+    fn local_settled(&mut self, _site: SiteId, committed: bool) {
+        if committed {
+            self.local_committed += 1;
+            self.metrics.inc("local_committed");
+        } else {
+            self.local_aborted += 1;
+            self.metrics.inc("local_aborted");
+        }
+    }
+
+    fn global_finished(&mut self, cnode: u32, gtxn: GlobalTxnId, outcome: GlobalOutcome) {
+        self.pending_finished.push((cnode, gtxn, outcome));
+    }
+}
+
+/// The simulation world: runtimes composed over the deterministic host.
+pub struct Simulation {
+    cfg: SimConfig,
+    sites: BTreeMap<SiteId, SiteRuntime>,
+    coords: BTreeMap<u32, CoordinatorRuntime>,
+    central: CentralRuntime,
+    host: SimHost,
+
+    // Global transaction admission.
     programs: BTreeMap<GlobalTxnId, Vec<(SiteId, Command)>>,
     coord_of: BTreeMap<GlobalTxnId, u32>,
     start_time: BTreeMap<GlobalTxnId, SimTime>,
@@ -178,26 +193,10 @@ pub struct Simulation {
     next_gtxn: u32,
     ready_queue: VecDeque<GlobalTxnId>,
     in_flight: u32,
-    committed: u64,
-    aborted: u64,
 
-    // Local transactions.
-    local_runners: BTreeMap<Instance, LocalRunner>,
+    // Local transaction admission.
     local_emitted: BTreeMap<SiteId, u32>,
     next_local_n: u32,
-    local_committed: u64,
-    local_aborted: u64,
-
-    // Blocked-instance tracking for the wait timeout.
-    blocked_since: BTreeMap<Instance, SimTime>,
-
-    // CGM central scheduler state.
-    cgm_locks: GlobalLockManager,
-    cgm_graph: CommitGraph,
-    cgm_txns: BTreeMap<GlobalTxnId, CgmTxn>,
-
-    inject_rng: DetRng,
-    observer: Option<Observer>,
 }
 
 impl Simulation {
@@ -245,15 +244,9 @@ impl Simulation {
         }
         clocks.insert(CENTRAL, draw_clock(&mut clock_rng));
 
-        let mut agent_cfg = cfg.agent;
-        agent_cfg.mode = cfg.protocol.agent_mode();
-        if !matches!(cfg.protocol, Protocol::TwoCm(mdbs_dtm::CertifierMode::Full)) {
-            // Anomaly baselines need the liveness safety valve.
-            agent_cfg.max_commit_retries = agent_cfg.max_commit_retries.min(200);
-        }
+        let agent_cfg = effective_agent_cfg(&cfg);
 
-        let mut ldbs = BTreeMap::new();
-        let mut agents = BTreeMap::new();
+        let mut sites = BTreeMap::new();
         for s in 0..spec.sites {
             let site = SiteId(s);
             let mut engine = Ldbs::new(
@@ -262,12 +255,15 @@ impl Simulation {
                 Store::with_rows(spec.items_per_site, spec.initial_value),
             );
             engine.set_enforce_dlu(spec.enforce_dlu);
-            ldbs.insert(site, engine);
-            agents.insert(site, Agent::new(site, agent_cfg));
+            sites.insert(
+                site,
+                SiteRuntime::new(site, agent_cfg, engine, cfg.ltm_service_us),
+            );
         }
+        let cgm = matches!(cfg.protocol, Protocol::Cgm);
         let mut coords = BTreeMap::new();
         for c in 0..cfg.coordinators {
-            coords.insert(COORD_BASE + c, Coordinator::new(COORD_BASE + c));
+            coords.insert(COORD_BASE + c, CoordinatorRuntime::new(COORD_BASE + c, cgm));
         }
 
         let mut queue = EventQueue::new();
@@ -288,19 +284,29 @@ impl Simulation {
             );
         }
 
-        Simulation {
-            gen: WorkloadGen::new(spec.clone()),
-            inject_rng: root.substream("inject"),
-            cfg,
-            agent_cfg,
+        let host = SimHost {
             queue,
             net,
             clocks,
-            ldbs,
-            agents,
-            coords,
-            history: Vec::new(),
             metrics: Metrics::new(),
+            history: Vec::new(),
+            observer: None,
+            gen: WorkloadGen::new(spec),
+            inject_rng: root.substream("inject"),
+            abort_delay_max_us: cfg.abort_delay_max_us,
+            committed: 0,
+            aborted: 0,
+            local_committed: 0,
+            local_aborted: 0,
+            pending_finished: Vec::new(),
+        };
+
+        Simulation {
+            cfg,
+            sites,
+            coords,
+            central: CentralRuntime::new(),
+            host,
             programs: BTreeMap::new(),
             coord_of: BTreeMap::new(),
             start_time: BTreeMap::new(),
@@ -308,71 +314,42 @@ impl Simulation {
             next_gtxn: 1,
             ready_queue: VecDeque::new(),
             in_flight: 0,
-            committed: 0,
-            aborted: 0,
-            local_runners: BTreeMap::new(),
             local_emitted: BTreeMap::new(),
             next_local_n: 1,
-            local_committed: 0,
-            local_aborted: 0,
-            blocked_since: BTreeMap::new(),
-            cgm_locks: GlobalLockManager::new(),
-            cgm_graph: CommitGraph::new(),
-            cgm_txns: BTreeMap::new(),
-            observer: None,
         }
     }
 
     /// Install a trace observer receiving [`TraceEvent`]s as the run
     /// unfolds (protocol messages, prepares, failures, crashes, outcomes).
     pub fn set_observer(&mut self, observer: Observer) {
-        self.observer = Some(observer);
-    }
-
-    fn emit(&mut self, event: TraceEvent) {
-        if let Some(obs) = self.observer.as_mut() {
-            obs(&event);
-        }
-    }
-
-    fn now(&self) -> SimTime {
-        self.queue.now()
-    }
-
-    fn local_time(&self, node: u32) -> u64 {
-        // Local clocks are read against an epoch far from zero: real
-        // deployments do not boot at the epoch, and `SiteClock::read`
-        // saturates at 0, which would blind interval certification for the
-        // first |negative skew| microseconds of the run (all local times
-        // collapse to 0 and every alive-interval check trivially passes).
-        const CLOCK_EPOCH: SimDuration = SimDuration::from_secs(3_600);
-        self.clocks[&node].read(self.now() + CLOCK_EPOCH)
+        self.host.observer = Some(observer);
     }
 
     fn all_work_done(&self) -> bool {
-        let spec = self.gen.spec();
+        let spec = self.host.gen.spec();
         let globals_done = self.arrivals_emitted >= spec.global_txns
             && self.in_flight == 0
             && self.ready_queue.is_empty();
         let locals_done = (0..spec.sites).all(|s| {
             self.local_emitted.get(&SiteId(s)).copied().unwrap_or(0) >= spec.local_txns_per_site
-        }) && self.local_runners.is_empty();
+        }) && self.sites.values().all(|rt| !rt.has_local_work());
         globals_done && locals_done
     }
 
     /// Run to completion (or the time limit) and report.
     pub fn run(mut self) -> SimReport {
-        while let Some(ev) = self.queue.pop() {
+        while let Some(ev) = self.host.queue.pop() {
             if ev.at > self.cfg.time_limit {
                 break;
             }
             self.dispatch(ev.payload);
+            self.drain_finished();
         }
-        let history = mdbs_histories::History::from_ops(self.history.iter().copied());
-        let checks = CorrectnessReport::analyze(&history, self.gen.spec().sites);
-        let mut metrics = self.metrics;
-        for (site, agent) in &self.agents {
-            let st = agent.stats();
+        let history = mdbs_histories::History::from_ops(self.host.history.iter().copied());
+        let checks = CorrectnessReport::analyze(&history, self.host.gen.spec().sites);
+        let mut metrics = self.host.metrics;
+        for rt in self.sites.values() {
+            let st = rt.agent().stats();
             metrics.add("prepares_accepted", st.prepares_accepted);
             metrics.add("refused_sn_out_of_order", st.refused_sn_out_of_order);
             metrics.add("refused_interval_disjoint", st.refused_interval_disjoint);
@@ -380,18 +357,17 @@ impl Simulation {
             metrics.add("resubmissions", st.resubmissions);
             metrics.add("commit_retries", st.commit_retries);
             metrics.add("commit_cert_overrides", st.commit_cert_overrides);
-            let _ = site;
         }
         SimReport {
             protocol: self.cfg.protocol.label(),
             history,
             checks,
-            committed: self.committed,
-            aborted: self.aborted,
-            local_committed: self.local_committed,
-            local_aborted: self.local_aborted,
-            messages: self.net.messages_sent(),
-            finished_at: self.queue.now(),
+            committed: self.host.committed,
+            aborted: self.host.aborted,
+            local_committed: self.host.local_committed,
+            local_aborted: self.host.local_aborted,
+            messages: self.host.net.messages_sent(),
+            finished_at: self.host.queue.now(),
             metrics,
         }
     }
@@ -402,281 +378,106 @@ impl Simulation {
 
     fn dispatch(&mut self, ev: Ev) {
         match ev {
-            Ev::Deliver { from, to, msg } => self.on_deliver(from, to, msg),
-            Ev::AliveTimer { site, gtxn } => {
-                self.agent_input(site, AgentInput::AliveTimer { gtxn })
+            Ev::Deliver { from: _, to, msg } => {
+                if to >= COORD_BASE {
+                    self.coords
+                        .get_mut(&to)
+                        .expect("coordinator node")
+                        .on_message(msg, &mut self.host);
+                } else {
+                    let site = SiteId(to);
+                    self.sites
+                        .get_mut(&site)
+                        .expect("site")
+                        .agent_input(AgentInput::Deliver(msg), &mut self.host);
+                }
             }
-            Ev::RetryTimer { site, gtxn } => {
-                self.agent_input(site, AgentInput::CommitRetryTimer { gtxn })
+            Ev::Ctrl { from, to, ctrl } => {
+                if to == CENTRAL {
+                    self.central.on_ctrl(from, ctrl, &mut self.host);
+                } else {
+                    self.coords
+                        .get_mut(&to)
+                        .expect("coordinator node")
+                        .on_ctrl(ctrl, &mut self.host);
+                }
             }
-            Ev::LtmExec {
-                site,
-                instance,
-                command,
-            } => self.on_ltm_exec(site, instance, command),
+            Ev::Timer { node, timer } => {
+                let rt = self.sites.get_mut(&SiteId(node)).expect("site");
+                match timer {
+                    Timer::Alive { gtxn } => {
+                        rt.agent_input(AgentInput::AliveTimer { gtxn }, &mut self.host)
+                    }
+                    Timer::CommitRetry { gtxn } => {
+                        rt.agent_input(AgentInput::CommitRetryTimer { gtxn }, &mut self.host)
+                    }
+                    Timer::LtmExec { instance, command } => {
+                        rt.ltm_exec(instance, command, &mut self.host)
+                    }
+                }
+            }
             Ev::GlobalArrival => self.on_global_arrival(),
             Ev::LocalArrival { site } => self.on_local_arrival(site),
-            Ev::InjectAbort { site, instance } => self.on_inject_abort(site, instance),
+            Ev::InjectAbort { site, instance } => {
+                self.sites
+                    .get_mut(&site)
+                    .expect("site")
+                    .inject_abort(instance, &mut self.host);
+            }
             Ev::DeadlockScan => self.on_deadlock_scan(),
-            Ev::SiteCrash { site } => self.on_site_crash(site),
-            Ev::CgmRequest { gtxn } => self.on_cgm_request(gtxn),
-            Ev::CgmAdmitted { gtxn } => self.on_cgm_admitted(gtxn),
-            Ev::CgmVote { gtxn } => self.on_cgm_vote(gtxn),
-            Ev::CgmVoteResult { gtxn, ok } => self.on_cgm_vote_result(gtxn, ok),
-            Ev::CgmFinished { gtxn } => self.on_cgm_finished(gtxn),
-        }
-    }
-
-    fn send(&mut self, from: u32, to: u32, msg: Message) {
-        let kind = message_kind(&msg);
-        self.metrics.inc(kind);
-        if self.observer.is_some() {
-            self.emit(TraceEvent::MessageSent {
-                at: self.now(),
-                from,
-                to,
-                msg: msg.clone(),
-            });
-        }
-        let at = self.net.delivery_time(from, to, self.now());
-        self.queue.schedule_at(at, Ev::Deliver { from, to, msg });
-    }
-
-    /// A central-scheduler control hop (CGM), billed like any message.
-    fn send_ctrl(&mut self, from: u32, to: u32, ev: Ev) {
-        let at = self.net.delivery_time(from, to, self.now());
-        self.queue.schedule_at(at, ev);
-    }
-
-    fn on_deliver(&mut self, _from: u32, to: u32, msg: Message) {
-        if to >= COORD_BASE {
-            let now_local = self.local_time(to);
-            let actions = self
-                .coords
-                .get_mut(&to)
-                .expect("coordinator node")
-                .on_message(now_local, msg);
-            self.run_coord_actions(to, actions);
-        } else {
-            let site = SiteId(to);
-            self.agent_input(site, AgentInput::Deliver(msg));
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Agent plumbing
-    // ------------------------------------------------------------------
-
-    fn agent_input(&mut self, site: SiteId, input: AgentInput) {
-        let now_local = self.local_time(site.0);
-        let actions = self
-            .agents
-            .get_mut(&site)
-            .expect("agent")
-            .handle(now_local, input);
-        self.run_agent_actions(site, actions);
-    }
-
-    fn run_agent_actions(&mut self, site: SiteId, actions: Vec<AgentAction>) {
-        for action in actions {
-            match action {
-                AgentAction::Reply { coord, msg } => self.send(site.0, coord, msg),
-                AgentAction::LtmBegin(instance) => {
-                    self.ldbs
-                        .get_mut(&site)
-                        .expect("ldbs")
-                        .begin(instance)
-                        .expect("begin");
-                }
-                AgentAction::LtmSubmit { instance, command } => {
-                    self.queue.schedule_after(
-                        SimDuration::from_micros(self.cfg.ltm_service_us),
-                        Ev::LtmExec {
-                            site,
-                            instance,
-                            command,
-                        },
-                    );
-                }
-                AgentAction::LtmCommit(instance) => {
-                    let resumed = self
-                        .ldbs
-                        .get_mut(&site)
-                        .expect("ldbs")
-                        .commit(instance)
-                        .expect("agent commit");
-                    self.drain_site_log(site);
-                    self.process_resumed(site, resumed);
-                }
-                AgentAction::LtmAbort(instance) => {
-                    match self.ldbs.get_mut(&site).expect("ldbs").abort(instance) {
-                        Ok(resumed) => {
-                            self.blocked_since.remove(&instance);
-                            self.drain_site_log(site);
-                            self.process_resumed(site, resumed);
-                        }
-                        Err(EngineError::UnknownTransaction(_)) => {}
-                        Err(e) => panic!("agent abort failed: {e:?}"),
-                    }
-                }
-                AgentAction::Bind { keys, owner } => {
-                    self.ldbs.get_mut(&site).expect("ldbs").bind(keys, owner);
-                }
-                AgentAction::Unbind { owner } => {
-                    let resumed = self.ldbs.get_mut(&site).expect("ldbs").unbind_all_of(owner);
-                    self.drain_site_log(site);
-                    self.process_resumed(site, resumed);
-                }
-                AgentAction::RecordPrepare(gtxn) => {
-                    self.history.push(Op::prepare(gtxn.0, site));
-                    self.emit(TraceEvent::Prepared {
-                        at: self.now(),
-                        site,
-                        gtxn,
-                    });
-                    self.maybe_inject_failure(site, gtxn);
-                }
-                AgentAction::StartAliveTimer { gtxn, after_us } => {
-                    self.queue.schedule_after(
-                        SimDuration::from_micros(after_us),
-                        Ev::AliveTimer { site, gtxn },
-                    );
-                }
-                AgentAction::StartCommitRetryTimer { gtxn, after_us } => {
-                    self.queue.schedule_after(
-                        SimDuration::from_micros(after_us),
-                        Ev::RetryTimer { site, gtxn },
-                    );
-                }
+            Ev::SiteCrash { site } => {
+                self.sites
+                    .get_mut(&site)
+                    .expect("site")
+                    .crash(&mut self.host);
             }
         }
     }
 
-    fn maybe_inject_failure(&mut self, site: SiteId, gtxn: GlobalTxnId) {
-        if !self.gen.draw_unilateral_abort() {
-            return;
-        }
-        self.metrics.inc("injections_scheduled");
-        let inc = self.agents[&site]
-            .incarnation_of(gtxn)
-            .expect("just prepared");
-        let instance = Instance::global(gtxn.0, site, inc);
-        let delay = if self.cfg.abort_delay_max_us == 0 {
-            0
-        } else {
-            self.inject_rng.uniform_u64(0, self.cfg.abort_delay_max_us)
-        };
-        self.queue.schedule_after(
-            SimDuration::from_micros(delay),
-            Ev::InjectAbort { site, instance },
-        );
-    }
-
-    fn on_ltm_exec(&mut self, site: SiteId, instance: Instance, command: Command) {
-        let step = match self
-            .ldbs
-            .get_mut(&site)
-            .expect("ldbs")
-            .submit(instance, &command)
-        {
-            Ok(step) => step,
-            Err(EngineError::UnknownTransaction(_)) => return, // aborted meanwhile
-            Err(e) => panic!("submit failed: {e:?}"),
-        };
-        self.drain_site_log(site);
-        self.handle_exec_step(site, instance, step);
-    }
-
-    fn handle_exec_step(&mut self, site: SiteId, instance: Instance, step: ExecStep) {
-        match step {
-            ExecStep::Blocked => {
-                // Every Blocked report follows fresh progress (a new
-                // submission, or a lock grant that advanced the plan to its
-                // next operation), so the wait-timeout clock restarts.
-                let now = self.now();
-                self.blocked_since.insert(instance, now);
-            }
-            ExecStep::Done(result) => {
-                self.blocked_since.remove(&instance);
-                match instance.txn {
-                    Txn::Global(gtxn) => {
-                        self.agent_input(site, AgentInput::LtmDone { gtxn, result });
-                    }
-                    Txn::Local(_) => self.advance_local(site, instance),
-                }
-            }
+    /// Process terminal outcomes queued by coordinators during `dispatch`.
+    /// Coordinators always emit `Finished` as the last action of a batch,
+    /// so handling it here preserves the pre-refactor event order.
+    fn drain_finished(&mut self) {
+        while !self.host.pending_finished.is_empty() {
+            let (cnode, gtxn, outcome) = self.host.pending_finished.remove(0);
+            self.finish_global(cnode, gtxn, outcome);
         }
     }
 
-    fn process_resumed(&mut self, site: SiteId, resumed: Vec<ResumedExec>) {
-        for r in resumed {
-            self.handle_exec_step(site, r.instance, r.step);
-        }
-    }
-
-    fn drain_site_log(&mut self, site: SiteId) {
-        let ops = self.ldbs.get_mut(&site).expect("ldbs").take_log();
-        self.history.extend(ops);
-    }
-
-    // ------------------------------------------------------------------
-    // Coordinator plumbing
-    // ------------------------------------------------------------------
-
-    fn run_coord_actions(&mut self, cnode: u32, actions: Vec<CoordAction>) {
-        for action in actions {
-            match action {
-                CoordAction::ToAgent { site, msg } => {
-                    // CGM: hold PREPAREs until the commit-graph vote.
-                    if matches!(self.cfg.protocol, Protocol::Cgm) {
-                        if let Message::Prepare { gtxn, .. } = msg {
-                            let entry = self.cgm_txns.get_mut(&gtxn).expect("cgm txn");
-                            entry.held_prepares.push((site, msg));
-                            if entry.held_prepares.len() == entry.sites.len() {
-                                self.send_ctrl(cnode, CENTRAL, Ev::CgmVote { gtxn });
-                            }
-                            continue;
-                        }
-                    }
-                    self.send(cnode, site.0, msg);
-                }
-                CoordAction::RecordGlobalCommit(gtxn) => {
-                    self.history.push(Op::global_commit(gtxn.0));
-                }
-                CoordAction::RecordGlobalAbort(gtxn) => {
-                    self.history.push(Op::global_abort(gtxn.0));
-                }
-                CoordAction::Finished { gtxn, outcome } => self.on_finished(cnode, gtxn, outcome),
-            }
-        }
-    }
-
-    fn on_finished(&mut self, cnode: u32, gtxn: GlobalTxnId, outcome: GlobalOutcome) {
-        self.emit(TraceEvent::Finished {
-            at: self.now(),
+    fn finish_global(&mut self, cnode: u32, gtxn: GlobalTxnId, outcome: GlobalOutcome) {
+        let at = self.host.queue.now();
+        self.host.emit(TraceEvent::Finished {
+            at,
             gtxn,
             committed: outcome == GlobalOutcome::Committed,
         });
         match outcome {
             GlobalOutcome::Committed => {
-                self.committed += 1;
-                self.metrics.inc("global_committed");
+                self.host.committed += 1;
+                self.host.metrics.inc("global_committed");
             }
             GlobalOutcome::Aborted => {
-                self.aborted += 1;
-                self.metrics.inc("global_aborted");
+                self.host.aborted += 1;
+                self.host.metrics.inc("global_aborted");
             }
         }
         if let Some(start) = self.start_time.remove(&gtxn) {
-            let latency_ms = (self.now() - start).as_millis_f64();
-            self.metrics.observe("commit_latency_ms", latency_ms);
+            let latency_ms = (at - start).as_millis_f64();
+            self.host.metrics.observe("commit_latency_ms", latency_ms);
             if outcome == GlobalOutcome::Committed {
-                self.metrics.observe("committed_latency_ms", latency_ms);
+                self.host
+                    .metrics
+                    .observe("committed_latency_ms", latency_ms);
             }
         }
         self.in_flight -= 1;
         if matches!(self.cfg.protocol, Protocol::Cgm) {
-            self.send_ctrl(cnode, CENTRAL, Ev::CgmFinished { gtxn });
+            self.coords
+                .get_mut(&cnode)
+                .expect("coordinator node")
+                .cgm_cleanup(gtxn);
+            self.host
+                .send_ctrl(cnode, CENTRAL, CtrlMsg::CgmFinished { gtxn });
         }
         self.try_start_ready();
     }
@@ -686,63 +487,39 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn on_global_arrival(&mut self) {
-        let spec = self.gen.spec();
+        let spec = self.host.gen.spec();
         if self.arrivals_emitted >= spec.global_txns {
             return;
         }
         self.arrivals_emitted += 1;
         let gtxn = GlobalTxnId(self.next_gtxn);
         self.next_gtxn += 1;
-        let program = self.gen.global_program();
+        let program = self.host.gen.global_program();
         self.programs.insert(gtxn, program);
         self.ready_queue.push_back(gtxn);
-        if self.arrivals_emitted < self.gen.spec().global_txns {
-            let gap = self.gen.global_gap_us();
-            self.queue
+        if self.arrivals_emitted < self.host.gen.spec().global_txns {
+            let gap = self.host.gen.global_gap_us();
+            self.host
+                .queue
                 .schedule_after(SimDuration::from_micros(gap), Ev::GlobalArrival);
         }
         self.try_start_ready();
     }
 
     fn try_start_ready(&mut self) {
-        while self.in_flight < self.gen.spec().mpl {
+        while self.in_flight < self.host.gen.spec().mpl {
             let Some(gtxn) = self.ready_queue.pop_front() else {
                 return;
             };
             self.in_flight += 1;
-            self.start_time.insert(gtxn, self.now());
+            self.start_time.insert(gtxn, self.host.queue.now());
             let cnode = COORD_BASE + (gtxn.0 % self.cfg.coordinators);
             self.coord_of.insert(gtxn, cnode);
             let program = self.programs[&gtxn].clone();
-            if matches!(self.cfg.protocol, Protocol::Cgm) {
-                // Admission through the central scheduler first.
-                let sites: std::collections::BTreeSet<SiteId> =
-                    program.iter().map(|(s, _)| *s).collect();
-                let mut modes: BTreeMap<SiteId, SiteLockMode> = BTreeMap::new();
-                for (s, c) in &program {
-                    let e = modes.entry(*s).or_insert(SiteLockMode::Read);
-                    if c.is_update() {
-                        *e = SiteLockMode::Update;
-                    }
-                }
-                self.cgm_txns.insert(
-                    gtxn,
-                    CgmTxn {
-                        sites,
-                        modes: modes.into_iter().collect(),
-                        program,
-                        held_prepares: Vec::new(),
-                    },
-                );
-                self.send_ctrl(cnode, CENTRAL, Ev::CgmRequest { gtxn });
-            } else {
-                let actions = self
-                    .coords
-                    .get_mut(&cnode)
-                    .expect("coordinator")
-                    .begin(gtxn, program);
-                self.run_coord_actions(cnode, actions);
-            }
+            self.coords
+                .get_mut(&cnode)
+                .expect("coordinator")
+                .begin(gtxn, program, &mut self.host);
         }
     }
 
@@ -751,7 +528,7 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn on_local_arrival(&mut self, site: SiteId) {
-        let spec = self.gen.spec();
+        let spec = self.host.gen.spec();
         let emitted = self.local_emitted.entry(site).or_insert(0);
         if *emitted >= spec.local_txns_per_site {
             return;
@@ -761,288 +538,71 @@ impl Simulation {
 
         let n = self.next_local_n;
         self.next_local_n += 1;
-        let instance = Instance::local(site, n);
-        let commands = self.gen.local_program(site);
-        self.ldbs
+        let commands = self.host.gen.local_program(site);
+        self.sites
             .get_mut(&site)
-            .expect("ldbs")
-            .begin(instance)
-            .expect("local begin");
-        let first = commands[0];
-        self.local_runners
-            .insert(instance, LocalRunner { commands, next: 0 });
-        self.queue.schedule_after(
-            SimDuration::from_micros(self.cfg.ltm_service_us),
-            Ev::LtmExec {
-                site,
-                instance,
-                command: first,
-            },
-        );
+            .expect("site")
+            .start_local(n, commands, &mut self.host);
 
         if more {
-            let gap = self.gen.local_gap_us();
-            self.queue
+            let gap = self.host.gen.local_gap_us();
+            self.host
+                .queue
                 .schedule_after(SimDuration::from_micros(gap), Ev::LocalArrival { site });
         }
     }
 
-    fn advance_local(&mut self, site: SiteId, instance: Instance) {
-        let Some(runner) = self.local_runners.get_mut(&instance) else {
-            return; // aborted meanwhile
-        };
-        runner.next += 1;
-        if runner.next < runner.commands.len() {
-            let command = runner.commands[runner.next];
-            self.queue.schedule_after(
-                SimDuration::from_micros(self.cfg.ltm_service_us),
-                Ev::LtmExec {
-                    site,
-                    instance,
-                    command,
-                },
-            );
-            return;
-        }
-        // Program complete: commit at the LTM.
-        self.local_runners.remove(&instance);
-        let resumed = self
-            .ldbs
-            .get_mut(&site)
-            .expect("ldbs")
-            .commit(instance)
-            .expect("local commit");
-        self.local_committed += 1;
-        self.metrics.inc("local_committed");
-        self.drain_site_log(site);
-        self.process_resumed(site, resumed);
-    }
-
     // ------------------------------------------------------------------
-    // Failures, deadlocks, timeouts
+    // Deadlocks and timeouts
     // ------------------------------------------------------------------
-
-    fn on_inject_abort(&mut self, site: SiteId, instance: Instance) {
-        if !self.ldbs[&site].is_active(instance) {
-            return; // already committed or replaced
-        }
-        self.metrics.inc("injected_unilateral_aborts");
-        self.emit(TraceEvent::UnilateralAbort {
-            at: self.now(),
-            instance,
-        });
-        self.abort_instance(site, instance);
-    }
-
-    /// Unilaterally abort an instance at its LTM and notify the agent (UAN).
-    fn abort_instance(&mut self, site: SiteId, instance: Instance) {
-        let resumed = match self
-            .ldbs
-            .get_mut(&site)
-            .expect("ldbs")
-            .unilateral_abort(instance)
-        {
-            Ok(r) => r,
-            Err(EngineError::UnknownTransaction(_)) => return,
-            Err(e) => panic!("unilateral abort failed: {e:?}"),
-        };
-        self.blocked_since.remove(&instance);
-        self.drain_site_log(site);
-        match instance.txn {
-            Txn::Global(_) => {
-                self.agent_input(site, AgentInput::Uan { instance });
-            }
-            Txn::Local(_) => {
-                self.local_runners.remove(&instance);
-                self.local_aborted += 1;
-                self.metrics.inc("local_aborted");
-            }
-        }
-        self.process_resumed(site, resumed);
-    }
 
     fn on_deadlock_scan(&mut self) {
-        let sites: Vec<SiteId> = self.ldbs.keys().copied().collect();
-        for site in sites {
+        let site_ids: Vec<SiteId> = self.sites.keys().copied().collect();
+        for site in site_ids {
             // Local waits-for cycles.
-            while let Some(victim) = self.ldbs[&site].deadlock_victim() {
-                self.metrics.inc("deadlock_victims");
-                self.emit(TraceEvent::DeadlockVictim {
-                    at: self.now(),
-                    instance: victim,
-                });
-                self.abort_instance(site, victim);
-            }
+            self.sites
+                .get_mut(&site)
+                .expect("site")
+                .kill_local_deadlocks(&mut self.host);
         }
         // Wait timeouts (covers DLU holds and cross-site waits the local
         // graphs cannot see — the paper's timeout-based resolution, §6).
         let timeout = SimDuration::from_micros(self.cfg.wait_timeout_us);
-        let expired: Vec<Instance> = self
-            .blocked_since
-            .iter()
-            .filter(|(_, since)| self.now().since(**since) > timeout)
-            .map(|(i, _)| *i)
-            .collect();
-        for instance in expired {
-            self.metrics.inc("wait_timeouts");
-            self.emit(TraceEvent::WaitTimeout {
-                at: self.now(),
-                instance,
-            });
-            self.abort_instance(instance.site, instance);
+        let now = self.host.queue.now();
+        let mut blocked: Vec<(Instance, SimTime)> = Vec::new();
+        for rt in self.sites.values() {
+            blocked.extend(rt.blocked());
+        }
+        // Txn-major order, matching the single global map the scan used
+        // before the per-site split.
+        blocked.sort_by_key(|(i, _)| *i);
+        for (instance, since) in blocked {
+            if now.since(since) > timeout {
+                self.sites
+                    .get_mut(&instance.site)
+                    .expect("site")
+                    .abort_on_timeout(instance, &mut self.host);
+            }
         }
         if !self.all_work_done() {
-            self.queue.schedule_after(
+            self.host.queue.schedule_after(
                 SimDuration::from_micros(self.cfg.deadlock_scan_us),
                 Ev::DeadlockScan,
             );
         }
     }
-
-    /// A whole-site crash: every active transaction is unilaterally
-    /// aborted at once (collective abort), the volatile DLU bindings die,
-    /// and the 2PC Agent is rebuilt from its durable log (`Agent::recover`).
-    /// The durable store itself survives — committed data is safe.
-    fn on_site_crash(&mut self, site: SiteId) {
-        self.metrics.inc("site_crashes");
-        self.emit(TraceEvent::SiteCrash {
-            at: self.now(),
-            site,
-        });
-
-        // Collective abort at the LTM: roll back all active instances.
-        let victims = self.ldbs[&site].active_instances();
-        for instance in victims {
-            let resumed = match self
-                .ldbs
-                .get_mut(&site)
-                .expect("ldbs")
-                .unilateral_abort(instance)
-            {
-                Ok(r) => r,
-                Err(_) => continue,
-            };
-            self.blocked_since.remove(&instance);
-            if instance.txn.is_local() {
-                self.local_runners.remove(&instance);
-                self.local_aborted += 1;
-                self.metrics.inc("local_aborted");
-            }
-            // Crash-time resumptions are moot: any resumed instance at
-            // this site is itself about to be aborted by this loop; ones
-            // already aborted return UnknownTransaction above.
-            drop(resumed);
-        }
-        self.drain_site_log(site);
-        self.ldbs.get_mut(&site).expect("ldbs").clear_bindings();
-
-        // The agent process dies; rebuild it from the durable log with the
-        // same effective config it was created with (mode + retry clamp).
-        let log = self.agents[&site].log().clone();
-        let (agent, actions) = Agent::recover(site, self.agent_cfg, log);
-        let old = self.agents.insert(site, agent);
-        if let Some(old) = old {
-            // Keep the cumulative counters comparable across the crash.
-            let st = *old.stats();
-            self.metrics.add("prepares_accepted", st.prepares_accepted);
-            self.metrics
-                .add("refused_sn_out_of_order", st.refused_sn_out_of_order);
-            self.metrics
-                .add("refused_interval_disjoint", st.refused_interval_disjoint);
-            self.metrics.add("refused_not_alive", st.refused_not_alive);
-            self.metrics.add("resubmissions", st.resubmissions);
-            self.metrics.add("commit_retries", st.commit_retries);
-            self.metrics
-                .add("commit_cert_overrides", st.commit_cert_overrides);
-        }
-        self.run_agent_actions(site, actions);
-    }
-
-    // ------------------------------------------------------------------
-    // CGM central scheduler
-    // ------------------------------------------------------------------
-
-    fn on_cgm_request(&mut self, gtxn: GlobalTxnId) {
-        let entry = self.cgm_txns.get(&gtxn).expect("cgm txn");
-        let modes = entry.modes.clone();
-        let cnode = self.coord_of[&gtxn];
-        if self.cgm_locks.request(gtxn, modes) {
-            self.send_ctrl(CENTRAL, cnode, Ev::CgmAdmitted { gtxn });
-        }
-        // Otherwise queued; admission happens on a later release.
-    }
-
-    fn on_cgm_admitted(&mut self, gtxn: GlobalTxnId) {
-        let cnode = self.coord_of[&gtxn];
-        let program = self.cgm_txns[&gtxn].program.clone();
-        let actions = self
-            .coords
-            .get_mut(&cnode)
-            .expect("coordinator")
-            .begin(gtxn, program);
-        self.run_coord_actions(cnode, actions);
-    }
-
-    fn on_cgm_vote(&mut self, gtxn: GlobalTxnId) {
-        let entry = self.cgm_txns.get(&gtxn).expect("cgm txn");
-        let cnode = self.coord_of[&gtxn];
-        let ok = !self.cgm_graph.would_cycle(gtxn, &entry.sites);
-        if ok {
-            self.cgm_graph.insert(gtxn, entry.sites.clone());
-        }
-        self.metrics.inc(if ok {
-            "cgm_votes_ok"
-        } else {
-            "cgm_votes_cycle"
-        });
-        self.send_ctrl(CENTRAL, cnode, Ev::CgmVoteResult { gtxn, ok });
-    }
-
-    fn on_cgm_vote_result(&mut self, gtxn: GlobalTxnId, ok: bool) {
-        let cnode = self.coord_of[&gtxn];
-        if ok {
-            // Release the held PREPAREs.
-            let held =
-                std::mem::take(&mut self.cgm_txns.get_mut(&gtxn).expect("cgm txn").held_prepares);
-            for (site, msg) in held {
-                self.send(cnode, site.0, msg);
-            }
-        } else {
-            let actions = self
-                .coords
-                .get_mut(&cnode)
-                .expect("coordinator")
-                .abort_externally(gtxn);
-            self.run_coord_actions(cnode, actions);
-        }
-    }
-
-    fn on_cgm_finished(&mut self, gtxn: GlobalTxnId) {
-        self.cgm_graph.remove(gtxn);
-        self.cgm_txns.remove(&gtxn);
-        let admitted = self.cgm_locks.release(gtxn);
-        for g in admitted {
-            let cnode = self.coord_of[&g];
-            self.send_ctrl(CENTRAL, cnode, Ev::CgmAdmitted { gtxn: g });
-        }
-    }
 }
 
-/// Metric name for a message (per-kind traffic breakdown).
-fn message_kind(msg: &Message) -> &'static str {
-    match msg {
-        Message::Begin { .. } => "msg_begin",
-        Message::Dml { .. } => "msg_dml",
-        Message::Prepare { .. } => "msg_prepare",
-        Message::Commit { .. } => "msg_commit",
-        Message::Rollback { .. } => "msg_rollback",
-        Message::DmlResult { .. } => "msg_dml_result",
-        Message::Failed { .. } => "msg_failed",
-        Message::Ready { .. } => "msg_ready",
-        Message::Refuse { .. } => "msg_refuse",
-        Message::CommitAck { .. } => "msg_commit_ack",
-        Message::RollbackAck { .. } => "msg_rollback_ack",
+/// The agent configuration a protocol actually runs with: the certifier
+/// mode comes from the protocol, and the anomaly baselines get the
+/// liveness safety valve (a bounded commit-retry count).
+pub(crate) fn effective_agent_cfg(cfg: &SimConfig) -> AgentConfig {
+    let mut agent_cfg = cfg.agent;
+    agent_cfg.mode = cfg.protocol.agent_mode();
+    if !matches!(cfg.protocol, Protocol::TwoCm(mdbs_dtm::CertifierMode::Full)) {
+        agent_cfg.max_commit_retries = agent_cfg.max_commit_retries.min(200);
     }
+    agent_cfg
 }
 
 #[cfg(test)]

@@ -1,0 +1,612 @@
+//! The threaded runner: the same protocol runtimes as the simulation, but
+//! each node on its own OS thread, talking over real channels and reading
+//! the wall clock.
+//!
+//! Where [`crate::sim::Simulation`] multiplexes every
+//! [`mdbs_runtime::SiteRuntime`] and [`mdbs_runtime::CoordinatorRuntime`]
+//! onto one virtual event queue, [`ThreadedRunner`] gives each site, each
+//! coordinator, and (for CGM) the central scheduler a dedicated thread.
+//! The driver thread pre-draws the whole workload from the seeded
+//! generator, enforces the multiprogramming level, and collects terminal
+//! notices.
+//!
+//! The runner is *not* deterministic — thread scheduling and wall-clock
+//! timers interleave operations differently on every run — but every
+//! history it produces must still pass the rigor and view-serializability
+//! checkers (the protocol's guarantees cannot depend on the driver). Site
+//! crash injection is a simulation-only facility and is ignored here;
+//! unilateral-abort injection works (each site draws from its own seeded
+//! substream).
+
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use mdbs_dtm::{AgentInput, AgentStats, GlobalOutcome, Message};
+use mdbs_histories::{GlobalTxnId, Instance, Op, SiteId};
+use mdbs_ldbs::{Command, Ldbs, SiteProfile, Store};
+use mdbs_runtime::{
+    message_kind, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeHost, SiteRuntime,
+    TimeSource, Timer, TraceEvent, Transport, CENTRAL, COORD_BASE,
+};
+use mdbs_simkit::{DetRng, Metrics, SimTime};
+use mdbs_workload::WorkloadGen;
+use parking_lot::Mutex;
+
+use crate::config::{Protocol, SimConfig};
+use crate::report::{CorrectnessReport, SimReport};
+use crate::sim::effective_agent_cfg;
+
+/// What one node thread receives.
+enum NodeMsg {
+    /// A 2PC protocol message.
+    Net(Message),
+    /// A CGM control message, tagged with the sending node.
+    Ctrl { from: u32, ctrl: CtrlMsg },
+    /// Driver → coordinator: start this global transaction.
+    StartGlobal {
+        gtxn: GlobalTxnId,
+        program: Vec<(SiteId, Command)>,
+    },
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// What the driver hears back.
+enum Notice {
+    GlobalFinished { outcome: GlobalOutcome },
+    LocalSettled { committed: bool },
+}
+
+/// A timer waiting to fire inside one node thread, ordered by deadline.
+struct TimerEntry {
+    at_us: u64,
+    seq: u64,
+    timer: Timer,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-deadline-first.
+        (other.at_us, other.seq).cmp(&(self.at_us, self.seq))
+    }
+}
+
+/// Everything shared by all node threads.
+struct SharedWorld {
+    /// One sender per node (sites, coordinators, central).
+    senders: BTreeMap<u32, Sender<NodeMsg>>,
+    /// Terminal notices back to the driver.
+    notices: Sender<Notice>,
+    /// The runner's epoch; all node clocks read elapsed time from it.
+    epoch: Instant,
+    /// Global operation sequencer: each recorded op takes a stamp so the
+    /// merged history is a real-time-consistent linearization.
+    op_stamp: AtomicU64,
+    /// The merged history, as (stamp, op) pairs.
+    history: Mutex<Vec<(u64, Op)>>,
+    /// Messages handed to the transport (protocol + control).
+    messages: AtomicU64,
+}
+
+/// The per-thread [`RuntimeHost`]: real channels, the wall clock, and
+/// thread-local timer/injection queues the node's event loop drains.
+struct ThreadHost {
+    shared: Arc<SharedWorld>,
+    metrics: Metrics,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+    /// Pending unilateral-abort injections at this site.
+    injections: Vec<(u64, Instance)>,
+    inject_rng: DetRng,
+    unilateral_abort_prob: f64,
+    abort_delay_max_us: u64,
+    /// Set when a local transaction settled, so the site loop can admit
+    /// the next one from its queue.
+    local_done: bool,
+    /// Terminal outcomes reported by the coordinator running on this
+    /// thread, drained by its loop after each action batch.
+    pending_finished: Vec<(u32, GlobalTxnId, GlobalOutcome)>,
+}
+
+impl ThreadHost {
+    fn new(shared: Arc<SharedWorld>, inject_rng: DetRng, cfg: &SimConfig) -> Self {
+        ThreadHost {
+            shared,
+            metrics: Metrics::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            injections: Vec::new(),
+            inject_rng,
+            unilateral_abort_prob: cfg.workload.unilateral_abort_prob,
+            abort_delay_max_us: cfg.abort_delay_max_us,
+            local_done: false,
+            pending_finished: Vec::new(),
+        }
+    }
+
+    fn elapsed_us(&self) -> u64 {
+        self.shared.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Pop every timer due at or before `now_us`.
+    fn take_due_timers(&mut self, now_us: u64) -> Vec<Timer> {
+        let mut due = Vec::new();
+        while self.timers.peek().is_some_and(|t| t.at_us <= now_us) {
+            due.push(self.timers.pop().expect("peeked").timer);
+        }
+        due
+    }
+
+    /// Pop every injection due at or before `now_us`.
+    fn take_due_injections(&mut self, now_us: u64) -> Vec<Instance> {
+        let mut due = Vec::new();
+        self.injections.retain(|&(at, instance)| {
+            if at <= now_us {
+                due.push(instance);
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    /// Earliest pending deadline (timer or injection), if any.
+    fn next_deadline_us(&self) -> Option<u64> {
+        let t = self.timers.peek().map(|t| t.at_us);
+        let i = self.injections.iter().map(|&(at, _)| at).min();
+        match (t, i) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+}
+
+impl TimeSource for ThreadHost {
+    fn local_time_us(&mut self, _node: u32) -> u64 {
+        // One machine, one clock: no skew between nodes, but keep the
+        // same far-from-zero epoch convention as the simulation.
+        self.elapsed_us() + 3_600_000_000
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.elapsed_us())
+    }
+}
+
+impl Transport for ThreadHost {
+    fn send(&mut self, _from: u32, to: u32, msg: Message) {
+        self.metrics.inc(message_kind(&msg));
+        self.shared.messages.fetch_add(1, Ordering::Relaxed);
+        if let Some(tx) = self.shared.senders.get(&to) {
+            // A send after shutdown (receiver gone) is harmless.
+            let _ = tx.send(NodeMsg::Net(msg));
+        }
+    }
+
+    fn send_ctrl(&mut self, from: u32, to: u32, ctrl: CtrlMsg) {
+        self.shared.messages.fetch_add(1, Ordering::Relaxed);
+        if let Some(tx) = self.shared.senders.get(&to) {
+            let _ = tx.send(NodeMsg::Ctrl { from, ctrl });
+        }
+    }
+
+    fn set_timer(&mut self, _node: u32, after_us: u64, timer: Timer) {
+        let at_us = self.elapsed_us() + after_us;
+        self.timer_seq += 1;
+        self.timers.push(TimerEntry {
+            at_us,
+            seq: self.timer_seq,
+            timer,
+        });
+    }
+}
+
+impl RuntimeHost for ThreadHost {
+    fn record_op(&mut self, op: Op) {
+        let stamp = self.shared.op_stamp.fetch_add(1, Ordering::SeqCst);
+        self.shared.history.lock().push((stamp, op));
+    }
+
+    fn inc(&mut self, name: &'static str) {
+        self.metrics.inc(name);
+    }
+
+    fn add(&mut self, name: &'static str, n: u64) {
+        self.metrics.add(name, n);
+    }
+
+    fn trace(&mut self, _event: TraceEvent) {
+        // No observer support in the threaded runner.
+    }
+
+    fn prepared(&mut self, site: SiteId, gtxn: GlobalTxnId, incarnation: u32) {
+        if !self.inject_rng.chance(self.unilateral_abort_prob) {
+            return;
+        }
+        self.metrics.inc("injections_scheduled");
+        let instance = Instance::global(gtxn.0, site, incarnation);
+        let delay = if self.abort_delay_max_us == 0 {
+            0
+        } else {
+            self.inject_rng.uniform_u64(0, self.abort_delay_max_us)
+        };
+        self.injections.push((self.elapsed_us() + delay, instance));
+    }
+
+    fn local_settled(&mut self, _site: SiteId, committed: bool) {
+        if committed {
+            self.metrics.inc("local_committed");
+        } else {
+            self.metrics.inc("local_aborted");
+        }
+        self.local_done = true;
+        let _ = self.shared.notices.send(Notice::LocalSettled { committed });
+    }
+
+    fn global_finished(&mut self, cnode: u32, gtxn: GlobalTxnId, outcome: GlobalOutcome) {
+        self.pending_finished.push((cnode, gtxn, outcome));
+    }
+}
+
+/// Runs a [`SimConfig`] workload on real threads — one per site, one per
+/// coordinator, plus the CGM central scheduler — and reports in the same
+/// [`SimReport`] shape as the simulation.
+pub struct ThreadedRunner {
+    cfg: SimConfig,
+}
+
+impl ThreadedRunner {
+    /// Build a runner for the configuration. `cfg.crashes` is ignored
+    /// (crash injection is simulation-only); everything else applies.
+    pub fn new(cfg: SimConfig) -> ThreadedRunner {
+        ThreadedRunner { cfg }
+    }
+
+    /// Run the workload to completion (or the wall-clock time limit) and
+    /// report. Histories differ run to run; correctness must not.
+    pub fn run(self) -> SimReport {
+        let cfg = self.cfg;
+        let spec = cfg.workload.clone();
+        let root = DetRng::new(spec.seed);
+
+        // Pre-draw the entire workload from the seeded generator so the
+        // thread race never touches the draw order.
+        let mut gen = WorkloadGen::new(spec.clone());
+        let globals: Vec<(GlobalTxnId, Vec<(SiteId, Command)>)> = (1..=spec.global_txns)
+            .map(|k| (GlobalTxnId(k), gen.global_program()))
+            .collect();
+        // Local numbers stay globally unique, as in the simulation.
+        let mut next_local_n = 1u32;
+        let mut locals: BTreeMap<SiteId, VecDeque<(u32, Vec<Command>)>> = BTreeMap::new();
+        for s in 0..spec.sites {
+            let site = SiteId(s);
+            let queue = locals.entry(site).or_default();
+            for _ in 0..spec.local_txns_per_site {
+                let n = next_local_n;
+                next_local_n += 1;
+                queue.push_back((n, gen.local_program(site)));
+            }
+        }
+
+        let cgm = matches!(cfg.protocol, Protocol::Cgm);
+        let agent_cfg = effective_agent_cfg(&cfg);
+
+        let mut senders = BTreeMap::new();
+        let mut receivers: BTreeMap<u32, Receiver<NodeMsg>> = BTreeMap::new();
+        let mut register = |node: u32| {
+            let (tx, rx) = unbounded();
+            senders.insert(node, tx);
+            receivers.insert(node, rx);
+        };
+        for s in 0..spec.sites {
+            register(s);
+        }
+        for c in 0..cfg.coordinators {
+            register(COORD_BASE + c);
+        }
+        if cgm {
+            register(CENTRAL);
+        }
+
+        let (notice_tx, notice_rx) = unbounded();
+        let shared = Arc::new(SharedWorld {
+            senders,
+            notices: notice_tx,
+            epoch: Instant::now(),
+            op_stamp: AtomicU64::new(0),
+            history: Mutex::new(Vec::new()),
+            messages: AtomicU64::new(0),
+        });
+
+        let deadline = shared.epoch + Duration::from_secs_f64(cfg.time_limit.as_secs_f64());
+        let mut site_stats: Vec<AgentStats> = Vec::new();
+        let mut metrics = Metrics::new();
+
+        crossbeam::thread::scope(|scope| {
+            let cfg = &cfg;
+            let mut site_handles = Vec::new();
+            for s in 0..spec.sites {
+                let site = SiteId(s);
+                let mut engine = Ldbs::new(
+                    site,
+                    SiteProfile::for_site(s),
+                    Store::with_rows(spec.items_per_site, spec.initial_value),
+                );
+                engine.set_enforce_dlu(spec.enforce_dlu);
+                let rt = SiteRuntime::new(site, agent_cfg, engine, cfg.ltm_service_us);
+                let rx = receivers[&s].clone();
+                let host = ThreadHost::new(
+                    Arc::clone(&shared),
+                    root.substream_n("inject", s as u64),
+                    cfg,
+                );
+                let local_queue = locals.remove(&site).unwrap_or_default();
+                site_handles.push(
+                    scope.spawn(move |_| site_loop(rt, host, rx, local_queue, cfg, deadline)),
+                );
+            }
+            let mut coord_handles = Vec::new();
+            for c in 0..cfg.coordinators {
+                let node = COORD_BASE + c;
+                let rt = CoordinatorRuntime::new(node, cgm);
+                let rx = receivers[&node].clone();
+                let host = ThreadHost::new(Arc::clone(&shared), root.substream("unused"), cfg);
+                coord_handles.push(scope.spawn(move |_| coord_loop(rt, host, rx, cgm)));
+            }
+            let central_handle = if cgm {
+                let rt = CentralRuntime::new();
+                let rx = receivers[&CENTRAL].clone();
+                let host = ThreadHost::new(Arc::clone(&shared), root.substream("unused"), cfg);
+                Some(scope.spawn(move |_| central_loop(rt, host, rx)))
+            } else {
+                None
+            };
+
+            // ---------------- Driver ----------------
+            let total_locals = spec.sites as u64 * spec.local_txns_per_site as u64;
+            let mut ready: VecDeque<(GlobalTxnId, Vec<(SiteId, Command)>)> =
+                globals.into_iter().collect();
+            let mut in_flight = 0u32;
+            let mut settled_globals = 0u64;
+            let mut settled_locals = 0u64;
+            let mut committed = 0u64;
+            let mut aborted = 0u64;
+            let mut local_committed = 0u64;
+            let mut local_aborted = 0u64;
+
+            let admit =
+                |in_flight: &mut u32,
+                 ready: &mut VecDeque<(GlobalTxnId, Vec<(SiteId, Command)>)>| {
+                    while *in_flight < spec.mpl {
+                        let Some((gtxn, program)) = ready.pop_front() else {
+                            return;
+                        };
+                        *in_flight += 1;
+                        let cnode = COORD_BASE + (gtxn.0 % cfg.coordinators);
+                        let _ = shared.senders[&cnode].send(NodeMsg::StartGlobal { gtxn, program });
+                    }
+                };
+            admit(&mut in_flight, &mut ready);
+
+            while settled_globals < spec.global_txns as u64 || settled_locals < total_locals {
+                if Instant::now() >= deadline {
+                    break; // wall-clock safety valve; report what settled
+                }
+                match notice_rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(Notice::GlobalFinished { outcome }) => {
+                        settled_globals += 1;
+                        in_flight -= 1;
+                        match outcome {
+                            GlobalOutcome::Committed => committed += 1,
+                            GlobalOutcome::Aborted => aborted += 1,
+                        }
+                        admit(&mut in_flight, &mut ready);
+                    }
+                    Ok(Notice::LocalSettled { committed: ok }) => {
+                        settled_locals += 1;
+                        if ok {
+                            local_committed += 1;
+                        } else {
+                            local_aborted += 1;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            let finished_at = SimTime::from_micros(shared.epoch.elapsed().as_micros() as u64);
+
+            for tx in shared.senders.values() {
+                let _ = tx.send(NodeMsg::Shutdown);
+            }
+            for h in site_handles {
+                let (m, st) = h.join().expect("site thread");
+                metrics.merge(&m);
+                site_stats.push(st);
+            }
+            for h in coord_handles {
+                let m = h.join().expect("coordinator thread");
+                metrics.merge(&m);
+            }
+            if let Some(h) = central_handle {
+                let m = h.join().expect("central thread");
+                metrics.merge(&m);
+            }
+
+            metrics.add("global_committed", committed);
+            metrics.add("global_aborted", aborted);
+
+            let mut ops = std::mem::take(&mut *shared.history.lock());
+            ops.sort_by_key(|&(stamp, _)| stamp);
+            let history = mdbs_histories::History::from_ops(ops.into_iter().map(|(_, op)| op));
+            let checks = CorrectnessReport::analyze(&history, spec.sites);
+            for st in &site_stats {
+                metrics.add("prepares_accepted", st.prepares_accepted);
+                metrics.add("refused_sn_out_of_order", st.refused_sn_out_of_order);
+                metrics.add("refused_interval_disjoint", st.refused_interval_disjoint);
+                metrics.add("refused_not_alive", st.refused_not_alive);
+                metrics.add("resubmissions", st.resubmissions);
+                metrics.add("commit_retries", st.commit_retries);
+                metrics.add("commit_cert_overrides", st.commit_cert_overrides);
+            }
+            SimReport {
+                protocol: cfg.protocol.label(),
+                history,
+                checks,
+                committed,
+                aborted,
+                local_committed,
+                local_aborted,
+                messages: shared.messages.load(Ordering::Relaxed),
+                finished_at,
+                metrics,
+            }
+        })
+        .expect("threaded runner scope")
+    }
+}
+
+/// One site's event loop: deliver messages, fire timers and injections,
+/// run queued local transactions one at a time, and scan for deadlocks.
+fn site_loop(
+    mut rt: SiteRuntime,
+    mut host: ThreadHost,
+    rx: Receiver<NodeMsg>,
+    mut local_queue: VecDeque<(u32, Vec<Command>)>,
+    cfg: &SimConfig,
+    deadline: Instant,
+) -> (Metrics, AgentStats) {
+    let mut local_active = false;
+    let mut next_scan_us = cfg.deadlock_scan_us;
+    loop {
+        let now_us = host.elapsed_us();
+
+        // Fire everything due; firing can schedule more due work (e.g.
+        // zero-delay LTM service), so loop until quiescent.
+        loop {
+            let due_timers = host.take_due_timers(now_us);
+            let due_injections = host.take_due_injections(now_us);
+            if due_timers.is_empty() && due_injections.is_empty() {
+                break;
+            }
+            for timer in due_timers {
+                match timer {
+                    Timer::Alive { gtxn } => {
+                        rt.agent_input(AgentInput::AliveTimer { gtxn }, &mut host)
+                    }
+                    Timer::CommitRetry { gtxn } => {
+                        rt.agent_input(AgentInput::CommitRetryTimer { gtxn }, &mut host)
+                    }
+                    Timer::LtmExec { instance, command } => {
+                        rt.ltm_exec(instance, command, &mut host)
+                    }
+                }
+            }
+            for instance in due_injections {
+                rt.inject_abort(instance, &mut host);
+            }
+        }
+
+        if now_us >= next_scan_us {
+            next_scan_us = now_us + cfg.deadlock_scan_us;
+            rt.kill_local_deadlocks(&mut host);
+            let timeout = mdbs_simkit::SimDuration::from_micros(cfg.wait_timeout_us);
+            let now = host.now();
+            let expired: Vec<Instance> = rt
+                .blocked()
+                .filter(|&(_, since)| now.since(since) > timeout)
+                .map(|(i, _)| i)
+                .collect();
+            for instance in expired {
+                rt.abort_on_timeout(instance, &mut host);
+            }
+        }
+
+        // Admit the next queued local once the previous one settled.
+        if host.local_done {
+            host.local_done = false;
+            local_active = false;
+        }
+        if !local_active {
+            if let Some((n, commands)) = local_queue.pop_front() {
+                local_active = true;
+                rt.start_local(n, commands, &mut host);
+                continue; // the start may already have settled it
+            }
+        }
+
+        if Instant::now() >= deadline {
+            break;
+        }
+        let wait_us = host
+            .next_deadline_us()
+            .map(|at| at.saturating_sub(host.elapsed_us()))
+            .unwrap_or(u64::MAX)
+            .min(cfg.deadlock_scan_us.max(1))
+            .max(1);
+        match rx.recv_timeout(Duration::from_micros(wait_us)) {
+            Ok(NodeMsg::Net(msg)) => rt.agent_input(AgentInput::Deliver(msg), &mut host),
+            Ok(NodeMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+            Ok(NodeMsg::Ctrl { .. }) | Ok(NodeMsg::StartGlobal { .. }) => {
+                unreachable!("sites receive no control traffic")
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+    (host.metrics, *rt.agent().stats())
+}
+
+/// One coordinator's event loop. Coordinators are purely reactive — no
+/// timers — so a blocking receive suffices.
+fn coord_loop(
+    mut rt: CoordinatorRuntime,
+    mut host: ThreadHost,
+    rx: Receiver<NodeMsg>,
+    cgm: bool,
+) -> Metrics {
+    loop {
+        match rx.recv() {
+            Ok(NodeMsg::Net(msg)) => rt.on_message(msg, &mut host),
+            Ok(NodeMsg::Ctrl { from: _, ctrl }) => rt.on_ctrl(ctrl, &mut host),
+            Ok(NodeMsg::StartGlobal { gtxn, program }) => rt.begin(gtxn, program, &mut host),
+            Ok(NodeMsg::Shutdown) | Err(_) => break,
+        }
+        // Finished is always the tail of a batch; settle it now.
+        for (cnode, gtxn, outcome) in std::mem::take(&mut host.pending_finished) {
+            if cgm {
+                rt.cgm_cleanup(gtxn);
+                host.send_ctrl(cnode, CENTRAL, CtrlMsg::CgmFinished { gtxn });
+            }
+            let _ = host.shared.notices.send(Notice::GlobalFinished { outcome });
+        }
+    }
+    host.metrics
+}
+
+/// The CGM central scheduler's event loop.
+fn central_loop(mut rt: CentralRuntime, mut host: ThreadHost, rx: Receiver<NodeMsg>) -> Metrics {
+    loop {
+        match rx.recv() {
+            Ok(NodeMsg::Ctrl { from, ctrl }) => rt.on_ctrl(from, ctrl, &mut host),
+            Ok(NodeMsg::Shutdown) | Err(_) => break,
+            Ok(_) => unreachable!("central receives only control traffic"),
+        }
+    }
+    host.metrics
+}

@@ -1,0 +1,66 @@
+//! The CGM central scheduler's runtime, driven through a [`RuntimeHost`].
+
+use std::collections::BTreeMap;
+
+use mdbs_baselines::{CommitGraph, GlobalLockManager};
+use mdbs_histories::GlobalTxnId;
+
+use crate::host::{CtrlMsg, RuntimeHost};
+use crate::CENTRAL;
+
+/// The Commit Graph Method's central scheduler: site-granularity global
+/// locks for admission, and a commit-graph loop check before any PREPARE
+/// is released.
+#[derive(Debug, Default)]
+pub struct CentralRuntime {
+    locks: GlobalLockManager,
+    graph: CommitGraph,
+    /// Which coordinator to answer, per admitted transaction.
+    cnode_of: BTreeMap<GlobalTxnId, u32>,
+}
+
+impl CentralRuntime {
+    /// A fresh scheduler with no admitted transactions.
+    pub fn new() -> Self {
+        CentralRuntime {
+            locks: GlobalLockManager::new(),
+            graph: CommitGraph::new(),
+            cnode_of: BTreeMap::new(),
+        }
+    }
+
+    /// A control message from coordinator `from` arrived.
+    pub fn on_ctrl<H: RuntimeHost>(&mut self, from: u32, ctrl: CtrlMsg, host: &mut H) {
+        match ctrl {
+            CtrlMsg::CgmRequest { gtxn, modes } => {
+                self.cnode_of.insert(gtxn, from);
+                if self.locks.request(gtxn, modes) {
+                    host.send_ctrl(CENTRAL, from, CtrlMsg::CgmAdmitted { gtxn });
+                }
+                // Otherwise queued; admission happens on a later release.
+            }
+            CtrlMsg::CgmVote { gtxn, sites } => {
+                let ok = !self.graph.would_cycle(gtxn, &sites);
+                if ok {
+                    self.graph.insert(gtxn, sites);
+                }
+                host.inc(if ok {
+                    "cgm_votes_ok"
+                } else {
+                    "cgm_votes_cycle"
+                });
+                host.send_ctrl(CENTRAL, from, CtrlMsg::CgmVoteResult { gtxn, ok });
+            }
+            CtrlMsg::CgmFinished { gtxn } => {
+                self.graph.remove(gtxn);
+                self.cnode_of.remove(&gtxn);
+                let admitted = self.locks.release(gtxn);
+                for g in admitted {
+                    let cnode = self.cnode_of[&g];
+                    host.send_ctrl(CENTRAL, cnode, CtrlMsg::CgmAdmitted { gtxn: g });
+                }
+            }
+            other => panic!("central scheduler received unexpected control message {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! One coordinator node's runtime, driven through a [`RuntimeHost`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mdbs_baselines::SiteLockMode;
+use mdbs_dtm::{CoordAction, Coordinator, Message};
+use mdbs_histories::{GlobalTxnId, Op, SiteId};
+use mdbs_ldbs::Command;
+
+use crate::host::{CtrlMsg, RuntimeHost};
+use crate::CENTRAL;
+
+/// CGM bookkeeping for one global transaction at its coordinator.
+#[derive(Debug)]
+struct CgmEntry {
+    sites: BTreeSet<SiteId>,
+    program: Vec<(SiteId, Command)>,
+    /// PREPARE messages buffered until the commit-graph vote passes.
+    held_prepares: Vec<(SiteId, Message)>,
+}
+
+/// Wraps one [`Coordinator`] and interprets its [`CoordAction`]s.
+///
+/// Under the CGM baseline the runtime also owns the coordinator side of
+/// the central-scheduler handshake: admission before `begin`, and holding
+/// PREPAREs until the commit-graph vote passes.
+#[derive(Debug)]
+pub struct CoordinatorRuntime {
+    node: u32,
+    cgm: bool,
+    inner: Coordinator,
+    cgm_txns: BTreeMap<GlobalTxnId, CgmEntry>,
+}
+
+impl CoordinatorRuntime {
+    /// Build the runtime for coordinator `node`; `cgm` selects the
+    /// Commit Graph Method's admission/vote path.
+    pub fn new(node: u32, cgm: bool) -> Self {
+        CoordinatorRuntime {
+            node,
+            cgm,
+            inner: Coordinator::new(node),
+            cgm_txns: BTreeMap::new(),
+        }
+    }
+
+    /// The node this coordinator runs at.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Start a transaction. Under 2CM this begins 2PC right away; under
+    /// CGM it first requests admission from the central scheduler.
+    pub fn begin<H: RuntimeHost>(
+        &mut self,
+        gtxn: GlobalTxnId,
+        program: Vec<(SiteId, Command)>,
+        host: &mut H,
+    ) {
+        if self.cgm {
+            // Admission through the central scheduler first.
+            let sites: BTreeSet<SiteId> = program.iter().map(|(s, _)| *s).collect();
+            let mut modes: BTreeMap<SiteId, SiteLockMode> = BTreeMap::new();
+            for (s, c) in &program {
+                let e = modes.entry(*s).or_insert(SiteLockMode::Read);
+                if c.is_update() {
+                    *e = SiteLockMode::Update;
+                }
+            }
+            self.cgm_txns.insert(
+                gtxn,
+                CgmEntry {
+                    sites,
+                    program,
+                    held_prepares: Vec::new(),
+                },
+            );
+            host.send_ctrl(
+                self.node,
+                CENTRAL,
+                CtrlMsg::CgmRequest {
+                    gtxn,
+                    modes: modes.into_iter().collect(),
+                },
+            );
+        } else {
+            let actions = self.inner.begin(gtxn, program);
+            self.run_actions(actions, host);
+        }
+    }
+
+    /// A 2PC message from a site agent arrived.
+    pub fn on_message<H: RuntimeHost>(&mut self, msg: Message, host: &mut H) {
+        let now_local = host.local_time_us(self.node);
+        let actions = self.inner.on_message(now_local, msg);
+        self.run_actions(actions, host);
+    }
+
+    /// A control message from the central scheduler arrived.
+    pub fn on_ctrl<H: RuntimeHost>(&mut self, ctrl: CtrlMsg, host: &mut H) {
+        match ctrl {
+            CtrlMsg::CgmAdmitted { gtxn } => {
+                let program = self.cgm_txns[&gtxn].program.clone();
+                let actions = self.inner.begin(gtxn, program);
+                self.run_actions(actions, host);
+            }
+            CtrlMsg::CgmVoteResult { gtxn, ok } => {
+                if ok {
+                    // Release the held PREPAREs.
+                    let held = std::mem::take(
+                        &mut self.cgm_txns.get_mut(&gtxn).expect("cgm txn").held_prepares,
+                    );
+                    for (site, msg) in held {
+                        host.send(self.node, site.0, msg);
+                    }
+                } else {
+                    let actions = self.inner.abort_externally(gtxn);
+                    self.run_actions(actions, host);
+                }
+            }
+            other => panic!("coordinator received unexpected control message {other:?}"),
+        }
+    }
+
+    /// Drop the CGM bookkeeping of a finished transaction.
+    pub fn cgm_cleanup(&mut self, gtxn: GlobalTxnId) {
+        self.cgm_txns.remove(&gtxn);
+    }
+
+    fn run_actions<H: RuntimeHost>(&mut self, actions: Vec<CoordAction>, host: &mut H) {
+        for action in actions {
+            match action {
+                CoordAction::ToAgent { site, msg } => {
+                    // CGM: hold PREPAREs until the commit-graph vote.
+                    if self.cgm {
+                        if let Message::Prepare { gtxn, .. } = msg {
+                            let entry = self.cgm_txns.get_mut(&gtxn).expect("cgm txn");
+                            entry.held_prepares.push((site, msg));
+                            if entry.held_prepares.len() == entry.sites.len() {
+                                let sites = entry.sites.clone();
+                                host.send_ctrl(
+                                    self.node,
+                                    CENTRAL,
+                                    CtrlMsg::CgmVote { gtxn, sites },
+                                );
+                            }
+                            continue;
+                        }
+                    }
+                    host.send(self.node, site.0, msg);
+                }
+                CoordAction::RecordGlobalCommit(gtxn) => {
+                    host.record_op(Op::global_commit(gtxn.0));
+                }
+                CoordAction::RecordGlobalAbort(gtxn) => {
+                    host.record_op(Op::global_abort(gtxn.0));
+                }
+                CoordAction::Finished { gtxn, outcome } => {
+                    host.global_finished(self.node, gtxn, outcome);
+                }
+            }
+        }
+    }
+}

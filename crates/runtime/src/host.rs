@@ -1,0 +1,150 @@
+//! The host traits through which runtimes act on the world.
+//!
+//! A *driver* (the discrete-event simulation, the threaded runner, …) owns
+//! the runtimes and hands them a host implementing these traits. The
+//! runtimes stay pure protocol logic: the host decides what "send",
+//! "timer" and "clock" mean.
+
+use std::collections::BTreeSet;
+
+use mdbs_baselines::SiteLockMode;
+use mdbs_dtm::{GlobalOutcome, Message};
+use mdbs_histories::{GlobalTxnId, Instance, Op, SiteId};
+use mdbs_ldbs::Command;
+use mdbs_simkit::SimTime;
+
+use crate::trace::TraceEvent;
+
+/// Per-node clocks. The simulation reads skewed, drifting [`mdbs_simkit::SiteClock`]s
+/// against virtual time; the threaded runner reads the wall clock.
+pub trait TimeSource {
+    /// The node's local clock, µs. This is what agents and coordinators
+    /// timestamp protocol steps with (serial numbers, alive intervals).
+    fn local_time_us(&mut self, node: u32) -> u64;
+
+    /// The driver's reference time, used for trace events and wait-timeout
+    /// bookkeeping. Virtual time under the simulation, elapsed wall time
+    /// under the threaded runner.
+    fn now(&self) -> SimTime;
+}
+
+/// A timer a runtime asks its host to fire later, back into the same node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Timer {
+    /// Agent alive-check timer (Appendix A).
+    Alive {
+        /// The transaction being alive-checked.
+        gtxn: GlobalTxnId,
+    },
+    /// Agent commit-certification retry timer (Appendix C).
+    CommitRetry {
+        /// The transaction whose commit certification is retried.
+        gtxn: GlobalTxnId,
+    },
+    /// The LTM starts executing a command (service delay elapsed).
+    LtmExec {
+        /// The executing instance.
+        instance: Instance,
+        /// The command to submit.
+        command: Command,
+    },
+}
+
+/// CGM control-plane traffic between coordinators and the central
+/// scheduler. Carried by the transport like protocol messages (and billed
+/// like them), but never seen by site agents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Coordinator → central: admission request with the site-lock modes.
+    CgmRequest {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// Requested site locks.
+        modes: Vec<(SiteId, SiteLockMode)>,
+    },
+    /// Central → coordinator: admission granted.
+    CgmAdmitted {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+    },
+    /// Coordinator → central: commit-graph vote request.
+    CgmVote {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// Its participant sites.
+        sites: BTreeSet<SiteId>,
+    },
+    /// Central → coordinator: vote verdict.
+    CgmVoteResult {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// Whether the commit graph stayed loop-free.
+        ok: bool,
+    },
+    /// Coordinator → central: transaction finished, release its locks.
+    CgmFinished {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+    },
+}
+
+/// Message and timer delivery.
+pub trait Transport {
+    /// Hand a 2PC protocol message to the network.
+    fn send(&mut self, from: u32, to: u32, msg: Message);
+
+    /// Hand a CGM control message to the network.
+    fn send_ctrl(&mut self, from: u32, to: u32, ctrl: CtrlMsg);
+
+    /// Fire `timer` back into `node` after `after_us` of local delay.
+    fn set_timer(&mut self, node: u32, after_us: u64, timer: Timer);
+}
+
+/// Everything a runtime needs from its driver: transport + time plus the
+/// history/metric sinks and the lifecycle hooks that stay driver-side
+/// (failure injection, admission control).
+pub trait RuntimeHost: Transport + TimeSource {
+    /// Append one operation to the global history.
+    fn record_op(&mut self, op: Op);
+
+    /// Increment a counter metric.
+    fn inc(&mut self, name: &'static str);
+
+    /// Add to a counter metric.
+    fn add(&mut self, name: &'static str, n: u64);
+
+    /// Emit a protocol trace event (ignored by hosts without observers).
+    fn trace(&mut self, event: TraceEvent);
+
+    /// A subtransaction just entered the prepared state. The driver owns
+    /// failure injection and may schedule a unilateral abort against
+    /// `Instance::global(gtxn, site, incarnation)`.
+    fn prepared(&mut self, site: SiteId, gtxn: GlobalTxnId, incarnation: u32);
+
+    /// A local transaction settled (committed or aborted) at `site`.
+    fn local_settled(&mut self, site: SiteId, committed: bool);
+
+    /// A global transaction reached its terminal outcome at coordinator
+    /// `cnode`. Drivers defer the heavy lifting (admission of queued work,
+    /// latency accounting, CGM lock release) until the current action
+    /// batch has fully unwound — `Finished` is always the last action a
+    /// coordinator emits, so the deferral preserves event order.
+    fn global_finished(&mut self, cnode: u32, gtxn: GlobalTxnId, outcome: GlobalOutcome);
+}
+
+/// Metric name for a message (per-kind traffic breakdown).
+pub fn message_kind(msg: &Message) -> &'static str {
+    match msg {
+        Message::Begin { .. } => "msg_begin",
+        Message::Dml { .. } => "msg_dml",
+        Message::Prepare { .. } => "msg_prepare",
+        Message::Commit { .. } => "msg_commit",
+        Message::Rollback { .. } => "msg_rollback",
+        Message::DmlResult { .. } => "msg_dml_result",
+        Message::Failed { .. } => "msg_failed",
+        Message::Ready { .. } => "msg_ready",
+        Message::Refuse { .. } => "msg_refuse",
+        Message::CommitAck { .. } => "msg_commit_ack",
+        Message::RollbackAck { .. } => "msg_rollback_ack",
+    }
+}

@@ -1,0 +1,42 @@
+//! # mdbs-runtime
+//!
+//! Transport-agnostic protocol runtimes, extracted from the simulation
+//! monolith so the same state machines can run under different drivers:
+//!
+//! - [`SiteRuntime`] couples one site's 2PC Agent with its LDBS engine and
+//!   local-transaction runners, and interprets every
+//!   [`mdbs_dtm::AgentAction`].
+//! - [`CoordinatorRuntime`] wraps one coordinator node and interprets
+//!   [`mdbs_dtm::CoordAction`]s, including the CGM baseline's
+//!   prepare-holding path.
+//! - [`CentralRuntime`] is the CGM central scheduler (site-granularity
+//!   global locks + commit-graph loop check).
+//!
+//! Runtimes never touch a network, a clock, or an event queue directly.
+//! Every effect goes through the [`Transport`] / [`TimeSource`] trait pair
+//! (bundled, with the metric/history/lifecycle sinks, into
+//! [`RuntimeHost`]). Two drivers exist today: the deterministic
+//! discrete-event simulation in `mdbs-sim` (bit-for-bit reproducible per
+//! seed) and its threaded runner (one OS thread per node, real channels
+//! and clocks).
+//!
+//! Node numbering is shared by every driver: site agents live at
+//! `node = site id`, coordinators at [`COORD_BASE`]` + i`, the CGM central
+//! scheduler at [`CENTRAL`].
+
+pub mod central;
+pub mod coordinator;
+pub mod host;
+pub mod site;
+pub mod trace;
+
+pub use central::CentralRuntime;
+pub use coordinator::CoordinatorRuntime;
+pub use host::{message_kind, CtrlMsg, RuntimeHost, TimeSource, Timer, Transport};
+pub use site::SiteRuntime;
+pub use trace::{Observer, TraceEvent};
+
+/// First coordinator node id.
+pub const COORD_BASE: u32 = 1_000_000;
+/// The CGM central scheduler's node id.
+pub const CENTRAL: u32 = 2_000_000;

@@ -1,0 +1,351 @@
+//! One site's runtime: the 2PC Agent, its LDBS engine, and the runners of
+//! purely local transactions, driven through a [`RuntimeHost`].
+
+use std::collections::BTreeMap;
+
+use mdbs_dtm::{Agent, AgentAction, AgentConfig, AgentInput};
+use mdbs_histories::{Instance, SiteId, Txn};
+use mdbs_ldbs::{Command, EngineError, ExecStep, Ldbs, ResumedExec};
+use mdbs_simkit::SimTime;
+
+use crate::host::{RuntimeHost, Timer};
+use crate::trace::TraceEvent;
+
+/// A local transaction being driven directly against its LTM.
+#[derive(Debug)]
+struct LocalRunner {
+    commands: Vec<Command>,
+    next: usize,
+}
+
+/// The per-site half of the protocol: agent + engine + local runners.
+///
+/// Interprets [`AgentAction`]s against the engine and turns engine
+/// progress back into [`AgentInput`]s; everything that leaves the site
+/// (messages, timers, history ops) goes through the host.
+#[derive(Debug)]
+pub struct SiteRuntime {
+    site: SiteId,
+    /// Effective agent configuration (protocol mode + safety-valve clamp
+    /// applied); crash recovery must rebuild the agent from *this*, not
+    /// from any raw driver config.
+    agent_cfg: AgentConfig,
+    /// LTM service delay per DML command, µs.
+    ltm_service_us: u64,
+    agent: Agent,
+    ldbs: Ldbs,
+    local_runners: BTreeMap<Instance, LocalRunner>,
+    /// Blocked-instance tracking for the wait timeout.
+    blocked_since: BTreeMap<Instance, SimTime>,
+}
+
+impl SiteRuntime {
+    /// Build the runtime for `site` around an already-configured engine.
+    pub fn new(site: SiteId, agent_cfg: AgentConfig, engine: Ldbs, ltm_service_us: u64) -> Self {
+        SiteRuntime {
+            site,
+            agent_cfg,
+            ltm_service_us,
+            agent: Agent::new(site, agent_cfg),
+            ldbs: engine,
+            local_runners: BTreeMap::new(),
+            blocked_since: BTreeMap::new(),
+        }
+    }
+
+    /// The site this runtime serves.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Read access to the agent (for end-of-run statistics).
+    pub fn agent(&self) -> &Agent {
+        &self.agent
+    }
+
+    /// Whether any local transaction is still running here.
+    pub fn has_local_work(&self) -> bool {
+        !self.local_runners.is_empty()
+    }
+
+    /// Snapshot of the currently blocked instances and since when.
+    pub fn blocked(&self) -> impl Iterator<Item = (Instance, SimTime)> + '_ {
+        self.blocked_since.iter().map(|(i, t)| (*i, *t))
+    }
+
+    // ------------------------------------------------------------------
+    // Agent plumbing
+    // ------------------------------------------------------------------
+
+    /// Feed one input to the agent and interpret the resulting actions.
+    pub fn agent_input<H: RuntimeHost>(&mut self, input: AgentInput, host: &mut H) {
+        let now_local = host.local_time_us(self.site.0);
+        let actions = self.agent.handle(now_local, input);
+        self.run_agent_actions(actions, host);
+    }
+
+    fn run_agent_actions<H: RuntimeHost>(&mut self, actions: Vec<AgentAction>, host: &mut H) {
+        for action in actions {
+            match action {
+                AgentAction::Reply { coord, msg } => host.send(self.site.0, coord, msg),
+                AgentAction::LtmBegin(instance) => {
+                    self.ldbs.begin(instance).expect("begin");
+                }
+                AgentAction::LtmSubmit { instance, command } => {
+                    host.set_timer(
+                        self.site.0,
+                        self.ltm_service_us,
+                        Timer::LtmExec { instance, command },
+                    );
+                }
+                AgentAction::LtmCommit(instance) => {
+                    let resumed = self.ldbs.commit(instance).expect("agent commit");
+                    self.drain_log(host);
+                    self.process_resumed(resumed, host);
+                }
+                AgentAction::LtmAbort(instance) => match self.ldbs.abort(instance) {
+                    Ok(resumed) => {
+                        self.blocked_since.remove(&instance);
+                        self.drain_log(host);
+                        self.process_resumed(resumed, host);
+                    }
+                    Err(EngineError::UnknownTransaction(_)) => {}
+                    Err(e) => panic!("agent abort failed: {e:?}"),
+                },
+                AgentAction::Bind { keys, owner } => {
+                    self.ldbs.bind(keys, owner);
+                }
+                AgentAction::Unbind { owner } => {
+                    let resumed = self.ldbs.unbind_all_of(owner);
+                    self.drain_log(host);
+                    self.process_resumed(resumed, host);
+                }
+                AgentAction::RecordPrepare(gtxn) => {
+                    host.record_op(mdbs_histories::Op::prepare(gtxn.0, self.site));
+                    host.trace(TraceEvent::Prepared {
+                        at: host.now(),
+                        site: self.site,
+                        gtxn,
+                    });
+                    let incarnation = self.agent.incarnation_of(gtxn).expect("just prepared");
+                    host.prepared(self.site, gtxn, incarnation);
+                }
+                AgentAction::StartAliveTimer { gtxn, after_us } => {
+                    host.set_timer(self.site.0, after_us, Timer::Alive { gtxn });
+                }
+                AgentAction::StartCommitRetryTimer { gtxn, after_us } => {
+                    host.set_timer(self.site.0, after_us, Timer::CommitRetry { gtxn });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Engine plumbing
+    // ------------------------------------------------------------------
+
+    /// A [`Timer::LtmExec`] fired: the service delay elapsed, submit the
+    /// command to the engine.
+    pub fn ltm_exec<H: RuntimeHost>(&mut self, instance: Instance, command: Command, host: &mut H) {
+        let step = match self.ldbs.submit(instance, &command) {
+            Ok(step) => step,
+            Err(EngineError::UnknownTransaction(_)) => return, // aborted meanwhile
+            Err(e) => panic!("submit failed: {e:?}"),
+        };
+        self.drain_log(host);
+        self.handle_exec_step(instance, step, host);
+    }
+
+    fn handle_exec_step<H: RuntimeHost>(
+        &mut self,
+        instance: Instance,
+        step: ExecStep,
+        host: &mut H,
+    ) {
+        match step {
+            ExecStep::Blocked => {
+                // Every Blocked report follows fresh progress (a new
+                // submission, or a lock grant that advanced the plan to its
+                // next operation), so the wait-timeout clock restarts.
+                let now = host.now();
+                self.blocked_since.insert(instance, now);
+            }
+            ExecStep::Done(result) => {
+                self.blocked_since.remove(&instance);
+                match instance.txn {
+                    Txn::Global(gtxn) => {
+                        self.agent_input(AgentInput::LtmDone { gtxn, result }, host);
+                    }
+                    Txn::Local(_) => self.advance_local(instance, host),
+                }
+            }
+        }
+    }
+
+    fn process_resumed<H: RuntimeHost>(&mut self, resumed: Vec<ResumedExec>, host: &mut H) {
+        for r in resumed {
+            self.handle_exec_step(r.instance, r.step, host);
+        }
+    }
+
+    fn drain_log<H: RuntimeHost>(&mut self, host: &mut H) {
+        for op in self.ldbs.take_log() {
+            host.record_op(op);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Local transactions
+    // ------------------------------------------------------------------
+
+    /// Start a local transaction with the given site-unique number and
+    /// program (the driver draws both from the workload).
+    pub fn start_local<H: RuntimeHost>(&mut self, n: u32, commands: Vec<Command>, host: &mut H) {
+        let instance = Instance::local(self.site, n);
+        self.ldbs.begin(instance).expect("local begin");
+        let first = commands[0];
+        self.local_runners
+            .insert(instance, LocalRunner { commands, next: 0 });
+        host.set_timer(
+            self.site.0,
+            self.ltm_service_us,
+            Timer::LtmExec {
+                instance,
+                command: first,
+            },
+        );
+    }
+
+    fn advance_local<H: RuntimeHost>(&mut self, instance: Instance, host: &mut H) {
+        let Some(runner) = self.local_runners.get_mut(&instance) else {
+            return; // aborted meanwhile
+        };
+        runner.next += 1;
+        if runner.next < runner.commands.len() {
+            let command = runner.commands[runner.next];
+            host.set_timer(
+                self.site.0,
+                self.ltm_service_us,
+                Timer::LtmExec { instance, command },
+            );
+            return;
+        }
+        // Program complete: commit at the LTM.
+        self.local_runners.remove(&instance);
+        let resumed = self.ldbs.commit(instance).expect("local commit");
+        host.local_settled(self.site, true);
+        self.drain_log(host);
+        self.process_resumed(resumed, host);
+    }
+
+    // ------------------------------------------------------------------
+    // Failures, deadlocks, timeouts
+    // ------------------------------------------------------------------
+
+    /// An injected unilateral abort strikes `instance` (no-op if it
+    /// already committed or was replaced).
+    pub fn inject_abort<H: RuntimeHost>(&mut self, instance: Instance, host: &mut H) {
+        if !self.ldbs.is_active(instance) {
+            return; // already committed or replaced
+        }
+        host.inc("injected_unilateral_aborts");
+        host.trace(TraceEvent::UnilateralAbort {
+            at: host.now(),
+            instance,
+        });
+        self.abort_instance(instance, host);
+    }
+
+    /// Unilaterally abort an instance at the LTM and notify the agent (UAN).
+    pub fn abort_instance<H: RuntimeHost>(&mut self, instance: Instance, host: &mut H) {
+        let resumed = match self.ldbs.unilateral_abort(instance) {
+            Ok(r) => r,
+            Err(EngineError::UnknownTransaction(_)) => return,
+            Err(e) => panic!("unilateral abort failed: {e:?}"),
+        };
+        self.blocked_since.remove(&instance);
+        self.drain_log(host);
+        match instance.txn {
+            Txn::Global(_) => {
+                self.agent_input(AgentInput::Uan { instance }, host);
+            }
+            Txn::Local(_) => {
+                self.local_runners.remove(&instance);
+                host.local_settled(self.site, false);
+            }
+        }
+        self.process_resumed(resumed, host);
+    }
+
+    /// Break every local waits-for cycle by aborting victims.
+    pub fn kill_local_deadlocks<H: RuntimeHost>(&mut self, host: &mut H) {
+        while let Some(victim) = self.ldbs.deadlock_victim() {
+            host.inc("deadlock_victims");
+            host.trace(TraceEvent::DeadlockVictim {
+                at: host.now(),
+                instance: victim,
+            });
+            self.abort_instance(victim, host);
+        }
+    }
+
+    /// Abort an instance whose wait exceeded the timeout (the driver scans
+    /// [`SiteRuntime::blocked`] across sites and decides who expired).
+    pub fn abort_on_timeout<H: RuntimeHost>(&mut self, instance: Instance, host: &mut H) {
+        host.inc("wait_timeouts");
+        host.trace(TraceEvent::WaitTimeout {
+            at: host.now(),
+            instance,
+        });
+        self.abort_instance(instance, host);
+    }
+
+    /// A whole-site crash: every active transaction is unilaterally
+    /// aborted at once (collective abort), the volatile DLU bindings die,
+    /// and the 2PC Agent is rebuilt from its durable log
+    /// (`Agent::recover`). The durable store itself survives — committed
+    /// data is safe.
+    pub fn crash<H: RuntimeHost>(&mut self, host: &mut H) {
+        host.inc("site_crashes");
+        host.trace(TraceEvent::SiteCrash {
+            at: host.now(),
+            site: self.site,
+        });
+
+        // Collective abort at the LTM: roll back all active instances.
+        let victims = self.ldbs.active_instances();
+        for instance in victims {
+            let resumed = match self.ldbs.unilateral_abort(instance) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            self.blocked_since.remove(&instance);
+            if instance.txn.is_local() {
+                self.local_runners.remove(&instance);
+                host.local_settled(self.site, false);
+            }
+            // Crash-time resumptions are moot: any resumed instance at
+            // this site is itself about to be aborted by this loop; ones
+            // already aborted return UnknownTransaction above.
+            drop(resumed);
+        }
+        self.drain_log(host);
+        self.ldbs.clear_bindings();
+
+        // The agent process dies; rebuild it from the durable log with the
+        // same effective config it was created with (mode + retry clamp).
+        let log = self.agent.log().clone();
+        let (agent, actions) = Agent::recover(self.site, self.agent_cfg, log);
+        let old = std::mem::replace(&mut self.agent, agent);
+        // Keep the cumulative counters comparable across the crash.
+        let st = *old.stats();
+        host.add("prepares_accepted", st.prepares_accepted);
+        host.add("refused_sn_out_of_order", st.refused_sn_out_of_order);
+        host.add("refused_interval_disjoint", st.refused_interval_disjoint);
+        host.add("refused_not_alive", st.refused_not_alive);
+        host.add("resubmissions", st.resubmissions);
+        host.add("commit_retries", st.commit_retries);
+        host.add("commit_cert_overrides", st.commit_cert_overrides);
+        self.run_agent_actions(actions, host);
+    }
+}

@@ -1,0 +1,72 @@
+//! Protocol-level trace events, shared by every driver.
+
+use mdbs_dtm::Message;
+use mdbs_histories::{GlobalTxnId, Instance, SiteId};
+use mdbs_simkit::SimTime;
+
+/// A protocol-level trace event, delivered to the observer installed on a
+/// driver (e.g. `Simulation::set_observer`). Useful for narrated demos and
+/// debugging; a driver without an observer pays nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A 2PC message was handed to the network.
+    MessageSent {
+        /// Simulated send time.
+        at: SimTime,
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// The message.
+        msg: Message,
+    },
+    /// A subtransaction entered the prepared state at a site.
+    Prepared {
+        /// Simulated time.
+        at: SimTime,
+        /// The site.
+        site: SiteId,
+        /// The transaction.
+        gtxn: GlobalTxnId,
+    },
+    /// An injected unilateral abort struck an instance.
+    UnilateralAbort {
+        /// Simulated time.
+        at: SimTime,
+        /// The aborted instance.
+        instance: Instance,
+    },
+    /// A whole site crashed.
+    SiteCrash {
+        /// Simulated time.
+        at: SimTime,
+        /// The site.
+        site: SiteId,
+    },
+    /// A local waits-for cycle was broken by aborting a victim.
+    DeadlockVictim {
+        /// Simulated time.
+        at: SimTime,
+        /// The aborted instance.
+        instance: Instance,
+    },
+    /// A transaction blocked past the wait timeout was aborted.
+    WaitTimeout {
+        /// Simulated time.
+        at: SimTime,
+        /// The aborted instance.
+        instance: Instance,
+    },
+    /// A global transaction reached its final outcome.
+    Finished {
+        /// Simulated time.
+        at: SimTime,
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// Whether it committed.
+        committed: bool,
+    },
+}
+
+/// Observer callback type.
+pub type Observer = Box<dyn FnMut(&TraceEvent)>;

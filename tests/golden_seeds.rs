@@ -62,18 +62,16 @@ fn digest(report: &SimReport) -> u64 {
     for op in report.history.ops() {
         eat(format!("{op:?}").as_bytes());
     }
-    eat(
-        format!(
-            "committed={} aborted={} local_committed={} local_aborted={} messages={} finished_at={:?}",
-            report.committed,
-            report.aborted,
-            report.local_committed,
-            report.local_aborted,
-            report.messages,
-            report.finished_at,
-        )
-        .as_bytes(),
-    );
+    eat(format!(
+        "committed={} aborted={} local_committed={} local_aborted={} messages={} finished_at={:?}",
+        report.committed,
+        report.aborted,
+        report.local_committed,
+        report.local_aborted,
+        report.messages,
+        report.finished_at,
+    )
+    .as_bytes());
     h
 }
 

@@ -1,0 +1,101 @@
+//! Correctness of the threaded runner.
+//!
+//! The threaded runner is nondeterministic — thread scheduling reorders
+//! deliveries on every run — but the protocol's guarantees must not depend
+//! on the driver: every history it produces has to settle all work and
+//! pass the `mdbs-histories` checkers (rigorous site projections, acyclic
+//! commit-order graph, no global view distortion, exact view
+//! serializability where computed).
+
+use rigorous_mdbs::dtm::CertifierMode;
+use rigorous_mdbs::sim::{Protocol, SimConfig, SimReport, ThreadedRunner};
+
+fn cfg(protocol: Protocol, abort_prob: f64) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.workload.seed = 20260805;
+    cfg.workload.sites = 3;
+    cfg.workload.global_txns = 12;
+    cfg.workload.local_txns_per_site = 4;
+    cfg.workload.items_per_site = 32;
+    cfg.workload.unilateral_abort_prob = abort_prob;
+    cfg.protocol = protocol;
+    cfg
+}
+
+fn run_and_settle(protocol: Protocol, abort_prob: f64) -> SimReport {
+    let c = cfg(protocol, abort_prob);
+    let globals = c.workload.global_txns as u64;
+    let locals = (c.workload.sites * c.workload.local_txns_per_site) as u64;
+    let report = ThreadedRunner::new(c).run();
+    assert_eq!(
+        report.committed + report.aborted,
+        globals,
+        "every global transaction must settle; metrics:\n{}",
+        report.metrics
+    );
+    assert_eq!(
+        report.local_committed + report.local_aborted,
+        locals,
+        "every local transaction must settle; metrics:\n{}",
+        report.metrics
+    );
+    assert!(
+        report.checks.rigor_violation.is_none(),
+        "strict-2PL site projections must stay rigorous: {:?}",
+        report.checks
+    );
+    report
+}
+
+fn run_and_check(protocol: Protocol, abort_prob: f64) -> SimReport {
+    let report = run_and_settle(protocol, abort_prob);
+    assert!(
+        report.checks.passed(),
+        "threaded history must pass all checkers: {:?}",
+        report.checks
+    );
+    report
+}
+
+#[test]
+fn threaded_two_cm_failure_free_is_correct() {
+    let report = run_and_check(Protocol::TwoCm(CertifierMode::Full), 0.0);
+    assert_eq!(report.aborted, 0, "no failures injected, nothing may abort");
+    assert_eq!(report.committed, 12);
+}
+
+#[test]
+fn threaded_two_cm_under_injection_is_correct() {
+    let report = run_and_check(Protocol::TwoCm(CertifierMode::Full), 0.3);
+    assert!(
+        report.metrics.counter("injections_scheduled") > 0,
+        "injector must have drawn at this probability; metrics:\n{}",
+        report.metrics
+    );
+}
+
+#[test]
+fn threaded_ticket_order_settles() {
+    // Ticket order is an anomaly baseline: its bounded-retry safety valve
+    // may force an out-of-order commit under injection, so only settlement
+    // and site-level rigor are guaranteed — not view serializability.
+    run_and_settle(Protocol::TwoCm(CertifierMode::TicketOrder), 0.2);
+}
+
+#[test]
+fn threaded_cgm_failure_free_is_correct() {
+    let report = run_and_check(Protocol::Cgm, 0.0);
+    assert_eq!(report.committed, 12);
+}
+
+#[test]
+fn threaded_cgm_under_injection_is_correct() {
+    run_and_check(Protocol::Cgm, 0.3);
+}
+
+#[test]
+fn threaded_runner_counts_messages() {
+    let report = run_and_check(Protocol::TwoCm(CertifierMode::Full), 0.0);
+    // Each 2-site committed transaction needs >= 12 protocol messages.
+    assert!(report.messages >= 12 * 12, "messages: {}", report.messages);
+}

@@ -124,8 +124,9 @@ pub mod strategy {
     impl Strategy for &'static str {
         type Value = String;
         fn new_value(&self, rng: &mut TestRng) -> String {
-            let (lo_ch, hi_ch, min_len, max_len) = parse_class_pattern(self)
-                .unwrap_or_else(|| panic!("unsupported string pattern {self:?} (shim handles only \"[X-Y]{{m,n}}\")"));
+            let (lo_ch, hi_ch, min_len, max_len) = parse_class_pattern(self).unwrap_or_else(|| {
+                panic!("unsupported string pattern {self:?} (shim handles only \"[X-Y]{{m,n}}\")")
+            });
             let len = rng.int_in(min_len as i128, max_len as i128 + 1) as usize;
             (0..len)
                 .map(|_| rng.int_in(lo_ch as i128, hi_ch as i128 + 1) as u8 as char)
@@ -353,7 +354,9 @@ pub mod prelude {
 
     pub use crate::strategy::{any, BoxedStrategy, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Assert inside a property body.
@@ -430,6 +433,7 @@ macro_rules! __proptest_impl {
                     "proptest shim: prop_assume! rejected too many cases"
                 );
                 $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
                 let ran = (move || -> bool { $body true })();
                 if ran {
                     accepted += 1;
@@ -462,7 +466,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_picks_every_arm_eventually(x in prop_oneof![(0u32..1), (10u32..11), (20u32..21)]) {
+        fn oneof_picks_every_arm_eventually(x in prop_oneof![0u32..1, 10u32..11, 20u32..21]) {
             prop_assert!(x == 0 || x == 10 || x == 20);
         }
 
