@@ -17,6 +17,7 @@ fn prepared_agent(n_prepared: u32) -> Agent {
             1,
             AgentInput::Deliver(Message::Dml {
                 gtxn: g,
+                step: 0,
                 command: Command::Update(KeySpec::Key(k as u64), 1),
             }),
         );
@@ -64,6 +65,7 @@ fn bench_prepare_certification(c: &mut Criterion) {
                             11,
                             AgentInput::Deliver(Message::Dml {
                                 gtxn: g,
+                                step: 0,
                                 command: Command::Select(KeySpec::Key(0)),
                             }),
                         );

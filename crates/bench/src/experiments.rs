@@ -173,6 +173,7 @@ fn h1_certifier_demo() -> String {
         1,
         AgentInput::Deliver(Message::Dml {
             gtxn: GlobalTxnId(1),
+            step: 0,
             command: Command::Update(KeySpec::Key(1), 1),
         }),
     );
@@ -210,6 +211,7 @@ fn h1_certifier_demo() -> String {
         26,
         AgentInput::Deliver(Message::Dml {
             gtxn: GlobalTxnId(2),
+            step: 0,
             command: Command::Update(KeySpec::Key(1), 1),
         }),
     );

@@ -196,6 +196,10 @@ struct SubTxn {
     prepare_seq: u64,
     /// Failed commit certifications so far (safety-valve counter).
     commit_retries: u32,
+    /// Highest DML step accepted so far; duplicate deliveries of a step
+    /// already executed are discarded (§2 assumes exactly-once messaging,
+    /// the chaos harness deliberately violates it).
+    last_dml_step: Option<u32>,
 }
 
 impl SubTxn {
@@ -253,6 +257,11 @@ pub struct Agent {
     stats: AgentStats,
     /// The durable Agent log (commands, prepare/commit records).
     log: AgentLog,
+    /// Transactions that reached a terminal local outcome (committed,
+    /// rolled back, or refused). Distinguishes "unknown because finished"
+    /// from "unknown because never begun" when duplicated or reordered
+    /// deliveries surface after the fact.
+    done: BTreeSet<GlobalTxnId>,
 }
 
 impl Agent {
@@ -267,6 +276,7 @@ impl Agent {
             prepare_counter: 0,
             stats: AgentStats::default(),
             log: AgentLog::new(),
+            done: BTreeSet::new(),
         }
     }
 
@@ -297,6 +307,7 @@ impl Agent {
             prepare_counter: 0,
             stats: AgentStats::default(),
             log,
+            done: BTreeSet::new(),
         };
         let mut actions = Vec::new();
 
@@ -349,6 +360,7 @@ impl Agent {
                     intervals: vec![(0, 0)],
                     prepare_seq,
                     commit_retries: 0,
+                    last_dml_step: None,
                 },
             );
             match phase {
@@ -433,7 +445,12 @@ impl Agent {
     fn on_message(&mut self, now: u64, msg: Message) -> Vec<AgentAction> {
         match msg {
             Message::Begin { gtxn, coord } => {
-                debug_assert!(!self.subtxns.contains_key(&gtxn), "duplicate BEGIN");
+                if self.subtxns.contains_key(&gtxn) || self.done.contains(&gtxn) {
+                    // Duplicate BEGIN (re-delivered, or arriving after the
+                    // transaction already finished here): starting a second
+                    // incarnation would leak locks forever. Ignore.
+                    return vec![];
+                }
                 let st = SubTxn {
                     coord,
                     incarnation: 0,
@@ -449,19 +466,37 @@ impl Agent {
                     intervals: vec![(now, now)],
                     prepare_seq: 0,
                     commit_retries: 0,
+                    last_dml_step: None,
                 };
                 let inst = self.instance(gtxn, &st);
                 self.subtxns.insert(gtxn, st);
                 self.log.append(LogRecord::Begin { gtxn, coord });
                 vec![AgentAction::LtmBegin(inst)]
             }
-            Message::Dml { gtxn, command } => {
+            Message::Dml {
+                gtxn,
+                step,
+                command,
+            } => {
                 let Some(st) = self.subtxns.get_mut(&gtxn) else {
-                    debug_assert!(false, "DML for unknown transaction");
+                    // Unknown transaction: either it already finished here
+                    // (late duplicate) or the DML overtook its BEGIN under
+                    // injected reordering. Exactly-once FIFO delivery (§2)
+                    // makes this unreachable; without it, ignoring is the
+                    // only safe answer — the coordinator never gets the
+                    // DmlResult and the run resolves via timeout/abort.
                     return vec![];
                 };
-                debug_assert!(matches!(st.phase, Phase::Active), "DML after PREPARE");
-                debug_assert!(!st.executing, "DML while a command is in flight");
+                if !matches!(st.phase, Phase::Active)
+                    || st.executing
+                    || st.last_dml_step.is_some_and(|last| step <= last)
+                {
+                    // Re-delivered DML for a step already accepted (or one
+                    // arriving after PREPARE): executing it twice would
+                    // double-apply updates inside one incarnation. Ignore.
+                    return vec![];
+                }
+                st.last_dml_step = Some(step);
                 if st.aborted {
                     // Unilaterally aborted between commands: fail the
                     // conversation (no active-state resubmission, §2).
@@ -487,7 +522,14 @@ impl Agent {
             Message::Prepare { gtxn, sn } => self.on_prepare(now, gtxn, sn),
             Message::Commit { gtxn } => {
                 if let Some(st) = self.subtxns.get_mut(&gtxn) {
-                    debug_assert!(st.in_table(), "COMMIT for unprepared transaction");
+                    if !st.in_table() {
+                        // COMMIT overtook the PREPARE (injected same-link
+                        // reordering; impossible under §2 FIFO). Ignore:
+                        // when the PREPARE arrives we vote READY, and the
+                        // coordinator answers a duplicate READY in its
+                        // committing phase by retransmitting COMMIT.
+                        return vec![];
+                    }
                     st.phase = Phase::CommitPending;
                     self.try_commit(now, gtxn)
                 } else {
@@ -523,10 +565,11 @@ impl Agent {
             // RollbackAck; nothing to answer).
             return vec![];
         };
-        debug_assert!(
-            matches!(st.phase, Phase::Active),
-            "duplicate PREPARE for {gtxn}"
-        );
+        if !matches!(st.phase, Phase::Active) {
+            // Duplicate PREPARE for an already-prepared (or commit-pending)
+            // subtransaction: the READY we sent the first time answers it.
+            return vec![];
+        }
         // st.executing may be true here: an active-phase unilateral abort
         // can leave a resubmission replay in flight when the PREPARE
         // arrives. The alive check below refuses in that case.
@@ -615,6 +658,7 @@ impl Agent {
     /// forget the transaction, answer REFUSE.
     fn refuse(&mut self, gtxn: GlobalTxnId, coord: u32, reason: RefuseReason) -> Vec<AgentAction> {
         let st = self.subtxns.remove(&gtxn).expect("refusing known txn");
+        self.done.insert(gtxn);
         self.log.append(LogRecord::Rollback { gtxn });
         let mut actions = Vec::new();
         if !st.aborted {
@@ -674,11 +718,13 @@ impl Agent {
         // Ordinary active-phase completion: report to the coordinator.
         st.awaiting_reply = false;
         let coord = st.coord;
+        let step = st.last_dml_step.unwrap_or(0);
         vec![AgentAction::Reply {
             coord,
             msg: Message::DmlResult {
                 gtxn,
                 site: self.site,
+                step,
                 result,
             },
         }]
@@ -823,6 +869,7 @@ impl Agent {
         // Commit certification OK: force the commit record, commit
         // locally, ack, leave the table (Appendix C's ordering).
         let st = self.subtxns.remove(&gtxn).expect("known txn");
+        self.done.insert(gtxn);
         if let Some(sn) = st.sn {
             if self.max_committed_sn.is_none_or(|m| sn > m) {
                 self.max_committed_sn = Some(sn);
@@ -855,6 +902,9 @@ impl Agent {
 
     fn on_rollback(&mut self, gtxn: GlobalTxnId) -> Vec<AgentAction> {
         self.log.append(LogRecord::Rollback { gtxn });
+        // Terminal either way: a BEGIN surfacing after this point (injected
+        // reordering) must not start a fresh conversation.
+        self.done.insert(gtxn);
         let Some(st) = self.subtxns.remove(&gtxn) else {
             // Already refused and forgotten: just acknowledge. The
             // coordinator's ROLLBACK crossed our REFUSE; replying keeps the
@@ -933,6 +983,7 @@ mod tests {
             t0 + 1,
             AgentInput::Deliver(Message::Dml {
                 gtxn: g(k),
+                step: 0,
                 command: cmd(),
             }),
         );
@@ -1014,6 +1065,7 @@ mod tests {
             1,
             AgentInput::Deliver(Message::Dml {
                 gtxn: g(1),
+                step: 0,
                 command: cmd(),
             }),
         );
@@ -1107,6 +1159,7 @@ mod tests {
             1,
             AgentInput::Deliver(Message::Dml {
                 gtxn: g(1),
+                step: 0,
                 command: cmd(),
             }),
         );
@@ -1154,6 +1207,7 @@ mod tests {
             1,
             AgentInput::Deliver(Message::Dml {
                 gtxn: g(1),
+                step: 0,
                 command: cmd(),
             }),
         );
@@ -1200,6 +1254,7 @@ mod tests {
             1,
             AgentInput::Deliver(Message::Dml {
                 gtxn: g(1),
+                step: 0,
                 command: cmd(),
             }),
         );
@@ -1222,6 +1277,7 @@ mod tests {
             4,
             AgentInput::Deliver(Message::Dml {
                 gtxn: g(1),
+                step: 1,
                 command: cmd(),
             }),
         );
@@ -1633,6 +1689,7 @@ mod tests {
             1,
             AgentInput::Deliver(Message::Dml {
                 gtxn: g(1),
+                step: 0,
                 command: cmd(),
             }),
         );
@@ -1692,6 +1749,7 @@ mod tests {
             1,
             AgentInput::Deliver(Message::Dml {
                 gtxn: g(1),
+                step: 0,
                 command: c1,
             }),
         );
@@ -1706,6 +1764,7 @@ mod tests {
             3,
             AgentInput::Deliver(Message::Dml {
                 gtxn: g(1),
+                step: 1,
                 command: c2,
             }),
         );
@@ -1748,5 +1807,206 @@ mod tests {
         });
         assert_eq!(second, Some(c2));
         assert_eq!(a.stats().resubmissions, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Duplicate / reordered delivery hardening (the §2 exactly-once FIFO
+    // assumption, deliberately violated by the chaos harness).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn duplicate_begin_ignored() {
+        let mut a = agent();
+        let first = a.handle(
+            0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        assert_eq!(first.len(), 1);
+        let dup = a.handle(
+            1,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        assert!(dup.is_empty(), "re-delivered BEGIN must not restart txn");
+    }
+
+    #[test]
+    fn begin_after_terminal_outcome_ignored() {
+        let mut a = agent();
+        assert!(has_ready(&prepare_one(&mut a, 1, 0, 10)));
+        a.handle(20, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert_eq!(a.stats().local_commits, 1);
+        // A duplicated BEGIN surfaces long after the commit: starting a new
+        // incarnation would hold locks forever (no coordinator is left).
+        let acts = a.handle(
+            30,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn duplicate_dml_step_not_executed_twice() {
+        let mut a = agent();
+        a.handle(
+            0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        let first = a.handle(
+            1,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                step: 0,
+                command: cmd(),
+            }),
+        );
+        assert!(matches!(first[0], AgentAction::LtmSubmit { .. }));
+        // Copy re-delivered while the original executes.
+        let dup = a.handle(
+            2,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                step: 0,
+                command: cmd(),
+            }),
+        );
+        assert!(dup.is_empty(), "in-flight duplicate must be ignored");
+        a.handle(
+            3,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[0]),
+            },
+        );
+        // Copy re-delivered after completion: the step guard catches it.
+        let dup = a.handle(
+            4,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                step: 0,
+                command: cmd(),
+            }),
+        );
+        assert!(dup.is_empty(), "completed duplicate must be ignored");
+        // The genuine next step still executes.
+        let next = a.handle(
+            5,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                step: 1,
+                command: cmd(),
+            }),
+        );
+        assert!(matches!(next[0], AgentAction::LtmSubmit { .. }));
+    }
+
+    #[test]
+    fn dml_for_unknown_transaction_ignored() {
+        // Reordering can put a DML ahead of its BEGIN; the agent must not
+        // panic or invent state.
+        let mut a = agent();
+        let acts = a.handle(
+            0,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(9),
+                step: 0,
+                command: cmd(),
+            }),
+        );
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn duplicate_prepare_ignored_after_ready() {
+        let mut a = agent();
+        assert!(has_ready(&prepare_one(&mut a, 1, 0, 10)));
+        let dup = a.handle(
+            11,
+            AgentInput::Deliver(Message::Prepare {
+                gtxn: g(1),
+                sn: sn(10),
+            }),
+        );
+        assert!(dup.is_empty(), "second PREPARE answered by earlier READY");
+        assert_eq!(a.table_len(), 1, "table entry must be unchanged");
+    }
+
+    #[test]
+    fn commit_overtaking_prepare_is_ignored_until_prepared() {
+        // Injected same-link reordering: COMMIT arrives while still Active.
+        let mut a = agent();
+        a.handle(
+            0,
+            AgentInput::Deliver(Message::Begin {
+                gtxn: g(1),
+                coord: COORD,
+            }),
+        );
+        a.handle(
+            1,
+            AgentInput::Deliver(Message::Dml {
+                gtxn: g(1),
+                step: 0,
+                command: cmd(),
+            }),
+        );
+        a.handle(
+            2,
+            AgentInput::LtmDone {
+                gtxn: g(1),
+                result: result(&[0]),
+            },
+        );
+        let early = a.handle(3, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert!(early.is_empty(), "COMMIT before PREPARE must wait");
+        assert_eq!(a.stats().local_commits, 0);
+        // The PREPARE then lands normally and the txn can commit.
+        let acts = a.handle(
+            4,
+            AgentInput::Deliver(Message::Prepare {
+                gtxn: g(1),
+                sn: sn(10),
+            }),
+        );
+        assert!(has_ready(&acts));
+        a.handle(5, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert_eq!(a.stats().local_commits, 1);
+    }
+
+    #[test]
+    fn duplicate_commit_after_local_commit_ignored() {
+        let mut a = agent();
+        assert!(has_ready(&prepare_one(&mut a, 1, 0, 10)));
+        a.handle(20, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert_eq!(a.stats().local_commits, 1);
+        let dup = a.handle(21, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+        assert!(dup.is_empty());
+        assert_eq!(a.stats().local_commits, 1, "no double commit");
+    }
+
+    #[test]
+    fn duplicate_rollback_acks_idempotently() {
+        let mut a = agent();
+        assert!(has_ready(&prepare_one(&mut a, 1, 0, 10)));
+        let first = a.handle(20, AgentInput::Deliver(Message::Rollback { gtxn: g(1) }));
+        assert!(first.iter().any(|x| matches!(x, AgentAction::LtmAbort(_))));
+        assert_eq!(a.stats().rollbacks, 1);
+        let dup = a.handle(21, AgentInput::Deliver(Message::Rollback { gtxn: g(1) }));
+        assert!(
+            !dup.iter().any(|x| matches!(x, AgentAction::LtmAbort(_))),
+            "second ROLLBACK must not abort again"
+        );
+        assert_eq!(a.stats().rollbacks, 1);
     }
 }

@@ -158,7 +158,11 @@ impl Coordinator {
         self.txns.insert(gtxn, txn);
         actions.push(CoordAction::ToAgent {
             site,
-            msg: Message::Dml { gtxn, command },
+            msg: Message::Dml {
+                gtxn,
+                step: 0,
+                command,
+            },
         });
         actions
     }
@@ -167,7 +171,12 @@ impl Coordinator {
     /// local clock reading (used when drawing the serial number).
     pub fn on_message(&mut self, now_local: u64, msg: Message) -> Vec<CoordAction> {
         match msg {
-            Message::DmlResult { gtxn, result, .. } => self.on_dml_result(now_local, gtxn, result),
+            Message::DmlResult {
+                gtxn,
+                site,
+                step,
+                result,
+            } => self.on_dml_result(now_local, gtxn, site, step, result),
             Message::Ready { gtxn, site } => self.on_ready(gtxn, site),
             Message::Refuse { gtxn, site, .. } => self.on_refuse(gtxn, site),
             Message::Failed { gtxn, site } => self.on_refuse(gtxn, site),
@@ -184,6 +193,8 @@ impl Coordinator {
         &mut self,
         now_local: u64,
         gtxn: GlobalTxnId,
+        site: SiteId,
+        step: u32,
         result: CommandResult,
     ) -> Vec<CoordAction> {
         let Some(txn) = self.txns.get_mut(&gtxn) else {
@@ -195,13 +206,23 @@ impl Coordinator {
             // the result travelled). Ignore it.
             return vec![];
         }
+        if step as usize != txn.step || txn.program[txn.step].0 != site {
+            // Duplicate or stale delivery of an already-consumed result:
+            // only the reply to the step currently awaited, from the site
+            // that executes it, may advance the program.
+            return vec![];
+        }
         txn.results.push(result);
         txn.step += 1;
         if txn.step < txn.program.len() {
             let (site, command) = txn.program[txn.step];
             return vec![CoordAction::ToAgent {
                 site,
-                msg: Message::Dml { gtxn, command },
+                msg: Message::Dml {
+                    gtxn,
+                    step: txn.step as u32,
+                    command,
+                },
             }];
         }
         // Program complete: the application submits the global Commit.
@@ -281,8 +302,10 @@ impl Coordinator {
                 txn.refused.insert(site);
                 self.maybe_finish_abort(gtxn)
             }
-            _ => {
-                debug_assert!(false, "REFUSE in phase {:?}", txn.phase);
+            TxnPhase::Committing => {
+                // Unreachable in a fault-free run (a site votes once), but a
+                // duplicated REFUSE can land here after a crash-recovery
+                // READY flipped the decision. The decision is made; ignore.
                 vec![]
             }
         }
@@ -314,7 +337,10 @@ impl Coordinator {
                 self.maybe_finish_abort(gtxn)
             }
             _ => {
-                debug_assert!(false, "unexpected ack {expect:?} in phase {:?}", txn.phase);
+                // An ack that does not match the current phase: under
+                // injected duplication/reordering a stale ack from an
+                // earlier exchange can surface late. It carries no new
+                // information — ignore it.
                 vec![]
             }
         }
@@ -349,7 +375,9 @@ impl Coordinator {
 
     fn maybe_finish_abort(&mut self, gtxn: GlobalTxnId) -> Vec<CoordAction> {
         let txn = self.txns.get(&gtxn).expect("known txn");
-        let settled = txn.acked.len() + txn.refused.len();
+        // Union, not sum: with duplicated messages one site can both refuse
+        // (crossing our ROLLBACK) and ack the rollback.
+        let settled = txn.acked.union(&txn.refused).count();
         if settled == txn.participants.len() {
             self.txns.remove(&gtxn);
             return vec![CoordAction::Finished {
@@ -413,6 +441,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: A,
+                step: 0,
                 result: result(),
             },
         );
@@ -425,6 +454,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: B,
+                step: 1,
                 result: result(),
             },
         );
@@ -446,6 +476,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: A,
+                step: 0,
                 result: result(),
             },
         );
@@ -454,6 +485,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: B,
+                step: 1,
                 result: result(),
             },
         );
@@ -510,6 +542,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: A,
+                step: 0,
                 result: result(),
             },
         );
@@ -518,6 +551,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: B,
+                step: 1,
                 result: result(),
             },
         );
@@ -565,6 +599,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: A,
+                step: 0,
                 result: result(),
             },
         );
@@ -573,6 +608,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: B,
+                step: 1,
                 result: result(),
             },
         );
@@ -613,6 +649,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(2),
                 site: A,
+                step: 0,
                 result: result(),
             },
         );
@@ -644,6 +681,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: A,
+                step: 0,
                 result: result(),
             },
         );
@@ -660,6 +698,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: A,
+                step: 0,
                 result: result(),
             },
         );
@@ -668,6 +707,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: B,
+                step: 1,
                 result: result(),
             },
         );
@@ -733,6 +773,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: A,
+                step: 0,
                 result: result(),
             },
         );
@@ -741,6 +782,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: B,
+                step: 1,
                 result: result(),
             },
         );
@@ -810,10 +852,118 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: A,
+                step: 0,
                 result: result(),
             },
         );
         assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn duplicate_dml_result_does_not_advance_program() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        let first = c.on_message(
+            1,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                step: 0,
+                result: result(),
+            },
+        );
+        assert_eq!(sent_to(&first).len(), 1, "step 1 dispatched once");
+        // The network re-delivers A's step-0 result: it must not re-advance
+        // the program (which would send step 1 twice or prepare early).
+        let dup = c.on_message(
+            2,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: A,
+                step: 0,
+                result: result(),
+            },
+        );
+        assert!(dup.is_empty(), "duplicate result must be ignored");
+        // The genuine step-1 reply still completes the program.
+        let acts = c.on_message(
+            3,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: B,
+                step: 1,
+                result: result(),
+            },
+        );
+        assert_eq!(sent_to(&acts).len(), 2, "PREPARE to both participants");
+    }
+
+    #[test]
+    fn dml_result_from_wrong_site_ignored() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        // Step 0 belongs to site A; a (corrupted/misrouted) claim from B
+        // with the right step number must not advance the program.
+        let acts = c.on_message(
+            1,
+            Message::DmlResult {
+                gtxn: g(1),
+                site: B,
+                step: 0,
+                result: result(),
+            },
+        );
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rollback_ack_finishes_once() {
+        let mut c = Coordinator::new(100);
+        c.begin(g(1), program2());
+        let r = crate::agent::RefuseReason::NotAlive;
+        c.on_message(
+            1,
+            Message::Refuse {
+                gtxn: g(1),
+                site: A,
+                reason: r,
+            },
+        );
+        // A's own refusal is duplicated by the network; then B acks. The
+        // duplicate must neither finish the txn early nor double-count.
+        let dup = c.on_message(
+            2,
+            Message::Refuse {
+                gtxn: g(1),
+                site: A,
+                reason: r,
+            },
+        );
+        assert!(dup.is_empty());
+        let acts = c.on_message(
+            3,
+            Message::RollbackAck {
+                gtxn: g(1),
+                site: B,
+            },
+        );
+        assert_eq!(
+            acts,
+            vec![CoordAction::Finished {
+                gtxn: g(1),
+                outcome: GlobalOutcome::Aborted
+            }]
+        );
+        // A late duplicate of B's ack hits a forgotten txn: ignored.
+        assert!(c
+            .on_message(
+                4,
+                Message::RollbackAck {
+                    gtxn: g(1),
+                    site: B
+                }
+            )
+            .is_empty());
     }
 
     #[test]
@@ -825,6 +975,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: A,
+                step: 0,
                 result: result(),
             },
         );
@@ -833,6 +984,7 @@ mod tests {
             Message::DmlResult {
                 gtxn: g(1),
                 site: B,
+                step: 1,
                 result: result(),
             },
         );

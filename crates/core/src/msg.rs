@@ -27,6 +27,11 @@ pub enum Message {
     Dml {
         /// The global transaction.
         gtxn: GlobalTxnId,
+        /// Position of this command in the global program. Lets the agent
+        /// discard duplicate deliveries of a command it already executed
+        /// (the paper assumes exactly-once messaging; the chaos harness
+        /// deliberately violates it).
+        step: u32,
         /// The command to execute at the local interface.
         command: Command,
     },
@@ -55,6 +60,10 @@ pub enum Message {
         gtxn: GlobalTxnId,
         /// The replying site.
         site: SiteId,
+        /// Echo of the [`Message::Dml`] step this result answers; the
+        /// coordinator ignores results for any step other than the one it
+        /// is currently awaiting (duplicate / stale-delivery protection).
+        step: u32,
         /// Rows observed / written by the command.
         result: CommandResult,
     },

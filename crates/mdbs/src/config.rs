@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use mdbs_dtm::{AgentConfig, CertifierMode};
-use mdbs_simkit::SimTime;
+use mdbs_simkit::{FaultPlan, SimTime};
 use mdbs_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +86,11 @@ pub struct SimConfig {
     pub link_overrides: Vec<(u32, u32, u64, u64)>,
     /// Hard stop for the simulation.
     pub time_limit: SimTime,
+    /// Optional deterministic fault-injection plan applied to the 2PC
+    /// message network (`None` = the paper's §2 reliable FIFO network).
+    /// Each action deliberately violates one of the paper's network
+    /// assumptions; CGM control traffic is never faulted.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -106,6 +111,7 @@ impl Default for SimConfig {
             crashes: Vec::new(),
             link_overrides: Vec::new(),
             time_limit: SimTime::from_secs(300),
+            faults: None,
         }
     }
 }

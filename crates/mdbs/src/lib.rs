@@ -23,6 +23,7 @@
 //! assert!(report.checks.passed(), "2CM must stay view serializable");
 //! ```
 
+pub mod chaos;
 pub mod config;
 pub mod report;
 pub mod sim;

@@ -25,7 +25,8 @@ use mdbs_runtime::{
     TimeSource, Timer, Transport,
 };
 use mdbs_simkit::{
-    DetRng, EventQueue, LatencyModel, Metrics, Network, SimDuration, SimTime, SiteClock,
+    AppliedFault, DetRng, EventQueue, FaultyNetwork, LatencyModel, Metrics, Network, SimDuration,
+    SimTime, SiteClock,
 };
 use mdbs_workload::WorkloadGen;
 
@@ -58,13 +59,14 @@ enum Ev {
 /// driver-side halves of failure injection and lifecycle accounting.
 struct SimHost {
     queue: EventQueue<Ev>,
-    net: Network,
+    net: FaultyNetwork,
     clocks: BTreeMap<u32, SiteClock>,
     metrics: Metrics,
     history: Vec<Op>,
     observer: Option<Observer>,
     gen: WorkloadGen,
     inject_rng: DetRng,
+    burst_rng: DetRng,
     abort_delay_max_us: u64,
     committed: u64,
     aborted: u64,
@@ -110,13 +112,45 @@ impl Transport for SimHost {
                 msg: msg.clone(),
             });
         }
-        let at = self.net.delivery_time(from, to, self.queue.now());
-        self.queue.schedule_at(at, Ev::Deliver { from, to, msg });
+        let now = self.queue.now();
+        let (deliveries, faults) = self.net.deliver(from, to, now);
+        for fault in faults {
+            self.metrics.inc(match fault {
+                AppliedFault::Dropped => "faults_dropped",
+                AppliedFault::Duplicated => "faults_duplicated",
+                AppliedFault::Delayed(_) => "faults_delayed",
+                AppliedFault::Reordered => "faults_reordered",
+            });
+            if self.observer.is_some() {
+                self.emit(TraceEvent::FaultInjected {
+                    at: now,
+                    from,
+                    to,
+                    fault,
+                });
+            }
+        }
+        for at in deliveries {
+            self.queue.schedule_at(
+                at,
+                Ev::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
     }
 
     /// A central-scheduler control hop (CGM), billed like any message.
+    /// Control traffic rides the reliable network even under a fault plan:
+    /// the chaos harness targets the paper's 2PC assumptions, not the CGM
+    /// baseline's private scheduler channel.
     fn send_ctrl(&mut self, from: u32, to: u32, ctrl: CtrlMsg) {
-        let at = self.net.delivery_time(from, to, self.queue.now());
+        let at = self
+            .net
+            .inner_mut()
+            .delivery_time(from, to, self.queue.now());
         self.queue.schedule_at(at, Ev::Ctrl { from, to, ctrl });
     }
 
@@ -146,7 +180,17 @@ impl RuntimeHost for SimHost {
     }
 
     fn prepared(&mut self, site: SiteId, gtxn: GlobalTxnId, incarnation: u32) {
-        if !self.gen.draw_unilateral_abort() {
+        // The workload's own draw always happens first so a fault plan's
+        // abort bursts never perturb the baseline injection stream.
+        let mut strike = self.gen.draw_unilateral_abort();
+        if !strike {
+            let boost = self.net.plan().abort_boost(self.queue.now().as_micros());
+            if boost > 0.0 && self.burst_rng.chance(boost) {
+                strike = true;
+                self.metrics.inc("fault_abort_bursts");
+            }
+        }
+        if !strike {
             return;
         }
         self.metrics.inc("injections_scheduled");
@@ -204,6 +248,7 @@ impl Simulation {
     pub fn new(cfg: SimConfig) -> Simulation {
         let spec = cfg.workload.clone();
         let root = DetRng::new(spec.seed);
+        let plan = cfg.faults.clone().unwrap_or_default();
         let mut net = Network::new(
             LatencyModel::Uniform(
                 SimDuration::from_micros(cfg.net_latency_us),
@@ -218,6 +263,7 @@ impl Simulation {
                 LatencyModel::Uniform(SimDuration::from_micros(lo), SimDuration::from_micros(hi)),
             );
         }
+        let net = FaultyNetwork::new(net, plan.clone(), root.substream("netfault"));
 
         // Per-node clocks (agents, coordinators, central scheduler).
         let mut clock_rng = root.substream("clocks");
@@ -283,6 +329,14 @@ impl Simulation {
                 Ev::SiteCrash { site: SiteId(site) },
             );
         }
+        for (site, at_us) in plan.site_crashes() {
+            if site < spec.sites {
+                queue.schedule_at(
+                    SimTime::from_micros(at_us),
+                    Ev::SiteCrash { site: SiteId(site) },
+                );
+            }
+        }
 
         let host = SimHost {
             queue,
@@ -293,6 +347,7 @@ impl Simulation {
             observer: None,
             gen: WorkloadGen::new(spec),
             inject_rng: root.substream("inject"),
+            burst_rng: root.substream("fault-burst"),
             abort_delay_max_us: cfg.abort_delay_max_us,
             committed: 0,
             aborted: 0,
@@ -366,7 +421,7 @@ impl Simulation {
             aborted: self.host.aborted,
             local_committed: self.host.local_committed,
             local_aborted: self.host.local_aborted,
-            messages: self.host.net.messages_sent(),
+            messages: self.host.net.inner().messages_sent(),
             finished_at: self.host.queue.now(),
             metrics,
         }
@@ -835,6 +890,89 @@ mod tests {
         ];
         let sum: u64 = kinds.iter().map(|k| report.metrics.counter(k)).sum();
         assert_eq!(sum, report.messages);
+    }
+
+    #[test]
+    fn fault_free_plan_matches_no_plan_bit_for_bit() {
+        // faults: Some(empty plan) must be indistinguishable from None —
+        // the FaultyNetwork wrapper may not perturb any RNG stream.
+        let mut cfg = small_cfg();
+        cfg.faults = Some(mdbs_simkit::FaultPlan::empty());
+        let a = Simulation::new(small_cfg()).run();
+        let b = Simulation::new(cfg).run();
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.finished_at, b.finished_at);
+    }
+
+    #[test]
+    fn duplicate_and_delay_faults_keep_two_cm_correct() {
+        use mdbs_simkit::{FaultAction, FaultPlan};
+        // Duplicates violate exactly-once and delay spikes stretch latency,
+        // but FIFO and no-loss hold, so 2CM must settle everything and keep
+        // every correctness invariant.
+        let mut cfg = small_cfg();
+        cfg.faults = Some(FaultPlan {
+            actions: vec![
+                FaultAction::Duplicate {
+                    src: None,
+                    dst: None,
+                    from_us: 0,
+                    until_us: u64::MAX,
+                    gap_us: 2_000,
+                },
+                FaultAction::DelaySpike {
+                    src: None,
+                    dst: None,
+                    from_us: 0,
+                    until_us: u64::MAX,
+                    extra_us: 3_000,
+                },
+            ],
+        });
+        let a = Simulation::new(cfg.clone()).run();
+        let b = Simulation::new(cfg).run();
+        assert_eq!(a.history, b.history, "fault runs must be deterministic");
+        assert!(a.metrics.counter("faults_duplicated") > 0);
+        assert!(a.metrics.counter("faults_delayed") > 0);
+        assert_eq!(a.committed + a.aborted, 12, "all globals must settle");
+        assert_eq!(a.local_committed, 12);
+        assert!(a.checks.passed(), "{:?}", a.checks);
+    }
+
+    #[test]
+    fn abort_burst_fault_forces_resubmissions() {
+        use mdbs_simkit::{FaultAction, FaultPlan};
+        let mut cfg = small_cfg();
+        cfg.workload.global_txns = 20;
+        cfg.faults = Some(FaultPlan {
+            actions: vec![FaultAction::AbortBurst {
+                from_us: 0,
+                until_us: u64::MAX,
+                boost: 1.0,
+            }],
+        });
+        let report = Simulation::new(cfg).run();
+        assert!(report.metrics.counter("fault_abort_bursts") > 0);
+        assert!(report.metrics.counter("resubmissions") > 0);
+        assert_eq!(report.committed + report.aborted, 20);
+        assert!(report.checks.passed(), "{:?}", report.checks);
+    }
+
+    #[test]
+    fn plan_site_crash_behaves_like_configured_crash() {
+        use mdbs_simkit::{FaultAction, FaultPlan};
+        let mut cfg = small_cfg();
+        cfg.faults = Some(FaultPlan {
+            actions: vec![FaultAction::SiteCrash {
+                site: 0,
+                at_us: 25_000,
+            }],
+        });
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.metrics.counter("site_crashes"), 1);
+        assert_eq!(report.committed + report.aborted, 12);
+        assert!(report.checks.rigor_violation.is_none());
     }
 
     #[test]

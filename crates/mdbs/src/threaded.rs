@@ -31,7 +31,7 @@ use mdbs_runtime::{
     message_kind, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeHost, SiteRuntime,
     TimeSource, Timer, TraceEvent, Transport, CENTRAL, COORD_BASE,
 };
-use mdbs_simkit::{DetRng, Metrics, SimTime};
+use mdbs_simkit::{DetRng, FaultPlan, Metrics, SimTime};
 use mdbs_workload::WorkloadGen;
 use parking_lot::Mutex;
 
@@ -114,6 +114,16 @@ struct ThreadHost {
     inject_rng: DetRng,
     unilateral_abort_prob: f64,
     abort_delay_max_us: u64,
+    /// The shared fault plan; windows are elapsed wall-clock µs. Empty =
+    /// no interposition.
+    fault_plan: Arc<FaultPlan>,
+    /// Draws the per-message jitter / duplicate gaps for faults originating
+    /// at this node. Thread scheduling already makes the runner
+    /// non-deterministic, so per-node substreams are only for independence.
+    fault_rng: DetRng,
+    /// Delayed / duplicated sends awaiting their wall-clock deadline,
+    /// flushed by this node's event loop.
+    outbox: Vec<(u64, u32, Message)>,
     /// Set when a local transaction settled, so the site loop can admit
     /// the next one from its queue.
     local_done: bool,
@@ -123,7 +133,13 @@ struct ThreadHost {
 }
 
 impl ThreadHost {
-    fn new(shared: Arc<SharedWorld>, inject_rng: DetRng, cfg: &SimConfig) -> Self {
+    fn new(
+        shared: Arc<SharedWorld>,
+        inject_rng: DetRng,
+        cfg: &SimConfig,
+        fault_plan: Arc<FaultPlan>,
+        fault_rng: DetRng,
+    ) -> Self {
         ThreadHost {
             shared,
             metrics: Metrics::new(),
@@ -133,6 +149,9 @@ impl ThreadHost {
             inject_rng,
             unilateral_abort_prob: cfg.workload.unilateral_abort_prob,
             abort_delay_max_us: cfg.abort_delay_max_us,
+            fault_plan,
+            fault_rng,
+            outbox: Vec::new(),
             local_done: false,
             pending_finished: Vec::new(),
         }
@@ -165,14 +184,39 @@ impl ThreadHost {
         due
     }
 
-    /// Earliest pending deadline (timer or injection), if any.
+    /// Earliest pending deadline (timer, injection, or delayed send).
     fn next_deadline_us(&self) -> Option<u64> {
         let t = self.timers.peek().map(|t| t.at_us);
         let i = self.injections.iter().map(|&(at, _)| at).min();
-        match (t, i) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (x, None) => x,
-            (None, y) => y,
+        let o = self.next_outbox_deadline();
+        [t, i, o].into_iter().flatten().min()
+    }
+
+    /// Earliest delayed/duplicated send awaiting delivery, if any.
+    fn next_outbox_deadline(&self) -> Option<u64> {
+        self.outbox.iter().map(|e| e.0).min()
+    }
+
+    /// Hand every outbox entry due at or before `now_us` to its channel,
+    /// earliest deadline first.
+    fn flush_outbox(&mut self, now_us: u64) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let mut due: Vec<(u64, u32, Message)> = Vec::new();
+        self.outbox.retain(|entry| {
+            if entry.0 <= now_us {
+                due.push(entry.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|&(at, _, _)| at);
+        for (_, to, msg) in due {
+            if let Some(tx) = self.shared.senders.get(&to) {
+                let _ = tx.send(NodeMsg::Net(msg));
+            }
         }
     }
 }
@@ -190,12 +234,42 @@ impl TimeSource for ThreadHost {
 }
 
 impl Transport for ThreadHost {
-    fn send(&mut self, _from: u32, to: u32, msg: Message) {
+    fn send(&mut self, from: u32, to: u32, msg: Message) {
         self.metrics.inc(message_kind(&msg));
         self.shared.messages.fetch_add(1, Ordering::Relaxed);
-        if let Some(tx) = self.shared.senders.get(&to) {
-            // A send after shutdown (receiver gone) is harmless.
-            let _ = tx.send(NodeMsg::Net(msg));
+        let now_us = self.elapsed_us();
+        if self.fault_plan.dropped(from, to, now_us) {
+            self.metrics.inc("faults_dropped");
+            return;
+        }
+        let extra = self.fault_plan.delay_extra_us(from, to, now_us);
+        if extra > 0 {
+            self.metrics.inc("faults_delayed");
+        }
+        let jitter = match self.fault_plan.reorder_jitter_us(from, to, now_us) {
+            Some(j) => {
+                self.metrics.inc("faults_reordered");
+                self.fault_rng.uniform_u64_incl(0, j)
+            }
+            None => 0,
+        };
+        let deliver_at = now_us + extra + jitter;
+        if let Some(gap) = self.fault_plan.duplicate_gap_us(from, to, now_us) {
+            self.metrics.inc("faults_duplicated");
+            let dup_at = deliver_at + self.fault_rng.uniform_u64_incl(1, gap.max(1));
+            self.outbox.push((dup_at, to, msg.clone()));
+        }
+        if extra == 0 && jitter == 0 {
+            if let Some(tx) = self.shared.senders.get(&to) {
+                // A send after shutdown (receiver gone) is harmless.
+                let _ = tx.send(NodeMsg::Net(msg));
+            }
+        } else {
+            // Held in the sender's outbox until the deadline. Later direct
+            // sends on the same link can overtake a held message — in the
+            // threaded driver a delay spike also breaks FIFO, unlike the
+            // simulation's clamped queue.
+            self.outbox.push((deliver_at, to, msg));
         }
     }
 
@@ -236,7 +310,15 @@ impl RuntimeHost for ThreadHost {
     }
 
     fn prepared(&mut self, site: SiteId, gtxn: GlobalTxnId, incarnation: u32) {
-        if !self.inject_rng.chance(self.unilateral_abort_prob) {
+        let mut strike = self.inject_rng.chance(self.unilateral_abort_prob);
+        if !strike {
+            let boost = self.fault_plan.abort_boost(self.elapsed_us());
+            if boost > 0.0 && self.fault_rng.chance(boost) {
+                strike = true;
+                self.metrics.inc("fault_abort_bursts");
+            }
+        }
+        if !strike {
             return;
         }
         self.metrics.inc("injections_scheduled");
@@ -273,7 +355,10 @@ pub struct ThreadedRunner {
 
 impl ThreadedRunner {
     /// Build a runner for the configuration. `cfg.crashes` is ignored
-    /// (crash injection is simulation-only); everything else applies.
+    /// (crash injection is simulation-only); everything else applies,
+    /// including `cfg.faults` — wire faults interpose on the channels
+    /// (with windows measured in elapsed wall-clock µs), while `SiteCrash`
+    /// actions are skipped like `cfg.crashes`.
     pub fn new(cfg: SimConfig) -> ThreadedRunner {
         ThreadedRunner { cfg }
     }
@@ -284,6 +369,9 @@ impl ThreadedRunner {
         let cfg = self.cfg;
         let spec = cfg.workload.clone();
         let root = DetRng::new(spec.seed);
+        // Any `SiteCrash` actions are ignored here (crash injection is
+        // simulation-only); the wire faults and abort bursts apply.
+        let fault_plan = Arc::new(cfg.faults.clone().unwrap_or_default());
 
         // Pre-draw the entire workload from the seeded generator so the
         // thread race never touches the draw order.
@@ -355,6 +443,8 @@ impl ThreadedRunner {
                     Arc::clone(&shared),
                     root.substream_n("inject", s as u64),
                     cfg,
+                    Arc::clone(&fault_plan),
+                    root.substream_n("netfault", s as u64),
                 );
                 let local_queue = locals.remove(&site).unwrap_or_default();
                 site_handles.push(
@@ -366,13 +456,27 @@ impl ThreadedRunner {
                 let node = COORD_BASE + c;
                 let rt = CoordinatorRuntime::new(node, cgm);
                 let rx = receivers[&node].clone();
-                let host = ThreadHost::new(Arc::clone(&shared), root.substream("unused"), cfg);
+                let host = ThreadHost::new(
+                    Arc::clone(&shared),
+                    root.substream("unused"),
+                    cfg,
+                    Arc::clone(&fault_plan),
+                    root.substream_n("netfault", node as u64),
+                );
                 coord_handles.push(scope.spawn(move |_| coord_loop(rt, host, rx, cgm)));
             }
             let central_handle = if cgm {
                 let rt = CentralRuntime::new();
                 let rx = receivers[&CENTRAL].clone();
-                let host = ThreadHost::new(Arc::clone(&shared), root.substream("unused"), cfg);
+                // The central scheduler only ever sends control traffic,
+                // which is never faulted.
+                let host = ThreadHost::new(
+                    Arc::clone(&shared),
+                    root.substream("unused"),
+                    cfg,
+                    Arc::clone(&fault_plan),
+                    root.substream_n("netfault", CENTRAL as u64),
+                );
                 Some(scope.spawn(move |_| central_loop(rt, host, rx)))
             } else {
                 None
@@ -522,6 +626,7 @@ fn site_loop(
                 rt.inject_abort(instance, &mut host);
             }
         }
+        host.flush_outbox(now_us);
 
         if now_us >= next_scan_us {
             next_scan_us = now_us + cfg.deadlock_scan_us;
@@ -573,7 +678,8 @@ fn site_loop(
 }
 
 /// One coordinator's event loop. Coordinators are purely reactive — no
-/// timers — so a blocking receive suffices.
+/// timers — so a blocking receive suffices until a fault holds a send in
+/// the outbox, after which the loop polls with the outbox deadline.
 fn coord_loop(
     mut rt: CoordinatorRuntime,
     mut host: ThreadHost,
@@ -581,11 +687,25 @@ fn coord_loop(
     cgm: bool,
 ) -> Metrics {
     loop {
-        match rx.recv() {
-            Ok(NodeMsg::Net(msg)) => rt.on_message(msg, &mut host),
-            Ok(NodeMsg::Ctrl { from: _, ctrl }) => rt.on_ctrl(ctrl, &mut host),
-            Ok(NodeMsg::StartGlobal { gtxn, program }) => rt.begin(gtxn, program, &mut host),
-            Ok(NodeMsg::Shutdown) | Err(_) => break,
+        host.flush_outbox(host.elapsed_us());
+        let received = if let Some(at) = host.next_outbox_deadline() {
+            let wait_us = at.saturating_sub(host.elapsed_us()).max(1);
+            match rx.recv_timeout(Duration::from_micros(wait_us)) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        };
+        match received {
+            NodeMsg::Net(msg) => rt.on_message(msg, &mut host),
+            NodeMsg::Ctrl { from: _, ctrl } => rt.on_ctrl(ctrl, &mut host),
+            NodeMsg::StartGlobal { gtxn, program } => rt.begin(gtxn, program, &mut host),
+            NodeMsg::Shutdown => break,
         }
         // Finished is always the tail of a batch; settle it now.
         for (cnode, gtxn, outcome) in std::mem::take(&mut host.pending_finished) {

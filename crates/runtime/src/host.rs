@@ -148,3 +148,202 @@ pub fn message_kind(msg: &Message) -> &'static str {
         Message::RollbackAck { .. } => "msg_rollback_ack",
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use mdbs_dtm::{RefuseReason, SerialNumber};
+    use mdbs_ldbs::{CommandResult, KeySpec};
+
+    use super::*;
+
+    fn sn() -> SerialNumber {
+        SerialNumber {
+            ticks: 10,
+            node: 7,
+            seq: 0,
+        }
+    }
+
+    /// One value of every protocol message variant, in wire order.
+    fn all_messages() -> Vec<Message> {
+        let gtxn = GlobalTxnId(1);
+        let site = SiteId(0);
+        vec![
+            Message::Begin { gtxn, coord: 7 },
+            Message::Dml {
+                gtxn,
+                step: 0,
+                command: Command::Select(KeySpec::Key(3)),
+            },
+            Message::Prepare { gtxn, sn: sn() },
+            Message::Commit { gtxn },
+            Message::Rollback { gtxn },
+            Message::DmlResult {
+                gtxn,
+                site,
+                step: 0,
+                result: CommandResult::default(),
+            },
+            Message::Failed { gtxn, site },
+            Message::Ready { gtxn, site },
+            Message::Refuse {
+                gtxn,
+                site,
+                reason: RefuseReason::SnOutOfOrder,
+            },
+            Message::CommitAck { gtxn, site },
+            Message::RollbackAck { gtxn, site },
+        ]
+    }
+
+    #[test]
+    fn message_kind_names_every_variant() {
+        let expected = [
+            "msg_begin",
+            "msg_dml",
+            "msg_prepare",
+            "msg_commit",
+            "msg_rollback",
+            "msg_dml_result",
+            "msg_failed",
+            "msg_ready",
+            "msg_refuse",
+            "msg_commit_ack",
+            "msg_rollback_ack",
+        ];
+        let messages = all_messages();
+        assert_eq!(messages.len(), expected.len());
+        for (msg, want) in messages.iter().zip(expected) {
+            assert_eq!(message_kind(msg), want, "wrong kind for {msg:?}");
+        }
+        // Kinds double as metric names: a collision would silently merge
+        // two rows of the per-kind traffic breakdown.
+        let kinds: BTreeSet<&'static str> = messages.iter().map(message_kind).collect();
+        assert_eq!(kinds.len(), messages.len());
+    }
+
+    /// A recording host: what the runtimes hand their driver, verbatim.
+    #[derive(Default)]
+    struct RecordingHost {
+        sent: Vec<(u32, u32, &'static str)>,
+        ctrl: Vec<(u32, u32, CtrlMsg)>,
+        timers: Vec<(u32, u64, Timer)>,
+    }
+
+    impl Transport for RecordingHost {
+        fn send(&mut self, from: u32, to: u32, msg: Message) {
+            self.sent.push((from, to, message_kind(&msg)));
+        }
+
+        fn send_ctrl(&mut self, from: u32, to: u32, msg: CtrlMsg) {
+            self.ctrl.push((from, to, msg));
+        }
+
+        fn set_timer(&mut self, node: u32, after_us: u64, timer: Timer) {
+            self.timers.push((node, after_us, timer));
+        }
+    }
+
+    fn all_timers() -> Vec<Timer> {
+        vec![
+            Timer::Alive {
+                gtxn: GlobalTxnId(4),
+            },
+            Timer::CommitRetry {
+                gtxn: GlobalTxnId(4),
+            },
+            Timer::LtmExec {
+                instance: Instance::global(4, SiteId(1), 0),
+                command: Command::Select(KeySpec::Key(9)),
+            },
+        ]
+    }
+
+    fn all_ctrl_msgs() -> Vec<CtrlMsg> {
+        let gtxn = GlobalTxnId(2);
+        vec![
+            CtrlMsg::CgmRequest {
+                gtxn,
+                modes: vec![
+                    (SiteId(0), SiteLockMode::Read),
+                    (SiteId(1), SiteLockMode::Update),
+                ],
+            },
+            CtrlMsg::CgmAdmitted { gtxn },
+            CtrlMsg::CgmVote {
+                gtxn,
+                sites: BTreeSet::from([SiteId(0), SiteId(1)]),
+            },
+            CtrlMsg::CgmVoteResult { gtxn, ok: true },
+            CtrlMsg::CgmFinished { gtxn },
+        ]
+    }
+
+    #[test]
+    fn transport_dispatch_reaches_the_host_in_order() {
+        let mut recorder = RecordingHost::default();
+        // Runtimes only ever see the trait, never the concrete driver.
+        let host: &mut dyn Transport = &mut recorder;
+        for (i, msg) in all_messages().into_iter().enumerate() {
+            host.send(100, i as u32, msg);
+        }
+        for msg in all_ctrl_msgs() {
+            host.send_ctrl(100, 200, msg);
+        }
+        for (i, timer) in all_timers().into_iter().enumerate() {
+            host.set_timer(3, 1_000 * (i as u64 + 1), timer);
+        }
+
+        let kinds: Vec<&'static str> = recorder.sent.iter().map(|&(_, _, k)| k).collect();
+        assert_eq!(kinds[0], "msg_begin");
+        assert_eq!(kinds[kinds.len() - 1], "msg_rollback_ack");
+        assert!(recorder.sent.iter().all(|&(from, _, _)| from == 100));
+
+        let ctrl: Vec<CtrlMsg> = recorder.ctrl.iter().map(|(_, _, m)| m.clone()).collect();
+        assert_eq!(ctrl, all_ctrl_msgs());
+
+        assert_eq!(recorder.timers.len(), 3);
+        assert_eq!(
+            recorder.timers[2],
+            (
+                3,
+                3_000,
+                Timer::LtmExec {
+                    instance: Instance::global(4, SiteId(1), 0),
+                    command: Command::Select(KeySpec::Key(9)),
+                }
+            )
+        );
+    }
+
+    /// Timers and control messages are queued as event payloads: both
+    /// drivers rely on `Clone` + `Eq` round-tripping exactly.
+    #[test]
+    fn timer_and_ctrl_msg_round_trip_as_event_payloads() {
+        for timer in all_timers() {
+            assert_eq!(timer.clone(), timer);
+        }
+        for msg in all_ctrl_msgs() {
+            assert_eq!(msg.clone(), msg);
+        }
+        // Distinct variants over the same transaction must not compare
+        // equal.
+        let alive = Timer::Alive {
+            gtxn: GlobalTxnId(4),
+        };
+        let retry = Timer::CommitRetry {
+            gtxn: GlobalTxnId(4),
+        };
+        assert_ne!(alive, retry);
+        assert_ne!(
+            CtrlMsg::CgmAdmitted {
+                gtxn: GlobalTxnId(2)
+            },
+            CtrlMsg::CgmFinished {
+                gtxn: GlobalTxnId(2)
+            }
+        );
+    }
+}

@@ -2,7 +2,7 @@
 
 use mdbs_dtm::Message;
 use mdbs_histories::{GlobalTxnId, Instance, SiteId};
-use mdbs_simkit::SimTime;
+use mdbs_simkit::{AppliedFault, SimTime};
 
 /// A protocol-level trace event, delivered to the observer installed on a
 /// driver (e.g. `Simulation::set_observer`). Useful for narrated demos and
@@ -19,6 +19,17 @@ pub enum TraceEvent {
         to: u32,
         /// The message.
         msg: Message,
+    },
+    /// The fault injector perturbed a 2PC message on the wire.
+    FaultInjected {
+        /// Simulated send time.
+        at: SimTime,
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// What the injector did to the message.
+        fault: AppliedFault,
     },
     /// A subtransaction entered the prepared state at a site.
     Prepared {

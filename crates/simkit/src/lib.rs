@@ -29,6 +29,7 @@
 
 pub mod clock;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod rng;
@@ -36,6 +37,7 @@ pub mod time;
 
 pub use clock::SiteClock;
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{AppliedFault, FaultAction, FaultPlan, FaultProfile, FaultStats, FaultyNetwork};
 pub use metrics::{Counter, Metrics, SampleStats};
 pub use net::{LatencyModel, LinkSpec, Network};
 pub use rng::DetRng;

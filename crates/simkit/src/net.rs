@@ -40,11 +40,9 @@ impl LatencyModel {
             LatencyModel::Constant(d) => d,
             LatencyModel::Uniform(lo, hi) => {
                 assert!(lo <= hi, "uniform latency with lo > hi");
-                if lo == hi {
-                    lo
-                } else {
-                    SimDuration::from_micros(rng.uniform_u64(lo.as_micros(), hi.as_micros() + 1))
-                }
+                // Inclusive sampling: `uniform_u64(lo, hi + 1)` would overflow
+                // for `hi == u64::MAX`.
+                SimDuration::from_micros(rng.uniform_u64_incl(lo.as_micros(), hi.as_micros()))
             }
         }
     }
@@ -115,12 +113,28 @@ impl Network {
     /// message's delivery on the same link, and strictly follows it so two
     /// messages on one link never arrive simultaneously out of order.
     pub fn delivery_time(&mut self, src: NodeId, dst: NodeId, now: SimTime) -> SimTime {
+        let raw = now + self.raw_latency(src, dst);
+        let delivery = self.clamp_delivery(src, dst, raw);
+        self.count_message();
+        delivery
+    }
+
+    /// Draw one latency sample for the `(src, dst)` link without touching the
+    /// FIFO clamp or the message counter. Fault-injection wrappers use this to
+    /// compute an *unclamped* (potentially overtaking) delivery time.
+    pub fn raw_latency(&mut self, src: NodeId, dst: NodeId) -> SimDuration {
         let model = self
             .overrides
             .get(&(src, dst))
             .copied()
             .unwrap_or(self.default_latency);
-        let raw = now + model.sample(&mut self.rng);
+        model.sample(&mut self.rng)
+    }
+
+    /// Apply the per-link FIFO clamp to a tentative delivery time `raw` and
+    /// advance the link's high-water mark. Does not draw latency or count a
+    /// message; pair with [`Network::raw_latency`] / [`Network::count_message`].
+    pub fn clamp_delivery(&mut self, src: NodeId, dst: NodeId, raw: SimTime) -> SimTime {
         let slot = self
             .last_delivery
             .entry((src, dst))
@@ -131,14 +145,19 @@ impl Network {
             raw
         };
         *slot = delivery;
-        self.messages_sent += 1;
         delivery
+    }
+
+    /// Count one message routed through this network.
+    pub fn count_message(&mut self) {
+        self.messages_sent += 1;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::RngCore;
 
     fn net(default: LatencyModel) -> Network {
         Network::new(default, DetRng::new(77))
@@ -204,6 +223,40 @@ mod tests {
         let a = n.delivery_time(0, 1, SimTime::from_micros(5));
         let b = n.delivery_time(0, 1, SimTime::from_micros(5));
         assert!(b > a);
+    }
+
+    #[test]
+    fn uniform_full_range_does_not_overflow() {
+        // Regression: sampling used `hi + 1` and overflowed at u64::MAX.
+        let model = LatencyModel::Uniform(
+            SimDuration::from_micros(0),
+            SimDuration::from_micros(u64::MAX),
+        );
+        let mut rng = DetRng::new(17);
+        for _ in 0..100 {
+            // Any result is in range by type; the point is no panic.
+            let _ = model.sample(&mut rng);
+        }
+        // Also with a non-zero lo hugging the top of the range.
+        let model = LatencyModel::Uniform(
+            SimDuration::from_micros(u64::MAX - 10),
+            SimDuration::from_micros(u64::MAX),
+        );
+        for _ in 0..100 {
+            let s = model.sample(&mut rng);
+            assert!(s.as_micros() >= u64::MAX - 10);
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range_is_constant_and_drawless() {
+        let d = SimDuration::from_micros(250);
+        let model = LatencyModel::Uniform(d, d);
+        let mut rng = DetRng::new(9);
+        let before = rng.clone().next_u64();
+        assert_eq!(model.sample(&mut rng), d);
+        // lo == hi must not consume a draw (stream position unchanged).
+        assert_eq!(rng.next_u64(), before);
     }
 
     #[test]

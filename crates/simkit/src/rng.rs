@@ -60,6 +60,26 @@ impl DetRng {
         self.inner.gen_range(lo..hi)
     }
 
+    /// A uniform integer in `[lo, hi]`, both bounds inclusive.
+    ///
+    /// Safe at `hi == u64::MAX` (no `hi + 1` overflow); `lo == hi` returns
+    /// `lo` without consuming a draw, mirroring degenerate-range callers that
+    /// shortcut before sampling. For `lo < hi` this uses the same
+    /// multiply-shift mapping as [`DetRng::uniform_u64`] over `[lo, hi + 1)`,
+    /// computed in 128-bit arithmetic, so existing streams are unchanged.
+    ///
+    /// # Panics
+    /// If `lo > hi`.
+    pub fn uniform_u64_incl(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        if lo == hi {
+            return lo;
+        }
+        let span = (hi - lo) as u128 + 1;
+        let offset = ((self.inner.next_u64() as u128).wrapping_mul(span) >> 64) as u64;
+        lo + offset
+    }
+
     /// A uniform usize in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() over empty set");
@@ -198,6 +218,41 @@ mod tests {
             let x = r.uniform_u64(10, 20);
             assert!((10..20).contains(&x));
         }
+    }
+
+    #[test]
+    fn uniform_incl_matches_exclusive_mapping() {
+        // For lo < hi < u64::MAX the inclusive sampler must reproduce the
+        // exact stream of `uniform_u64(lo, hi + 1)` so that existing golden
+        // digests are unaffected by the overflow fix.
+        let mut a = DetRng::new(21);
+        let mut b = DetRng::new(21);
+        for _ in 0..1_000 {
+            assert_eq!(a.uniform_u64_incl(100, 200), b.uniform_u64(100, 201));
+        }
+    }
+
+    #[test]
+    fn uniform_incl_boundaries() {
+        let mut r = DetRng::new(23);
+        // Full range: no overflow, any u64 is valid.
+        let _ = r.uniform_u64_incl(0, u64::MAX);
+        // Top-hugging range with non-zero lo.
+        for _ in 0..1_000 {
+            let x = r.uniform_u64_incl(u64::MAX - 3, u64::MAX);
+            assert!(x >= u64::MAX - 3);
+        }
+        // Degenerate range: returns lo and consumes no draw.
+        let before = r.clone().next_u64();
+        assert_eq!(r.uniform_u64_incl(7, 7), 7);
+        assert_eq!(r.next_u64(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_incl_rejects_inverted_range() {
+        let mut r = DetRng::new(1);
+        let _ = r.uniform_u64_incl(5, 4);
     }
 
     #[test]

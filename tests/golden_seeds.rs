@@ -15,9 +15,14 @@
 //! and paste the printed table over `GOLDEN`.
 
 use rigorous_mdbs::dtm::CertifierMode;
+use rigorous_mdbs::sim::chaos::{self, run_case};
 use rigorous_mdbs::sim::{Protocol, SimConfig, SimReport, Simulation};
 
 const SEEDS: [u64; 3] = [42, 1337, 9001];
+
+/// Seeds for the fault-injected golden runs (distinct from the fault-free
+/// grid so a drift in one table localizes the regression).
+const CHAOS_SEEDS: [u64; 2] = [7, 7702];
 
 const PROTOCOLS: [(&str, Protocol); 3] = [
     ("2CM", Protocol::TwoCm(CertifierMode::Full)),
@@ -36,6 +41,24 @@ const GOLDEN: [(u64, &str, u64); 9] = [
     (9001, "2CM", 0xe6bf1d85b1d596b8),
     (9001, "CGM", 0xda8541d72c506efc),
     (9001, "Naive", 0x07059dcf0053b9b7),
+];
+
+/// Digests of chaos runs (`chaos::chaos_cfg` + the named fault profile).
+/// The fault injector draws from its own RNG substreams, so these pin the
+/// fault sampling and application order on top of the protocol behavior.
+const CHAOS_GOLDEN: [(u64, &str, &str, u64); 12] = [
+    (7, "2CM", "dup-burst", 0x7183dc7a3a3385c3),
+    (7, "2CM", "fifo-scramble", 0xe24d28e98930f09d),
+    (7, "CGM", "dup-burst", 0x8382877560fd1c9a),
+    (7, "CGM", "fifo-scramble", 0x825e21dd4921928b),
+    (7, "Naive", "dup-burst", 0x554b8a739c17e5a1),
+    (7, "Naive", "fifo-scramble", 0x6957a7efae619b4e),
+    (7702, "2CM", "dup-burst", 0x06f1c2006e95180e),
+    (7702, "2CM", "fifo-scramble", 0xf24e29cc3050602f),
+    (7702, "CGM", "dup-burst", 0x49f6a09021e14feb),
+    (7702, "CGM", "fifo-scramble", 0xcfc6a47225941f68),
+    (7702, "Naive", "dup-burst", 0x9a45367ab54f5351),
+    (7702, "Naive", "fifo-scramble", 0xf24e29cc3050602f),
 ];
 
 fn golden_cfg(seed: u64, protocol: Protocol) -> SimConfig {
@@ -108,6 +131,37 @@ fn golden_runs_settle_all_transactions() {
     }
 }
 
+fn chaos_profile(name: &str) -> rigorous_mdbs::simkit::FaultProfile {
+    match name {
+        "dup-burst" => chaos::dup_burst(),
+        "fifo-scramble" => chaos::fifo_scramble(),
+        other => panic!("unknown chaos profile {other:?}"),
+    }
+}
+
+#[test]
+fn chaos_golden_digests_reproduce() {
+    for (seed, label, profile, expected) in CHAOS_GOLDEN {
+        let protocol = PROTOCOLS
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, p)| *p)
+            .expect("label in table");
+        let run = run_case(seed, protocol, &chaos_profile(profile));
+        assert_eq!(
+            run.digest, expected,
+            "chaos digest drifted for seed={seed} protocol={label} \
+             profile={profile}: got {:#018x}, expected {expected:#018x}",
+            run.digest
+        );
+        assert!(
+            run.failure.is_none(),
+            "chaos golden case must hold its expectation: {:?}",
+            run.failure
+        );
+    }
+}
+
 /// Regeneration helper — prints the table literal for `GOLDEN`.
 #[test]
 #[ignore = "regeneration helper, run with --ignored --nocapture"]
@@ -116,6 +170,20 @@ fn print_golden_digests() {
         for (label, protocol) in PROTOCOLS {
             let d = digest(&run(seed, protocol));
             println!("    ({seed}, {label:?}, {d:#018x}),");
+        }
+    }
+}
+
+/// Regeneration helper — prints the table literal for `CHAOS_GOLDEN`.
+#[test]
+#[ignore = "regeneration helper, run with --ignored --nocapture"]
+fn print_chaos_golden_digests() {
+    for seed in CHAOS_SEEDS {
+        for (label, protocol) in PROTOCOLS {
+            for profile in ["dup-burst", "fifo-scramble"] {
+                let d = run_case(seed, protocol, &chaos_profile(profile)).digest;
+                println!("    ({seed}, {label:?}, {profile:?}, {d:#018x}),");
+            }
         }
     }
 }

@@ -94,6 +94,49 @@ fn threaded_cgm_under_injection_is_correct() {
 }
 
 #[test]
+fn threaded_two_cm_with_duplicate_and_delay_faults_is_correct() {
+    use rigorous_mdbs::simkit::{FaultAction, FaultPlan};
+    // Duplicates break exactly-once and delay spikes can break same-link
+    // FIFO in the threaded driver — but with no loss, 2CM must still
+    // settle everything and stay rigorous. (View serializability is not
+    // asserted: FIFO is a stated §2 assumption.)
+    let mut c = cfg(Protocol::TwoCm(CertifierMode::Full), 0.1);
+    c.faults = Some(FaultPlan {
+        actions: vec![
+            FaultAction::Duplicate {
+                src: None,
+                dst: None,
+                from_us: 0,
+                until_us: u64::MAX,
+                gap_us: 1_000,
+            },
+            FaultAction::DelaySpike {
+                src: None,
+                dst: None,
+                from_us: 0,
+                until_us: u64::MAX,
+                extra_us: 2_000,
+            },
+        ],
+    });
+    let globals = c.workload.global_txns as u64;
+    let report = ThreadedRunner::new(c).run();
+    assert_eq!(
+        report.committed + report.aborted,
+        globals,
+        "every global transaction must settle under duplication; metrics:\n{}",
+        report.metrics
+    );
+    assert!(report.metrics.counter("faults_duplicated") > 0);
+    assert!(report.metrics.counter("faults_delayed") > 0);
+    assert!(
+        report.checks.rigor_violation.is_none(),
+        "site projections must stay rigorous: {:?}",
+        report.checks
+    );
+}
+
+#[test]
 fn threaded_runner_counts_messages() {
     let report = run_and_check(Protocol::TwoCm(CertifierMode::Full), 0.0);
     // Each 2-site committed transaction needs >= 12 protocol messages.
