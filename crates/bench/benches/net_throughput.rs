@@ -1,0 +1,195 @@
+//! `mdbs-net` throughput: wire codec and TCP loopback transport.
+//!
+//! Two measurements, into `BENCH_net.json` at the repository root:
+//!
+//! 1. **Codec** — encode + frame + deframe + decode a representative 2PC
+//!    conversation mix, single-threaded, no sockets: the pure CPU cost of
+//!    the hand-rolled wire format (messages/s and MB/s).
+//! 2. **TCP loopback** — one [`TcpTransport`] pair on `127.0.0.1`; the
+//!    sender pumps the same mix through a bounded outbox, the receiver
+//!    polls it back out: end-to-end frames/s including framing, CRC,
+//!    syscalls, and the per-peer writer thread.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use mdbs_dtm::{Message, SerialNumber};
+use mdbs_histories::{GlobalTxnId, SiteId};
+use mdbs_ldbs::{Command, CommandResult, KeySpec};
+use mdbs_net::cluster::loopback_addrs;
+use mdbs_net::encode_frame;
+use mdbs_net::frame::FrameDecoder;
+use mdbs_net::tcp::{NetEvent, TcpTransport, TcpTransportConfig};
+use mdbs_net::wire::{decode_msg, encode_msg, WireMsg};
+
+/// A representative 2PC conversation: DML out, result back, then the
+/// prepare/ready/commit/ack exchange.
+fn conversation(gtxn: u32) -> Vec<WireMsg> {
+    let gtxn = GlobalTxnId(gtxn);
+    let site = SiteId(1);
+    let net = |msg| WireMsg::Net {
+        from: 1_000_000,
+        to: 1,
+        msg,
+    };
+    vec![
+        net(Message::Dml {
+            gtxn,
+            step: 0,
+            command: Command::Update(KeySpec::Range(10, 20), 3),
+        }),
+        net(Message::DmlResult {
+            gtxn,
+            site,
+            step: 0,
+            result: CommandResult {
+                rows: (10..=20).map(|k| (k, k as i64 * 7)).collect(),
+                wrote: (10..=20).collect(),
+            },
+        }),
+        net(Message::Prepare {
+            gtxn,
+            sn: SerialNumber {
+                ticks: 1_700_000_000_000 + u64::from(gtxn.0),
+                node: 1_000_000,
+                seq: gtxn.0,
+            },
+        }),
+        net(Message::Ready { gtxn, site }),
+        net(Message::Commit { gtxn }),
+        net(Message::CommitAck { gtxn, site }),
+    ]
+}
+
+struct CodecSample {
+    msgs_per_s: f64,
+    mb_per_s: f64,
+    bytes_per_msg: f64,
+}
+
+fn bench_codec(rounds: u32) -> CodecSample {
+    let mut msgs = 0u64;
+    let mut bytes = 0u64;
+    let mut dec = FrameDecoder::new();
+    let start = Instant::now();
+    for g in 0..rounds {
+        for msg in conversation(g + 1) {
+            let frame = encode_frame(&encode_msg(&msg));
+            bytes += frame.len() as u64;
+            dec.extend(&frame);
+            let payload = dec
+                .next_frame()
+                .expect("clean frame")
+                .expect("whole frame buffered");
+            let back = decode_msg(&payload).expect("valid payload");
+            assert_eq!(back, msg);
+            msgs += 1;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    CodecSample {
+        msgs_per_s: msgs as f64 / secs,
+        mb_per_s: bytes as f64 / secs / 1e6,
+        bytes_per_msg: bytes as f64 / msgs as f64,
+    }
+}
+
+struct TcpSample {
+    frames_per_s: f64,
+    mb_per_s: f64,
+}
+
+fn transport(node: u32, addrs: &[String]) -> TcpTransport {
+    let peers: BTreeMap<u32, String> = (0..addrs.len() as u32)
+        .filter(|&n| n != node)
+        .map(|n| (n, addrs[n as usize].clone()))
+        .collect();
+    TcpTransport::start(TcpTransportConfig {
+        node,
+        listen_addr: addrs[node as usize].clone(),
+        peers,
+        outbox_capacity: 1024,
+        backoff_initial: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(500),
+        test_drop_after: None,
+    })
+    .expect("bind loopback transport")
+}
+
+fn bench_tcp(rounds: u32) -> TcpSample {
+    let addrs = loopback_addrs(2).expect("reserve loopback addrs");
+    let sender = transport(0, &addrs);
+    let mut receiver = transport(1, &addrs);
+    let expect = u64::from(rounds) * conversation(1).len() as u64;
+    let bytes: u64 = conversation(1)
+        .iter()
+        .map(|m| encode_frame(&encode_msg(m)).len() as u64)
+        .sum::<u64>()
+        * u64::from(rounds);
+
+    let rx = std::thread::spawn(move || {
+        let mut got = 0u64;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while got < expect && Instant::now() < deadline {
+            if let Some(NetEvent::Msg(_)) = receiver.poll(Duration::from_millis(50)) {
+                got += 1;
+            }
+        }
+        (receiver, got)
+    });
+
+    let start = Instant::now();
+    for g in 0..rounds {
+        for msg in conversation(g + 1) {
+            sender.send_wire(1, msg);
+        }
+    }
+    let (receiver, got) = rx.join().expect("receiver thread");
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(got, expect, "loopback transport must deliver everything");
+    sender.shutdown();
+    receiver.shutdown();
+    TcpSample {
+        frames_per_s: got as f64 / secs,
+        mb_per_s: bytes as f64 / secs / 1e6,
+    }
+}
+
+fn main() {
+    // Warm up, then measure (best of 3).
+    bench_codec(1_000);
+    let mut codec = bench_codec(20_000);
+    for _ in 0..2 {
+        let s = bench_codec(20_000);
+        if s.msgs_per_s > codec.msgs_per_s {
+            codec = s;
+        }
+    }
+    println!(
+        "codec: {:.0} msgs/s, {:.1} MB/s ({:.1} B/msg)",
+        codec.msgs_per_s, codec.mb_per_s, codec.bytes_per_msg
+    );
+
+    let mut tcp = bench_tcp(5_000);
+    for _ in 0..2 {
+        let s = bench_tcp(5_000);
+        if s.frames_per_s > tcp.frames_per_s {
+            tcp = s;
+        }
+    }
+    println!(
+        "tcp loopback: {:.0} frames/s, {:.1} MB/s",
+        tcp.frames_per_s, tcp.mb_per_s
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"net_throughput\",\n  \
+         \"mix\": \"6-message 2PC conversation (Dml, DmlResult x11 rows, Prepare, Ready, Commit, CommitAck)\",\n  \
+         \"codec\": {{\"msgs_per_s\": {:.1}, \"mb_per_s\": {:.2}, \"bytes_per_msg\": {:.1}}},\n  \
+         \"tcp_loopback\": {{\"frames_per_s\": {:.1}, \"mb_per_s\": {:.2}}}\n}}\n",
+        codec.msgs_per_s, codec.mb_per_s, codec.bytes_per_msg, tcp.frames_per_s, tcp.mb_per_s
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    std::fs::write(path, &json).expect("write BENCH_net.json");
+    println!("wrote {path}");
+}

@@ -127,6 +127,12 @@ pub fn builtin_profiles() -> Vec<FaultProfile> {
     ]
 }
 
+/// Look up a built-in profile by its display name (the config loader's
+/// `faults.profile` key resolves through this).
+pub fn profile_by_name(name: &str) -> Option<FaultProfile> {
+    builtin_profiles().into_iter().find(|p| p.name == name)
+}
+
 // ----------------------------------------------------------------------
 // Expectations
 // ----------------------------------------------------------------------
@@ -210,19 +216,24 @@ pub fn violated_invariant(cfg: &SimConfig, report: &SimReport, exp: Expectation)
 
 /// The base chaos workload: small enough that a full sweep stays fast,
 /// contended enough that faults actually interleave with 2PC rounds.
+/// Expressed in the shared `key = value` scenario format so the harness
+/// exercises the same loader `mdbs-node` boots from.
 pub fn chaos_cfg(seed: u64, protocol: Protocol) -> SimConfig {
-    let mut cfg = SimConfig::default();
-    cfg.workload.seed = seed;
-    cfg.workload.sites = 3;
-    cfg.workload.global_txns = 14;
-    cfg.workload.local_txns_per_site = 4;
-    cfg.workload.items_per_site = 24;
-    cfg.workload.unilateral_abort_prob = 0.15;
-    cfg.protocol = protocol;
-    // Bounds stalled runs (e.g. a BEGIN overtaken by its first DML under a
-    // reorder window parks the conversation forever).
-    cfg.time_limit = SimTime::from_secs(30);
-    cfg
+    // time_limit bounds stalled runs (e.g. a BEGIN overtaken by its first
+    // DML under a reorder window parks the conversation forever).
+    let text = format!(
+        "seed = {seed}\n\
+         sites = 3\n\
+         global_txns = 14\n\
+         local_txns_per_site = 4\n\
+         items_per_site = 24\n\
+         unilateral_abort_prob = 0.15\n\
+         protocol = {}\n\
+         time_limit_us = {}\n",
+        protocol.key(),
+        SimTime::from_secs(30).as_micros(),
+    );
+    SimConfig::from_kv_text(&text).expect("built-in chaos scenario is well-formed")
 }
 
 /// Sample `profile` into a plan for `cfg`'s topology, keyed by its seed.

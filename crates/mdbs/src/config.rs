@@ -1,8 +1,22 @@
-//! Simulation configuration.
+//! Simulation configuration, and the shared `key = value` scenario/cluster
+//! config loader every driver reads.
+//!
+//! The loader is deliberately tiny — `key = value` lines, `#` comments,
+//! no sections, no new dependencies — but strict: unknown keys, duplicate
+//! keys and malformed values are hard errors, so a typo in a cluster file
+//! fails the node at startup instead of silently running the default. The
+//! same format is written by [`scenario_to_kv`] (used by the in-process
+//! drivers and the cluster test runner to hand a `SimConfig` to `mdbs-node`
+//! processes) and parsed by [`scenario_from_kv`] (used by `mdbs-node` and
+//! the chaos harness's built-in scenarios).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::str::FromStr;
 
 use mdbs_dtm::{AgentConfig, CertifierMode};
 use mdbs_simkit::{FaultPlan, SimTime};
-use mdbs_workload::WorkloadSpec;
+use mdbs_workload::{AccessPattern, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Which transaction-management method schedules the global transactions.
@@ -37,6 +51,27 @@ impl Protocol {
             Protocol::TwoCm(m) => *m,
             Protocol::Cgm => CertifierMode::NoCertification,
         }
+    }
+
+    /// The config-file key for this protocol (lowercased [`Self::label`]).
+    pub fn key(&self) -> String {
+        self.label().to_ascii_lowercase()
+    }
+
+    /// Parse a config-file protocol key (case-insensitive label).
+    pub fn parse(s: &str) -> Result<Protocol, ConfigError> {
+        let all = [
+            Protocol::TwoCm(CertifierMode::Full),
+            Protocol::TwoCm(CertifierMode::NoCertification),
+            Protocol::TwoCm(CertifierMode::PrepareCertOnly),
+            Protocol::TwoCm(CertifierMode::PrepareOrder),
+            Protocol::TwoCm(CertifierMode::TicketOrder),
+            Protocol::Cgm,
+        ];
+        let want = s.to_ascii_lowercase();
+        all.into_iter()
+            .find(|p| p.key() == want)
+            .ok_or_else(|| ConfigError(format!("unknown protocol {s:?} (try 2cm, cgm, naive)")))
     }
 }
 
@@ -116,6 +151,538 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// Parse a scenario from `key = value` text (see [`scenario_from_kv`]).
+    pub fn from_kv_text(text: &str) -> Result<SimConfig, ConfigError> {
+        let mut kv = KvConfig::parse(text)?;
+        let cfg = scenario_from_kv(&mut kv)?;
+        kv.deny_unused()?;
+        Ok(cfg)
+    }
+
+    /// Serialize this scenario to `key = value` text (see [`scenario_to_kv`]).
+    pub fn to_kv_text(&self) -> Result<String, ConfigError> {
+        scenario_to_kv(self)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The shared `key = value` loader
+// ----------------------------------------------------------------------
+
+/// A configuration error: parse failure, bad value, or unknown key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A parsed `key = value` file with consumption tracking: every `get`
+/// marks its key used, and [`KvConfig::deny_unused`] turns leftovers into
+/// an error so typos cannot silently fall back to defaults.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    map: BTreeMap<String, String>,
+    used: BTreeSet<String>,
+}
+
+impl KvConfig {
+    /// Parse `key = value` lines. `#` starts a comment; blank lines are
+    /// skipped; duplicate keys are an error.
+    pub fn parse(text: &str) -> Result<KvConfig, ConfigError> {
+        let mut map = BTreeMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError(format!(
+                    "line {}: expected `key = value`, got {raw:?}",
+                    lineno + 1
+                )));
+            };
+            let key = key.trim().to_string();
+            let value = value.trim().to_string();
+            if key.is_empty() {
+                return Err(ConfigError(format!("line {}: empty key", lineno + 1)));
+            }
+            if map.insert(key.clone(), value).is_some() {
+                return Err(ConfigError(format!(
+                    "line {}: duplicate key {key:?}",
+                    lineno + 1
+                )));
+            }
+        }
+        Ok(KvConfig {
+            map,
+            used: BTreeSet::new(),
+        })
+    }
+
+    /// The raw value of `key`, marking it used.
+    pub fn raw(&mut self, key: &str) -> Option<&str> {
+        if self.map.contains_key(key) {
+            self.used.insert(key.to_string());
+        }
+        self.map.get(key).map(|s| s.as_str())
+    }
+
+    /// Parse `key` as `T` if present.
+    pub fn get<T: FromStr>(&mut self, key: &str) -> Result<Option<T>, ConfigError> {
+        match self.raw(key) {
+            None => Ok(None),
+            Some(v) => v.parse::<T>().map(Some).map_err(|_| {
+                ConfigError(format!(
+                    "key {key:?}: cannot parse {v:?} as {}",
+                    std::any::type_name::<T>()
+                ))
+            }),
+        }
+    }
+
+    /// Parse `key` as `T`, or keep `current` when absent.
+    pub fn get_or<T: FromStr>(&mut self, key: &str, current: T) -> Result<T, ConfigError> {
+        Ok(self.get(key)?.unwrap_or(current))
+    }
+
+    /// Parse `key` as `T`, erroring when absent.
+    pub fn require<T: FromStr>(&mut self, key: &str) -> Result<T, ConfigError> {
+        self.get(key)?
+            .ok_or_else(|| ConfigError(format!("missing required key {key:?}")))
+    }
+
+    /// Parse an inclusive `lo..hi` range value.
+    pub fn get_range_u32(&mut self, key: &str) -> Result<Option<(u32, u32)>, ConfigError> {
+        match self.raw(key) {
+            None => Ok(None),
+            Some(v) => {
+                let err = || ConfigError(format!("key {key:?}: expected `lo..hi`, got {v:?}"));
+                let (lo, hi) = v.split_once("..").ok_or_else(err)?;
+                let lo: u32 = lo.trim().parse().map_err(|_| err())?;
+                let hi: u32 = hi.trim().parse().map_err(|_| err())?;
+                if lo > hi {
+                    return Err(err());
+                }
+                Ok(Some((lo, hi)))
+            }
+        }
+    }
+
+    /// Keys present but never consumed.
+    pub fn unused(&self) -> Vec<String> {
+        self.map
+            .keys()
+            .filter(|k| !self.used.contains(*k))
+            .cloned()
+            .collect()
+    }
+
+    /// Error if any key was never consumed (typo guard).
+    pub fn deny_unused(&self) -> Result<(), ConfigError> {
+        let leftover = self.unused();
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(ConfigError(format!("unknown keys: {leftover:?}")))
+        }
+    }
+}
+
+/// Read a scenario ([`SimConfig`]) from parsed kv text. Every key is
+/// optional and defaults to [`SimConfig::default`]; see `scenario_to_kv`
+/// for the full key list. `faults.profile` names a built-in chaos profile
+/// (sampled against the scenario's own topology and seed, exactly like the
+/// chaos harness does).
+pub fn scenario_from_kv(kv: &mut KvConfig) -> Result<SimConfig, ConfigError> {
+    let mut cfg = SimConfig::default();
+    let w = &mut cfg.workload;
+    w.seed = kv.get_or("seed", w.seed)?;
+    w.sites = kv.get_or("sites", w.sites)?;
+    w.items_per_site = kv.get_or("items_per_site", w.items_per_site)?;
+    w.initial_value = kv.get_or("initial_value", w.initial_value)?;
+    w.global_txns = kv.get_or("global_txns", w.global_txns)?;
+    w.mpl = kv.get_or("mpl", w.mpl)?;
+    w.local_txns_per_site = kv.get_or("local_txns_per_site", w.local_txns_per_site)?;
+    w.sites_per_txn = kv
+        .get_range_u32("sites_per_txn")?
+        .unwrap_or(w.sites_per_txn);
+    w.commands_per_site = kv
+        .get_range_u32("commands_per_site")?
+        .unwrap_or(w.commands_per_site);
+    w.write_fraction = kv.get_or("write_fraction", w.write_fraction)?;
+    w.range_fraction = kv.get_or("range_fraction", w.range_fraction)?;
+    w.range_span = kv.get_or("range_span", w.range_span)?;
+    if let Some(access) = kv.raw("access") {
+        w.access = parse_access(access)?;
+    }
+    w.unilateral_abort_prob = kv.get_or("unilateral_abort_prob", w.unilateral_abort_prob)?;
+    w.enforce_dlu = kv.get_or("enforce_dlu", w.enforce_dlu)?;
+    w.global_arrival_mean_us = kv.get_or("global_arrival_mean_us", w.global_arrival_mean_us)?;
+    w.local_arrival_mean_us = kv.get_or("local_arrival_mean_us", w.local_arrival_mean_us)?;
+
+    if let Some(p) = kv.raw("protocol") {
+        cfg.protocol = Protocol::parse(p)?;
+    }
+    cfg.coordinators = kv.get_or("coordinators", cfg.coordinators)?;
+    cfg.net_latency_us = kv.get_or("net_latency_us", cfg.net_latency_us)?;
+    cfg.net_jitter_us = kv.get_or("net_jitter_us", cfg.net_jitter_us)?;
+    cfg.ltm_service_us = kv.get_or("ltm_service_us", cfg.ltm_service_us)?;
+    cfg.max_clock_skew_us = kv.get_or("max_clock_skew_us", cfg.max_clock_skew_us)?;
+    cfg.max_drift_ppm = kv.get_or("max_drift_ppm", cfg.max_drift_ppm)?;
+    cfg.agent.alive_check_interval_us = kv.get_or(
+        "agent.alive_check_interval_us",
+        cfg.agent.alive_check_interval_us,
+    )?;
+    cfg.agent.commit_retry_interval_us = kv.get_or(
+        "agent.commit_retry_interval_us",
+        cfg.agent.commit_retry_interval_us,
+    )?;
+    cfg.agent.stored_intervals = kv.get_or("agent.stored_intervals", cfg.agent.stored_intervals)?;
+    cfg.agent.max_commit_retries =
+        kv.get_or("agent.max_commit_retries", cfg.agent.max_commit_retries)?;
+    cfg.deadlock_scan_us = kv.get_or("deadlock_scan_us", cfg.deadlock_scan_us)?;
+    cfg.wait_timeout_us = kv.get_or("wait_timeout_us", cfg.wait_timeout_us)?;
+    cfg.abort_delay_max_us = kv.get_or("abort_delay_max_us", cfg.abort_delay_max_us)?;
+    cfg.time_limit = SimTime::from_micros(kv.get_or("time_limit_us", cfg.time_limit.as_micros())?);
+    if let Some(list) = kv.raw("crashes") {
+        cfg.crashes = parse_crashes(list)?;
+    }
+    if let Some(profile) = kv.raw("faults.profile").map(str::to_string) {
+        let profile = crate::chaos::profile_by_name(&profile)
+            .ok_or_else(|| ConfigError(format!("unknown fault profile {profile:?}")))?;
+        cfg.faults = Some(crate::chaos::plan_for(&cfg, &profile));
+    }
+    Ok(cfg)
+}
+
+/// Serialize a scenario to `key = value` text parseable by
+/// [`scenario_from_kv`]. Fault plans and per-link latency overrides have
+/// no kv representation (plans are sampled, not written down); configs
+/// carrying them are rejected so a file round-trip can never silently
+/// drop behavior.
+pub fn scenario_to_kv(cfg: &SimConfig) -> Result<String, ConfigError> {
+    if cfg.faults.is_some() {
+        return Err(ConfigError(
+            "a sampled fault plan cannot be serialized; set `faults.profile` by name instead"
+                .into(),
+        ));
+    }
+    if !cfg.link_overrides.is_empty() {
+        return Err(ConfigError(
+            "link_overrides have no kv representation".into(),
+        ));
+    }
+    let w = &cfg.workload;
+    let mut out = String::new();
+    let mut push = |k: &str, v: String| {
+        out.push_str(k);
+        out.push_str(" = ");
+        out.push_str(&v);
+        out.push('\n');
+    };
+    push("seed", w.seed.to_string());
+    push("sites", w.sites.to_string());
+    push("items_per_site", w.items_per_site.to_string());
+    push("initial_value", w.initial_value.to_string());
+    push("global_txns", w.global_txns.to_string());
+    push("mpl", w.mpl.to_string());
+    push("local_txns_per_site", w.local_txns_per_site.to_string());
+    push(
+        "sites_per_txn",
+        format!("{}..{}", w.sites_per_txn.0, w.sites_per_txn.1),
+    );
+    push(
+        "commands_per_site",
+        format!("{}..{}", w.commands_per_site.0, w.commands_per_site.1),
+    );
+    push("write_fraction", w.write_fraction.to_string());
+    push("range_fraction", w.range_fraction.to_string());
+    push("range_span", w.range_span.to_string());
+    push("access", access_key(&w.access));
+    push("unilateral_abort_prob", w.unilateral_abort_prob.to_string());
+    push("enforce_dlu", w.enforce_dlu.to_string());
+    push(
+        "global_arrival_mean_us",
+        w.global_arrival_mean_us.to_string(),
+    );
+    push("local_arrival_mean_us", w.local_arrival_mean_us.to_string());
+    push("protocol", cfg.protocol.key());
+    push("coordinators", cfg.coordinators.to_string());
+    push("net_latency_us", cfg.net_latency_us.to_string());
+    push("net_jitter_us", cfg.net_jitter_us.to_string());
+    push("ltm_service_us", cfg.ltm_service_us.to_string());
+    push("max_clock_skew_us", cfg.max_clock_skew_us.to_string());
+    push("max_drift_ppm", cfg.max_drift_ppm.to_string());
+    push(
+        "agent.alive_check_interval_us",
+        cfg.agent.alive_check_interval_us.to_string(),
+    );
+    push(
+        "agent.commit_retry_interval_us",
+        cfg.agent.commit_retry_interval_us.to_string(),
+    );
+    push(
+        "agent.stored_intervals",
+        cfg.agent.stored_intervals.to_string(),
+    );
+    push(
+        "agent.max_commit_retries",
+        cfg.agent.max_commit_retries.to_string(),
+    );
+    push("deadlock_scan_us", cfg.deadlock_scan_us.to_string());
+    push("wait_timeout_us", cfg.wait_timeout_us.to_string());
+    push("abort_delay_max_us", cfg.abort_delay_max_us.to_string());
+    push("time_limit_us", cfg.time_limit.as_micros().to_string());
+    if !cfg.crashes.is_empty() {
+        let list: Vec<String> = cfg
+            .crashes
+            .iter()
+            .map(|(s, at)| format!("{s}@{at}"))
+            .collect();
+        push("crashes", list.join(","));
+    }
+    Ok(out)
+}
+
+fn parse_access(s: &str) -> Result<AccessPattern, ConfigError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts.as_slice() {
+        ["uniform"] => Ok(AccessPattern::Uniform),
+        ["zipf", theta] => theta
+            .parse()
+            .map(AccessPattern::Zipf)
+            .map_err(|_| ConfigError(format!("bad zipf exponent {theta:?}"))),
+        ["hotspot", frac, prob] => {
+            let hot_frac = frac
+                .parse()
+                .map_err(|_| ConfigError(format!("bad hotspot fraction {frac:?}")))?;
+            let hot_prob = prob
+                .parse()
+                .map_err(|_| ConfigError(format!("bad hotspot probability {prob:?}")))?;
+            Ok(AccessPattern::Hotspot { hot_frac, hot_prob })
+        }
+        _ => Err(ConfigError(format!(
+            "bad access pattern {s:?} (uniform | zipf:THETA | hotspot:FRAC:PROB)"
+        ))),
+    }
+}
+
+fn access_key(a: &AccessPattern) -> String {
+    match a {
+        AccessPattern::Uniform => "uniform".into(),
+        AccessPattern::Zipf(theta) => format!("zipf:{theta}"),
+        AccessPattern::Hotspot { hot_frac, hot_prob } => {
+            format!("hotspot:{hot_frac}:{hot_prob}")
+        }
+    }
+}
+
+fn parse_crashes(s: &str) -> Result<Vec<(u32, u64)>, ConfigError> {
+    s.split(',')
+        .map(|entry| {
+            let err = || ConfigError(format!("bad crash entry {entry:?} (want SITE@AT_US)"));
+            let (site, at) = entry.trim().split_once('@').ok_or_else(err)?;
+            Ok((
+                site.trim().parse().map_err(|_| err())?,
+                at.trim().parse().map_err(|_| err())?,
+            ))
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Cluster configuration (mdbs-node)
+// ----------------------------------------------------------------------
+
+/// The role one `mdbs-node` process plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// A participating site (LDBS + 2PC Agent), `node = site id`.
+    Site(u32),
+    /// A coordinator, `node = COORD_BASE + i`. Coordinator 0 doubles as
+    /// the cluster driver: it admits the workload and collects reports.
+    Coordinator(u32),
+    /// The CGM central scheduler (only for `protocol = cgm`).
+    Central,
+}
+
+impl NodeRole {
+    /// Parse `site:N`, `coord:N`, or `central`.
+    pub fn parse(s: &str) -> Result<NodeRole, ConfigError> {
+        let err = || ConfigError(format!("bad role {s:?} (site:N | coord:N | central)"));
+        match s.split_once(':') {
+            None if s == "central" => Ok(NodeRole::Central),
+            Some(("site", n)) => n.parse().map(NodeRole::Site).map_err(|_| err()),
+            Some(("coord", n)) => n.parse().map(NodeRole::Coordinator).map_err(|_| err()),
+            _ => Err(err()),
+        }
+    }
+
+    /// The runtime node id this role lives at.
+    pub fn node_id(&self) -> u32 {
+        match *self {
+            NodeRole::Site(s) => s,
+            NodeRole::Coordinator(c) => mdbs_runtime::COORD_BASE + c,
+            NodeRole::Central => mdbs_runtime::CENTRAL,
+        }
+    }
+
+    /// Display form, matching the [`Self::parse`] syntax.
+    pub fn key(&self) -> String {
+        match *self {
+            NodeRole::Site(s) => format!("site:{s}"),
+            NodeRole::Coordinator(c) => format!("coord:{c}"),
+            NodeRole::Central => "central".into(),
+        }
+    }
+}
+
+/// A full cluster description: the scenario plus one listen address per
+/// node and the transport knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// The scenario every node runs its slice of.
+    pub scenario: SimConfig,
+    /// Listen address per site, indexed by site id.
+    pub site_addrs: Vec<String>,
+    /// Listen address per coordinator, indexed by coordinator number.
+    pub coord_addrs: Vec<String>,
+    /// Listen address of the CGM central scheduler, when the protocol
+    /// needs one.
+    pub central_addr: Option<String>,
+    /// Per-peer outbox capacity (frames); senders block when full.
+    pub outbox_capacity: usize,
+    /// Reconnect backoff `(initial_ms, max_ms)`, doubling per attempt.
+    pub backoff_ms: (u64, u64),
+    /// Test hook: `(node, frame_count)` — the node severs its outbound
+    /// sockets once after sending `frame_count` frames, forcing the
+    /// reconnect + retransmission path mid-run.
+    pub test_drop: Vec<(u32, u64)>,
+}
+
+impl ClusterConfig {
+    /// Parse a cluster file: the scenario keys plus `node.site.N.addr`,
+    /// `node.coord.N.addr`, `node.central.addr` and `net.*` knobs.
+    pub fn from_kv_text(text: &str) -> Result<ClusterConfig, ConfigError> {
+        let mut kv = KvConfig::parse(text)?;
+        let scenario = scenario_from_kv(&mut kv)?;
+        let mut site_addrs = Vec::new();
+        for s in 0..scenario.workload.sites {
+            site_addrs.push(kv.require::<String>(&format!("node.site.{s}.addr"))?);
+        }
+        let mut coord_addrs = Vec::new();
+        for c in 0..scenario.coordinators {
+            coord_addrs.push(kv.require::<String>(&format!("node.coord.{c}.addr"))?);
+        }
+        let central_addr = kv.get::<String>("node.central.addr")?;
+        if matches!(scenario.protocol, Protocol::Cgm) && central_addr.is_none() {
+            return Err(ConfigError("protocol cgm needs node.central.addr".into()));
+        }
+        let outbox_capacity = kv.get_or("net.outbox_capacity", 1024usize)?;
+        let backoff_ms = (
+            kv.get_or("net.backoff_initial_ms", 10u64)?,
+            kv.get_or("net.backoff_max_ms", 1000u64)?,
+        );
+        let test_drop = match kv.raw("net.test_drop") {
+            None => Vec::new(),
+            Some(list) => list
+                .split(',')
+                .map(|entry| {
+                    let err =
+                        || ConfigError(format!("bad net.test_drop entry {entry:?} (NODE@FRAMES)"));
+                    let (node, frames) = entry.trim().split_once('@').ok_or_else(err)?;
+                    Ok((
+                        node.trim().parse().map_err(|_| err())?,
+                        frames.trim().parse().map_err(|_| err())?,
+                    ))
+                })
+                .collect::<Result<Vec<(u32, u64)>, ConfigError>>()?,
+        };
+        kv.deny_unused()?;
+        Ok(ClusterConfig {
+            scenario,
+            site_addrs,
+            coord_addrs,
+            central_addr,
+            outbox_capacity,
+            backoff_ms,
+            test_drop,
+        })
+    }
+
+    /// Serialize to the file format [`Self::from_kv_text`] parses.
+    pub fn to_kv_text(&self) -> Result<String, ConfigError> {
+        let mut out = scenario_to_kv(&self.scenario)?;
+        for (s, addr) in self.site_addrs.iter().enumerate() {
+            out.push_str(&format!("node.site.{s}.addr = {addr}\n"));
+        }
+        for (c, addr) in self.coord_addrs.iter().enumerate() {
+            out.push_str(&format!("node.coord.{c}.addr = {addr}\n"));
+        }
+        if let Some(addr) = &self.central_addr {
+            out.push_str(&format!("node.central.addr = {addr}\n"));
+        }
+        out.push_str(&format!("net.outbox_capacity = {}\n", self.outbox_capacity));
+        out.push_str(&format!("net.backoff_initial_ms = {}\n", self.backoff_ms.0));
+        out.push_str(&format!("net.backoff_max_ms = {}\n", self.backoff_ms.1));
+        if !self.test_drop.is_empty() {
+            let list: Vec<String> = self
+                .test_drop
+                .iter()
+                .map(|(n, f)| format!("{n}@{f}"))
+                .collect();
+            out.push_str(&format!("net.test_drop = {}\n", list.join(",")));
+        }
+        Ok(out)
+    }
+
+    /// The listen address of a runtime node id, if configured.
+    pub fn addr_of(&self, node: u32) -> Option<&str> {
+        use mdbs_runtime::{CENTRAL, COORD_BASE};
+        if node == CENTRAL {
+            return self.central_addr.as_deref();
+        }
+        if node >= COORD_BASE {
+            return self
+                .coord_addrs
+                .get((node - COORD_BASE) as usize)
+                .map(|s| s.as_str());
+        }
+        self.site_addrs.get(node as usize).map(|s| s.as_str())
+    }
+
+    /// Every runtime node id in this cluster (sites, coordinators,
+    /// central), in canonical order.
+    pub fn node_ids(&self) -> Vec<u32> {
+        use mdbs_runtime::{CENTRAL, COORD_BASE};
+        let mut ids: Vec<u32> = (0..self.site_addrs.len() as u32).collect();
+        ids.extend((0..self.coord_addrs.len() as u32).map(|c| COORD_BASE + c));
+        if self.central_addr.is_some() {
+            ids.push(CENTRAL);
+        }
+        ids
+    }
+
+    /// The roles of this cluster, in canonical order (sites, coords,
+    /// central) — one `mdbs-node` process each.
+    pub fn roles(&self) -> Vec<NodeRole> {
+        let mut roles: Vec<NodeRole> = (0..self.site_addrs.len() as u32)
+            .map(NodeRole::Site)
+            .collect();
+        roles.extend((0..self.coord_addrs.len() as u32).map(NodeRole::Coordinator));
+        if self.central_addr.is_some() {
+            roles.push(NodeRole::Central);
+        }
+        roles
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +711,181 @@ mod tests {
         let c = SimConfig::default();
         assert!(c.coordinators >= 1);
         assert!(c.wait_timeout_us > c.deadlock_scan_us);
+    }
+
+    #[test]
+    fn protocol_keys_round_trip() {
+        for p in [
+            Protocol::TwoCm(CertifierMode::Full),
+            Protocol::TwoCm(CertifierMode::NoCertification),
+            Protocol::TwoCm(CertifierMode::PrepareCertOnly),
+            Protocol::TwoCm(CertifierMode::PrepareOrder),
+            Protocol::TwoCm(CertifierMode::TicketOrder),
+            Protocol::Cgm,
+        ] {
+            assert_eq!(Protocol::parse(&p.key()).unwrap(), p);
+        }
+        assert!(Protocol::parse("three-phase").is_err());
+    }
+
+    #[test]
+    fn kv_parse_comments_blank_lines_and_trim() {
+        let mut kv =
+            KvConfig::parse("# a comment\n\n  seed = 9  # trailing comment\nprotocol=cgm\n")
+                .unwrap();
+        assert_eq!(kv.get::<u64>("seed").unwrap(), Some(9));
+        assert_eq!(kv.raw("protocol"), Some("cgm"));
+        kv.deny_unused().unwrap();
+    }
+
+    #[test]
+    fn kv_rejects_duplicates_bad_lines_and_unknown_keys() {
+        assert!(KvConfig::parse("a = 1\na = 2\n").is_err());
+        assert!(KvConfig::parse("just words\n").is_err());
+        let kv = KvConfig::parse("tpyo = 1\n").unwrap();
+        let err = kv.deny_unused().unwrap_err();
+        assert!(err.0.contains("tpyo"), "{err}");
+    }
+
+    #[test]
+    fn kv_value_errors_name_the_key() {
+        let mut kv = KvConfig::parse("sites = many\n").unwrap();
+        let err = scenario_from_kv(&mut kv).unwrap_err();
+        assert!(err.0.contains("sites"), "{err}");
+    }
+
+    #[test]
+    fn scenario_kv_round_trips_defaults_and_overrides() {
+        let mut cfg = SimConfig::default();
+        assert_eq!(
+            SimConfig::from_kv_text(&cfg.to_kv_text().unwrap()).unwrap(),
+            cfg
+        );
+        cfg.workload.seed = 77;
+        cfg.workload.sites = 4;
+        cfg.workload.sites_per_txn = (2, 3);
+        cfg.workload.access = AccessPattern::Hotspot {
+            hot_frac: 0.1,
+            hot_prob: 0.9,
+        };
+        cfg.protocol = Protocol::Cgm;
+        cfg.coordinators = 3;
+        cfg.crashes = vec![(1, 20_000), (2, 40_000)];
+        cfg.time_limit = SimTime::from_secs(60);
+        assert_eq!(
+            SimConfig::from_kv_text(&cfg.to_kv_text().unwrap()).unwrap(),
+            cfg
+        );
+    }
+
+    #[test]
+    fn scenario_empty_text_is_default() {
+        assert_eq!(SimConfig::from_kv_text("").unwrap(), SimConfig::default());
+    }
+
+    #[test]
+    fn scenario_fault_profile_matches_chaos_harness() {
+        let cfg = SimConfig::from_kv_text("seed = 11\nfaults.profile = dup-burst\n").unwrap();
+        let plan = cfg.faults.expect("profile sampled into a plan");
+        let mut bare = SimConfig::default();
+        bare.workload.seed = 11;
+        assert_eq!(
+            plan,
+            crate::chaos::plan_for(&bare, &crate::chaos::dup_burst())
+        );
+        assert!(SimConfig::from_kv_text("faults.profile = nope\n").is_err());
+    }
+
+    #[test]
+    fn sampled_plans_refuse_to_serialize() {
+        let cfg = SimConfig::from_kv_text("faults.profile = delay-storm\n").unwrap();
+        assert!(cfg.to_kv_text().is_err());
+    }
+
+    fn cluster_text() -> String {
+        "sites = 2\ncoordinators = 1\n\
+         node.site.0.addr = 127.0.0.1:7100\n\
+         node.site.1.addr = 127.0.0.1:7101\n\
+         node.coord.0.addr = 127.0.0.1:7200\n"
+            .to_string()
+    }
+
+    #[test]
+    fn cluster_config_round_trips() {
+        let c = ClusterConfig::from_kv_text(&cluster_text()).unwrap();
+        assert_eq!(c.site_addrs.len(), 2);
+        assert_eq!(c.coord_addrs.len(), 1);
+        assert_eq!(c.central_addr, None);
+        assert_eq!(
+            ClusterConfig::from_kv_text(&c.to_kv_text().unwrap()).unwrap(),
+            c
+        );
+        assert_eq!(c.addr_of(1), Some("127.0.0.1:7101"));
+        assert_eq!(c.addr_of(mdbs_runtime::COORD_BASE), Some("127.0.0.1:7200"));
+        assert_eq!(c.addr_of(mdbs_runtime::CENTRAL), None);
+        assert_eq!(c.node_ids(), vec![0, 1, mdbs_runtime::COORD_BASE]);
+        assert_eq!(
+            c.roles(),
+            vec![
+                NodeRole::Site(0),
+                NodeRole::Site(1),
+                NodeRole::Coordinator(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn cluster_config_requires_every_address() {
+        let missing = "sites = 2\ncoordinators = 1\n\
+                       node.site.0.addr = 127.0.0.1:7100\n\
+                       node.coord.0.addr = 127.0.0.1:7200\n";
+        let err = ClusterConfig::from_kv_text(missing).unwrap_err();
+        assert!(err.0.contains("node.site.1.addr"), "{err}");
+    }
+
+    #[test]
+    fn cluster_config_cgm_needs_central() {
+        let text = format!("{}protocol = cgm\n", cluster_text());
+        assert!(ClusterConfig::from_kv_text(&text).is_err());
+        let text = format!("{text}node.central.addr = 127.0.0.1:7300\n");
+        let c = ClusterConfig::from_kv_text(&text).unwrap();
+        assert_eq!(c.addr_of(mdbs_runtime::CENTRAL), Some("127.0.0.1:7300"));
+        assert_eq!(c.roles().last(), Some(&NodeRole::Central));
+    }
+
+    #[test]
+    fn cluster_test_drop_and_knobs_parse() {
+        let text = format!(
+            "{}net.outbox_capacity = 64\nnet.backoff_initial_ms = 5\n\
+             net.backoff_max_ms = 250\nnet.test_drop = 0@10,1000000@3\n",
+            cluster_text()
+        );
+        let c = ClusterConfig::from_kv_text(&text).unwrap();
+        assert_eq!(c.outbox_capacity, 64);
+        assert_eq!(c.backoff_ms, (5, 250));
+        assert_eq!(c.test_drop, vec![(0, 10), (1_000_000, 3)]);
+        assert_eq!(
+            ClusterConfig::from_kv_text(&c.to_kv_text().unwrap()).unwrap(),
+            c
+        );
+    }
+
+    #[test]
+    fn node_role_parse_round_trips() {
+        for r in [
+            NodeRole::Site(2),
+            NodeRole::Coordinator(1),
+            NodeRole::Central,
+        ] {
+            assert_eq!(NodeRole::parse(&r.key()).unwrap(), r);
+        }
+        assert!(NodeRole::parse("site:x").is_err());
+        assert!(NodeRole::parse("boss").is_err());
+        assert_eq!(NodeRole::Site(3).node_id(), 3);
+        assert_eq!(
+            NodeRole::Coordinator(2).node_id(),
+            mdbs_runtime::COORD_BASE + 2
+        );
+        assert_eq!(NodeRole::Central.node_id(), mdbs_runtime::CENTRAL);
     }
 }

@@ -29,7 +29,7 @@ pub mod report;
 pub mod sim;
 pub mod threaded;
 
-pub use config::{Protocol, SimConfig};
+pub use config::{ClusterConfig, ConfigError, KvConfig, NodeRole, Protocol, SimConfig};
 pub use report::{CorrectnessReport, SimReport};
 pub use sim::{Observer, Simulation, TraceEvent};
 pub use threaded::ThreadedRunner;

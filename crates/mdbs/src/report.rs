@@ -5,7 +5,7 @@ use mdbs_histories::{
     distortion::{detect_global_view_distortion, Distortion},
     rigor::rigor_violation,
     view::view_serializable_capped,
-    History, RigorViolation, SiteId,
+    History, OpKind, RigorViolation, SiteId, Txn,
 };
 use mdbs_simkit::{Metrics, SimTime};
 use serde::Serialize;
@@ -70,6 +70,82 @@ impl CorrectnessReport {
             && self.global_distortion.is_none()
             && self.view_serializable_exact.unwrap_or(true)
     }
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= *b as u64;
+        *h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+}
+
+/// A timing-independent digest of *what happened* to the global
+/// transactions: every global transaction's final verdict (in id order)
+/// plus the correctness-check booleans. Local transactions, operation
+/// interleavings and timing are all excluded — so the same workload run
+/// under the deterministic simulation, the threaded runner, or a real
+/// multi-process cluster digests identically whenever the certifier
+/// verdicts and checker outcomes agree, which is exactly the equivalence
+/// the cross-driver tests pin.
+pub fn outcome_digest(history: &History, checks: &CorrectnessReport) -> u64 {
+    let mut verdicts: Vec<(u32, char)> = Vec::new();
+    for op in history.ops() {
+        if let Txn::Global(g) = op.txn {
+            match op.kind {
+                OpKind::GlobalCommit => verdicts.push((g.0, 'C')),
+                OpKind::GlobalAbort => verdicts.push((g.0, 'A')),
+                _ => {}
+            }
+        }
+    }
+    verdicts.sort_unstable();
+    verdicts.dedup();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (k, v) in verdicts {
+        fnv1a(&mut h, format!("T{k}={v};").as_bytes());
+    }
+    fnv1a(
+        &mut h,
+        format!(
+            "rigor_ok={} cg_acyclic={} no_distortion={} vsr_exact={:?}",
+            checks.rigor_violation.is_none(),
+            checks.cg_acyclic,
+            checks.global_distortion.is_none(),
+            checks.view_serializable_exact,
+        )
+        .as_bytes(),
+    );
+    h
+}
+
+/// A per-site certifier-verdict digest: for every global transaction that
+/// ran a subtransaction at `site`, the final local verdict there (commit
+/// beats abort — resubmitted incarnations abort before the surviving one
+/// commits). Timing-independent for the same reason as
+/// [`outcome_digest`]; each `mdbs-node` site process prints this for its
+/// own slice so a cluster run can be cross-checked site by site.
+pub fn site_verdict_digest(history: &History, site: SiteId) -> u64 {
+    use std::collections::BTreeMap;
+    let mut verdicts: BTreeMap<u32, char> = BTreeMap::new();
+    for op in history.ops() {
+        if let Txn::Global(g) = op.txn {
+            match op.kind {
+                OpKind::LocalCommit(s) if s == site => {
+                    verdicts.insert(g.0, 'C');
+                }
+                OpKind::LocalAbort(s) if s == site => {
+                    verdicts.entry(g.0).or_insert('A');
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a(&mut h, format!("site={};", site.0).as_bytes());
+    for (k, v) in verdicts {
+        fnv1a(&mut h, format!("T{k}={v};").as_bytes());
+    }
+    h
 }
 
 /// Everything a simulation run produces.
@@ -177,5 +253,67 @@ mod tests {
         let r = CorrectnessReport::analyze(&History::new(), 3);
         assert!(r.passed());
         assert_eq!(r.committed_txns, 0);
+    }
+
+    #[test]
+    fn outcome_digest_ignores_interleaving_but_sees_verdicts() {
+        use mdbs_histories::{Item, Op};
+        let mut a = History::new();
+        let mut b = History::new();
+        let x = Item::new(SiteId(0), 1);
+        let y = Item::new(SiteId(1), 1);
+        // Same verdicts, different op interleavings → same digest.
+        for op in [
+            Op::read_g(1, 0, x),
+            Op::read_g(2, 0, y),
+            Op::global_commit(1),
+            Op::global_abort(2),
+        ] {
+            a.push(op);
+        }
+        for op in [
+            Op::read_g(2, 0, y),
+            Op::global_abort(2),
+            Op::read_g(1, 0, x),
+            Op::global_commit(1),
+        ] {
+            b.push(op);
+        }
+        let ca = CorrectnessReport::analyze(&a, 2);
+        let cb = CorrectnessReport::analyze(&b, 2);
+        assert_eq!(outcome_digest(&a, &ca), outcome_digest(&b, &cb));
+        // Flipping one verdict changes it.
+        let mut c = History::new();
+        for op in [
+            Op::read_g(1, 0, x),
+            Op::read_g(2, 0, y),
+            Op::global_commit(1),
+            Op::global_commit(2),
+        ] {
+            c.push(op);
+        }
+        let cc = CorrectnessReport::analyze(&c, 2);
+        assert_ne!(outcome_digest(&a, &ca), outcome_digest(&c, &cc));
+    }
+
+    #[test]
+    fn site_verdict_digest_is_per_site_and_commit_wins() {
+        use mdbs_histories::{Item, Op};
+        let mut h = History::new();
+        let x = Item::new(SiteId(0), 3);
+        // T1 at site 0: incarnation 0 aborted, incarnation 1 committed —
+        // the surviving commit must win over the earlier abort.
+        h.push(Op::read_g(1, 0, x));
+        h.push(Op::local_abort_g(1, 0, SiteId(0)));
+        h.push(Op::read_g(1, 1, x));
+        h.push(Op::local_commit_g(1, 1, SiteId(0)));
+        let s0 = site_verdict_digest(&h, SiteId(0));
+        let s1 = site_verdict_digest(&h, SiteId(1));
+        assert_ne!(s0, s1, "sites digest their own slice");
+        // Pure-abort variant differs from the commit-wins one.
+        let mut g = History::new();
+        g.push(Op::read_g(1, 0, x));
+        g.push(Op::local_abort_g(1, 0, SiteId(0)));
+        assert_ne!(site_verdict_digest(&g, SiteId(0)), s0);
     }
 }

@@ -28,7 +28,7 @@ use mdbs_simkit::{
     AppliedFault, DetRng, EventQueue, FaultyNetwork, LatencyModel, Metrics, Network, SimDuration,
     SimTime, SiteClock,
 };
-use mdbs_workload::WorkloadGen;
+use mdbs_workload::{predraw, PredrawnWorkload, WorkloadGen};
 
 use crate::config::{Protocol, SimConfig};
 use crate::report::{CorrectnessReport, SimReport};
@@ -241,6 +241,12 @@ pub struct Simulation {
     // Local transaction admission.
     local_emitted: BTreeMap<SiteId, u32>,
     next_local_n: u32,
+
+    // When set, programs come from the canonical pre-drawn workload
+    // (the one multi-node drivers use) instead of lazy arrival-time
+    // draws. Off by default: the lazy draw order is baked into the
+    // golden digests.
+    predrawn: Option<PredrawnWorkload>,
 }
 
 impl Simulation {
@@ -371,7 +377,19 @@ impl Simulation {
             in_flight: 0,
             local_emitted: BTreeMap::new(),
             next_local_n: 1,
+            predrawn: None,
         }
+    }
+
+    /// Draw programs from the canonical pre-drawn workload (the order
+    /// every multi-node driver uses) instead of lazily at arrival
+    /// events. Arrival *times* are unchanged; only which program each
+    /// transaction runs differs. This is what makes a sim run
+    /// program-for-program comparable with a `ThreadedRunner` or
+    /// `mdbs-node` cluster run of the same scenario — the golden-seed
+    /// digests are recorded without it.
+    pub fn use_predrawn_workload(&mut self) {
+        self.predrawn = Some(predraw(self.host.gen.spec()));
     }
 
     /// Install a trace observer receiving [`TraceEvent`]s as the run
@@ -549,7 +567,14 @@ impl Simulation {
         self.arrivals_emitted += 1;
         let gtxn = GlobalTxnId(self.next_gtxn);
         self.next_gtxn += 1;
-        let program = self.host.gen.global_program();
+        let program = match &self.predrawn {
+            Some(w) => {
+                let (id, program) = &w.globals[(gtxn.0 - 1) as usize];
+                debug_assert_eq!(*id, gtxn);
+                program.clone()
+            }
+            None => self.host.gen.global_program(),
+        };
         self.programs.insert(gtxn, program);
         self.ready_queue.push_back(gtxn);
         if self.arrivals_emitted < self.host.gen.spec().global_txns {
@@ -591,9 +616,18 @@ impl Simulation {
         *emitted += 1;
         let more = *emitted < spec.local_txns_per_site;
 
-        let n = self.next_local_n;
-        self.next_local_n += 1;
-        let commands = self.host.gen.local_program(site);
+        let (n, commands) = match &mut self.predrawn {
+            Some(w) => w
+                .locals
+                .get_mut(&site)
+                .and_then(|q| q.pop_front())
+                .expect("pre-drawn local program"),
+            None => {
+                let n = self.next_local_n;
+                self.next_local_n += 1;
+                (n, self.host.gen.local_program(site))
+            }
+        };
         self.sites
             .get_mut(&site)
             .expect("site")
@@ -650,8 +684,10 @@ impl Simulation {
 
 /// The agent configuration a protocol actually runs with: the certifier
 /// mode comes from the protocol, and the anomaly baselines get the
-/// liveness safety valve (a bounded commit-retry count).
-pub(crate) fn effective_agent_cfg(cfg: &SimConfig) -> AgentConfig {
+/// liveness safety valve (a bounded commit-retry count). Public so every
+/// driver (simulation, threaded runner, `mdbs-net` cluster nodes) derives
+/// identical agent behavior from one `SimConfig`.
+pub fn effective_agent_cfg(cfg: &SimConfig) -> AgentConfig {
     let mut agent_cfg = cfg.agent;
     agent_cfg.mode = cfg.protocol.agent_mode();
     if !matches!(cfg.protocol, Protocol::TwoCm(mdbs_dtm::CertifierMode::Full)) {

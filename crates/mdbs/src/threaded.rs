@@ -32,7 +32,7 @@ use mdbs_runtime::{
     TimeSource, Timer, TraceEvent, Transport, CENTRAL, COORD_BASE,
 };
 use mdbs_simkit::{DetRng, FaultPlan, Metrics, SimTime};
-use mdbs_workload::WorkloadGen;
+use mdbs_workload::predraw;
 use parking_lot::Mutex;
 
 use crate::config::{Protocol, SimConfig};
@@ -56,8 +56,34 @@ enum NodeMsg {
 
 /// What the driver hears back.
 enum Notice {
-    GlobalFinished { outcome: GlobalOutcome },
-    LocalSettled { committed: bool },
+    GlobalFinished {
+        outcome: GlobalOutcome,
+    },
+    LocalSettled {
+        committed: bool,
+    },
+    /// A node thread exited — cleanly or by panic. Sent from a drop guard
+    /// so it fires no matter how the loop unwinds; without it a dead node
+    /// would leave the driver polling until the wall-clock time limit.
+    NodeExited {
+        node: u32,
+        panicked: bool,
+    },
+}
+
+/// Emits [`Notice::NodeExited`] when the owning node thread ends.
+struct ExitGuard {
+    node: u32,
+    notices: Sender<Notice>,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        let _ = self.notices.send(Notice::NodeExited {
+            node: self.node,
+            panicked: std::thread::panicking(),
+        });
+    }
 }
 
 /// A timer waiting to fire inside one node thread, ordered by deadline.
@@ -351,6 +377,7 @@ impl RuntimeHost for ThreadHost {
 /// [`SimReport`] shape as the simulation.
 pub struct ThreadedRunner {
     cfg: SimConfig,
+    panic_node: Option<u32>,
 }
 
 impl ThreadedRunner {
@@ -360,37 +387,37 @@ impl ThreadedRunner {
     /// (with windows measured in elapsed wall-clock µs), while `SiteCrash`
     /// actions are skipped like `cfg.crashes`.
     pub fn new(cfg: SimConfig) -> ThreadedRunner {
-        ThreadedRunner { cfg }
+        ThreadedRunner {
+            cfg,
+            panic_node: None,
+        }
+    }
+
+    /// Test hook: the given node's thread panics on entry, exercising the
+    /// shutdown path for a dead node. The run still signals, drains and
+    /// joins every other thread, then re-raises the panic.
+    #[doc(hidden)]
+    pub fn panic_at_node(mut self, node: u32) -> ThreadedRunner {
+        self.panic_node = Some(node);
+        self
     }
 
     /// Run the workload to completion (or the wall-clock time limit) and
     /// report. Histories differ run to run; correctness must not.
     pub fn run(self) -> SimReport {
         let cfg = self.cfg;
+        let panic_node = self.panic_node;
         let spec = cfg.workload.clone();
         let root = DetRng::new(spec.seed);
         // Any `SiteCrash` actions are ignored here (crash injection is
         // simulation-only); the wire faults and abort bursts apply.
         let fault_plan = Arc::new(cfg.faults.clone().unwrap_or_default());
 
-        // Pre-draw the entire workload from the seeded generator so the
-        // thread race never touches the draw order.
-        let mut gen = WorkloadGen::new(spec.clone());
-        let globals: Vec<(GlobalTxnId, Vec<(SiteId, Command)>)> = (1..=spec.global_txns)
-            .map(|k| (GlobalTxnId(k), gen.global_program()))
-            .collect();
-        // Local numbers stay globally unique, as in the simulation.
-        let mut next_local_n = 1u32;
-        let mut locals: BTreeMap<SiteId, VecDeque<(u32, Vec<Command>)>> = BTreeMap::new();
-        for s in 0..spec.sites {
-            let site = SiteId(s);
-            let queue = locals.entry(site).or_default();
-            for _ in 0..spec.local_txns_per_site {
-                let n = next_local_n;
-                next_local_n += 1;
-                queue.push_back((n, gen.local_program(site)));
-            }
-        }
+        // Pre-draw the entire workload in the canonical cross-driver order
+        // so the thread race never touches the draw order.
+        let drawn = predraw(&spec);
+        let globals = drawn.globals;
+        let mut locals = drawn.locals;
 
         let cgm = matches!(cfg.protocol, Protocol::Cgm);
         let agent_cfg = effective_agent_cfg(&cfg);
@@ -447,9 +474,17 @@ impl ThreadedRunner {
                     root.substream_n("netfault", s as u64),
                 );
                 let local_queue = locals.remove(&site).unwrap_or_default();
-                site_handles.push(
-                    scope.spawn(move |_| site_loop(rt, host, rx, local_queue, cfg, deadline)),
-                );
+                let guard = ExitGuard {
+                    node: s,
+                    notices: shared.notices.clone(),
+                };
+                site_handles.push(scope.spawn(move |_| {
+                    let _guard = guard;
+                    if panic_node == Some(s) {
+                        panic!("injected test panic at node {s}");
+                    }
+                    site_loop(rt, host, rx, local_queue, cfg, deadline)
+                }));
             }
             let mut coord_handles = Vec::new();
             for c in 0..cfg.coordinators {
@@ -463,7 +498,17 @@ impl ThreadedRunner {
                     Arc::clone(&fault_plan),
                     root.substream_n("netfault", node as u64),
                 );
-                coord_handles.push(scope.spawn(move |_| coord_loop(rt, host, rx, cgm)));
+                let guard = ExitGuard {
+                    node,
+                    notices: shared.notices.clone(),
+                };
+                coord_handles.push(scope.spawn(move |_| {
+                    let _guard = guard;
+                    if panic_node == Some(node) {
+                        panic!("injected test panic at node {node}");
+                    }
+                    coord_loop(rt, host, rx, cgm)
+                }));
             }
             let central_handle = if cgm {
                 let rt = CentralRuntime::new();
@@ -477,7 +522,17 @@ impl ThreadedRunner {
                     Arc::clone(&fault_plan),
                     root.substream_n("netfault", CENTRAL as u64),
                 );
-                Some(scope.spawn(move |_| central_loop(rt, host, rx)))
+                let guard = ExitGuard {
+                    node: CENTRAL,
+                    notices: shared.notices.clone(),
+                };
+                Some(scope.spawn(move |_| {
+                    let _guard = guard;
+                    if panic_node == Some(CENTRAL) {
+                        panic!("injected test panic at node {CENTRAL}");
+                    }
+                    central_loop(rt, host, rx)
+                }))
             } else {
                 None
             };
@@ -530,27 +585,55 @@ impl ThreadedRunner {
                             local_aborted += 1;
                         }
                     }
+                    Ok(Notice::NodeExited { node, panicked }) => {
+                        // A node died mid-run (panic or premature exit).
+                        // Stop waiting for its work immediately instead of
+                        // sleeping out the time limit; the joins below
+                        // surface the panic after the other threads drain.
+                        metrics.inc(if panicked {
+                            "node_panic_exits"
+                        } else {
+                            "node_early_exits"
+                        });
+                        metrics.add("dead_node_id", node as u64);
+                        break;
+                    }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
             let finished_at = SimTime::from_micros(shared.epoch.elapsed().as_micros() as u64);
 
+            // Shutdown hygiene: signal every node, join every thread, and
+            // only then re-raise any panic — so one dead node never leaves
+            // the rest detached and mid-protocol.
             for tx in shared.senders.values() {
                 let _ = tx.send(NodeMsg::Shutdown);
             }
+            let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
             for h in site_handles {
-                let (m, st) = h.join().expect("site thread");
-                metrics.merge(&m);
-                site_stats.push(st);
+                match h.join() {
+                    Ok((m, st)) => {
+                        metrics.merge(&m);
+                        site_stats.push(st);
+                    }
+                    Err(p) => panics.push(p),
+                }
             }
             for h in coord_handles {
-                let m = h.join().expect("coordinator thread");
-                metrics.merge(&m);
+                match h.join() {
+                    Ok(m) => metrics.merge(&m),
+                    Err(p) => panics.push(p),
+                }
             }
             if let Some(h) = central_handle {
-                let m = h.join().expect("central thread");
-                metrics.merge(&m);
+                match h.join() {
+                    Ok(m) => metrics.merge(&m),
+                    Err(p) => panics.push(p),
+                }
+            }
+            if let Some(p) = panics.into_iter().next() {
+                std::panic::resume_unwind(p);
             }
 
             metrics.add("global_committed", committed);

@@ -1,0 +1,348 @@
+//! The cluster harness: spawn one `mdbs-node` process per role, wait for
+//! the run, and harvest the driver's digest lines.
+//!
+//! This is how the loopback equivalence test and the CI smoke job drive a
+//! real cluster: build a [`ClusterConfig`] (usually via
+//! [`loopback_cluster`], which reserves ephemeral ports), point
+//! [`ClusterRunner`] at the `mdbs-node` binary, and compare the parsed
+//! [`ClusterOutcome`] against a simulation run of the same scenario.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mdbs_sim::{ClusterConfig, NodeRole, Protocol, SimConfig};
+
+/// One node's transport counters, parsed from its `mdbs-node stats` line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Frames written and flushed.
+    pub frames_sent: u64,
+    /// Frames received and decoded.
+    pub frames_received: u64,
+    /// Successful outbound connections (first connects and reconnects).
+    pub connects: u64,
+    /// Inbound connections severed by framing/codec errors.
+    pub decode_errors: u64,
+    /// Deliberate fault-hook connection drops.
+    pub test_drops: u64,
+}
+
+/// Everything a cluster run reports, parsed from the processes' stdout.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Timing-independent digest over global verdicts + checker verdicts
+    /// (comparable with `mdbs_sim::report::outcome_digest` of a sim run).
+    pub outcome_digest: u64,
+    /// Per-site certifier-verdict digests, by site id.
+    pub site_verdicts: BTreeMap<u32, u64>,
+    /// Globally committed transactions.
+    pub committed: u64,
+    /// Globally aborted transactions.
+    pub aborted: u64,
+    /// Committed local transactions across all sites.
+    pub local_committed: u64,
+    /// Aborted local transactions across all sites.
+    pub local_aborted: u64,
+    /// Whether the merged history passed every checker.
+    pub checks_passed: bool,
+    /// Per-node transport counters, by runtime node id.
+    pub stats: BTreeMap<u32, NodeStats>,
+    /// Nodes whose history report never reached the driver.
+    pub missing_reports: Vec<u32>,
+}
+
+/// Reserve `n` distinct loopback addresses by binding ephemeral ports
+/// simultaneously (so they cannot collide with each other), then
+/// releasing them.
+pub fn loopback_addrs(n: usize) -> io::Result<Vec<String>> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    listeners
+        .iter()
+        .map(|l| Ok(l.local_addr()?.to_string()))
+        .collect()
+}
+
+/// Build a [`ClusterConfig`] for `scenario` with every node on a fresh
+/// loopback address.
+pub fn loopback_cluster(scenario: SimConfig) -> io::Result<ClusterConfig> {
+    let sites = scenario.workload.sites as usize;
+    let coords = scenario.coordinators as usize;
+    let central = matches!(scenario.protocol, Protocol::Cgm);
+    let mut addrs = loopback_addrs(sites + coords + usize::from(central))?;
+    let central_addr = central.then(|| addrs.pop().expect("reserved"));
+    let coord_addrs = addrs.split_off(sites);
+    Ok(ClusterConfig {
+        scenario,
+        site_addrs: addrs,
+        coord_addrs,
+        central_addr,
+        outbox_capacity: 1024,
+        backoff_ms: (10, 1_000),
+        test_drop: Vec::new(),
+    })
+}
+
+/// Spawns one `mdbs-node` process per cluster role and parses the result.
+pub struct ClusterRunner {
+    binary: PathBuf,
+    cfg: ClusterConfig,
+}
+
+struct Proc {
+    role: NodeRole,
+    child: Child,
+    stdout: JoinHandle<String>,
+    stderr: JoinHandle<String>,
+}
+
+fn drain(mut pipe: impl Read + Send + 'static) -> JoinHandle<String> {
+    std::thread::spawn(move || {
+        let mut s = String::new();
+        let _ = pipe.read_to_string(&mut s);
+        s
+    })
+}
+
+static CONFIG_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl ClusterRunner {
+    /// A runner for `cfg`, executing the `mdbs-node` binary at `binary`
+    /// (tests pass `env!("CARGO_BIN_EXE_mdbs-node")`).
+    pub fn new(binary: impl Into<PathBuf>, cfg: ClusterConfig) -> ClusterRunner {
+        ClusterRunner {
+            binary: binary.into(),
+            cfg,
+        }
+    }
+
+    /// Run the whole cluster to completion, killing every process that
+    /// outlives `timeout`.
+    pub fn run(&self, timeout: Duration) -> Result<ClusterOutcome, String> {
+        let text = self
+            .cfg
+            .to_kv_text()
+            .map_err(|e| format!("serialize cluster config: {e}"))?;
+        let path = std::env::temp_dir().join(format!(
+            "mdbs-cluster-{}-{}.conf",
+            std::process::id(),
+            CONFIG_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
+        let result = self.run_with_config_file(&path, timeout);
+        let _ = std::fs::remove_file(&path);
+        result
+    }
+
+    fn run_with_config_file(
+        &self,
+        path: &std::path::Path,
+        timeout: Duration,
+    ) -> Result<ClusterOutcome, String> {
+        let mut procs = Vec::new();
+        for role in self.cfg.roles() {
+            let mut child = Command::new(&self.binary)
+                .arg("--config")
+                .arg(path)
+                .arg("--role")
+                .arg(role.key())
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .map_err(|e| format!("spawn {} as {}: {e}", self.binary.display(), role.key()))?;
+            let stdout = drain(child.stdout.take().expect("piped"));
+            let stderr = drain(child.stderr.take().expect("piped"));
+            procs.push(Proc {
+                role,
+                child,
+                stdout,
+                stderr,
+            });
+        }
+
+        let deadline = Instant::now() + timeout;
+        let mut statuses: Vec<Option<std::process::ExitStatus>> = vec![None; procs.len()];
+        while statuses.iter().any(Option::is_none) && Instant::now() < deadline {
+            for (i, p) in procs.iter_mut().enumerate() {
+                if statuses[i].is_none() {
+                    if let Ok(Some(st)) = p.child.try_wait() {
+                        statuses[i] = Some(st);
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut killed = Vec::new();
+        for (i, p) in procs.iter_mut().enumerate() {
+            if statuses[i].is_none() {
+                let _ = p.child.kill();
+                let _ = p.child.wait();
+                killed.push(p.role.key());
+            }
+        }
+
+        let mut outputs: Vec<(NodeRole, String, String)> = Vec::new();
+        for p in procs {
+            let out = p.stdout.join().unwrap_or_default();
+            let err = p.stderr.join().unwrap_or_default();
+            outputs.push((p.role, out, err));
+        }
+
+        if !killed.is_empty() {
+            return Err(format!(
+                "cluster timed out after {timeout:?}; killed {killed:?}; stderr:\n{}",
+                joined_stderr(&outputs)
+            ));
+        }
+        for (i, st) in statuses.iter().enumerate() {
+            let st = st.expect("all settled");
+            if !st.success() {
+                return Err(format!(
+                    "{} exited with {st}; stderr:\n{}",
+                    outputs[i].0.key(),
+                    joined_stderr(&outputs)
+                ));
+            }
+        }
+        parse_outcome(&outputs)
+    }
+}
+
+fn joined_stderr(outputs: &[(NodeRole, String, String)]) -> String {
+    outputs
+        .iter()
+        .filter(|(_, _, e)| !e.trim().is_empty())
+        .map(|(r, _, e)| format!("--- {} ---\n{}", r.key(), e.trim_end()))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The `key=value` fields of one `mdbs-node …` line.
+fn fields(line: &str) -> BTreeMap<&str, &str> {
+    line.split_whitespace()
+        .filter_map(|w| w.split_once('='))
+        .collect()
+}
+
+fn num(fields: &BTreeMap<&str, &str>, key: &str) -> Result<u64, String> {
+    let v = fields
+        .get(key)
+        .ok_or_else(|| format!("missing field {key}"))?;
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    }
+    .map_err(|e| format!("bad {key}={v}: {e}"))
+}
+
+fn parse_outcome(outputs: &[(NodeRole, String, String)]) -> Result<ClusterOutcome, String> {
+    let mut outcome_digest = None;
+    let mut site_verdicts = BTreeMap::new();
+    let mut summary = None;
+    let mut stats = BTreeMap::new();
+    let mut missing_reports = Vec::new();
+    for (_, out, _) in outputs {
+        for line in out.lines() {
+            let Some(rest) = line.strip_prefix("mdbs-node ") else {
+                continue;
+            };
+            let kind = rest.split_whitespace().next().unwrap_or("");
+            let f = fields(rest);
+            match kind {
+                "outcome" => outcome_digest = Some(num(&f, "digest")?),
+                "site-verdict" => {
+                    site_verdicts.insert(num(&f, "site")? as u32, num(&f, "digest")?);
+                }
+                "summary" => {
+                    summary = Some((
+                        num(&f, "committed")?,
+                        num(&f, "aborted")?,
+                        num(&f, "local_committed")?,
+                        num(&f, "local_aborted")?,
+                        f.get("checks_passed").copied() == Some("true"),
+                    ));
+                }
+                "stats" => {
+                    stats.insert(
+                        num(&f, "node")? as u32,
+                        NodeStats {
+                            frames_sent: num(&f, "frames_sent")?,
+                            frames_received: num(&f, "frames_received")?,
+                            connects: num(&f, "connects")?,
+                            decode_errors: num(&f, "decode_errors")?,
+                            test_drops: num(&f, "test_drops")?,
+                        },
+                    );
+                }
+                "missing-report" => missing_reports.push(num(&f, "node")? as u32),
+                _ => {}
+            }
+        }
+    }
+    let outcome_digest =
+        outcome_digest.ok_or_else(|| "driver printed no outcome digest".to_string())?;
+    let (committed, aborted, local_committed, local_aborted, checks_passed) =
+        summary.ok_or_else(|| "driver printed no summary".to_string())?;
+    Ok(ClusterOutcome {
+        outcome_digest,
+        site_verdicts,
+        committed,
+        aborted,
+        local_committed,
+        local_aborted,
+        checks_passed,
+        stats,
+        missing_reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_addrs_are_distinct() {
+        let addrs = loopback_addrs(6).expect("bind");
+        let set: std::collections::BTreeSet<&String> = addrs.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn parse_outcome_reads_driver_lines() {
+        let driver_out = "\
+mdbs-node outcome digest=0x00000000deadbeef
+mdbs-node site-verdict site=0 digest=0x0000000000000010
+mdbs-node site-verdict site=1 digest=0x0000000000000020
+mdbs-node summary committed=10 aborted=2 local_committed=6 local_aborted=0 checks_passed=true
+mdbs-node stats node=1000000 role=coord:0 frames_sent=40 frames_received=41 connects=4 decode_errors=0 test_drops=0
+";
+        let site_out = "mdbs-node stats node=0 role=site:0 frames_sent=9 \
+                        frames_received=8 connects=2 decode_errors=0 test_drops=1\n";
+        let outputs = vec![
+            (
+                NodeRole::Coordinator(0),
+                driver_out.to_string(),
+                String::new(),
+            ),
+            (NodeRole::Site(0), site_out.to_string(), String::new()),
+        ];
+        let o = parse_outcome(&outputs).expect("parse");
+        assert_eq!(o.outcome_digest, 0xdead_beef);
+        assert_eq!(o.site_verdicts[&0], 0x10);
+        assert_eq!(o.site_verdicts[&1], 0x20);
+        assert_eq!((o.committed, o.aborted), (10, 2));
+        assert!(o.checks_passed);
+        assert_eq!(o.stats[&0].test_drops, 1);
+        assert_eq!(o.stats[&1_000_000].frames_sent, 40);
+        assert!(o.missing_reports.is_empty());
+    }
+}

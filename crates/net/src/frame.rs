@@ -1,0 +1,277 @@
+//! The framing layer: how a byte stream is cut into messages.
+//!
+//! Every frame is a 13-byte header followed by the payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"MDBN"
+//! 4       1     version (currently 1)
+//! 5       4     payload length, little-endian, <= MAX_FRAME_LEN
+//! 9       4     CRC32 (IEEE) of the payload, little-endian
+//! 13      len   payload (one wire::WireMsg)
+//! ```
+//!
+//! The decoder is incremental — feed it whatever `read()` returned and
+//! take complete frames out — and strict: bad magic, an unknown version,
+//! an oversized length, or a CRC mismatch is a [`FrameError`], and the
+//! right response is to sever the connection (once framing is lost there
+//! is no way to resynchronize a TCP stream). Truncation is not an error,
+//! just an incomplete frame; it only becomes one when the peer closes
+//! mid-frame.
+
+use std::fmt;
+
+/// Leading bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"MDBN";
+/// The only wire version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+/// Header size in bytes: magic + version + length + CRC.
+pub const HEADER_LEN: usize = 13;
+/// Hard cap on a payload. Generous — a full node report for a large run
+/// is far below this — but it bounds what a corrupt length prefix can
+/// make the decoder allocate.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Why a byte stream failed framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte was not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// The payload CRC did not match the header.
+    BadCrc {
+        /// CRC declared in the header.
+        want: u32,
+        /// CRC computed over the received payload.
+        got: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame length {n} exceeds cap {MAX_FRAME_LEN}")
+            }
+            FrameError::BadCrc { want, got } => {
+                write!(
+                    f,
+                    "frame crc mismatch: header {want:#010x}, payload {got:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup table,
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Wrap a payload in a frame.
+///
+/// # Panics
+///
+/// If `payload` exceeds [`MAX_FRAME_LEN`] — encoding oversized frames is
+/// a local programming error, not a peer's.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "refusing to encode a {}-byte frame (cap {MAX_FRAME_LEN})",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame parser over an append-only buffer.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append freshly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by [`next_frame`].
+    ///
+    /// [`next_frame`]: FrameDecoder::next_frame
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete payload, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; an `Err` means the stream is
+    /// unrecoverably mis-framed and the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < HEADER_LEN {
+            // Validate what we do have of the prefix eagerly, so garbage
+            // is rejected without waiting for a full header.
+            let have = self.buf.len().min(MAGIC.len());
+            if self.buf[..have] != MAGIC[..have] {
+                let mut m = [0u8; 4];
+                m[..have].copy_from_slice(&self.buf[..have]);
+                return Err(FrameError::BadMagic(m));
+            }
+            return Ok(None);
+        }
+        if self.buf[..4] != MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&self.buf[..4]);
+            return Err(FrameError::BadMagic(m));
+        }
+        if self.buf[4] != WIRE_VERSION {
+            return Err(FrameError::BadVersion(self.buf[4]));
+        }
+        let len = u32::from_le_bytes(self.buf[5..9].try_into().expect("4"));
+        if len as usize > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized(len));
+        }
+        let want_crc = u32::from_le_bytes(self.buf[9..13].try_into().expect("4"));
+        let total = HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[HEADER_LEN..total].to_vec();
+        let got = crc32(&payload);
+        if got != want_crc {
+            return Err(FrameError::BadCrc {
+                want: want_crc,
+                got,
+            });
+        }
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+}
+
+/// Decode every complete frame in `bytes` at once (convenience for tests
+/// and one-shot buffers). Returns the payloads plus the count of leftover
+/// bytes that did not form a complete frame.
+pub fn decode_frames(bytes: &[u8]) -> Result<(Vec<Vec<u8>>, usize), FrameError> {
+    let mut dec = FrameDecoder::new();
+    dec.extend(bytes);
+    let mut out = Vec::new();
+    while let Some(p) = dec.next_frame()? {
+        out.push(p);
+    }
+    Ok((out, dec.buffered()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frame_round_trips_through_incremental_decoder() {
+        let payload = b"hello multidatabase".to_vec();
+        let frame = encode_frame(&payload);
+        // Feed one byte at a time: truncation must read as "need more",
+        // never as an error, until the last byte lands.
+        let mut dec = FrameDecoder::new();
+        for (i, b) in frame.iter().enumerate() {
+            dec.extend(&[*b]);
+            let got = dec.next_frame().expect("well-formed prefix");
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "complete frame after {} bytes?", i + 1);
+            } else {
+                assert_eq!(got, Some(payload.clone()));
+            }
+        }
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_before_full_header() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(b"HTTP");
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadMagic(_))));
+        // Even a single wrong byte is enough.
+        let mut dec = FrameDecoder::new();
+        dec.extend(b"X");
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut frame = encode_frame(b"x");
+        frame[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&frame);
+        assert!(matches!(dec.next_frame(), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_crc() {
+        let mut frame = encode_frame(b"certify me");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&frame);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn back_to_back_frames_split_cleanly() {
+        let mut bytes = encode_frame(b"one");
+        bytes.extend_from_slice(&encode_frame(b"two"));
+        bytes.extend_from_slice(&encode_frame(b"three")[..7]);
+        let (frames, leftover) = decode_frames(&bytes).expect("clean stream");
+        assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(leftover, 7);
+    }
+}

@@ -1,0 +1,621 @@
+//! The `mdbs-node` process runtime: one protocol node per OS process.
+//!
+//! Every process reads the **same** cluster file and pre-draws the same
+//! seeded workload ([`mdbs_workload::predraw`]), so no workload bytes ever
+//! cross the wire — a site takes its local queue, the driver takes the
+//! global admission list. The driver is **coordinator 0's process**: it
+//! admits global transactions under the configured multiprogramming level
+//! (fanning [`WireMsg::StartGlobal`] out across the coordinators), and
+//! once every global settled it broadcasts [`WireMsg::Drain`]; each node
+//! finishes its local work, quiesces, and answers with a
+//! [`WireMsg::NodeReport`] carrying its slice of the history. The driver
+//! merges the slices in ascending node order (conflicts are intra-site,
+//! so each site's block carries its own order), runs the correctness
+//! checkers, and prints timing-independent outcome digests comparable
+//! with a simulation run of the same scenario.
+//!
+//! Retransmission hardening: the transport is at-least-once, so the
+//! cluster-control envelope is deduplicated here — a coordinator begins
+//! each `StartGlobal` once, the driver settles each `Finished` once and
+//! keeps the first `NodeReport` per node. The 2PC messages themselves
+//! need no help: the agents are duplicate-hardened by design.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io;
+use std::time::{Duration, Instant, SystemTime};
+
+use mdbs_dtm::{AgentInput, GlobalOutcome, Message};
+use mdbs_histories::{GlobalTxnId, History, Instance, Op, SiteId};
+use mdbs_ldbs::{Command, Ldbs, SiteProfile, Store};
+use mdbs_runtime::{
+    message_kind, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeHost, SiteRuntime,
+    TimeSource, Timer, TraceEvent, Transport, CENTRAL, COORD_BASE,
+};
+use mdbs_sim::report::{outcome_digest, site_verdict_digest, CorrectnessReport};
+use mdbs_sim::sim::effective_agent_cfg;
+use mdbs_sim::{ClusterConfig, NodeRole, Protocol};
+use mdbs_simkit::{DetRng, Metrics, SimTime};
+use mdbs_workload::predraw;
+
+use crate::tcp::{NetEvent, TcpTransport, TcpTransportConfig, TransportStats};
+use crate::wire::WireMsg;
+
+/// What a finished node hands back to its caller: the stdout lines the
+/// cluster harness parses (digests from the driver, stats from everyone).
+#[derive(Debug, Clone)]
+pub struct NodeOutput {
+    /// The runtime node id this process ran.
+    pub node: u32,
+    /// Harvestable `mdbs-node …` lines, in print order.
+    pub lines: Vec<String>,
+}
+
+/// The per-process [`RuntimeHost`]: the TCP transport plus local history,
+/// injection and settlement state.
+struct NodeHost {
+    transport: TcpTransport,
+    metrics: Metrics,
+    /// This node's history slice, in local order.
+    ops: Vec<Op>,
+    /// Pending unilateral-abort injections (sites only).
+    injections: Vec<(u64, Instance)>,
+    inject_rng: DetRng,
+    unilateral_abort_prob: f64,
+    abort_delay_max_us: u64,
+    local_done: bool,
+    local_committed: u64,
+    local_aborted: u64,
+    /// Terminal outcomes reported by the coordinator on this process,
+    /// drained after each input batch.
+    pending_finished: Vec<(u32, GlobalTxnId, GlobalOutcome)>,
+    epoch: Instant,
+}
+
+impl NodeHost {
+    fn new(transport: TcpTransport, inject_rng: DetRng, cfg: &ClusterConfig) -> NodeHost {
+        NodeHost {
+            transport,
+            metrics: Metrics::new(),
+            ops: Vec::new(),
+            injections: Vec::new(),
+            inject_rng,
+            unilateral_abort_prob: cfg.scenario.workload.unilateral_abort_prob,
+            abort_delay_max_us: cfg.scenario.abort_delay_max_us,
+            local_done: false,
+            local_committed: 0,
+            local_aborted: 0,
+            pending_finished: Vec::new(),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn elapsed_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn take_due_injections(&mut self, now_us: u64) -> Vec<Instance> {
+        let mut due = Vec::new();
+        self.injections.retain(|&(at, instance)| {
+            if at <= now_us {
+                due.push(instance);
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    fn next_injection_us(&self) -> Option<u64> {
+        self.injections.iter().map(|&(at, _)| at).min()
+    }
+
+    fn stats_line(&self, node: u32, role: &NodeRole) -> String {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s: &TransportStats = self.transport.stats();
+        format!(
+            "mdbs-node stats node={} role={} frames_sent={} frames_received={} connects={} decode_errors={} test_drops={}",
+            node,
+            role.key(),
+            s.frames_sent.load(Relaxed),
+            s.frames_received.load(Relaxed),
+            s.connects.load(Relaxed),
+            s.decode_errors.load(Relaxed),
+            s.test_drops.load(Relaxed),
+        )
+    }
+}
+
+impl TimeSource for NodeHost {
+    fn local_time_us(&mut self, _node: u32) -> u64 {
+        // Serial numbers and alive intervals compare across processes, so
+        // every node reads the one clock all processes share.
+        SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.elapsed_us())
+    }
+}
+
+impl Transport for NodeHost {
+    fn send(&mut self, from: u32, to: u32, msg: Message) {
+        self.metrics.inc(message_kind(&msg));
+        self.transport.send(from, to, msg);
+    }
+
+    fn send_ctrl(&mut self, from: u32, to: u32, ctrl: CtrlMsg) {
+        self.transport.send_ctrl(from, to, ctrl);
+    }
+
+    fn set_timer(&mut self, node: u32, after_us: u64, timer: Timer) {
+        self.transport.set_timer(node, after_us, timer);
+    }
+}
+
+impl RuntimeHost for NodeHost {
+    fn record_op(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    fn inc(&mut self, name: &'static str) {
+        self.metrics.inc(name);
+    }
+
+    fn add(&mut self, name: &'static str, n: u64) {
+        self.metrics.add(name, n);
+    }
+
+    fn trace(&mut self, _event: TraceEvent) {}
+
+    fn prepared(&mut self, site: SiteId, gtxn: GlobalTxnId, incarnation: u32) {
+        if !self.inject_rng.chance(self.unilateral_abort_prob) {
+            return;
+        }
+        self.metrics.inc("injections_scheduled");
+        let instance = Instance::global(gtxn.0, site, incarnation);
+        let delay = if self.abort_delay_max_us == 0 {
+            0
+        } else {
+            self.inject_rng.uniform_u64(0, self.abort_delay_max_us)
+        };
+        self.injections.push((self.elapsed_us() + delay, instance));
+    }
+
+    fn local_settled(&mut self, _site: SiteId, committed: bool) {
+        if committed {
+            self.local_committed += 1;
+        } else {
+            self.local_aborted += 1;
+        }
+        self.local_done = true;
+    }
+
+    fn global_finished(&mut self, cnode: u32, gtxn: GlobalTxnId, outcome: GlobalOutcome) {
+        self.pending_finished.push((cnode, gtxn, outcome));
+    }
+}
+
+fn wall_deadline(cfg: &ClusterConfig) -> Instant {
+    Instant::now() + Duration::from_secs_f64(cfg.scenario.time_limit.as_secs_f64())
+}
+
+fn start_transport(cfg: &ClusterConfig, node: u32) -> io::Result<TcpTransport> {
+    let listen_addr = cfg
+        .addr_of(node)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("node {node} has no address"),
+            )
+        })?
+        .to_string();
+    let peers: BTreeMap<u32, String> = cfg
+        .node_ids()
+        .into_iter()
+        .filter(|&id| id != node)
+        .map(|id| {
+            (
+                id,
+                cfg.addr_of(id)
+                    .expect("listed node has an address")
+                    .to_string(),
+            )
+        })
+        .collect();
+    let test_drop_after = cfg
+        .test_drop
+        .iter()
+        .find(|&&(n, _)| n == node)
+        .map(|&(_, frames)| frames);
+    TcpTransport::start(TcpTransportConfig {
+        node,
+        listen_addr,
+        peers,
+        outbox_capacity: cfg.outbox_capacity,
+        backoff_initial: Duration::from_millis(cfg.backoff_ms.0),
+        backoff_max: Duration::from_millis(cfg.backoff_ms.1),
+        test_drop_after,
+    })
+}
+
+/// Run one cluster role to completion. Blocks until the driver's
+/// [`WireMsg::Shutdown`] arrives (or the scenario's wall-clock time limit
+/// passes) and returns the lines to print.
+pub fn run_node(cfg: &ClusterConfig, role: NodeRole) -> io::Result<NodeOutput> {
+    match role {
+        NodeRole::Site(s) => run_site(cfg, s),
+        NodeRole::Coordinator(0) => run_driver(cfg),
+        NodeRole::Coordinator(c) => run_coordinator(cfg, c),
+        NodeRole::Central => run_central(cfg),
+    }
+}
+
+fn run_site(cfg: &ClusterConfig, s: u32) -> io::Result<NodeOutput> {
+    let scenario = &cfg.scenario;
+    let spec = &scenario.workload;
+    let site = SiteId(s);
+    let mut engine = Ldbs::new(
+        site,
+        SiteProfile::for_site(s),
+        Store::with_rows(spec.items_per_site, spec.initial_value),
+    );
+    engine.set_enforce_dlu(spec.enforce_dlu);
+    let mut rt = SiteRuntime::new(
+        site,
+        effective_agent_cfg(scenario),
+        engine,
+        scenario.ltm_service_us,
+    );
+
+    let root = DetRng::new(spec.seed);
+    let mut drawn = predraw(spec);
+    let mut local_queue: VecDeque<(u32, Vec<Command>)> =
+        drawn.locals.remove(&site).unwrap_or_default();
+
+    let transport = start_transport(cfg, s)?;
+    let mut host = NodeHost::new(transport, root.substream_n("inject", s as u64), cfg);
+    let deadline = wall_deadline(cfg);
+    let mut local_active = false;
+    let mut draining = false;
+    let mut reported = false;
+    let mut next_scan_us = scenario.deadlock_scan_us;
+
+    loop {
+        let now_us = host.elapsed_us();
+        for instance in host.take_due_injections(now_us) {
+            rt.inject_abort(instance, &mut host);
+        }
+        if now_us >= next_scan_us {
+            next_scan_us = now_us + scenario.deadlock_scan_us;
+            rt.kill_local_deadlocks(&mut host);
+            let timeout = mdbs_simkit::SimDuration::from_micros(scenario.wait_timeout_us);
+            let now = host.now();
+            let expired: Vec<Instance> = rt
+                .blocked()
+                .filter(|&(_, since)| now.since(since) > timeout)
+                .map(|(i, _)| i)
+                .collect();
+            for instance in expired {
+                rt.abort_on_timeout(instance, &mut host);
+            }
+        }
+        if host.local_done {
+            host.local_done = false;
+            local_active = false;
+        }
+        if !local_active {
+            if let Some((n, commands)) = local_queue.pop_front() {
+                local_active = true;
+                rt.start_local(n, commands, &mut host);
+                continue; // the start may already have settled it
+            }
+        }
+        if draining && !reported && !local_active && local_queue.is_empty() && rt.quiesced() {
+            reported = true;
+            let report = WireMsg::NodeReport {
+                node: s,
+                ops: std::mem::take(&mut host.ops),
+                local_committed: host.local_committed,
+                local_aborted: host.local_aborted,
+            };
+            host.transport.send_wire(COORD_BASE, report);
+        }
+        if Instant::now() >= deadline {
+            break; // wall-clock safety valve
+        }
+        let wait_us = host
+            .next_injection_us()
+            .map(|at| at.saturating_sub(host.elapsed_us()))
+            .unwrap_or(u64::MAX)
+            .min(next_scan_us.saturating_sub(host.elapsed_us()).max(1))
+            .clamp(1, 20_000);
+        match host.transport.poll(Duration::from_micros(wait_us)) {
+            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => {
+                rt.agent_input(AgentInput::Deliver(msg), &mut host)
+            }
+            Some(NetEvent::Msg(WireMsg::Drain)) => draining = true,
+            Some(NetEvent::Msg(WireMsg::Shutdown)) => break,
+            Some(NetEvent::Msg(_)) => {} // not site traffic; ignore
+            Some(NetEvent::Timer { timer, .. }) => match timer {
+                Timer::Alive { gtxn } => rt.agent_input(AgentInput::AliveTimer { gtxn }, &mut host),
+                Timer::CommitRetry { gtxn } => {
+                    rt.agent_input(AgentInput::CommitRetryTimer { gtxn }, &mut host)
+                }
+                Timer::LtmExec { instance, command } => rt.ltm_exec(instance, command, &mut host),
+            },
+            None => {}
+        }
+    }
+
+    let lines = vec![host.stats_line(s, &NodeRole::Site(s))];
+    host.transport.shutdown();
+    Ok(NodeOutput { node: s, lines })
+}
+
+fn run_coordinator(cfg: &ClusterConfig, c: u32) -> io::Result<NodeOutput> {
+    let node = COORD_BASE + c;
+    let cgm = matches!(cfg.scenario.protocol, Protocol::Cgm);
+    let mut rt = CoordinatorRuntime::new(node, cgm);
+    let root = DetRng::new(cfg.scenario.workload.seed);
+    let transport = start_transport(cfg, node)?;
+    let mut host = NodeHost::new(transport, root.substream("unused"), cfg);
+    let deadline = wall_deadline(cfg);
+    let mut started: BTreeSet<GlobalTxnId> = BTreeSet::new();
+    let mut finished: BTreeSet<GlobalTxnId> = BTreeSet::new();
+    let mut draining = false;
+    let mut reported = false;
+
+    loop {
+        if draining && !reported && started.len() == finished.len() {
+            reported = true;
+            let report = WireMsg::NodeReport {
+                node,
+                ops: std::mem::take(&mut host.ops),
+                local_committed: 0,
+                local_aborted: 0,
+            };
+            host.transport.send_wire(COORD_BASE, report);
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        match host.transport.poll(Duration::from_millis(20)) {
+            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => rt.on_message(msg, &mut host),
+            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => rt.on_ctrl(ctrl, &mut host),
+            // The transport may retransmit across a reconnect; begin each
+            // transaction exactly once (dups fall through to the catch-all).
+            Some(NetEvent::Msg(WireMsg::StartGlobal { gtxn, program })) if started.insert(gtxn) => {
+                rt.begin(gtxn, program, &mut host);
+            }
+            Some(NetEvent::Msg(WireMsg::Drain)) => draining = true,
+            Some(NetEvent::Msg(WireMsg::Shutdown)) => break,
+            Some(NetEvent::Msg(_)) => {}
+            Some(NetEvent::Timer { .. }) => {} // coordinators set no timers
+            None => {}
+        }
+        for (cnode, gtxn, outcome) in std::mem::take(&mut host.pending_finished) {
+            if finished.insert(gtxn) {
+                if cgm {
+                    rt.cgm_cleanup(gtxn);
+                    host.send_ctrl(cnode, CENTRAL, CtrlMsg::CgmFinished { gtxn });
+                }
+                host.transport
+                    .send_wire(COORD_BASE, WireMsg::Finished { gtxn, outcome });
+            }
+        }
+    }
+
+    let lines = vec![host.stats_line(node, &NodeRole::Coordinator(c))];
+    host.transport.shutdown();
+    Ok(NodeOutput { node, lines })
+}
+
+fn run_central(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
+    let mut rt = CentralRuntime::new();
+    let root = DetRng::new(cfg.scenario.workload.seed);
+    let transport = start_transport(cfg, CENTRAL)?;
+    let mut host = NodeHost::new(transport, root.substream("unused"), cfg);
+    let deadline = wall_deadline(cfg);
+    let mut reported = false;
+
+    loop {
+        if Instant::now() >= deadline {
+            break;
+        }
+        match host.transport.poll(Duration::from_millis(20)) {
+            Some(NetEvent::Msg(WireMsg::Ctrl { from, ctrl, .. })) => {
+                rt.on_ctrl(from, ctrl, &mut host)
+            }
+            Some(NetEvent::Msg(WireMsg::Drain)) if !reported => {
+                reported = true;
+                let report = WireMsg::NodeReport {
+                    node: CENTRAL,
+                    ops: std::mem::take(&mut host.ops),
+                    local_committed: 0,
+                    local_aborted: 0,
+                };
+                host.transport.send_wire(COORD_BASE, report);
+            }
+            Some(NetEvent::Msg(WireMsg::Shutdown)) => break,
+            Some(_) => {}
+            None => {}
+        }
+    }
+
+    let lines = vec![host.stats_line(CENTRAL, &NodeRole::Central)];
+    host.transport.shutdown();
+    Ok(NodeOutput {
+        node: CENTRAL,
+        lines,
+    })
+}
+
+/// Coordinator 0: runs its own [`CoordinatorRuntime`] *and* the cluster
+/// driver — admission, the drain barrier, report collection, digests.
+fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
+    let node = COORD_BASE;
+    let scenario = &cfg.scenario;
+    let spec = &scenario.workload;
+    let cgm = matches!(scenario.protocol, Protocol::Cgm);
+    let mut rt = CoordinatorRuntime::new(node, cgm);
+    let root = DetRng::new(spec.seed);
+    let transport = start_transport(cfg, node)?;
+    let mut host = NodeHost::new(transport, root.substream("unused"), cfg);
+    let deadline = wall_deadline(cfg);
+
+    let drawn = predraw(spec);
+    let mut ready: VecDeque<(GlobalTxnId, Vec<(SiteId, Command)>)> =
+        drawn.globals.into_iter().collect();
+    let total_globals = spec.global_txns as u64;
+    let mut in_flight = 0u32;
+    let mut settled: BTreeSet<GlobalTxnId> = BTreeSet::new();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut started: BTreeSet<GlobalTxnId> = BTreeSet::new();
+    let mut finished_here: BTreeSet<GlobalTxnId> = BTreeSet::new();
+    // First NodeReport per node wins (retransmission dedup).
+    let mut reports: BTreeMap<u32, (Vec<Op>, u64, u64)> = BTreeMap::new();
+
+    let all_nodes = cfg.node_ids();
+    let expected_reports = all_nodes.len() - 1;
+
+    macro_rules! admit {
+        () => {
+            while in_flight < spec.mpl {
+                let Some((gtxn, program)) = ready.pop_front() else {
+                    break;
+                };
+                in_flight += 1;
+                let cnode = COORD_BASE + (gtxn.0 % scenario.coordinators);
+                host.transport
+                    .send_wire(cnode, WireMsg::StartGlobal { gtxn, program });
+            }
+        };
+    }
+    macro_rules! settle {
+        ($gtxn:expr, $outcome:expr) => {
+            if settled.insert($gtxn) {
+                in_flight = in_flight.saturating_sub(1);
+                match $outcome {
+                    GlobalOutcome::Committed => committed += 1,
+                    GlobalOutcome::Aborted => aborted += 1,
+                }
+                admit!();
+            }
+        };
+    }
+
+    admit!();
+
+    // Phase 1: drive every global transaction to its terminal outcome.
+    while (settled.len() as u64) < total_globals && Instant::now() < deadline {
+        match host.transport.poll(Duration::from_millis(20)) {
+            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => rt.on_message(msg, &mut host),
+            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => rt.on_ctrl(ctrl, &mut host),
+            // This driver's own slice, looped back through the inbox
+            // (dups from a retransmit fall through to the catch-all).
+            Some(NetEvent::Msg(WireMsg::StartGlobal { gtxn, program })) if started.insert(gtxn) => {
+                rt.begin(gtxn, program, &mut host);
+            }
+            Some(NetEvent::Msg(WireMsg::Finished { gtxn, outcome })) => settle!(gtxn, outcome),
+            Some(NetEvent::Msg(WireMsg::NodeReport {
+                node: n,
+                ops,
+                local_committed,
+                local_aborted,
+            })) => {
+                reports
+                    .entry(n)
+                    .or_insert((ops, local_committed, local_aborted));
+            }
+            Some(_) => {}
+            None => {}
+        }
+        for (cnode, gtxn, outcome) in std::mem::take(&mut host.pending_finished) {
+            if finished_here.insert(gtxn) {
+                if cgm {
+                    rt.cgm_cleanup(gtxn);
+                    host.send_ctrl(cnode, CENTRAL, CtrlMsg::CgmFinished { gtxn });
+                }
+                settle!(gtxn, outcome);
+            }
+        }
+    }
+
+    // Phase 2: drain barrier — everyone finishes local work and reports.
+    for &id in &all_nodes {
+        if id != node {
+            host.transport.send_wire(id, WireMsg::Drain);
+        }
+    }
+    while reports.len() < expected_reports && Instant::now() < deadline {
+        match host.transport.poll(Duration::from_millis(20)) {
+            Some(NetEvent::Msg(WireMsg::NodeReport {
+                node: n,
+                ops,
+                local_committed,
+                local_aborted,
+            })) => {
+                reports
+                    .entry(n)
+                    .or_insert((ops, local_committed, local_aborted));
+            }
+            // Late protocol stragglers (duplicates after reconnect) still
+            // reach the runtime, which is hardened against them.
+            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => rt.on_message(msg, &mut host),
+            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => rt.on_ctrl(ctrl, &mut host),
+            Some(_) => {}
+            None => {}
+        }
+    }
+
+    // Phase 3: merge the slices in ascending node order and certify.
+    let mut lines = Vec::new();
+    let mut local_committed = 0u64;
+    let mut local_aborted = 0u64;
+    let mut merged: Vec<Op> = Vec::new();
+    for &id in &all_nodes {
+        if id == node {
+            merged.extend(host.ops.iter().cloned());
+            continue;
+        }
+        match reports.get(&id) {
+            Some((ops, lc, la)) => {
+                merged.extend(ops.iter().cloned());
+                local_committed += lc;
+                local_aborted += la;
+            }
+            None => lines.push(format!("mdbs-node missing-report node={id}")),
+        }
+    }
+    let history = History::from_ops(merged);
+    let checks = CorrectnessReport::analyze(&history, spec.sites);
+    lines.push(format!(
+        "mdbs-node outcome digest={:#018x}",
+        outcome_digest(&history, &checks)
+    ));
+    for s in 0..spec.sites {
+        lines.push(format!(
+            "mdbs-node site-verdict site={s} digest={:#018x}",
+            site_verdict_digest(&history, SiteId(s))
+        ));
+    }
+    lines.push(format!(
+        "mdbs-node summary committed={committed} aborted={aborted} local_committed={local_committed} local_aborted={local_aborted} checks_passed={}",
+        checks.passed()
+    ));
+    lines.push(host.stats_line(node, &NodeRole::Coordinator(0)));
+
+    // Phase 4: release the cluster.
+    for &id in &all_nodes {
+        if id != node {
+            host.transport.send_wire(id, WireMsg::Shutdown);
+        }
+    }
+    host.transport.shutdown();
+    Ok(NodeOutput { node, lines })
+}

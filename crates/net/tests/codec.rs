@@ -1,0 +1,338 @@
+//! Wire-codec correctness: every protocol message round-trips bit-exact,
+//! and no sequence of hostile bytes — truncated, bit-flipped, oversized,
+//! or random — can panic the decoder. A transport that dies on a corrupt
+//! frame is a transport that turns one flaky link into a dead node.
+
+use std::collections::BTreeSet;
+
+use mdbs_baselines::SiteLockMode;
+use mdbs_dtm::{GlobalOutcome, Message, RefuseReason, SerialNumber};
+use mdbs_histories::{GlobalTxnId, Item, LocalTxnId, Op, OpKind, SiteId, Txn};
+use mdbs_ldbs::{Command, CommandResult, KeySpec};
+use mdbs_net::frame::{decode_frames, encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+use mdbs_net::wire::{decode_msg, encode_msg, WireError, WireMsg};
+use mdbs_runtime::CtrlMsg;
+use proptest::prelude::*;
+
+fn sn() -> SerialNumber {
+    SerialNumber {
+        ticks: 1_234_567_890,
+        node: 7,
+        seq: 42,
+    }
+}
+
+/// Every [`Message`] variant, with every field exercised: both `KeySpec`
+/// shapes, every `Command`, a non-empty `CommandResult`, every
+/// `RefuseReason`.
+fn all_messages() -> Vec<Message> {
+    let gtxn = GlobalTxnId(9);
+    let site = SiteId(2);
+    let mut msgs = vec![
+        Message::Begin {
+            gtxn,
+            coord: 1_000_003,
+        },
+        Message::Prepare { gtxn, sn: sn() },
+        Message::Commit { gtxn },
+        Message::Rollback { gtxn },
+        Message::DmlResult {
+            gtxn,
+            site,
+            step: 3,
+            result: CommandResult {
+                rows: vec![(1, -5), (2, 0), (u64::MAX, i64::MIN)],
+                wrote: vec![7, 8],
+            },
+        },
+        Message::Failed { gtxn, site },
+        Message::Ready { gtxn, site },
+        Message::CommitAck { gtxn, site },
+        Message::RollbackAck { gtxn, site },
+    ];
+    for command in [
+        Command::Select(KeySpec::Key(3)),
+        Command::Select(KeySpec::Range(2, 9)),
+        Command::Update(KeySpec::Range(0, u64::MAX), -17),
+        Command::Assign(KeySpec::Key(5), i64::MAX),
+        Command::Insert(11, -1),
+        Command::Delete(KeySpec::Range(4, 6)),
+    ] {
+        msgs.push(Message::Dml {
+            gtxn,
+            step: 2,
+            command,
+        });
+    }
+    for reason in [
+        RefuseReason::SnOutOfOrder,
+        RefuseReason::AliveIntervalDisjoint,
+        RefuseReason::NotAlive,
+    ] {
+        msgs.push(Message::Refuse { gtxn, site, reason });
+    }
+    msgs
+}
+
+/// Every [`CtrlMsg`] variant.
+fn all_ctrl_msgs() -> Vec<CtrlMsg> {
+    let gtxn = GlobalTxnId(4);
+    vec![
+        CtrlMsg::CgmRequest {
+            gtxn,
+            modes: vec![
+                (SiteId(0), SiteLockMode::Read),
+                (SiteId(1), SiteLockMode::Update),
+            ],
+        },
+        CtrlMsg::CgmAdmitted { gtxn },
+        CtrlMsg::CgmVote {
+            gtxn,
+            sites: BTreeSet::from([SiteId(0), SiteId(2), SiteId(5)]),
+        },
+        CtrlMsg::CgmVoteResult { gtxn, ok: false },
+        CtrlMsg::CgmVoteResult { gtxn, ok: true },
+        CtrlMsg::CgmFinished { gtxn },
+    ]
+}
+
+/// Every [`OpKind`] variant wrapped in both [`Txn`] shapes.
+fn all_ops() -> Vec<Op> {
+    let kinds = [
+        OpKind::Read(Item::new(SiteId(0), 3)),
+        OpKind::Write(Item::new(SiteId(1), u64::MAX)),
+        OpKind::Prepare(SiteId(2)),
+        OpKind::LocalCommit(SiteId(0)),
+        OpKind::LocalAbort(SiteId(1)),
+        OpKind::GlobalCommit,
+        OpKind::GlobalAbort,
+    ];
+    let mut ops = Vec::new();
+    for (i, kind) in kinds.into_iter().enumerate() {
+        ops.push(Op {
+            txn: Txn::Global(GlobalTxnId(7)),
+            incarnation: i as u32,
+            kind,
+        });
+        ops.push(Op {
+            txn: Txn::Local(LocalTxnId {
+                site: SiteId(2),
+                n: 5,
+            }),
+            incarnation: 0,
+            kind,
+        });
+    }
+    ops
+}
+
+/// Every [`WireMsg`] variant, containing every nested variant above.
+fn all_wire_msgs() -> Vec<WireMsg> {
+    let mut msgs = vec![
+        WireMsg::Hello { node: 1_000_000 },
+        WireMsg::StartGlobal {
+            gtxn: GlobalTxnId(3),
+            program: vec![
+                (SiteId(0), Command::Update(KeySpec::Key(1), 5)),
+                (SiteId(1), Command::Select(KeySpec::Range(0, 10))),
+            ],
+        },
+        WireMsg::StartGlobal {
+            gtxn: GlobalTxnId(4),
+            program: Vec::new(),
+        },
+        WireMsg::Finished {
+            gtxn: GlobalTxnId(3),
+            outcome: GlobalOutcome::Committed,
+        },
+        WireMsg::Finished {
+            gtxn: GlobalTxnId(4),
+            outcome: GlobalOutcome::Aborted,
+        },
+        WireMsg::Drain,
+        WireMsg::NodeReport {
+            node: 2,
+            ops: all_ops(),
+            local_committed: 12,
+            local_aborted: 3,
+        },
+        WireMsg::NodeReport {
+            node: 2_000_000,
+            ops: Vec::new(),
+            local_committed: 0,
+            local_aborted: 0,
+        },
+        WireMsg::Shutdown,
+    ];
+    for msg in all_messages() {
+        msgs.push(WireMsg::Net {
+            from: 1_000_001,
+            to: 0,
+            msg,
+        });
+    }
+    for ctrl in all_ctrl_msgs() {
+        msgs.push(WireMsg::Ctrl {
+            from: 1_000_000,
+            to: 2_000_000,
+            ctrl,
+        });
+    }
+    msgs
+}
+
+#[test]
+fn every_wire_msg_round_trips_bit_exact() {
+    for msg in all_wire_msgs() {
+        let payload = encode_msg(&msg);
+        let back = decode_msg(&payload).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+        assert_eq!(back, msg);
+        // And through the framing layer.
+        let frame = encode_frame(&payload);
+        let (frames, leftover) = decode_frames(&frame).expect("well-formed frame");
+        assert_eq!(leftover, 0);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(decode_msg(&frames[0]).expect("frame payload"), msg);
+    }
+}
+
+#[test]
+fn the_message_suite_covers_every_variant_count() {
+    // A new variant in msg.rs / host.rs must extend the suite (and the
+    // codec): these counts are the tripwire.
+    assert_eq!(all_messages().len(), 9 + 6 + 3, "Message coverage");
+    assert_eq!(all_ctrl_msgs().len(), 6, "CtrlMsg coverage");
+    assert_eq!(all_ops().len(), 14, "OpKind x Txn coverage");
+    assert_eq!(all_wire_msgs().len(), 9 + 18 + 6, "WireMsg coverage");
+}
+
+#[test]
+fn trailing_bytes_after_a_message_are_rejected() {
+    let mut payload = encode_msg(&WireMsg::Drain);
+    payload.push(0);
+    assert_eq!(decode_msg(&payload), Err(WireError::Trailing));
+}
+
+#[test]
+fn every_truncation_of_every_message_errs_cleanly() {
+    // Exhaustive, not sampled: every strict prefix of every payload must
+    // fail with a clean error (no panic, no bogus success).
+    for msg in all_wire_msgs() {
+        let payload = encode_msg(&msg);
+        for cut in 0..payload.len() {
+            let r = decode_msg(&payload[..cut]);
+            assert!(
+                r.is_err(),
+                "{msg:?} truncated to {cut}/{} bytes decoded as {r:?}",
+                payload.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_frame_header_is_rejected() {
+    let mut frame = encode_frame(&encode_msg(&WireMsg::Drain));
+    frame[5..9].copy_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+    let mut dec = FrameDecoder::new();
+    dec.extend(&frame);
+    assert!(matches!(dec.next_frame(), Err(FrameError::Oversized(_))));
+}
+
+#[test]
+fn huge_collection_count_is_rejected_without_allocating() {
+    // A NodeReport whose ops count claims u32::MAX entries but carries no
+    // bytes: the count sanity check must fire before any allocation.
+    let mut payload = Vec::new();
+    payload.push(6u8); // NodeReport tag
+    payload.extend_from_slice(&2u32.to_le_bytes()); // node
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // ops count
+    assert_eq!(decode_msg(&payload), Err(WireError::BadLen));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bit_flipped_frames_never_decode_and_never_panic(
+        pick in 0usize..1000,
+        bit_seed in 0usize..100_000,
+    ) {
+        let msgs = all_wire_msgs();
+        let msg = &msgs[pick % msgs.len()];
+        let mut frame = encode_frame(&encode_msg(msg));
+        let bit = bit_seed % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&frame);
+        match dec.next_frame() {
+            // A flip in the length field can declare a longer frame: the
+            // decoder just waits for bytes that never come. Everything
+            // else must be caught (magic, version, cap, CRC).
+            Ok(None) | Err(_) => {}
+            Ok(Some(payload)) => {
+                panic!("corrupt frame decoded: bit {bit} of {msg:?} -> {payload:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_wait_rather_than_panic(
+        pick in 0usize..1000,
+        cut_seed in 0usize..100_000,
+    ) {
+        let msgs = all_wire_msgs();
+        let msg = &msgs[pick % msgs.len()];
+        let frame = encode_frame(&encode_msg(msg));
+        let cut = cut_seed % frame.len();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&frame[..cut]);
+        prop_assert_eq!(dec.next_frame(), Ok(None), "prefix of a valid frame");
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_frame_decoder(
+        bytes in proptest::collection::vec((0u32..256).prop_map(|b| b as u8), 0..200),
+    ) {
+        // Whatever decode_frames returns is fine; returning is the test.
+        let _ = decode_frames(&bytes);
+        let mut dec = FrameDecoder::new();
+        for chunk in bytes.chunks(7) {
+            dec.extend(chunk);
+            if dec.next_frame().is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn random_payloads_never_panic_the_message_decoder(
+        bytes in proptest::collection::vec((0u32..256).prop_map(|b| b as u8), 0..200),
+    ) {
+        let _ = decode_msg(&bytes);
+    }
+
+    #[test]
+    fn valid_messages_survive_arbitrary_chunking(
+        pick in 0usize..1000,
+        chunk in 1usize..40,
+    ) {
+        let msgs = all_wire_msgs();
+        let msg = &msgs[pick % msgs.len()];
+        let mut stream = Vec::new();
+        for m in [msg, &WireMsg::Drain] {
+            stream.extend_from_slice(&encode_frame(&encode_msg(m)));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.extend(piece);
+            while let Some(payload) = dec.next_frame().expect("clean stream") {
+                got.push(decode_msg(&payload).expect("valid payload"));
+            }
+        }
+        prop_assert_eq!(got.len(), 2);
+        prop_assert_eq!(&got[0], msg);
+        prop_assert_eq!(&got[1], &WireMsg::Drain);
+    }
+}

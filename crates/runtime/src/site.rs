@@ -73,6 +73,18 @@ impl SiteRuntime {
         self.blocked_since.iter().map(|(i, t)| (*i, *t))
     }
 
+    /// Whether the site has drained: no local transaction running, no
+    /// blocked instance, and no subtransaction still in the agent's
+    /// prepared table. Drivers use this as the drain barrier — a node may
+    /// only report results and exit once it holds *and* the driver has
+    /// confirmed every global transaction settled (an idle instant between
+    /// two conversations also looks quiesced).
+    pub fn quiesced(&self) -> bool {
+        self.local_runners.is_empty()
+            && self.blocked_since.is_empty()
+            && self.agent.table_len() == 0
+    }
+
     // ------------------------------------------------------------------
     // Agent plumbing
     // ------------------------------------------------------------------

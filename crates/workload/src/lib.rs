@@ -5,8 +5,10 @@
 //! injection parameters. Everything derives deterministically from a seed,
 //! so two protocol variants can be compared on *identical* workloads.
 
+pub mod predraw;
 pub mod spec;
 pub mod zipf;
 
+pub use predraw::{predraw, PredrawnWorkload};
 pub use spec::{AccessPattern, WorkloadGen, WorkloadSpec};
 pub use zipf::Zipf;

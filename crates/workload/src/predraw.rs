@@ -1,0 +1,105 @@
+//! Whole-workload pre-drawing for multi-node drivers.
+//!
+//! The discrete-event simulation draws programs lazily at arrival events.
+//! Drivers that distribute work over threads or processes cannot do that:
+//! the draw order would depend on scheduling, and separate processes have
+//! no shared generator at all. They instead pre-draw the complete workload
+//! in one canonical order — every global program first (in transaction-id
+//! order), then every site's local programs in site order, with local
+//! transaction numbers globally unique across sites.
+//!
+//! Because the order is a pure function of the spec, *every* process of a
+//! cluster can call [`predraw`] independently and take only its slice: the
+//! coordinator keeps the global programs, each site keeps its local queue,
+//! and all of them agree on what the workload is without exchanging it.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use mdbs_histories::{GlobalTxnId, SiteId};
+use mdbs_ldbs::Command;
+
+use crate::spec::{WorkloadGen, WorkloadSpec};
+
+/// The complete workload of one run, drawn up front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredrawnWorkload {
+    /// Global transactions in issue order: `(id, program)`.
+    pub globals: Vec<(GlobalTxnId, Vec<(SiteId, Command)>)>,
+    /// Per-site local transaction queues: `(site-unique n, program)`.
+    /// Numbers are globally unique across sites (site 0's block first).
+    pub locals: BTreeMap<SiteId, VecDeque<(u32, Vec<Command>)>>,
+}
+
+impl PredrawnWorkload {
+    /// Total local transactions across all sites.
+    pub fn total_locals(&self) -> u64 {
+        self.locals.values().map(|q| q.len() as u64).sum()
+    }
+}
+
+/// Draw the whole workload in the canonical cross-driver order.
+pub fn predraw(spec: &WorkloadSpec) -> PredrawnWorkload {
+    let mut gen = WorkloadGen::new(spec.clone());
+    let globals: Vec<(GlobalTxnId, Vec<(SiteId, Command)>)> = (1..=spec.global_txns)
+        .map(|k| (GlobalTxnId(k), gen.global_program()))
+        .collect();
+    let mut next_local_n = 1u32;
+    let mut locals: BTreeMap<SiteId, VecDeque<(u32, Vec<Command>)>> = BTreeMap::new();
+    for s in 0..spec.sites {
+        let site = SiteId(s);
+        let queue = locals.entry(site).or_default();
+        for _ in 0..spec.local_txns_per_site {
+            let n = next_local_n;
+            next_local_n += 1;
+            queue.push_back((n, gen.local_program(site)));
+        }
+    }
+    PredrawnWorkload { globals, locals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predraw_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(predraw(&spec), predraw(&spec));
+    }
+
+    #[test]
+    fn predraw_counts_match_spec() {
+        let spec = WorkloadSpec {
+            sites: 3,
+            global_txns: 7,
+            local_txns_per_site: 5,
+            ..WorkloadSpec::default()
+        };
+        let w = predraw(&spec);
+        assert_eq!(w.globals.len(), 7);
+        assert_eq!(w.locals.len(), 3);
+        assert_eq!(w.total_locals(), 15);
+        // Local numbers are globally unique and contiguous.
+        let ns: Vec<u32> = w
+            .locals
+            .values()
+            .flat_map(|q| q.iter().map(|&(n, _)| n))
+            .collect();
+        let mut sorted = ns.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15);
+        assert_eq!(sorted[0], 1);
+        assert_eq!(*sorted.last().unwrap(), 15);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = predraw(&WorkloadSpec::default());
+        let b = predraw(&WorkloadSpec {
+            seed: 77,
+            ..WorkloadSpec::default()
+        });
+        assert_ne!(a, b);
+    }
+}

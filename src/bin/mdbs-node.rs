@@ -1,0 +1,64 @@
+//! `mdbs-node`: one multidatabase node as one OS process.
+//!
+//! ```text
+//! mdbs-node --config cluster.conf --role site:0
+//! mdbs-node --config cluster.conf --role coord:0     # the driver
+//! mdbs-node --config cluster.conf --role central     # protocol = cgm only
+//! ```
+//!
+//! Every process reads the same cluster file (scenario keys plus
+//! `node.*.addr` listen addresses — see `ClusterConfig`), pre-draws the
+//! same seeded workload, and runs its slice over TCP. The `coord:0`
+//! process doubles as the driver: it admits the workload, collects every
+//! node's history report, and prints the outcome digests.
+
+use std::process::ExitCode;
+
+use rigorous_mdbs::net::run_node;
+use rigorous_mdbs::sim::{ClusterConfig, NodeRole};
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("mdbs-node: {err}");
+    eprintln!("usage: mdbs-node --config <cluster.conf> --role <site:N|coord:N|central>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut config_path = None;
+    let mut role_text = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => config_path = args.next(),
+            "--role" => role_text = args.next(),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let (Some(config_path), Some(role_text)) = (config_path, role_text) else {
+        return usage("both --config and --role are required");
+    };
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => return usage(&format!("read {config_path}: {e}")),
+    };
+    let cfg = match ClusterConfig::from_kv_text(&text) {
+        Ok(c) => c,
+        Err(e) => return usage(&format!("{config_path}: {e}")),
+    };
+    let role = match NodeRole::parse(&role_text) {
+        Ok(r) => r,
+        Err(e) => return usage(&e.to_string()),
+    };
+    match run_node(&cfg, role) {
+        Ok(output) => {
+            for line in &output.lines {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mdbs-node: {}: {e}", role.key());
+            ExitCode::FAILURE
+        }
+    }
+}

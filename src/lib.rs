@@ -27,6 +27,9 @@
 //!   post-hoc correctness checking of every run.
 //! * [`simkit`] — the simulation kernel (clock, events, FIFO network,
 //!   drifting site clocks, metrics).
+//! * [`net`] — the real-network driver: a CRC-framed TCP transport for the
+//!   2PC vocabulary and the `mdbs-node` multi-process cluster runtime
+//!   (one process per site / coordinator / central scheduler).
 //!
 //! ## Quick start
 //!
@@ -45,6 +48,7 @@ pub use mdbs_baselines as baselines;
 pub use mdbs_dtm as dtm;
 pub use mdbs_histories as histories;
 pub use mdbs_ldbs as ldbs;
+pub use mdbs_net as net;
 pub use mdbs_sim as sim;
 pub use mdbs_simkit as simkit;
 pub use mdbs_workload as workload;

@@ -1,0 +1,115 @@
+//! Sim/cluster equivalence: the same seeded scenario run under the
+//! deterministic simulation and under a real multi-process `mdbs-node`
+//! loopback cluster must certify identically.
+//!
+//! The comparison is on *outcomes*, not timings: the sorted global
+//! certifier verdicts + history-checker booleans (`outcome_digest`) and
+//! the per-site certifier verdicts (`site_verdict_digest`). Those are
+//! timing-independent in a failure-free run, so they must survive real
+//! thread scheduling, real TCP, and even a mid-run connection drop.
+//!
+//! The sim side runs with [`Simulation::use_predrawn_workload`]: cluster
+//! processes pre-draw the whole workload in canonical order (they have no
+//! shared generator), so the sim must draw the same programs to be
+//! comparable program-for-program.
+
+use std::time::Duration;
+
+use rigorous_mdbs::dtm::CertifierMode;
+use rigorous_mdbs::histories::SiteId;
+use rigorous_mdbs::net::{loopback_cluster, ClusterOutcome, ClusterRunner};
+use rigorous_mdbs::sim::report::{outcome_digest, site_verdict_digest};
+use rigorous_mdbs::sim::{Protocol, SimConfig, SimReport, Simulation};
+
+const SITES: u32 = 3;
+const GLOBALS: u64 = 12;
+const LOCALS: u64 = 12; // 3 sites x 4
+
+fn scenario(protocol: Protocol) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.workload.seed = 20260805;
+    cfg.workload.sites = SITES;
+    cfg.workload.global_txns = GLOBALS as u32;
+    cfg.workload.local_txns_per_site = 4;
+    cfg.workload.items_per_site = 32;
+    cfg.workload.unilateral_abort_prob = 0.0;
+    cfg.coordinators = 1;
+    cfg.protocol = protocol;
+    cfg
+}
+
+fn sim_reference(protocol: Protocol) -> SimReport {
+    let mut sim = Simulation::new(scenario(protocol));
+    sim.use_predrawn_workload();
+    let report = sim.run();
+    assert_eq!(
+        report.committed, GLOBALS,
+        "reference sim must commit everything in a failure-free run"
+    );
+    assert!(report.checks.passed(), "{:?}", report.checks);
+    report
+}
+
+fn assert_cluster_matches_sim(cluster: &ClusterOutcome, sim: &SimReport) {
+    assert_eq!(
+        cluster.outcome_digest,
+        outcome_digest(&sim.history, &sim.checks),
+        "global certifier verdicts + checker verdicts must match the sim"
+    );
+    for s in 0..SITES {
+        assert_eq!(
+            cluster.site_verdicts.get(&s).copied(),
+            Some(site_verdict_digest(&sim.history, SiteId(s))),
+            "site {s} certifier verdicts must match the sim"
+        );
+    }
+    assert_eq!(cluster.committed, GLOBALS);
+    assert_eq!(cluster.aborted, 0);
+    assert!(cluster.checks_passed, "cluster history must pass checkers");
+    assert_eq!(
+        cluster.local_committed + cluster.local_aborted,
+        LOCALS,
+        "every local transaction must settle"
+    );
+    assert_eq!(
+        cluster.missing_reports,
+        Vec::<u32>::new(),
+        "every node must report its history slice"
+    );
+}
+
+#[test]
+fn loopback_cluster_matches_the_sim_and_survives_a_connection_drop() {
+    let protocol = Protocol::TwoCm(CertifierMode::Full);
+    let sim = sim_reference(protocol);
+
+    let mut cfg = loopback_cluster(scenario(protocol)).expect("reserve loopback addrs");
+    // Mid-run fault: site 1 severs its outbound socket once after its
+    // 10th flushed frame; the writer must reconnect (with backoff) and
+    // retransmit without losing or reordering anything.
+    cfg.test_drop = vec![(1, 10)];
+    let runner = ClusterRunner::new(env!("CARGO_BIN_EXE_mdbs-node"), cfg);
+    let cluster = runner.run(Duration::from_secs(120)).expect("cluster run");
+
+    assert_cluster_matches_sim(&cluster, &sim);
+    let dropped = &cluster.stats[&1];
+    assert!(
+        dropped.test_drops >= 1,
+        "the drop hook must have fired: {dropped:?}"
+    );
+    assert!(
+        dropped.connects >= 2,
+        "site 1 must have reconnected after the drop: {dropped:?}"
+    );
+}
+
+#[test]
+fn loopback_cgm_cluster_with_central_scheduler_matches_the_sim() {
+    let sim = sim_reference(Protocol::Cgm);
+
+    let cfg = loopback_cluster(scenario(Protocol::Cgm)).expect("reserve loopback addrs");
+    let runner = ClusterRunner::new(env!("CARGO_BIN_EXE_mdbs-node"), cfg);
+    let cluster = runner.run(Duration::from_secs(120)).expect("cluster run");
+
+    assert_cluster_matches_sim(&cluster, &sim);
+}

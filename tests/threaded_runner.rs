@@ -137,6 +137,35 @@ fn threaded_two_cm_with_duplicate_and_delay_faults_is_correct() {
 }
 
 #[test]
+fn threaded_runner_unwinds_promptly_when_a_node_panics() {
+    use rigorous_mdbs::simkit::SimTime;
+    use std::panic::AssertUnwindSafe;
+    use std::time::{Duration, Instant};
+    // An hour-long time limit: before the exit-notice machinery the driver
+    // would poll out the whole limit when a node died, because the dead
+    // node's work can never settle.
+    let mut c = cfg(Protocol::TwoCm(CertifierMode::Full), 0.0);
+    c.time_limit = SimTime::from_secs(3_600);
+    let runner = ThreadedRunner::new(c).panic_at_node(1);
+    let start = Instant::now();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(move || runner.run()));
+    let elapsed = start.elapsed();
+    let payload = result.expect_err("the injected node panic must propagate to the caller");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("injected test panic"),
+        "unexpected panic payload: {msg:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "driver must stop on the exit notice, not sleep out the time limit ({elapsed:?})"
+    );
+}
+
+#[test]
 fn threaded_runner_counts_messages() {
     let report = run_and_check(Protocol::TwoCm(CertifierMode::Full), 0.0);
     // Each 2-site committed transaction needs >= 12 protocol messages.

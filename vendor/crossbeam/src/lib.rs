@@ -59,6 +59,10 @@ pub mod channel {
     struct Shared<T> {
         state: Mutex<State<T>>,
         ready: Condvar,
+        /// `usize::MAX` for unbounded channels; bounded sends block on
+        /// `room` while the queue is at capacity.
+        capacity: usize,
+        room: Condvar,
     }
 
     /// Sending half; clonable.
@@ -97,8 +101,7 @@ pub mod channel {
         Disconnected,
     }
 
-    /// An unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -106,6 +109,8 @@ pub mod channel {
                 receivers: 1,
             }),
             ready: Condvar::new(),
+            capacity,
+            room: Condvar::new(),
         });
         (
             Sender {
@@ -115,12 +120,30 @@ pub mod channel {
         )
     }
 
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(usize::MAX)
+    }
+
+    /// A bounded MPMC channel: `send` blocks while `cap` messages are
+    /// queued (backpressure). `cap` is clamped to at least 1.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(cap.max(1))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueue a message, failing if every receiver is gone.
+        /// Enqueue a message, failing if every receiver is gone. On a
+        /// bounded channel this blocks until the queue has room.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-            if st.receivers == 0 {
-                return Err(SendError(value));
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < self.shared.capacity {
+                    break;
+                }
+                st = self.shared.room.wait(st).unwrap_or_else(|e| e.into_inner());
             }
             st.queue.push_back(value);
             drop(st);
@@ -161,6 +184,8 @@ pub mod channel {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.room.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -178,6 +203,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.room.notify_one();
                 Ok(v)
             } else if st.senders == 0 {
                 Err(TryRecvError::Disconnected)
@@ -192,6 +219,8 @@ pub mod channel {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.room.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -241,11 +270,16 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared
-                .state
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .receivers -= 1;
+            let remaining = {
+                let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.receivers -= 1;
+                st.receivers
+            };
+            if remaining == 0 {
+                // Wake senders blocked on a full bounded queue so they see
+                // the disconnect instead of sleeping forever.
+                self.shared.room.notify_all();
+            }
         }
     }
 }
@@ -290,6 +324,32 @@ mod tests {
         let t = std::thread::spawn(move || tx.send(9).unwrap());
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_room() {
+        let (tx, rx) = channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            // Blocks until the receiver pops one.
+            tx.send(3).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_errors_when_receiver_gone() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx); // wakes the blocked sender with a SendError
+        assert_eq!(t.join().unwrap(), Err(channel::SendError(2)));
     }
 
     #[test]
