@@ -23,6 +23,8 @@
 //! The structures here are pure and synchronous; `mdbs-sim` wires them into
 //! the discrete-event simulation as the central scheduler node.
 
+#![forbid(unsafe_code)]
+
 pub mod commit_graph;
 pub mod global_locks;
 

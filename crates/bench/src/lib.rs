@@ -7,6 +7,8 @@
 //! Every experiment in `EXPERIMENTS.md` maps to one function here; the
 //! binary only parses arguments and dispatches.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod table;
 

@@ -1,0 +1,1180 @@
+//! Bounded model checking over the real protocol runtimes.
+//!
+//! The explorer drives the exact `SiteRuntime` / `CoordinatorRuntime` /
+//! `CentralRuntime` state machines the simulation and cluster drivers
+//! use, but replaces their event queues with a *schedulable* host: at
+//! every step the set of enabled actions (per-link message deliveries,
+//! per-node timer firings, unilateral-abort injections, site crashes) is
+//! enumerated, and a replay-based delay-bounded search (in the style of
+//! CHESS) branches over the choices within explicit budgets:
+//!
+//! - the **delay budget** bounds how many times a run may pick a
+//!   non-default delivery (the default is the oldest enabled event, which
+//!   reproduces a well-behaved FIFO network);
+//! - the **fault budget** bounds injected unilateral aborts against
+//!   prepared subtransactions;
+//! - the **crash budget** bounds whole-site crashes.
+//!
+//! Schedules are explored in level order by deviation count, so the first
+//! counterexample found is minimal in the number of deviations from the
+//! well-behaved run. After every step the checker asserts:
+//!
+//! - **runtime soundness** — any [`RuntimeError`] is a counterexample;
+//! - **§4.2 interval intersection** — a subtransaction admitted to the
+//!   prepared table must have an alive interval intersecting every other
+//!   in-table entry's stored intervals (checked at admission time against
+//!   the agent's own table snapshot);
+//!
+//! and at the end of each run:
+//!
+//! - **global atomicity** — a committed transaction locally commits at
+//!   every participant (and its last terminal op per site is the commit);
+//!   an aborted one locally commits nowhere; no transaction finishes with
+//!   two different outcomes;
+//! - **commit-graph acyclicity** — the union of per-site local-commit
+//!   orders ([`mdbs_histories::commit_order_graph`]) has no cycle;
+//! - **completion** — every transaction settles before the step limit.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use mdbs_dtm::{AgentConfig, AgentInput, CertifierMode, GlobalOutcome, Message};
+use mdbs_histories::{commit_order_graph, GlobalTxnId, History, Instance, Op, OpKind, SiteId};
+use mdbs_ldbs::{Command, KeySpec, Ldbs, SiteProfile, Store};
+use mdbs_runtime::TraceEvent;
+use mdbs_runtime::{
+    message_kind, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeError, RuntimeHost,
+    SiteRuntime, TimeSource, Timer, Transport, CENTRAL, COORD_BASE,
+};
+use mdbs_simkit::SimTime;
+
+/// One bounded-exploration problem: a tiny world plus search budgets.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Number of participating sites.
+    pub sites: u32,
+    /// Number of coordinator nodes (transactions round-robin over them).
+    pub coordinators: u32,
+    /// Whether the CGM central scheduler is in the loop.
+    pub cgm: bool,
+    /// The certifier mode under test.
+    pub mode: CertifierMode,
+    /// One program per global transaction; transaction `i` (1-based) runs
+    /// `programs[i-1]`.
+    pub programs: Vec<Vec<(SiteId, Command)>>,
+    /// Rows per site store.
+    pub items_per_site: u64,
+    /// Non-default delivery choices allowed per run.
+    pub delay_budget: u32,
+    /// Injected unilateral aborts allowed per run.
+    pub fault_budget: u32,
+    /// Site crashes allowed per run (each site at most once).
+    pub crash_budget: u32,
+    /// Hard cap on steps per run (exceeding it is reported as a
+    /// counterexample: the world failed to settle).
+    pub max_steps: usize,
+    /// Hard cap on schedules explored (reaching it without a violation is
+    /// a clean — but inexhaustive — result).
+    pub max_runs: usize,
+    /// Lamport ticks a blocked instance may wait before the driver aborts
+    /// it (the §6 timeout-based deadlock resolution, in logical time).
+    pub wait_timeout_ticks: u64,
+    /// Whether to assert the §4.2 interval-intersection property at every
+    /// admission. On for every preset; a flag so the mutation smoke test
+    /// can demonstrate it is this check (not atomicity) that fires.
+    pub check_intervals: bool,
+}
+
+impl ExploreConfig {
+    fn base(mode: CertifierMode, cgm: bool, programs: Vec<Vec<(SiteId, Command)>>) -> Self {
+        ExploreConfig {
+            sites: 2,
+            coordinators: 2,
+            cgm,
+            mode,
+            programs,
+            items_per_site: 8,
+            delay_budget: 2,
+            fault_budget: 0,
+            crash_budget: 0,
+            max_steps: 600,
+            max_runs: 20_000,
+            wait_timeout_ticks: 400,
+            check_intervals: true,
+        }
+    }
+
+    /// Two sites, two disjoint-key transactions, 2CM Full: the failure-free
+    /// smoke configuration. Exhaustible quickly; must be violation-free.
+    pub fn smoke_2cm() -> Self {
+        let s0 = SiteId(0);
+        let s1 = SiteId(1);
+        ExploreConfig::base(
+            CertifierMode::Full,
+            false,
+            vec![
+                vec![
+                    (s0, Command::Update(KeySpec::Key(0), 1)),
+                    (s1, Command::Update(KeySpec::Key(1), 1)),
+                ],
+                vec![
+                    (s0, Command::Update(KeySpec::Key(2), 1)),
+                    (s1, Command::Update(KeySpec::Key(3), 1)),
+                ],
+            ],
+        )
+    }
+
+    /// The smoke configuration under the CGM baseline (central scheduler,
+    /// admission locks, commit-graph vote).
+    pub fn smoke_cgm() -> Self {
+        ExploreConfig {
+            cgm: true,
+            ..ExploreConfig::smoke_2cm()
+        }
+    }
+
+    /// Two transactions touching the same keys in opposite site order —
+    /// drives lock conflicts, distributed blocking, and (with the fault
+    /// budget) abort/resubmission interleavings.
+    pub fn conflict() -> Self {
+        let s0 = SiteId(0);
+        let s1 = SiteId(1);
+        let mut cfg = ExploreConfig::base(
+            CertifierMode::Full,
+            false,
+            vec![
+                vec![
+                    (s0, Command::Update(KeySpec::Key(0), 1)),
+                    (s1, Command::Update(KeySpec::Key(1), 1)),
+                ],
+                vec![
+                    (s1, Command::Update(KeySpec::Key(1), 1)),
+                    (s0, Command::Update(KeySpec::Key(0), 1)),
+                ],
+            ],
+        );
+        cfg.fault_budget = 1;
+        cfg
+    }
+
+    /// The mutation smoke configuration: `BrokenBasicCert` skips the §4.2
+    /// alive-interval check, so there is a schedule — one injected abort
+    /// freezing T1's interval at site a, plus one delayed delivery pushing
+    /// T2's work at site a past the freeze — whose admission violates the
+    /// interval-intersection invariant. The explorer must find it; under
+    /// `Full` the same world must exhaust clean.
+    pub fn mutation_interval() -> Self {
+        let s0 = SiteId(0);
+        let s1 = SiteId(1);
+        let mut cfg = ExploreConfig::base(
+            CertifierMode::BrokenBasicCert,
+            false,
+            vec![
+                vec![
+                    (s0, Command::Update(KeySpec::Key(3), 1)),
+                    (s1, Command::Update(KeySpec::Key(4), 1)),
+                ],
+                vec![
+                    (s0, Command::Update(KeySpec::Key(1), 1)),
+                    (s1, Command::Update(KeySpec::Key(0), 1)),
+                    (s0, Command::Update(KeySpec::Key(2), 1)),
+                ],
+            ],
+        );
+        cfg.delay_budget = 2;
+        cfg.fault_budget = 1;
+        cfg.max_steps = 800;
+        cfg
+    }
+}
+
+/// What the search concluded.
+#[derive(Debug)]
+pub enum ExploreOutcome {
+    /// Every schedule within the budgets was run; no violation.
+    Exhausted {
+        /// Schedules executed.
+        runs: usize,
+    },
+    /// The run cap was hit before the schedule space was exhausted; no
+    /// violation among the schedules that did run.
+    RunCapped {
+        /// Schedules executed.
+        runs: usize,
+    },
+    /// A violating schedule was found.
+    Violation(Box<Counterexample>),
+}
+
+/// A minimized violating execution.
+#[derive(Debug)]
+pub struct Counterexample {
+    /// What went wrong.
+    pub violation: Violation,
+    /// Human-readable step-by-step trace of the violating run.
+    pub trace: Vec<String>,
+    /// Deviations from the default schedule `(step, action)` — the
+    /// "diff" against the well-behaved run, already minimal because the
+    /// search is level-order by deviation count.
+    pub deviations: Vec<String>,
+    /// Schedules executed before this one was found.
+    pub runs_explored: usize,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation: {}", self.violation)?;
+        writeln!(
+            f,
+            "found after {} runs; {} deviation(s) from the default schedule:",
+            self.runs_explored,
+            self.deviations.len()
+        )?;
+        for d in &self.deviations {
+            writeln!(f, "  * {d}")?;
+        }
+        writeln!(f, "trace ({} steps):", self.trace.len())?;
+        for (i, line) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:>4}  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An invariant the run broke.
+#[derive(Debug)]
+pub enum Violation {
+    /// A runtime returned an internal-consistency error.
+    Runtime(RuntimeError),
+    /// §4.2: a subtransaction was admitted to the prepared table although
+    /// its candidate interval is disjoint from another in-table entry's
+    /// stored intervals.
+    IntervalDisjoint {
+        /// The site whose certifier admitted it.
+        site: SiteId,
+        /// The admitted transaction.
+        gtxn: GlobalTxnId,
+        /// The in-table entry it fails to intersect.
+        against: GlobalTxnId,
+        /// The admitted entry's candidate begin (local µs).
+        candidate_begin: u64,
+        /// The other entry's latest stored interval end (local µs).
+        other_end: u64,
+    },
+    /// A transaction finished twice with different outcomes.
+    ConflictingOutcome {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// The first reported outcome.
+        first: GlobalOutcome,
+        /// The contradicting second outcome.
+        second: GlobalOutcome,
+    },
+    /// A committed transaction is missing its local commit at a
+    /// participant site.
+    CommitMissing {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// The participant without a local commit.
+        site: SiteId,
+    },
+    /// An aborted transaction locally committed somewhere.
+    AbortedButCommitted {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// The site that committed it.
+        site: SiteId,
+    },
+    /// The union of per-site local-commit orders has a cycle.
+    CommitGraphCycle {
+        /// The witnessing cycle, rendered.
+        cycle: String,
+    },
+    /// The world ran out of enabled events with transactions unsettled.
+    Incomplete {
+        /// Transactions without a terminal outcome.
+        unsettled: Vec<GlobalTxnId>,
+    },
+    /// The step cap was hit before the world settled.
+    StepLimit {
+        /// The cap that was hit.
+        max_steps: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Runtime(e) => write!(f, "runtime error: {e}"),
+            Violation::IntervalDisjoint {
+                site,
+                gtxn,
+                against,
+                candidate_begin,
+                other_end,
+            } => write!(
+                f,
+                "site {site} admitted {gtxn} to the prepared table with candidate \
+                 interval beginning at {candidate_begin} although {against}'s stored \
+                 intervals end at {other_end} (< begin): §4.2 intersection violated"
+            ),
+            Violation::ConflictingOutcome {
+                gtxn,
+                first,
+                second,
+            } => write!(
+                f,
+                "{gtxn} finished twice with different outcomes: {first:?} then {second:?}"
+            ),
+            Violation::CommitMissing { gtxn, site } => write!(
+                f,
+                "{gtxn} committed globally but never committed locally at site {site}"
+            ),
+            Violation::AbortedButCommitted { gtxn, site } => write!(
+                f,
+                "{gtxn} aborted globally but committed locally at site {site}"
+            ),
+            Violation::CommitGraphCycle { cycle } => {
+                write!(f, "commit-order graph has a cycle: {cycle}")
+            }
+            Violation::Incomplete { unsettled } => {
+                write!(
+                    f,
+                    "no enabled events left but unsettled transactions remain:"
+                )?;
+                for g in unsettled {
+                    write!(f, " {g}")?;
+                }
+                Ok(())
+            }
+            Violation::StepLimit { max_steps } => {
+                write!(f, "world failed to settle within {max_steps} steps")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The schedulable host
+// ---------------------------------------------------------------------
+
+/// A pending event in a lane.
+#[derive(Debug, Clone)]
+enum Pending {
+    Msg {
+        to: u32,
+        msg: Message,
+    },
+    Ctrl {
+        from: u32,
+        to: u32,
+        ctrl: CtrlMsg,
+    },
+    Timer {
+        node: u32,
+        deadline: u64,
+        timer: Timer,
+    },
+}
+
+/// One FIFO lane. Messages between a `(from, to)` pair share a lane (the
+/// transports this repo models are FIFO per link); each node's timers
+/// share a lane ordered by deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum LaneKey {
+    Link { from: u32, to: u32 },
+    Timers { node: u32 },
+}
+
+/// The explorer's host: a Lamport clock and open lanes instead of an
+/// event queue. Every effect a runtime requests is parked in a lane; the
+/// search decides what is delivered when.
+struct ExploreHost {
+    /// Logical time; bumped on every clock read so admission timestamps
+    /// and alive intervals are strictly ordered by causality.
+    lamport: u64,
+    /// Monotone sequence for FIFO tie-breaks.
+    seq: u64,
+    lanes: BTreeMap<LaneKey, VecDeque<(u64, Pending)>>,
+    ops: Vec<Op>,
+    pending_finished: Vec<(u32, GlobalTxnId, GlobalOutcome)>,
+    /// Admissions observed this step: `(site, gtxn)`.
+    just_prepared: Vec<(SiteId, GlobalTxnId)>,
+}
+
+impl ExploreHost {
+    fn new() -> Self {
+        ExploreHost {
+            lamport: 1,
+            seq: 0,
+            lanes: BTreeMap::new(),
+            ops: Vec::new(),
+            pending_finished: Vec::new(),
+            just_prepared: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, key: LaneKey, p: Pending) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.lanes.entry(key).or_default().push_back((seq, p));
+    }
+}
+
+impl TimeSource for ExploreHost {
+    fn local_time_us(&mut self, _node: u32) -> u64 {
+        self.lamport += 1;
+        self.lamport
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.lamport)
+    }
+}
+
+impl Transport for ExploreHost {
+    fn send(&mut self, from: u32, to: u32, msg: Message) {
+        self.push(LaneKey::Link { from, to }, Pending::Msg { to, msg });
+    }
+
+    fn send_ctrl(&mut self, from: u32, to: u32, ctrl: CtrlMsg) {
+        self.push(LaneKey::Link { from, to }, Pending::Ctrl { from, to, ctrl });
+    }
+
+    fn set_timer(&mut self, node: u32, after_us: u64, timer: Timer) {
+        let deadline = self.lamport.saturating_add(after_us);
+        self.push(
+            LaneKey::Timers { node },
+            Pending::Timer {
+                node,
+                deadline,
+                timer,
+            },
+        );
+    }
+}
+
+impl RuntimeHost for ExploreHost {
+    fn record_op(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    fn inc(&mut self, _name: &'static str) {}
+
+    fn add(&mut self, _name: &'static str, _n: u64) {}
+
+    fn trace(&mut self, _event: TraceEvent) {}
+
+    fn prepared(&mut self, site: SiteId, gtxn: GlobalTxnId, _incarnation: u32) {
+        self.just_prepared.push((site, gtxn));
+    }
+
+    fn local_settled(&mut self, _site: SiteId, _committed: bool) {}
+
+    fn global_finished(&mut self, cnode: u32, gtxn: GlobalTxnId, outcome: GlobalOutcome) {
+        self.pending_finished.push((cnode, gtxn, outcome));
+    }
+}
+
+// ---------------------------------------------------------------------
+// The world and one run
+// ---------------------------------------------------------------------
+
+/// An enabled action at a step, with what it costs from the budgets.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Deliver the head event of a lane (for timer lanes: the entry with
+    /// the smallest deadline).
+    Deliver(LaneKey),
+    /// Unilaterally abort a prepared-and-alive subtransaction instance.
+    Inject(SiteId, Instance),
+    /// Crash a whole site.
+    Crash(SiteId),
+}
+
+/// Budget class of a deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cost {
+    Delay,
+    Fault,
+    Crash,
+}
+
+/// Everything one run needs to report back to the search.
+struct RunResult {
+    violation: Option<Violation>,
+    trace: Vec<String>,
+    /// Per step: the rendered actions and their deviation cost class
+    /// (index 0 is the default and costs nothing).
+    steps: Vec<Vec<(String, Cost)>>,
+}
+
+struct World {
+    sites: BTreeMap<SiteId, SiteRuntime>,
+    coords: BTreeMap<u32, CoordinatorRuntime>,
+    central: CentralRuntime,
+    host: ExploreHost,
+    outcomes: BTreeMap<GlobalTxnId, GlobalOutcome>,
+    crashed: Vec<SiteId>,
+    cgm: bool,
+}
+
+impl World {
+    fn new(cfg: &ExploreConfig) -> World {
+        let agent_cfg = AgentConfig {
+            mode: cfg.mode,
+            ..AgentConfig::default()
+        };
+        let mut sites = BTreeMap::new();
+        for s in 0..cfg.sites {
+            let site = SiteId(s);
+            let mut engine = Ldbs::new(
+                site,
+                SiteProfile::for_site(s),
+                Store::with_rows(cfg.items_per_site, 100),
+            );
+            engine.set_enforce_dlu(true);
+            sites.insert(site, SiteRuntime::new(site, agent_cfg, engine, 1));
+        }
+        let mut coords = BTreeMap::new();
+        for c in 0..cfg.coordinators {
+            coords.insert(
+                COORD_BASE + c,
+                CoordinatorRuntime::new(COORD_BASE + c, cfg.cgm),
+            );
+        }
+        World {
+            sites,
+            coords,
+            central: CentralRuntime::new(),
+            host: ExploreHost::new(),
+            outcomes: BTreeMap::new(),
+            crashed: Vec::new(),
+            cgm: cfg.cgm,
+        }
+    }
+
+    fn cnode_of(cfg: &ExploreConfig, gtxn: GlobalTxnId) -> u32 {
+        COORD_BASE + gtxn.0 % cfg.coordinators
+    }
+
+    /// Admit every transaction up front: maximal concurrency exposes the
+    /// most interleavings in a bounded world.
+    fn begin_all(&mut self, cfg: &ExploreConfig) -> Result<(), RuntimeError> {
+        for (i, program) in cfg.programs.iter().enumerate() {
+            let gtxn = GlobalTxnId(i as u32 + 1);
+            let cnode = World::cnode_of(cfg, gtxn);
+            let Some(coord) = self.coords.get_mut(&cnode) else {
+                return Err(RuntimeError::MissingState {
+                    node: cnode,
+                    context: "coordinator for an exploration transaction",
+                });
+            };
+            coord.begin(gtxn, program.clone(), &mut self.host)?;
+        }
+        Ok(())
+    }
+
+    /// Terminal outcomes queued during the last action, mirrored from the
+    /// simulation driver's `drain_finished`.
+    fn drain_finished(&mut self) -> Result<(), Violation> {
+        while !self.host.pending_finished.is_empty() {
+            let (cnode, gtxn, outcome) = self.host.pending_finished.remove(0);
+            if let Some(&first) = self.outcomes.get(&gtxn) {
+                if first != outcome {
+                    return Err(Violation::ConflictingOutcome {
+                        gtxn,
+                        first,
+                        second: outcome,
+                    });
+                }
+                continue;
+            }
+            self.outcomes.insert(gtxn, outcome);
+            if self.cgm {
+                if let Some(coord) = self.coords.get_mut(&cnode) {
+                    coord.cgm_cleanup(gtxn);
+                }
+                self.host
+                    .send_ctrl(cnode, CENTRAL, CtrlMsg::CgmFinished { gtxn });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop timer-lane entries whose transaction the agent no longer
+    /// tracks: firing them is a no-op that only widens the step space.
+    fn prune_dead_timers(&mut self) {
+        let sites = &self.sites;
+        for (key, lane) in self.host.lanes.iter_mut() {
+            let LaneKey::Timers { node } = *key else {
+                continue;
+            };
+            let Some(rt) = sites.get(&SiteId(node)) else {
+                continue;
+            };
+            lane.retain(|(_, p)| match p {
+                Pending::Timer {
+                    timer: Timer::Alive { gtxn } | Timer::CommitRetry { gtxn },
+                    ..
+                } => rt.agent().has_subtxn(*gtxn),
+                _ => true,
+            });
+        }
+        self.host.lanes.retain(|_, lane| !lane.is_empty());
+    }
+
+    /// The deliverable head of a lane: FIFO head for links, the entry with
+    /// the smallest `(deadline, seq)` for timer lanes. Returns the sort
+    /// key `(deadline, seq)`; messages use deadline 0, so the default
+    /// schedule drains the network before firing any timer (timeouts are
+    /// "late", as on a healthy network).
+    fn head_key(lane: &VecDeque<(u64, Pending)>) -> Option<(u64, u64)> {
+        lane.iter()
+            .map(|(seq, p)| match p {
+                Pending::Timer { deadline, .. } => (*deadline, *seq),
+                _ => (0, *seq),
+            })
+            .min()
+    }
+
+    /// All enabled actions, default first. Deliveries are ordered by the
+    /// head key; the non-delivery alternatives (injections, crashes) come
+    /// right after the default so that deviation indices spent on faults
+    /// are small — the level-order search reaches them early.
+    fn enumerate(&mut self, cfg: &ExploreConfig) -> Vec<(Action, Cost)> {
+        self.prune_dead_timers();
+        let mut deliveries: Vec<((u64, u64), LaneKey)> = self
+            .host
+            .lanes
+            .iter()
+            .filter_map(|(key, lane)| World::head_key(lane).map(|k| (k, *key)))
+            .collect();
+        deliveries.sort();
+        if deliveries.is_empty() {
+            return Vec::new(); // terminal: nothing can make progress
+        }
+        let mut actions: Vec<(Action, Cost)> = Vec::new();
+        actions.push((Action::Deliver(deliveries[0].1), Cost::Delay));
+        if cfg.fault_budget > 0 {
+            for (site, rt) in &self.sites {
+                for entry in rt.agent().prepared_table() {
+                    if !entry.alive || entry.commit_pending {
+                        continue;
+                    }
+                    let Some(inc) = rt.agent().incarnation_of(entry.gtxn) else {
+                        continue;
+                    };
+                    let instance = Instance::global(entry.gtxn.0, *site, inc);
+                    if rt.is_instance_active(instance) {
+                        actions.push((Action::Inject(*site, instance), Cost::Fault));
+                    }
+                }
+            }
+        }
+        if cfg.crash_budget > 0 {
+            for site in self.sites.keys() {
+                if !self.crashed.contains(site) {
+                    actions.push((Action::Crash(*site), Cost::Crash));
+                }
+            }
+        }
+        for &(_, key) in &deliveries[1..] {
+            actions.push((Action::Deliver(key), Cost::Delay));
+        }
+        actions
+    }
+
+    /// Dispatch one pending event exactly as the simulation driver would.
+    fn deliver(&mut self, p: Pending) -> Result<(), RuntimeError> {
+        match p {
+            Pending::Msg { to, msg } => {
+                if to >= COORD_BASE {
+                    match self.coords.get_mut(&to) {
+                        Some(c) => c.on_message(msg, &mut self.host),
+                        None => Err(RuntimeError::MissingState {
+                            node: to,
+                            context: "message for an unknown coordinator",
+                        }),
+                    }
+                } else {
+                    match self.sites.get_mut(&SiteId(to)) {
+                        Some(s) => s.agent_input(AgentInput::Deliver(msg), &mut self.host),
+                        None => Err(RuntimeError::MissingState {
+                            node: to,
+                            context: "message for an unknown site",
+                        }),
+                    }
+                }
+            }
+            Pending::Ctrl { from, to, ctrl } => {
+                if to == CENTRAL {
+                    self.central.on_ctrl(from, ctrl, &mut self.host)
+                } else {
+                    match self.coords.get_mut(&to) {
+                        Some(c) => c.on_ctrl(ctrl, &mut self.host),
+                        None => Err(RuntimeError::MissingState {
+                            node: to,
+                            context: "control message for an unknown coordinator",
+                        }),
+                    }
+                }
+            }
+            Pending::Timer { node, timer, .. } => {
+                let Some(rt) = self.sites.get_mut(&SiteId(node)) else {
+                    return Err(RuntimeError::MissingState {
+                        node,
+                        context: "timer for an unknown site",
+                    });
+                };
+                match timer {
+                    Timer::Alive { gtxn } => {
+                        rt.agent_input(AgentInput::AliveTimer { gtxn }, &mut self.host)
+                    }
+                    Timer::CommitRetry { gtxn } => {
+                        rt.agent_input(AgentInput::CommitRetryTimer { gtxn }, &mut self.host)
+                    }
+                    Timer::LtmExec { instance, command } => {
+                        rt.ltm_exec(instance, command, &mut self.host)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pop the deliverable entry of a lane (see [`World::head_key`]).
+    fn pop(&mut self, key: LaneKey) -> Option<Pending> {
+        let lane = self.host.lanes.get_mut(&key)?;
+        let at = match key {
+            LaneKey::Link { .. } => 0,
+            LaneKey::Timers { .. } => {
+                let mut best = 0usize;
+                let mut best_key = (u64::MAX, u64::MAX);
+                for (i, (seq, p)) in lane.iter().enumerate() {
+                    let k = match p {
+                        Pending::Timer { deadline, .. } => (*deadline, *seq),
+                        _ => (0, *seq),
+                    };
+                    if k < best_key {
+                        best_key = k;
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+        let (_, p) = lane.remove(at)?;
+        if lane.is_empty() {
+            self.host.lanes.remove(&key);
+        }
+        Some(p)
+    }
+
+    /// Driver maintenance between steps: break local waits-for cycles and
+    /// abort instances blocked past the logical-time timeout (§6 —
+    /// without this, cross-site lock waits would deadlock every schedule
+    /// that orders two conflicting transactions against each other).
+    fn maintenance(
+        &mut self,
+        cfg: &ExploreConfig,
+        trace: &mut Vec<String>,
+    ) -> Result<(), RuntimeError> {
+        let site_ids: Vec<SiteId> = self.sites.keys().copied().collect();
+        for site in &site_ids {
+            if let Some(rt) = self.sites.get_mut(site) {
+                rt.kill_local_deadlocks(&mut self.host)?;
+            }
+        }
+        let now = self.host.now();
+        let mut expired: Vec<(Instance, SiteId)> = Vec::new();
+        for (site, rt) in &self.sites {
+            for (instance, since) in rt.blocked() {
+                if now.since(since) > mdbs_simkit::SimDuration::from_micros(cfg.wait_timeout_ticks)
+                {
+                    expired.push((instance, *site));
+                }
+            }
+        }
+        expired.sort_by_key(|(i, _)| *i);
+        for (instance, site) in expired {
+            trace.push(format!("timeout-abort {instance} at site {site}"));
+            if let Some(rt) = self.sites.get_mut(&site) {
+                rt.abort_on_timeout(instance, &mut self.host)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// §4.2 at admission time: the freshly admitted entry's candidate
+    /// interval must intersect every other in-table entry's stored
+    /// intervals. On admission the agent stores exactly the candidate as
+    /// `(begin, now)`, so the snapshot carries the certified values.
+    fn check_admissions(&mut self) -> Result<(), Violation> {
+        let admissions = std::mem::take(&mut self.host.just_prepared);
+        for (site, gtxn) in admissions {
+            let Some(rt) = self.sites.get(&site) else {
+                continue;
+            };
+            let table = rt.agent().prepared_table();
+            let Some(cand) = table.iter().find(|e| e.gtxn == gtxn) else {
+                continue; // already gone again (settled within the batch)
+            };
+            let Some(&(candidate_begin, _)) = cand.intervals.last() else {
+                continue;
+            };
+            for other in &table {
+                if other.gtxn == gtxn {
+                    continue;
+                }
+                let intersects = other
+                    .intervals
+                    .iter()
+                    .any(|&(_, end)| end >= candidate_begin);
+                if !intersects {
+                    let other_end = other
+                        .intervals
+                        .iter()
+                        .map(|&(_, end)| end)
+                        .max()
+                        .unwrap_or(0);
+                    return Err(Violation::IntervalDisjoint {
+                        site,
+                        gtxn,
+                        against: other.gtxn,
+                        candidate_begin,
+                        other_end,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// End-of-run verdict: atomicity against the recorded history, then
+    /// commit-graph acyclicity.
+    fn final_checks(&self, cfg: &ExploreConfig) -> Option<Violation> {
+        for (i, program) in cfg.programs.iter().enumerate() {
+            let gtxn = GlobalTxnId(i as u32 + 1);
+            let Some(&outcome) = self.outcomes.get(&gtxn) else {
+                // Settledness is checked by the step loop; unreachable here.
+                continue;
+            };
+            let mut participants: Vec<SiteId> = program.iter().map(|(s, _)| *s).collect();
+            participants.sort();
+            participants.dedup();
+            for site in participants {
+                // The last terminal op of (gtxn, site) decides what the
+                // LDBS durably holds for it.
+                let last_terminal = self
+                    .host
+                    .ops
+                    .iter()
+                    .rev()
+                    .find(|op| {
+                        op.txn == mdbs_histories::Txn::Global(gtxn)
+                            && matches!(
+                                op.kind,
+                                OpKind::LocalCommit(s) | OpKind::LocalAbort(s) if s == site
+                            )
+                    })
+                    .map(|op| op.kind);
+                match outcome {
+                    GlobalOutcome::Committed => match last_terminal {
+                        Some(OpKind::LocalCommit(_)) => {}
+                        _ => return Some(Violation::CommitMissing { gtxn, site }),
+                    },
+                    GlobalOutcome::Aborted => {
+                        let committed_here = self.host.ops.iter().any(|op| {
+                            op.txn == mdbs_histories::Txn::Global(gtxn)
+                                && matches!(op.kind, OpKind::LocalCommit(s) if s == site)
+                        });
+                        if committed_here {
+                            return Some(Violation::AbortedButCommitted { gtxn, site });
+                        }
+                    }
+                }
+            }
+        }
+        let history = History::from_ops(self.host.ops.iter().copied());
+        let cg = commit_order_graph(&history);
+        if !cg.acyclic {
+            let cycle = cg
+                .cycle
+                .map(|c| {
+                    c.iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                })
+                .unwrap_or_else(|| "(unwitnessed)".to_string());
+            return Some(Violation::CommitGraphCycle { cycle });
+        }
+        None
+    }
+
+    fn describe(&self, action: &Action) -> String {
+        match action {
+            Action::Deliver(LaneKey::Link { from, to }) => {
+                match self.host.lanes.get(&LaneKey::Link {
+                    from: *from,
+                    to: *to,
+                }) {
+                    Some(lane) => match lane.front() {
+                        Some((_, Pending::Msg { msg, .. })) => {
+                            format!("deliver {} {} -> {}", message_kind(msg), from, to)
+                        }
+                        Some((_, Pending::Ctrl { ctrl, .. })) => {
+                            format!("deliver ctrl {} {} -> {}", ctrl.variant_name(), from, to)
+                        }
+                        _ => format!("deliver {} -> {}", from, to),
+                    },
+                    None => format!("deliver {} -> {}", from, to),
+                }
+            }
+            Action::Deliver(LaneKey::Timers { node }) => format!("fire timer at node {node}"),
+            Action::Inject(site, instance) => {
+                format!("inject unilateral abort of {instance} at site {site}")
+            }
+            Action::Crash(site) => format!("crash site {site}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The search
+// ---------------------------------------------------------------------
+
+/// Run one schedule to completion.
+fn run_schedule(cfg: &ExploreConfig, schedule: &[(usize, usize)]) -> RunResult {
+    let mut world = World::new(cfg);
+    let mut trace = Vec::new();
+    let mut steps: Vec<Vec<(String, Cost)>> = Vec::new();
+    let fail = |violation, trace, steps| RunResult {
+        violation: Some(violation),
+        trace,
+        steps,
+    };
+
+    if let Err(e) = world.begin_all(cfg) {
+        return fail(Violation::Runtime(e), trace, steps);
+    }
+    if let Err(v) = world.drain_finished() {
+        return fail(v, trace, steps);
+    }
+
+    // Schedule deviations are keyed by *decision index* — the count of
+    // actions actually executed — so that clock leaps (below) do not
+    // shift a child schedule off the decision its parent branched at.
+    let mut leaped = false;
+    for _iter in 0..2 * cfg.max_steps {
+        if steps.len() >= cfg.max_steps {
+            break;
+        }
+        if let Err(e) = world.maintenance(cfg, &mut trace) {
+            return fail(Violation::Runtime(e), trace, steps);
+        }
+        if let Err(v) = world.drain_finished() {
+            return fail(v, trace, steps);
+        }
+        let actions = world.enumerate(cfg);
+        if actions.is_empty() {
+            let unsettled: Vec<GlobalTxnId> = (1..=cfg.programs.len() as u32)
+                .map(GlobalTxnId)
+                .filter(|g| !world.outcomes.contains_key(g))
+                .collect();
+            if unsettled.is_empty() {
+                return RunResult {
+                    violation: world.final_checks(cfg),
+                    trace,
+                    steps,
+                };
+            }
+            if leaped {
+                // A leap already expired every wait; the world is truly
+                // stuck (e.g. a cross-site deadlock nothing resolves).
+                return fail(Violation::Incomplete { unsettled }, trace, steps);
+            }
+            // No enabled event, but transactions are still open: in the
+            // real systems this is where wall-clock time passes until a
+            // wait timeout fires. Model it by leaping the logical clock
+            // past the timeout, then letting maintenance abort the
+            // expired waits.
+            world.host.lamport += cfg.wait_timeout_ticks + 1;
+            trace.push(format!(
+                "logical clock leaps past the wait timeout ({} ticks)",
+                cfg.wait_timeout_ticks
+            ));
+            leaped = true;
+            continue;
+        }
+        leaped = false;
+        let decision = steps.len();
+        let choice = schedule
+            .iter()
+            .find(|&&(s, _)| s == decision)
+            .map(|&(_, i)| i)
+            .unwrap_or(0);
+        let Some((action, _)) = actions.get(choice) else {
+            // A schedule replayed against a shorter action list than its
+            // parent saw cannot occur (replay is deterministic); treat it
+            // as a clean dead end rather than a violation.
+            return RunResult {
+                violation: None,
+                trace,
+                steps,
+            };
+        };
+        let action = action.clone();
+        trace.push(world.describe(&action));
+        steps.push(
+            actions
+                .iter()
+                .map(|(a, c)| (world.describe(a), *c))
+                .collect(),
+        );
+        let result = match &action {
+            Action::Deliver(key) => match world.pop(*key) {
+                Some(p) => world.deliver(p),
+                None => Ok(()),
+            },
+            Action::Inject(site, instance) => match world.sites.get_mut(site) {
+                Some(rt) => rt.inject_abort(*instance, &mut world.host),
+                None => Ok(()),
+            },
+            Action::Crash(site) => {
+                world.crashed.push(*site);
+                match world.sites.get_mut(site) {
+                    Some(rt) => rt.crash(&mut world.host),
+                    None => Ok(()),
+                }
+            }
+        };
+        if let Err(e) = result {
+            return fail(Violation::Runtime(e), trace, steps);
+        }
+        if let Err(v) = world.drain_finished() {
+            return fail(v, trace, steps);
+        }
+        if cfg.check_intervals {
+            if let Err(v) = world.check_admissions() {
+                return fail(v, trace, steps);
+            }
+        } else {
+            world.host.just_prepared.clear();
+        }
+    }
+    fail(
+        Violation::StepLimit {
+            max_steps: cfg.max_steps,
+        },
+        trace,
+        steps,
+    )
+}
+
+/// Whether a child deviating with `cost` still fits the budgets.
+fn fits(cfg: &ExploreConfig, spent: &[Cost], cost: Cost) -> bool {
+    let count = |c: Cost| spent.iter().filter(|&&s| s == c).count() as u32 + u32::from(cost == c);
+    count(Cost::Delay) <= cfg.delay_budget
+        && count(Cost::Fault) <= cfg.fault_budget
+        && count(Cost::Crash) <= cfg.crash_budget
+}
+
+/// A frontier entry: the schedule (sorted by decision index) and the
+/// budget class of each of its deviations.
+type Frontier = (Vec<(usize, usize)>, Vec<Cost>);
+
+/// Explore every schedule within the budgets, level-ordered by deviation
+/// count, and report the first (hence minimal) counterexample.
+pub fn explore(cfg: &ExploreConfig) -> ExploreOutcome {
+    // Children only deviate strictly after the parent's last deviation,
+    // so each schedule is enumerated exactly once.
+    let mut queue: VecDeque<Frontier> = VecDeque::new();
+    queue.push_back((Vec::new(), Vec::new()));
+    let mut runs = 0usize;
+
+    while let Some((schedule, costs)) = queue.pop_front() {
+        if runs >= cfg.max_runs {
+            return ExploreOutcome::RunCapped { runs };
+        }
+        runs += 1;
+        let result = run_schedule(cfg, &schedule);
+        if let Some(violation) = result.violation {
+            let deviations = schedule
+                .iter()
+                .map(|&(step, idx)| {
+                    let rendered = result
+                        .steps
+                        .get(step)
+                        .and_then(|acts| acts.get(idx))
+                        .map(|(d, _)| d.clone())
+                        .unwrap_or_else(|| format!("action #{idx}"));
+                    format!("step {step}: {rendered}")
+                })
+                .collect();
+            return ExploreOutcome::Violation(Box::new(Counterexample {
+                violation,
+                trace: result.trace,
+                deviations,
+                runs_explored: runs,
+            }));
+        }
+        let first_new = schedule.last().map(|&(s, _)| s + 1).unwrap_or(0);
+        for (step, actions) in result.steps.iter().enumerate().skip(first_new) {
+            for (idx, (_, cost)) in actions.iter().enumerate().skip(1) {
+                if !fits(cfg, &costs, *cost) {
+                    continue;
+                }
+                let mut child = schedule.clone();
+                child.push((step, idx));
+                let mut child_costs = costs.clone();
+                child_costs.push(*cost);
+                queue.push_back((child, child_costs));
+            }
+        }
+    }
+    ExploreOutcome::Exhausted { runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_schedule_of_the_smoke_world_settles_clean() {
+        let cfg = ExploreConfig::smoke_2cm();
+        let result = run_schedule(&cfg, &[]);
+        assert!(
+            result.violation.is_none(),
+            "default run must be clean: {:?}\ntrace:\n{}",
+            result.violation,
+            result.trace.join("\n")
+        );
+        assert!(!result.trace.is_empty());
+    }
+
+    #[test]
+    fn default_cgm_schedule_settles_clean() {
+        let cfg = ExploreConfig::smoke_cgm();
+        let result = run_schedule(&cfg, &[]);
+        assert!(
+            result.violation.is_none(),
+            "default CGM run must be clean: {:?}\ntrace:\n{}",
+            result.violation,
+            result.trace.join("\n")
+        );
+    }
+
+    #[test]
+    fn conflict_default_schedule_settles() {
+        let cfg = ExploreConfig::conflict();
+        let result = run_schedule(&cfg, &[]);
+        assert!(
+            result.violation.is_none(),
+            "{:?}\ntrace:\n{}",
+            result.violation,
+            result.trace.join("\n")
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! mdbs-check: correctness tooling for the certifier protocols.
+//!
+//! Two halves, exposed through the `mdbs-check` binary:
+//!
+//! - [`lint`] — project-specific invariant lints the stock toolchain
+//!   cannot express (determinism, panic-freedom in decode paths, message
+//!   vocabulary exhaustiveness), built on the token-level source model in
+//!   [`scan`]. Self-contained: no parser dependency, runs offline.
+//! - [`explore`] — a bounded model checker that drives the real
+//!   `SiteRuntime`/`CoordinatorRuntime`/`CentralRuntime` state machines
+//!   through every delivery schedule of a tiny configuration (within
+//!   delay/fault/crash budgets) and checks global atomicity, the §4
+//!   prepared-set alive-interval invariant, and commit-order acyclicity
+//!   on every step of every run.
+
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod lint;
+pub mod scan;

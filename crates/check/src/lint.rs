@@ -1,0 +1,475 @@
+//! The invariant lints: project-specific rules the stock toolchain cannot
+//! express, run over the workspace's own sources.
+//!
+//! | rule | scope | what it catches |
+//! |------|-------|-----------------|
+//! | `determinism-wall-clock` | deterministic crates | `Instant`, `SystemTime`, `thread_rng`, `from_entropy` — wall clocks and entropy-seeded RNG inside code that must replay bit-for-bit per seed |
+//! | `determinism-hash-order` | deterministic crates + digest paths | `HashMap`/`HashSet` — iteration order is randomized per process, so any use that feeds histories or digests breaks reproducibility; keyed-lookup-only maps carry an explicit suppression |
+//! | `panic-freedom` | wire/frame decode paths and the protocol state machines + runtimes | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` and direct index expressions — hostile bytes or internal inconsistency must surface as errors, not process death |
+//! | `vocabulary` | message enums | every `Message`/`CtrlMsg`/`WireMsg` variant must have a wire encode arm, a wire decode arm, and a handler arm; `Command`/`OpKind` must have codec arms; the compiled `specimens()` lists must match the source enums |
+//!
+//! Suppression: a `// mdbs-check: allow(rule-name)` comment silences that
+//! rule on its own line and the following line. `#[cfg(test)]` items are
+//! exempt from every rule.
+
+use std::path::{Path, PathBuf};
+
+use mdbs_dtm::Message;
+use mdbs_net::wire::WireMsg;
+use mdbs_runtime::CtrlMsg;
+
+use crate::scan::{enum_variants, find_token_seq, fn_body, impl_body, index_sites, SourceFile};
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Crates whose code must replay bit-for-bit per seed: the protocol state
+/// machines, the runtimes, the simulation kernel, histories, workload.
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "crates/core/src",
+    "crates/runtime/src",
+    "crates/simkit/src",
+    "crates/histories/src",
+    "crates/workload/src",
+];
+
+/// Digest computation outside the deterministic crates that must also
+/// never iterate hash-ordered containers.
+const DIGEST_FILES: &[&str] = &["crates/mdbs/src/report.rs"];
+
+/// Decode paths and message handlers that must not panic: a corrupt frame
+/// or an internally inconsistent state must surface as an error value.
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/net/src/wire.rs",
+    "crates/net/src/frame.rs",
+    "crates/core/src/agent.rs",
+    "crates/core/src/coordinator.rs",
+    "crates/runtime/src/site.rs",
+    "crates/runtime/src/coordinator.rs",
+    "crates/runtime/src/central.rs",
+];
+
+const WALL_CLOCK_TOKENS: &[&str] = &["Instant", "SystemTime", "thread_rng", "from_entropy"];
+const HASH_TOKENS: &[&str] = &["HashMap", "HashSet"];
+const PANIC_TOKENS: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+/// Run every rule over the workspace at `root`.
+pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for dir in DETERMINISTIC_CRATES {
+        for file in rs_files(&root.join(dir))? {
+            let rel = rel_of(root, &file);
+            let src = SourceFile::read(&file, rel)?;
+            lint_determinism(&src, &mut findings);
+        }
+    }
+    for path in DIGEST_FILES {
+        let src = SourceFile::read(&root.join(path), (*path).to_string())?;
+        lint_hash_order(&src, &mut findings);
+    }
+    for path in PANIC_FREE_FILES {
+        let src = SourceFile::read(&root.join(path), (*path).to_string())?;
+        lint_panic_freedom(&src, &mut findings);
+    }
+    lint_vocabulary(root, &mut findings)?;
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+fn lint_determinism(src: &SourceFile, findings: &mut Vec<Finding>) {
+    for token in WALL_CLOCK_TOKENS {
+        for off in src.idents(token) {
+            if src.in_test(off) || src.is_suppressed("determinism-wall-clock", off) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "determinism-wall-clock",
+                file: src.rel.clone(),
+                line: src.line_of(off),
+                msg: format!(
+                    "`{token}` in a deterministic crate: simulation state may only \
+                     advance through the seeded clock/RNG (SimTime, DetRng)"
+                ),
+            });
+        }
+    }
+    lint_hash_order(src, findings);
+}
+
+fn lint_hash_order(src: &SourceFile, findings: &mut Vec<Finding>) {
+    for token in HASH_TOKENS {
+        for off in src.idents(token) {
+            if src.in_test(off) || src.is_suppressed("determinism-hash-order", off) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "determinism-hash-order",
+                file: src.rel.clone(),
+                line: src.line_of(off),
+                msg: format!(
+                    "`{token}` iteration order is nondeterministic; use BTreeMap/BTreeSet \
+                     or sort explicitly (suppress with `// mdbs-check: \
+                     allow(determinism-hash-order)` if the map is keyed-lookup-only)"
+                ),
+            });
+        }
+    }
+}
+
+fn lint_panic_freedom(src: &SourceFile, findings: &mut Vec<Finding>) {
+    for token in PANIC_TOKENS {
+        for off in src.idents(token) {
+            if src.in_test(off) || src.is_suppressed("panic-freedom", off) {
+                continue;
+            }
+            // `expect`/`panic` as a plain identifier in a path like
+            // `#[should_panic]` lives in tests; here any occurrence in
+            // live code is a finding.
+            findings.push(Finding {
+                rule: "panic-freedom",
+                file: src.rel.clone(),
+                line: src.line_of(off),
+                msg: format!(
+                    "`{token}` in a decode/handler path: corrupt input or inconsistent \
+                     state must return an error (WireError, FrameError, RuntimeError), \
+                     not kill the process"
+                ),
+            });
+        }
+    }
+    for off in index_sites(&src.code) {
+        if src.in_test(off) || src.is_suppressed("panic-freedom", off) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "panic-freedom",
+            file: src.rel.clone(),
+            line: src.line_of(off),
+            msg: "direct index expression in a decode/handler path can panic on a \
+                  hostile length; use `.get()` and handle the miss"
+                .to_string(),
+        });
+    }
+}
+
+/// One message enum's cross-check spec.
+struct Vocab {
+    enum_name: &'static str,
+    /// File declaring the enum.
+    decl: &'static str,
+    /// Variants from the *compiled* `specimens()` (None: codec-only enums
+    /// have no specimens; source parse is the only inventory).
+    compiled: Option<Vec<&'static str>>,
+    /// Files in which every variant must appear as `Enum::Variant` for a
+    /// handler arm (empty: codec-only).
+    handler_files: Vec<&'static str>,
+    /// Per-variant override of handler files (e.g. CtrlMsg routing).
+    handler_of: fn(&str) -> Option<Vec<&'static str>>,
+}
+
+fn no_override(_: &str) -> Option<Vec<&'static str>> {
+    None
+}
+
+/// CtrlMsg variants route by direction: coordinator→central variants must
+/// be handled by the central runtime, the rest by the coordinator runtime.
+fn ctrl_handler(variant: &str) -> Option<Vec<&'static str>> {
+    let to_central = CtrlMsg::specimens()
+        .iter()
+        .find(|m| m.variant_name() == variant)
+        .map(CtrlMsg::is_to_central)?;
+    Some(if to_central {
+        vec!["crates/runtime/src/central.rs"]
+    } else {
+        vec!["crates/runtime/src/coordinator.rs"]
+    })
+}
+
+fn lint_vocabulary(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    let wire_rel = "crates/net/src/wire.rs";
+    let wire = SourceFile::read(&root.join(wire_rel), wire_rel.to_string())?;
+
+    let specs = [
+        Vocab {
+            enum_name: "Message",
+            decl: "crates/core/src/msg.rs",
+            compiled: Some(
+                Message::specimens()
+                    .iter()
+                    .map(|m| m.variant_name())
+                    .collect(),
+            ),
+            // Downstream variants are handled by the agent, upstream by
+            // the coordinator; requiring presence in the union still
+            // catches a variant nobody handles.
+            handler_files: vec!["crates/core/src/agent.rs", "crates/core/src/coordinator.rs"],
+            handler_of: no_override,
+        },
+        Vocab {
+            enum_name: "CtrlMsg",
+            decl: "crates/runtime/src/host.rs",
+            compiled: Some(
+                CtrlMsg::specimens()
+                    .iter()
+                    .map(|m| m.variant_name())
+                    .collect(),
+            ),
+            handler_files: vec![],
+            handler_of: ctrl_handler,
+        },
+        Vocab {
+            enum_name: "WireMsg",
+            decl: "crates/net/src/wire.rs",
+            compiled: Some(
+                WireMsg::specimens()
+                    .iter()
+                    .map(|m| m.variant_name())
+                    .collect(),
+            ),
+            handler_files: vec![
+                "crates/net/src/node.rs",
+                "crates/net/src/tcp.rs",
+                "crates/net/src/cluster.rs",
+            ],
+            handler_of: no_override,
+        },
+        Vocab {
+            enum_name: "Command",
+            decl: "crates/ldbs/src/command.rs",
+            compiled: None,
+            handler_files: vec![],
+            handler_of: no_override,
+        },
+        Vocab {
+            enum_name: "OpKind",
+            decl: "crates/histories/src/op.rs",
+            compiled: None,
+            handler_files: vec![],
+            handler_of: no_override,
+        },
+    ];
+
+    for spec in specs {
+        let decl = SourceFile::read(&root.join(spec.decl), spec.decl.to_string())?;
+        let Some(variants) = enum_variants(&decl.code, spec.enum_name) else {
+            findings.push(Finding {
+                rule: "vocabulary",
+                file: spec.decl.to_string(),
+                line: 1,
+                msg: format!("could not find `enum {}`", spec.enum_name),
+            });
+            continue;
+        };
+
+        // Source enum vs compiled specimens(): both directions.
+        if let Some(compiled) = &spec.compiled {
+            for v in &variants {
+                if !compiled.iter().any(|c| c == v) {
+                    findings.push(Finding {
+                        rule: "vocabulary",
+                        file: spec.decl.to_string(),
+                        line: 1,
+                        msg: format!(
+                            "{}::{v} has no specimen: extend {}::specimens() so the \
+                             codec round-trip tests cover it",
+                            spec.enum_name, spec.enum_name
+                        ),
+                    });
+                }
+            }
+            for c in compiled {
+                if !variants.iter().any(|v| v == c) {
+                    findings.push(Finding {
+                        rule: "vocabulary",
+                        file: spec.decl.to_string(),
+                        line: 1,
+                        msg: format!(
+                            "{}::specimens() names `{c}` but the enum has no such variant",
+                            spec.enum_name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Wire codec arms: the variant must be constructed/matched inside
+        // both `fn put` and `fn get` of `impl Wire for <Enum>`.
+        let Some(body) = impl_body(&wire.code, &["Wire", "for", spec.enum_name]) else {
+            findings.push(Finding {
+                rule: "vocabulary",
+                file: wire_rel.to_string(),
+                line: 1,
+                msg: format!("no `impl Wire for {}` found", spec.enum_name),
+            });
+            continue;
+        };
+        for (func, what) in [("put", "encode"), ("get", "decode")] {
+            let Some(region) = fn_body(&wire.code, func, body) else {
+                findings.push(Finding {
+                    rule: "vocabulary",
+                    file: wire_rel.to_string(),
+                    line: wire.line_of(body.0),
+                    msg: format!("`impl Wire for {}` has no fn {func}", spec.enum_name),
+                });
+                continue;
+            };
+            for v in &variants {
+                if find_token_seq(&wire.code, &[spec.enum_name, "::", v], region).is_none() {
+                    findings.push(Finding {
+                        rule: "vocabulary",
+                        file: wire_rel.to_string(),
+                        line: wire.line_of(region.0),
+                        msg: format!(
+                            "{}::{v} has no {what} arm in the wire codec",
+                            spec.enum_name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Handler arms.
+        for v in &variants {
+            let files = (spec.handler_of)(v).unwrap_or_else(|| spec.handler_files.clone());
+            if files.is_empty() {
+                continue; // codec-only enum
+            }
+            let mut found = false;
+            for hf in &files {
+                let h = SourceFile::read(&root.join(hf), (*hf).to_string())?;
+                let whole = (0, h.code.len());
+                if find_token_seq(&h.code, &[spec.enum_name, "::", v], whole).is_some() {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                findings.push(Finding {
+                    rule: "vocabulary",
+                    file: spec.decl.to_string(),
+                    line: 1,
+                    msg: format!(
+                        "{}::{v} is never handled (expected a match arm in one of: {})",
+                        spec.enum_name,
+                        files.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Every `.rs` file under `dir`, recursively, in sorted order.
+fn rs_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&d).map_err(|e| format!("read_dir {}: {e}", d.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", d.display()))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|x| x == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_in(src: &str, lint: fn(&SourceFile, &mut Vec<Finding>)) -> Vec<Finding> {
+        let f = SourceFile::parse(src.to_string(), "t.rs".into());
+        let mut out = Vec::new();
+        lint(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn wall_clock_tokens_fire_outside_tests_only() {
+        let src = "use std::time::Instant;\n#[cfg(test)]\nmod tests { use std::time::Instant; }";
+        let hits = findings_in(src, lint_determinism);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "determinism-wall-clock");
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn hash_order_suppression_works() {
+        let src = "// mdbs-check: allow(determinism-hash-order)\nlet m: HashMap<u32, u32>;\nlet s: HashSet<u32>;";
+        let hits = findings_in(src, lint_hash_order);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn panic_freedom_catches_methods_macros_and_indexing() {
+        let src = "fn f(v: &[u8]) -> u8 { let x = v.first().unwrap(); panic!(); v[0] }";
+        let hits = findings_in(src, lint_panic_freedom);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) }";
+        assert!(findings_in(src, lint_panic_freedom).is_empty());
+    }
+
+    #[test]
+    fn the_workspace_is_lint_clean() {
+        // The repo's own acceptance check, inline: the lint must run clean
+        // over the workspace this crate is built from.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = run_lint(&root).expect("lint runs");
+        assert!(
+            findings.is_empty(),
+            "lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,636 @@
+//! A token-level Rust source model for the lint rules.
+//!
+//! This is deliberately not a parser: the lint rules only need to know
+//! (a) which bytes are code rather than comments or literal contents,
+//! (b) where identifiers occur, (c) where `#[cfg(test)]` regions are, and
+//! (d) the variant lists of a handful of `enum` declarations. A byte-level
+//! state machine that blanks comments and literal bodies — preserving the
+//! byte length so offsets and line numbers keep pointing at the original
+//! text — gives all four without taking a dependency on a real parser
+//! (the build environment is offline; see the workspace manifest).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// One scanned source file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (stable in findings).
+    pub rel: String,
+    /// The original text.
+    pub raw: String,
+    /// Same length as `raw`, with comments and string/char literal
+    /// contents blanked to spaces. Token scans run over this.
+    pub code: String,
+    /// Byte offset of each line start (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// Per-line suppressions: `// mdbs-check: allow(rule-a, rule-b)`
+    /// suppresses those rules on its own line and the one below it.
+    suppressed: Vec<BTreeSet<String>>,
+}
+
+impl SourceFile {
+    /// Read and scan `path`, labelling it `rel` in findings.
+    pub fn read(path: &Path, rel: String) -> Result<SourceFile, String> {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("read {rel}: {e}"))?;
+        Ok(SourceFile::parse(raw, rel))
+    }
+
+    /// Scan in-memory text (tests use this directly).
+    pub fn parse(raw: String, rel: String) -> SourceFile {
+        let code = blank_noncode(&raw);
+        let mut line_starts = vec![0usize];
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_ranges = find_test_ranges(&code);
+        let suppressed = find_suppressions(&raw, line_starts.len());
+        SourceFile {
+            rel,
+            raw,
+            code,
+            line_starts,
+            test_ranges,
+            suppressed,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether the byte at `offset` is inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| offset >= lo && offset < hi)
+    }
+
+    /// Whether `rule` is suppressed at the line containing `offset`.
+    pub fn is_suppressed(&self, rule: &str, offset: usize) -> bool {
+        let line = self.line_of(offset); // 1-based
+        let check = |l: usize| {
+            self.suppressed
+                .get(l)
+                .is_some_and(|rules| rules.contains(rule))
+        };
+        // A suppression comment covers its own line and the next one, so
+        // look at this line (index line-1) and the one above (line-2).
+        check(line - 1) || (line >= 2 && check(line - 2))
+    }
+
+    /// Byte offsets where `word` occurs as a whole identifier in code.
+    pub fn idents(&self, word: &str) -> Vec<usize> {
+        ident_occurrences(&self.code, word)
+    }
+
+    /// Whether the token sequence `words` (identifiers and punctuation
+    /// like `::`) occurs anywhere in `self.code[range]`.
+    pub fn has_token_seq(&self, words: &[&str], range: (usize, usize)) -> bool {
+        find_token_seq(&self.code, words, range).is_some()
+    }
+}
+
+/// Blank comments and string/char literal contents, preserving length.
+fn blank_noncode(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let n = bytes.len();
+    let mut i = 0;
+    while i < n {
+        match bytes[i] {
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = blank_string(bytes, &mut out, i),
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                i = blank_raw_string(bytes, &mut out, i);
+            }
+            b'\'' => i = blank_char_or_lifetime(bytes, &mut out, i),
+            _ => i += 1,
+        }
+    }
+    // Blanked bytes are all ASCII spaces; multi-byte characters only occur
+    // inside comments/literals, whose bytes were each replaced by a space,
+    // so the result is valid UTF-8.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Blank a regular `"…"` literal starting at `i`; returns the index after.
+fn blank_string(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n {
+        match bytes[j] {
+            b'\\' if j + 1 < n => {
+                out[j] = b' ';
+                out[j + 1] = b' ';
+                j += 2;
+            }
+            b'"' => return j + 1,
+            b'\n' => j += 1, // keep the newline for line mapping
+            _ => {
+                out[j] = b' ';
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Does a raw (byte) string literal start at `i` (`r"`, `r#`, `br"`, …)?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Reject identifiers ending in r/b (e.g. `var"` cannot occur, but
+    // `for r in …` precedes `r` with a space, so only the chars after
+    // matter; still guard against preceding ident chars like `attr"`).
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Blank a raw string starting at `i`; returns the index after it.
+fn blank_raw_string(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut hashes = 0usize;
+    while j < n && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while j < n {
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && bytes[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        if bytes[j] != b'\n' {
+            out[j] = b' ';
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Blank a `'x'` char literal, or skip a lifetime; returns the next index.
+fn blank_char_or_lifetime(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
+    let n = bytes.len();
+    if i + 1 < n && bytes[i + 1] == b'\\' {
+        // Escaped char literal: blank to the closing quote.
+        let mut j = i + 1;
+        while j < n && bytes[j] != b'\'' {
+            out[j] = b' ';
+            j += 1;
+        }
+        return (j + 1).min(n);
+    }
+    // `'a'` is a char literal; `'a` followed by anything else is a
+    // lifetime. Multi-byte chars ('∞') are also literals: find the
+    // closing quote within 5 bytes.
+    for j in (i + 2)..((i + 6).min(n)) {
+        if bytes[j] == b'\'' {
+            for b in out.iter_mut().take(j).skip(i + 1) {
+                *b = b' ';
+            }
+            return j + 1;
+        }
+        if !(bytes[j - 1] as char).is_ascii() || is_ident_byte(bytes[j - 1]) {
+            continue;
+        }
+        break;
+    }
+    i + 1 // lifetime: leave as-is
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte ranges of `#[cfg(test)] <item>` (attribute through the end of the
+/// item's brace block).
+fn find_test_ranges(code: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let bytes = code.as_bytes();
+    let needle = b"#[cfg(test)]";
+    let mut i = 0;
+    while i + needle.len() <= bytes.len() {
+        if &bytes[i..i + needle.len()] == needle {
+            let start = i;
+            let mut j = i + needle.len();
+            // The item's body is the next `{`-balanced block.
+            while j < bytes.len() && bytes[j] != b'{' {
+                j += 1;
+            }
+            let end = match_brace(code, j).unwrap_or(bytes.len());
+            ranges.push((start, end));
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Per-line suppression sets from `mdbs-check: allow(…)` comments.
+fn find_suppressions(raw: &str, nlines: usize) -> Vec<BTreeSet<String>> {
+    let mut out = vec![BTreeSet::new(); nlines];
+    for (idx, line) in raw.lines().enumerate() {
+        let Some(pos) = line.find("mdbs-check: allow(") else {
+            continue;
+        };
+        let rest = &line[pos + "mdbs-check: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        for rule in rest[..close].split(',') {
+            out[idx].insert(rule.trim().to_string());
+        }
+    }
+    out
+}
+
+/// Given the offset of an opening `{`/`[`/`(`, the offset just past its
+/// matching close.
+pub fn match_brace(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let (o, c) = match bytes.get(open)? {
+        b'{' => (b'{', b'}'),
+        b'[' => (b'[', b']'),
+        b'(' => (b'(', b')'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == o {
+            depth += 1;
+        } else if b == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+    }
+    None
+}
+
+/// Offsets where `word` occurs as a whole identifier.
+pub fn ident_occurrences(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let w = word.as_bytes();
+    if w.is_empty() {
+        return out;
+    }
+    let mut i = 0;
+    while i + w.len() <= bytes.len() {
+        if &bytes[i..i + w.len()] == w
+            && (i == 0 || !is_ident_byte(bytes[i - 1]))
+            && (i + w.len() == bytes.len() || !is_ident_byte(bytes[i + w.len()]))
+        {
+            out.push(i);
+            i += w.len();
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Offsets of `[` that index an expression (previous non-space byte ends
+/// an identifier, `)`, or `]`) — as opposed to attributes `#[…]`, macro
+/// brackets `vec![…]`, and type/array syntax `[u8; 4]`.
+pub fn index_sites(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && bytes[j - 1] == b' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = bytes[j - 1];
+        if is_ident_byte(prev) {
+            // Walk to the start of the identifier run: a leading apostrophe
+            // makes it a lifetime, so `&'a [u8]` is slice-type syntax, not
+            // an index expression.
+            let mut k = j - 1;
+            while k > 0 && is_ident_byte(bytes[k - 1]) {
+                k -= 1;
+            }
+            if k > 0 && bytes[k - 1] == b'\'' {
+                continue;
+            }
+            out.push(i);
+        } else if prev == b')' || prev == b']' {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// The variant names of `enum <name>` declared in `code`, in order.
+pub fn enum_variants(code: &str, name: &str) -> Option<Vec<String>> {
+    let bytes = code.as_bytes();
+    for start in ident_occurrences(code, "enum") {
+        // The next identifier token must be the enum's name.
+        let mut i = start + 4;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_end = i + name.len();
+        if name_end > bytes.len()
+            || &code[i..name_end] != name
+            || (name_end < bytes.len() && is_ident_byte(bytes[name_end]))
+        {
+            continue;
+        }
+        let mut j = name_end;
+        while j < bytes.len() && bytes[j] != b'{' {
+            j += 1;
+        }
+        let end = match_brace(code, j)?;
+        return Some(parse_variant_names(&code[j + 1..end - 1]));
+    }
+    None
+}
+
+/// Variant names from an enum body (attributes already blank-stripped of
+/// comments; `#[…]` attributes are skipped here).
+fn parse_variant_names(body: &str) -> Vec<String> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    loop {
+        // Skip whitespace and attributes.
+        while i < bytes.len() {
+            if bytes[i].is_ascii_whitespace() {
+                i += 1;
+            } else if bytes[i] == b'#' {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'[' {
+                    j += 1;
+                }
+                i = match_brace(body, j).unwrap_or(bytes.len());
+            } else {
+                break;
+            }
+        }
+        if i >= bytes.len() {
+            return out;
+        }
+        // The variant name.
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == start {
+            return out; // malformed; stop rather than loop
+        }
+        out.push(body[start..i].to_string());
+        // Skip the payload (brace/paren block, discriminant, …) to the
+        // next top-level comma.
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' | b'(' | b'[' => depth += 1,
+                b'}' | b')' | b']' => depth = depth.saturating_sub(1),
+                b',' if depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return out;
+        }
+    }
+}
+
+/// Find the token sequence `words` within `code[range]`, skipping
+/// whitespace between tokens. Returns the offset of the first token.
+pub fn find_token_seq(code: &str, words: &[&str], range: (usize, usize)) -> Option<usize> {
+    let (lo, hi) = range;
+    let hi = hi.min(code.len());
+    let first = words.first()?;
+    let region = code.get(lo..hi)?;
+    let candidates: Vec<usize> = if first.bytes().all(is_ident_byte) {
+        ident_occurrences(region, first)
+    } else {
+        region.match_indices(*first).map(|(i, _)| i).collect()
+    };
+    'cand: for c in candidates {
+        let mut pos = lo + c + first.len();
+        for w in &words[1..] {
+            let bytes = code.as_bytes();
+            while pos < hi && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            let end = pos + w.len();
+            if end > hi || &code[pos..end] != *w {
+                continue 'cand;
+            }
+            if w.bytes().all(is_ident_byte)
+                && (pos > 0 && is_ident_byte(bytes[pos - 1])
+                    || end < code.len() && is_ident_byte(bytes[end]))
+            {
+                continue 'cand;
+            }
+            pos = end;
+        }
+        return Some(lo + c);
+    }
+    None
+}
+
+/// The body range of `impl … <head tokens> … {`, e.g.
+/// `impl_body(code, &["Wire", "for", "Message"])`.
+pub fn impl_body(code: &str, head: &[&str]) -> Option<(usize, usize)> {
+    for start in ident_occurrences(code, "impl") {
+        let Some(at) = find_token_seq(code, head, (start, (start + 200).min(code.len()))) else {
+            continue;
+        };
+        // Head must belong to this impl (no `{` between).
+        if code[start..at].contains('{') {
+            continue;
+        }
+        let bytes = code.as_bytes();
+        let mut j = at;
+        while j < bytes.len() && bytes[j] != b'{' {
+            j += 1;
+        }
+        let end = match_brace(code, j)?;
+        return Some((j + 1, end - 1));
+    }
+    None
+}
+
+/// The body range of `fn <name>` within `range`.
+pub fn fn_body(code: &str, name: &str, range: (usize, usize)) -> Option<(usize, usize)> {
+    let at = find_token_seq(code, &["fn", name], range)?;
+    let bytes = code.as_bytes();
+    // Skip the signature: the body is the first `{` at paren-depth 0.
+    let mut depth = 0usize;
+    let mut j = at;
+    while j < range.1.min(bytes.len()) {
+        match bytes[j] {
+            b'(' => depth += 1,
+            b')' => depth = depth.saturating_sub(1),
+            b'{' if depth == 0 => {
+                let end = match_brace(code, j)?;
+                return Some((j + 1, end - 1));
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanking_preserves_length_and_lines() {
+        let src = "let a = \"hi\\n//not a comment\"; // real comment\nlet b = 'x'; /* block\nstill */ let c = 1;\n";
+        let out = blank_noncode(src);
+        assert_eq!(out.len(), src.len());
+        assert_eq!(
+            out.matches('\n').count(),
+            src.matches('\n').count(),
+            "newlines must survive blanking"
+        );
+        assert!(!out.contains("not a comment"));
+        assert!(!out.contains("real comment"));
+        assert!(!out.contains("block"));
+        assert!(out.contains("let c = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "let r = r#\"quote \" inside\"#; fn f<'a>(x: &'a str) -> &'a str { x }";
+        let out = blank_noncode(src);
+        assert!(!out.contains("inside"));
+        assert!(out.contains("fn f<'a>"), "lifetimes survive: {out}");
+    }
+
+    #[test]
+    fn ident_occurrences_are_word_bounded() {
+        let code = "x.unwrap(); y.unwrap_or(3); let unwrap = 1;";
+        assert_eq!(ident_occurrences(code, "unwrap").len(), 2);
+    }
+
+    #[test]
+    fn index_sites_skip_macros_attrs_and_types() {
+        let code = "#[derive(Debug)] let v = vec![1]; let a: [u8; 4] = x[i]; b[0] = c(1)[2];";
+        let hits = index_sites(code);
+        // x[i], b[0], c(1)[2] — not #[, vec![, [u8; 4].
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        // A slice type behind a lifetime is not an index expression.
+        assert!(index_sites("fn f<'a>(buf: &'a [u8]) {}").is_empty());
+    }
+
+    #[test]
+    fn enum_parse_reads_variants() {
+        let code = "pub enum Foo { A, B { x: u32 }, C(Vec<u8>), D = 4, }";
+        assert_eq!(
+            enum_variants(code, "Foo").unwrap(),
+            vec!["A", "B", "C", "D"]
+        );
+        assert!(enum_variants(code, "Bar").is_none());
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_the_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn tail() {}";
+        let f = SourceFile::parse(src.to_string(), "x.rs".into());
+        let unwraps = f.idents("unwrap");
+        assert_eq!(unwraps.len(), 1);
+        assert!(f.in_test(unwraps[0]));
+        let tail = f.idents("tail");
+        assert!(!f.in_test(tail[0]));
+    }
+
+    #[test]
+    fn suppressions_cover_same_and_next_line() {
+        let src = "// mdbs-check: allow(rule-a)\nlet x = HashMap::new();\nlet y = HashMap::new(); // mdbs-check: allow(rule-b)\n";
+        let f = SourceFile::parse(src.to_string(), "x.rs".into());
+        let hits = f.idents("HashMap");
+        assert_eq!(hits.len(), 2, "comment occurrences must be blanked");
+        assert!(f.is_suppressed("rule-a", hits[0]));
+        assert!(!f.is_suppressed("rule-b", hits[0]));
+        assert!(f.is_suppressed("rule-b", hits[1]));
+    }
+
+    #[test]
+    fn token_seq_and_regions() {
+        let code = "impl Wire for Foo { fn put(&self) { Foo::A; } fn get() { Foo::B } }";
+        let body = impl_body(code, &["Wire", "for", "Foo"]).unwrap();
+        let put = fn_body(code, "put", body).unwrap();
+        assert!(find_token_seq(code, &["Foo", "::", "A"], put).is_some());
+        assert!(find_token_seq(code, &["Foo", "::", "B"], put).is_none());
+    }
+}

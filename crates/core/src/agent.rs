@@ -51,6 +51,22 @@ pub enum RefuseReason {
     NotAlive,
 }
 
+/// One row of [`Agent::prepared_table`]: the externally observable state of
+/// a prepared (or commit-pending) subtransaction, for invariant checkers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedEntry {
+    /// The global transaction.
+    pub gtxn: GlobalTxnId,
+    /// Serial number certified at PREPARE time.
+    pub sn: Option<SerialNumber>,
+    /// Stored alive intervals `(begin, end)`, oldest first (§4.2).
+    pub intervals: Vec<(u64, u64)>,
+    /// Whether the current incarnation is alive (not unilaterally aborted).
+    pub alive: bool,
+    /// Whether a COMMIT decision is already pending on it.
+    pub commit_pending: bool,
+}
+
 /// Inputs to the agent state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AgentInput {
@@ -315,7 +331,7 @@ impl Agent {
         // in use) stays consistent with the certified order.
         let mut prepared: Vec<&RecoveredTxn> =
             recovered.iter().filter(|t| t.prepared.is_some()).collect();
-        prepared.sort_by_key(|t| t.prepared.as_ref().expect("filtered").0);
+        prepared.sort_by_key(|t| t.prepared.as_ref().map(|(sn, _)| *sn));
         let order: Vec<GlobalTxnId> = prepared.iter().map(|t| t.gtxn).collect();
 
         for txn in &recovered {
@@ -425,6 +441,33 @@ impl Agent {
     /// Current incarnation index of a subtransaction (for tests).
     pub fn incarnation_of(&self, gtxn: GlobalTxnId) -> Option<u32> {
         self.subtxns.get(&gtxn).map(|s| s.incarnation)
+    }
+
+    /// Whether the agent still tracks `gtxn` in any phase. `mdbs-check
+    /// explore` uses this to prune inert alive/commit-retry timer firings
+    /// (a timer for a settled transaction is a no-op and would otherwise
+    /// just widen the schedule space).
+    pub fn has_subtxn(&self, gtxn: GlobalTxnId) -> bool {
+        self.subtxns.contains_key(&gtxn)
+    }
+
+    /// Read-only snapshot of the certifier's prepared table: one entry per
+    /// subtransaction currently in the prepared or commit-pending state,
+    /// with its stored alive intervals. This is the observation hook the
+    /// bounded model checker asserts the §4 pairwise-intersection property
+    /// against; the agent never reads it back.
+    pub fn prepared_table(&self) -> Vec<PreparedEntry> {
+        self.subtxns
+            .iter()
+            .filter(|(_, st)| st.in_table())
+            .map(|(g, st)| PreparedEntry {
+                gtxn: *g,
+                sn: st.sn,
+                intervals: st.intervals.clone(),
+                alive: st.alive(),
+                commit_pending: st.phase == Phase::CommitPending,
+            })
+            .collect()
     }
 
     fn instance(&self, gtxn: GlobalTxnId, st: &SubTxn) -> Instance {
@@ -551,9 +594,7 @@ impl Agent {
         // Refresh the alive intervals of table entries that are alive right
         // now (an inline alive check; keeps long alive-check periods from
         // causing spurious refusals — the paper's §6 assumes exactly this).
-        let entries: Vec<GlobalTxnId> = self.subtxns.keys().copied().collect();
-        for g in entries {
-            let st = self.subtxns.get_mut(&g).expect("key");
+        for st in self.subtxns.values_mut() {
             if st.in_table() && st.alive() {
                 st.extend_interval(now);
             }
@@ -574,6 +615,7 @@ impl Agent {
         // can leave a resubmission replay in flight when the PREPARE
         // arrives. The alive check below refuses in that case.
         let coord = st.coord;
+        let candidate_begin = st.last_op_done;
 
         // §5.3 extension: an "older" transaction already committed here?
         if self.config.mode.prepare_extension() {
@@ -597,8 +639,6 @@ impl Agent {
         }
 
         // §4.2 basic certification: candidate interval vs. table intervals.
-        let st = self.subtxns.get(&gtxn).expect("checked");
-        let candidate_begin = st.last_op_done;
         if self.config.mode.prepare_certification() {
             let disjoint = self
                 .subtxns
@@ -612,7 +652,9 @@ impl Agent {
         }
 
         // Alive check.
-        let st = self.subtxns.get_mut(&gtxn).expect("checked");
+        let Some(st) = self.subtxns.get_mut(&gtxn) else {
+            return vec![]; // unreachable: presence checked above
+        };
         if !st.alive() {
             self.stats.refused_not_alive += 1;
             return self.refuse(gtxn, coord, RefuseReason::NotAlive);
@@ -657,7 +699,9 @@ impl Agent {
     /// Refuse a PREPARE: abort the local subtransaction (if it still runs),
     /// forget the transaction, answer REFUSE.
     fn refuse(&mut self, gtxn: GlobalTxnId, coord: u32, reason: RefuseReason) -> Vec<AgentAction> {
-        let st = self.subtxns.remove(&gtxn).expect("refusing known txn");
+        let Some(st) = self.subtxns.remove(&gtxn) else {
+            return vec![]; // unreachable: callers only refuse table entries
+        };
         self.done.insert(gtxn);
         self.log.append(LogRecord::Rollback { gtxn });
         let mut actions = Vec::new();
@@ -695,8 +739,7 @@ impl Agent {
 
         if let Some(next) = st.resubmit_next {
             // Replaying the Agent log.
-            if next < st.commands.len() {
-                let command = st.commands[next];
+            if let Some(&command) = st.commands.get(next) {
                 st.resubmit_next = Some(next + 1);
                 st.executing = true;
                 let inst = Instance::global(gtxn.0, self.site, st.incarnation);
@@ -790,33 +833,36 @@ impl Agent {
     }
 
     fn start_resubmission(&mut self, gtxn: GlobalTxnId) -> Vec<AgentAction> {
+        let Some(st) = self.subtxns.get_mut(&gtxn) else {
+            return vec![]; // unreachable: callers hold a table entry
+        };
         self.log.append(LogRecord::Resubmit { gtxn });
-        let st = self.subtxns.get_mut(&gtxn).expect("known txn");
         debug_assert!(st.aborted && st.resubmit_next.is_none());
         st.incarnation += 1;
         st.aborted = false;
         self.stats.resubmissions += 1;
         let inst = Instance::global(gtxn.0, self.site, st.incarnation);
         let mut actions = vec![AgentAction::LtmBegin(inst)];
-        if st.commands.is_empty() {
-            st.resubmit_next = None;
-            // Nothing to replay: instantly alive again. The interval restart
-            // happens on the next alive check / prepare refresh.
-        } else {
-            let command = st.commands[0];
+        if let Some(&command) = st.commands.first() {
             st.resubmit_next = Some(1);
             st.executing = true;
             actions.push(AgentAction::LtmSubmit {
                 instance: inst,
                 command,
             });
+        } else {
+            st.resubmit_next = None;
+            // Nothing to replay: instantly alive again. The interval restart
+            // happens on the next alive check / prepare refresh.
         }
         actions
     }
 
     /// Appendix C: commit certification, possibly retried.
     fn try_commit(&mut self, _now: u64, gtxn: GlobalTxnId) -> Vec<AgentAction> {
-        let st = self.subtxns.get(&gtxn).expect("known txn");
+        let Some(st) = self.subtxns.get(&gtxn) else {
+            return vec![]; // unreachable: callers hold a table entry
+        };
         debug_assert_eq!(st.phase, Phase::CommitPending);
 
         // The incarnation must be alive to be committed; if it was aborted,
@@ -836,11 +882,16 @@ impl Agent {
 
         // Certification: every other table entry must be "younger".
         let passes = if self.config.mode.sn_commit_certification() {
-            let my_sn = st.sn.expect("prepared with sn");
-            self.subtxns
-                .iter()
-                .filter(|(g, o)| **g != gtxn && o.in_table())
-                .all(|(_, o)| o.sn.map(|s| s > my_sn).unwrap_or(true))
+            match st.sn {
+                Some(my_sn) => self
+                    .subtxns
+                    .iter()
+                    .filter(|(g, o)| **g != gtxn && o.in_table())
+                    .all(|(_, o)| o.sn.map(|s| s > my_sn).unwrap_or(true)),
+                // A commit-pending entry always carries the serial number
+                // from its PREPARE; pass vacuously if it is missing.
+                None => true,
+            }
         } else if self.config.mode.prepare_order_commit() {
             let my_seq = st.prepare_seq;
             self.subtxns
@@ -852,7 +903,9 @@ impl Agent {
         };
 
         if !passes {
-            let st = self.subtxns.get_mut(&gtxn).expect("known txn");
+            let Some(st) = self.subtxns.get_mut(&gtxn) else {
+                return vec![]; // unreachable: presence checked above
+            };
             st.commit_retries += 1;
             self.stats.commit_retries += 1;
             if st.commit_retries < self.config.max_commit_retries {
@@ -868,7 +921,9 @@ impl Agent {
 
         // Commit certification OK: force the commit record, commit
         // locally, ack, leave the table (Appendix C's ordering).
-        let st = self.subtxns.remove(&gtxn).expect("known txn");
+        let Some(st) = self.subtxns.remove(&gtxn) else {
+            return vec![]; // unreachable: presence checked above
+        };
         self.done.insert(gtxn);
         if let Some(sn) = st.sn {
             if self.max_committed_sn.is_none_or(|m| sn > m) {

@@ -8,6 +8,10 @@ use serde::{Deserialize, Serialize};
 /// used by the anomaly replays and benchmarks: each one re-admits a specific
 /// anomaly class, demonstrating why the corresponding mechanism exists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+// The doc(hidden) mutation variant below is constructible on purpose (the
+// model checker's smoke test selects it); this is not the non_exhaustive
+// idiom.
+#[allow(clippy::manual_non_exhaustive)]
 pub enum CertifierMode {
     /// Extended prepare certification + basic prepare certification +
     /// serial-number commit certification (§§4–5, the Appendix algorithms).
@@ -33,6 +37,14 @@ pub enum CertifierMode {
     /// serial number *ever prepared* at this agent, and commits follow
     /// serial-number order. No alive-interval certification.
     TicketOrder,
+    /// Deliberately broken [`CertifierMode::Full`]: identical in every way
+    /// except the §4.2 basic (alive-interval) prepare certification is
+    /// skipped. Exists solely as the mutation target for `mdbs-check
+    /// explore`'s smoke test — the explorer must find an execution where a
+    /// PREPARE is admitted against a disjoint alive interval. Never a
+    /// production or benchmark mode.
+    #[doc(hidden)]
+    BrokenBasicCert,
 }
 
 impl CertifierMode {
@@ -40,18 +52,23 @@ impl CertifierMode {
     pub fn prepare_certification(&self) -> bool {
         !matches!(
             self,
-            CertifierMode::NoCertification | CertifierMode::TicketOrder
+            CertifierMode::NoCertification
+                | CertifierMode::TicketOrder
+                | CertifierMode::BrokenBasicCert
         )
     }
 
     /// Whether the §5.3 extension (max-committed-SN check) runs.
     pub fn prepare_extension(&self) -> bool {
-        matches!(self, CertifierMode::Full)
+        matches!(self, CertifierMode::Full | CertifierMode::BrokenBasicCert)
     }
 
     /// Whether local commits are ordered by serial number.
     pub fn sn_commit_certification(&self) -> bool {
-        matches!(self, CertifierMode::Full | CertifierMode::TicketOrder)
+        matches!(
+            self,
+            CertifierMode::Full | CertifierMode::TicketOrder | CertifierMode::BrokenBasicCert
+        )
     }
 
     /// Whether local commits are ordered by local prepare order.

@@ -154,7 +154,9 @@ impl Coordinator {
             sn: None,
             results: Vec::new(),
         };
-        let (site, command) = txn.program[0];
+        let Some(&(site, command)) = txn.program.first() else {
+            return actions; // unreachable: non-empty asserted above
+        };
         self.txns.insert(gtxn, txn);
         actions.push(CoordAction::ToAgent {
             site,
@@ -206,7 +208,10 @@ impl Coordinator {
             // the result travelled). Ignore it.
             return vec![];
         }
-        if step as usize != txn.step || txn.program[txn.step].0 != site {
+        let Some(&(awaited_site, _)) = txn.program.get(txn.step) else {
+            return vec![]; // unreachable while Executing: step < program len
+        };
+        if step as usize != txn.step || awaited_site != site {
             // Duplicate or stale delivery of an already-consumed result:
             // only the reply to the step currently awaited, from the site
             // that executes it, may advance the program.
@@ -214,8 +219,7 @@ impl Coordinator {
         }
         txn.results.push(result);
         txn.step += 1;
-        if txn.step < txn.program.len() {
-            let (site, command) = txn.program[txn.step];
+        if let Some(&(site, command)) = txn.program.get(txn.step) {
             return vec![CoordAction::ToAgent {
                 site,
                 msg: Message::Dml {
@@ -315,12 +319,12 @@ impl Coordinator {
         &mut self,
         gtxn: GlobalTxnId,
         site: SiteId,
-        expect: GlobalOutcome,
+        acked_as: GlobalOutcome,
     ) -> Vec<CoordAction> {
         let Some(txn) = self.txns.get_mut(&gtxn) else {
             return vec![];
         };
-        match (txn.phase, expect) {
+        match (txn.phase, acked_as) {
             (TxnPhase::Committing, GlobalOutcome::Committed) => {
                 txn.acked.insert(site);
                 if txn.acked.len() == txn.participants.len() {
@@ -374,7 +378,9 @@ impl Coordinator {
     }
 
     fn maybe_finish_abort(&mut self, gtxn: GlobalTxnId) -> Vec<CoordAction> {
-        let txn = self.txns.get(&gtxn).expect("known txn");
+        let Some(txn) = self.txns.get(&gtxn) else {
+            return vec![]; // unreachable: callers hold the entry
+        };
         // Union, not sum: with duplicated messages one site can both refuse
         // (crossing our ROLLBACK) and ack the rollback.
         let settled = txn.acked.union(&txn.refused).count();

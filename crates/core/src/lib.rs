@@ -31,6 +31,8 @@
 //! in-family baselines used by the experiments (no certification at all; no
 //! commit certification; the §5.3 "prepare order" strawman).
 
+#![forbid(unsafe_code)]
+
 pub mod agent;
 pub mod agent_log;
 pub mod config;
@@ -38,7 +40,7 @@ pub mod coordinator;
 pub mod msg;
 pub mod sn;
 
-pub use agent::{Agent, AgentAction, AgentInput, AgentStats, RefuseReason};
+pub use agent::{Agent, AgentAction, AgentInput, AgentStats, PreparedEntry, RefuseReason};
 pub use agent_log::{AgentLog, LogRecord, RecoveredTxn};
 pub use config::{AgentConfig, CertifierMode};
 pub use coordinator::{CoordAction, Coordinator, GlobalOutcome, GlobalProgram};

@@ -141,6 +141,93 @@ impl Message {
                 | Message::Rollback { .. }
         )
     }
+
+    /// The variant's source-level name, as written in this file.
+    ///
+    /// Ground truth for the vocabulary tooling: `mdbs-check lint` parses the
+    /// enum declaration out of `msg.rs` and cross-checks it against
+    /// [`Message::specimens`], and the codec round-trip tests iterate the
+    /// specimens — so the lint, the tests, and the compiler can never
+    /// disagree about what "all variants" means.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Message::Begin { .. } => "Begin",
+            Message::Dml { .. } => "Dml",
+            Message::Prepare { .. } => "Prepare",
+            Message::Commit { .. } => "Commit",
+            Message::Rollback { .. } => "Rollback",
+            Message::DmlResult { .. } => "DmlResult",
+            Message::Failed { .. } => "Failed",
+            Message::Ready { .. } => "Ready",
+            Message::Refuse { .. } => "Refuse",
+            Message::CommitAck { .. } => "CommitAck",
+            Message::RollbackAck { .. } => "RollbackAck",
+        }
+    }
+
+    /// One representative value per variant, with nontrivial field values so
+    /// codec round-trip tests exercise real payloads. Adding a variant
+    /// without extending this list is a compile error ([`Message::variant_name`]
+    /// matches exhaustively), and the specimen list feeds both the
+    /// round-trip tests and `mdbs-check lint`'s vocabulary rule.
+    pub fn specimens() -> Vec<Message> {
+        use mdbs_ldbs::KeySpec;
+        vec![
+            Message::Begin {
+                gtxn: GlobalTxnId(7),
+                coord: 1_000_002,
+            },
+            Message::Dml {
+                gtxn: GlobalTxnId(7),
+                step: 3,
+                command: Command::Update(KeySpec::Key(11), 4),
+            },
+            Message::Prepare {
+                gtxn: GlobalTxnId(7),
+                sn: SerialNumber {
+                    ticks: 42,
+                    node: 5,
+                    seq: 9,
+                },
+            },
+            Message::Commit {
+                gtxn: GlobalTxnId(7),
+            },
+            Message::Rollback {
+                gtxn: GlobalTxnId(8),
+            },
+            Message::DmlResult {
+                gtxn: GlobalTxnId(7),
+                site: SiteId(1),
+                step: 3,
+                result: CommandResult {
+                    rows: vec![(11, 104)],
+                    wrote: vec![11],
+                },
+            },
+            Message::Failed {
+                gtxn: GlobalTxnId(9),
+                site: SiteId(0),
+            },
+            Message::Ready {
+                gtxn: GlobalTxnId(7),
+                site: SiteId(1),
+            },
+            Message::Refuse {
+                gtxn: GlobalTxnId(7),
+                site: SiteId(1),
+                reason: RefuseReason::AliveIntervalDisjoint,
+            },
+            Message::CommitAck {
+                gtxn: GlobalTxnId(7),
+                site: SiteId(1),
+            },
+            Message::RollbackAck {
+                gtxn: GlobalTxnId(8),
+                site: SiteId(0),
+            },
+        ]
+    }
 }
 
 #[cfg(test)]

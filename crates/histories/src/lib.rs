@@ -32,6 +32,8 @@
 //! * verbatim constructions of the paper's Fig. 2 transactions and the
 //!   anomaly histories H1, H2, H3 ([`paper`]).
 
+#![forbid(unsafe_code)]
+
 pub mod cg;
 pub mod conflict;
 pub mod distortion;

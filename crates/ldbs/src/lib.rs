@@ -29,6 +29,8 @@
 //! settings — the aspects of local implementation the protocol is actually
 //! sensitive to.
 
+#![forbid(unsafe_code)]
+
 pub mod command;
 pub mod engine;
 pub mod lock;

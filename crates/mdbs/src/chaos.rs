@@ -452,6 +452,9 @@ fn protocol_expr(p: Protocol) -> &'static str {
         Protocol::TwoCm(CertifierMode::TicketOrder) => {
             "Protocol::TwoCm(CertifierMode::TicketOrder)"
         }
+        Protocol::TwoCm(CertifierMode::BrokenBasicCert) => {
+            "Protocol::TwoCm(CertifierMode::BrokenBasicCert)"
+        }
         Protocol::Cgm => "Protocol::Cgm",
     }
 }

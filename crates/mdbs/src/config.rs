@@ -41,6 +41,7 @@ impl Protocol {
             Protocol::TwoCm(CertifierMode::PrepareCertOnly) => "2CM-prep-only",
             Protocol::TwoCm(CertifierMode::PrepareOrder) => "2CM-prep-order",
             Protocol::TwoCm(CertifierMode::TicketOrder) => "Ticket",
+            Protocol::TwoCm(CertifierMode::BrokenBasicCert) => "2CM-broken-cert",
             Protocol::Cgm => "CGM",
         }
     }

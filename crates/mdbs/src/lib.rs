@@ -23,6 +23,8 @@
 //! assert!(report.checks.passed(), "2CM must stay view serializable");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod config;
 pub mod report;

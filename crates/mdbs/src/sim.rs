@@ -55,6 +55,15 @@ enum Ev {
     SiteCrash { site: SiteId },
 }
 
+/// Driver policy for runtime-internal failures: inside the deterministic
+/// simulation an engine/protocol disagreement is a bug in this repo, so
+/// dying loudly (with the error's context) beats corrupting a history.
+pub(crate) fn or_die(r: Result<(), mdbs_runtime::RuntimeError>) {
+    if let Err(e) = r {
+        panic!("runtime invariant violated: {e}");
+    }
+}
+
 /// The deterministic host: event queue, network, clocks, sinks, and the
 /// driver-side halves of failure injection and lifecycle accounting.
 struct SimHost {
@@ -453,31 +462,37 @@ impl Simulation {
         match ev {
             Ev::Deliver { from: _, to, msg } => {
                 if to >= COORD_BASE {
-                    self.coords
-                        .get_mut(&to)
-                        .expect("coordinator node")
-                        .on_message(msg, &mut self.host);
+                    or_die(
+                        self.coords
+                            .get_mut(&to)
+                            .expect("coordinator node")
+                            .on_message(msg, &mut self.host),
+                    );
                 } else {
                     let site = SiteId(to);
-                    self.sites
-                        .get_mut(&site)
-                        .expect("site")
-                        .agent_input(AgentInput::Deliver(msg), &mut self.host);
+                    or_die(
+                        self.sites
+                            .get_mut(&site)
+                            .expect("site")
+                            .agent_input(AgentInput::Deliver(msg), &mut self.host),
+                    );
                 }
             }
             Ev::Ctrl { from, to, ctrl } => {
                 if to == CENTRAL {
-                    self.central.on_ctrl(from, ctrl, &mut self.host);
+                    or_die(self.central.on_ctrl(from, ctrl, &mut self.host));
                 } else {
-                    self.coords
-                        .get_mut(&to)
-                        .expect("coordinator node")
-                        .on_ctrl(ctrl, &mut self.host);
+                    or_die(
+                        self.coords
+                            .get_mut(&to)
+                            .expect("coordinator node")
+                            .on_ctrl(ctrl, &mut self.host),
+                    );
                 }
             }
             Ev::Timer { node, timer } => {
                 let rt = self.sites.get_mut(&SiteId(node)).expect("site");
-                match timer {
+                or_die(match timer {
                     Timer::Alive { gtxn } => {
                         rt.agent_input(AgentInput::AliveTimer { gtxn }, &mut self.host)
                     }
@@ -487,22 +502,26 @@ impl Simulation {
                     Timer::LtmExec { instance, command } => {
                         rt.ltm_exec(instance, command, &mut self.host)
                     }
-                }
+                });
             }
             Ev::GlobalArrival => self.on_global_arrival(),
             Ev::LocalArrival { site } => self.on_local_arrival(site),
             Ev::InjectAbort { site, instance } => {
-                self.sites
-                    .get_mut(&site)
-                    .expect("site")
-                    .inject_abort(instance, &mut self.host);
+                or_die(
+                    self.sites
+                        .get_mut(&site)
+                        .expect("site")
+                        .inject_abort(instance, &mut self.host),
+                );
             }
             Ev::DeadlockScan => self.on_deadlock_scan(),
             Ev::SiteCrash { site } => {
-                self.sites
-                    .get_mut(&site)
-                    .expect("site")
-                    .crash(&mut self.host);
+                or_die(
+                    self.sites
+                        .get_mut(&site)
+                        .expect("site")
+                        .crash(&mut self.host),
+                );
             }
         }
     }
@@ -596,10 +615,11 @@ impl Simulation {
             let cnode = COORD_BASE + (gtxn.0 % self.cfg.coordinators);
             self.coord_of.insert(gtxn, cnode);
             let program = self.programs[&gtxn].clone();
-            self.coords
-                .get_mut(&cnode)
-                .expect("coordinator")
-                .begin(gtxn, program, &mut self.host);
+            or_die(self.coords.get_mut(&cnode).expect("coordinator").begin(
+                gtxn,
+                program,
+                &mut self.host,
+            ));
         }
     }
 
@@ -628,10 +648,12 @@ impl Simulation {
                 (n, self.host.gen.local_program(site))
             }
         };
-        self.sites
-            .get_mut(&site)
-            .expect("site")
-            .start_local(n, commands, &mut self.host);
+        or_die(
+            self.sites
+                .get_mut(&site)
+                .expect("site")
+                .start_local(n, commands, &mut self.host),
+        );
 
         if more {
             let gap = self.host.gen.local_gap_us();
@@ -649,10 +671,12 @@ impl Simulation {
         let site_ids: Vec<SiteId> = self.sites.keys().copied().collect();
         for site in site_ids {
             // Local waits-for cycles.
-            self.sites
-                .get_mut(&site)
-                .expect("site")
-                .kill_local_deadlocks(&mut self.host);
+            or_die(
+                self.sites
+                    .get_mut(&site)
+                    .expect("site")
+                    .kill_local_deadlocks(&mut self.host),
+            );
         }
         // Wait timeouts (covers DLU holds and cross-site waits the local
         // graphs cannot see — the paper's timeout-based resolution, §6).
@@ -667,10 +691,12 @@ impl Simulation {
         blocked.sort_by_key(|(i, _)| *i);
         for (instance, since) in blocked {
             if now.since(since) > timeout {
-                self.sites
-                    .get_mut(&instance.site)
-                    .expect("site")
-                    .abort_on_timeout(instance, &mut self.host);
+                or_die(
+                    self.sites
+                        .get_mut(&instance.site)
+                        .expect("site")
+                        .abort_on_timeout(instance, &mut self.host),
+                );
             }
         }
         if !self.all_work_done() {

@@ -37,7 +37,7 @@ use parking_lot::Mutex;
 
 use crate::config::{Protocol, SimConfig};
 use crate::report::{CorrectnessReport, SimReport};
-use crate::sim::effective_agent_cfg;
+use crate::sim::{effective_agent_cfg, or_die};
 
 /// What one node thread receives.
 enum NodeMsg {
@@ -693,7 +693,7 @@ fn site_loop(
                 break;
             }
             for timer in due_timers {
-                match timer {
+                or_die(match timer {
                     Timer::Alive { gtxn } => {
                         rt.agent_input(AgentInput::AliveTimer { gtxn }, &mut host)
                     }
@@ -703,17 +703,17 @@ fn site_loop(
                     Timer::LtmExec { instance, command } => {
                         rt.ltm_exec(instance, command, &mut host)
                     }
-                }
+                });
             }
             for instance in due_injections {
-                rt.inject_abort(instance, &mut host);
+                or_die(rt.inject_abort(instance, &mut host));
             }
         }
         host.flush_outbox(now_us);
 
         if now_us >= next_scan_us {
             next_scan_us = now_us + cfg.deadlock_scan_us;
-            rt.kill_local_deadlocks(&mut host);
+            or_die(rt.kill_local_deadlocks(&mut host));
             let timeout = mdbs_simkit::SimDuration::from_micros(cfg.wait_timeout_us);
             let now = host.now();
             let expired: Vec<Instance> = rt
@@ -722,7 +722,7 @@ fn site_loop(
                 .map(|(i, _)| i)
                 .collect();
             for instance in expired {
-                rt.abort_on_timeout(instance, &mut host);
+                or_die(rt.abort_on_timeout(instance, &mut host));
             }
         }
 
@@ -734,7 +734,7 @@ fn site_loop(
         if !local_active {
             if let Some((n, commands)) = local_queue.pop_front() {
                 local_active = true;
-                rt.start_local(n, commands, &mut host);
+                or_die(rt.start_local(n, commands, &mut host));
                 continue; // the start may already have settled it
             }
         }
@@ -749,7 +749,7 @@ fn site_loop(
             .min(cfg.deadlock_scan_us.max(1))
             .max(1);
         match rx.recv_timeout(Duration::from_micros(wait_us)) {
-            Ok(NodeMsg::Net(msg)) => rt.agent_input(AgentInput::Deliver(msg), &mut host),
+            Ok(NodeMsg::Net(msg)) => or_die(rt.agent_input(AgentInput::Deliver(msg), &mut host)),
             Ok(NodeMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
             Ok(NodeMsg::Ctrl { .. }) | Ok(NodeMsg::StartGlobal { .. }) => {
                 unreachable!("sites receive no control traffic")
@@ -785,9 +785,9 @@ fn coord_loop(
             }
         };
         match received {
-            NodeMsg::Net(msg) => rt.on_message(msg, &mut host),
-            NodeMsg::Ctrl { from: _, ctrl } => rt.on_ctrl(ctrl, &mut host),
-            NodeMsg::StartGlobal { gtxn, program } => rt.begin(gtxn, program, &mut host),
+            NodeMsg::Net(msg) => or_die(rt.on_message(msg, &mut host)),
+            NodeMsg::Ctrl { from: _, ctrl } => or_die(rt.on_ctrl(ctrl, &mut host)),
+            NodeMsg::StartGlobal { gtxn, program } => or_die(rt.begin(gtxn, program, &mut host)),
             NodeMsg::Shutdown => break,
         }
         // Finished is always the tail of a batch; settle it now.
@@ -806,7 +806,7 @@ fn coord_loop(
 fn central_loop(mut rt: CentralRuntime, mut host: ThreadHost, rx: Receiver<NodeMsg>) -> Metrics {
     loop {
         match rx.recv() {
-            Ok(NodeMsg::Ctrl { from, ctrl }) => rt.on_ctrl(from, ctrl, &mut host),
+            Ok(NodeMsg::Ctrl { from, ctrl }) => or_die(rt.on_ctrl(from, ctrl, &mut host)),
             Ok(NodeMsg::Shutdown) | Err(_) => break,
             Ok(_) => unreachable!("central receives only control traffic"),
         }

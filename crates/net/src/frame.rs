@@ -86,6 +86,8 @@ const CRC_TABLE: [u32; 256] = {
             };
             k += 1;
         }
+        // In bounds: `i < 256` is the loop condition, `table` has 256 slots.
+        // mdbs-check: allow(panic-freedom)
         table[i] = c;
         i += 1;
     }
@@ -96,6 +98,8 @@ const CRC_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // In bounds: the index is masked with 0xFF, the table has 256 slots.
+        // mdbs-check: allow(panic-freedom)
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -120,6 +124,12 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
     out
+}
+
+/// A little-endian `u32` at `offset`, or `None` if the buffer is short.
+fn read_le_u32(buf: &[u8], offset: usize) -> Option<u32> {
+    let bytes: [u8; 4] = buf.get(offset..offset.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
 }
 
 /// Incremental frame parser over an append-only buffer.
@@ -151,35 +161,42 @@ impl FrameDecoder {
     /// `Ok(None)` means "need more bytes"; an `Err` means the stream is
     /// unrecoverably mis-framed and the connection should be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
-        if self.buf.len() < HEADER_LEN {
-            // Validate what we do have of the prefix eagerly, so garbage
-            // is rejected without waiting for a full header.
-            let have = self.buf.len().min(MAGIC.len());
-            if self.buf[..have] != MAGIC[..have] {
-                let mut m = [0u8; 4];
-                m[..have].copy_from_slice(&self.buf[..have]);
-                return Err(FrameError::BadMagic(m));
-            }
-            return Ok(None);
-        }
-        if self.buf[..4] != MAGIC {
+        // Validate what we have of the magic eagerly — even before a full
+        // header — so garbage is rejected without waiting for more bytes.
+        // The zip stops at the shorter side, so a matching partial prefix
+        // just falls through to "need more".
+        if self.buf.iter().zip(MAGIC.iter()).any(|(a, b)| a != b) {
             let mut m = [0u8; 4];
-            m.copy_from_slice(&self.buf[..4]);
+            for (slot, &b) in m.iter_mut().zip(self.buf.iter()) {
+                *slot = b;
+            }
             return Err(FrameError::BadMagic(m));
         }
-        if self.buf[4] != WIRE_VERSION {
-            return Err(FrameError::BadVersion(self.buf[4]));
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[5..9].try_into().expect("4"));
+        // The header is complete from here on; every read still goes
+        // through `get` so a logic slip degrades to "need more bytes"
+        // instead of a panic.
+        match self.buf.get(4) {
+            Some(&v) if v == WIRE_VERSION => {}
+            Some(&v) => return Err(FrameError::BadVersion(v)),
+            None => return Ok(None),
+        }
+        let Some(len) = read_le_u32(&self.buf, 5) else {
+            return Ok(None);
+        };
         if len as usize > MAX_FRAME_LEN {
             return Err(FrameError::Oversized(len));
         }
-        let want_crc = u32::from_le_bytes(self.buf[9..13].try_into().expect("4"));
-        let total = HEADER_LEN + len as usize;
-        if self.buf.len() < total {
+        let Some(want_crc) = read_le_u32(&self.buf, 9) else {
             return Ok(None);
-        }
-        let payload = self.buf[HEADER_LEN..total].to_vec();
+        };
+        let total = HEADER_LEN + len as usize;
+        let Some(payload) = self.buf.get(HEADER_LEN..total) else {
+            return Ok(None);
+        };
+        let payload = payload.to_vec();
         let got = crc32(&payload);
         if got != want_crc {
             return Err(FrameError::BadCrc {

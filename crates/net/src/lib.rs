@@ -30,6 +30,8 @@
 //! * [`cluster`] — spawns one `mdbs-node` process per role on loopback and
 //!   harvests the digests (the integration-test and smoke harness).
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod frame;
 pub mod node;

@@ -199,6 +199,15 @@ impl RuntimeHost for NodeHost {
     }
 }
 
+/// Driver policy for runtime-internal failures: in a cluster process an
+/// engine/protocol disagreement is a bug in this repo, so dying loudly
+/// (the harness surfaces the exit) beats shipping a corrupt history slice.
+fn or_die(r: Result<(), mdbs_runtime::RuntimeError>) {
+    if let Err(e) = r {
+        panic!("runtime invariant violated: {e}");
+    }
+}
+
 fn wall_deadline(cfg: &ClusterConfig) -> Instant {
     Instant::now() + Duration::from_secs_f64(cfg.scenario.time_limit.as_secs_f64())
 }
@@ -287,11 +296,11 @@ fn run_site(cfg: &ClusterConfig, s: u32) -> io::Result<NodeOutput> {
     loop {
         let now_us = host.elapsed_us();
         for instance in host.take_due_injections(now_us) {
-            rt.inject_abort(instance, &mut host);
+            or_die(rt.inject_abort(instance, &mut host));
         }
         if now_us >= next_scan_us {
             next_scan_us = now_us + scenario.deadlock_scan_us;
-            rt.kill_local_deadlocks(&mut host);
+            or_die(rt.kill_local_deadlocks(&mut host));
             let timeout = mdbs_simkit::SimDuration::from_micros(scenario.wait_timeout_us);
             let now = host.now();
             let expired: Vec<Instance> = rt
@@ -300,7 +309,7 @@ fn run_site(cfg: &ClusterConfig, s: u32) -> io::Result<NodeOutput> {
                 .map(|(i, _)| i)
                 .collect();
             for instance in expired {
-                rt.abort_on_timeout(instance, &mut host);
+                or_die(rt.abort_on_timeout(instance, &mut host));
             }
         }
         if host.local_done {
@@ -310,7 +319,7 @@ fn run_site(cfg: &ClusterConfig, s: u32) -> io::Result<NodeOutput> {
         if !local_active {
             if let Some((n, commands)) = local_queue.pop_front() {
                 local_active = true;
-                rt.start_local(n, commands, &mut host);
+                or_die(rt.start_local(n, commands, &mut host));
                 continue; // the start may already have settled it
             }
         }
@@ -335,18 +344,18 @@ fn run_site(cfg: &ClusterConfig, s: u32) -> io::Result<NodeOutput> {
             .clamp(1, 20_000);
         match host.transport.poll(Duration::from_micros(wait_us)) {
             Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => {
-                rt.agent_input(AgentInput::Deliver(msg), &mut host)
+                or_die(rt.agent_input(AgentInput::Deliver(msg), &mut host))
             }
             Some(NetEvent::Msg(WireMsg::Drain)) => draining = true,
             Some(NetEvent::Msg(WireMsg::Shutdown)) => break,
             Some(NetEvent::Msg(_)) => {} // not site traffic; ignore
-            Some(NetEvent::Timer { timer, .. }) => match timer {
+            Some(NetEvent::Timer { timer, .. }) => or_die(match timer {
                 Timer::Alive { gtxn } => rt.agent_input(AgentInput::AliveTimer { gtxn }, &mut host),
                 Timer::CommitRetry { gtxn } => {
                     rt.agent_input(AgentInput::CommitRetryTimer { gtxn }, &mut host)
                 }
                 Timer::LtmExec { instance, command } => rt.ltm_exec(instance, command, &mut host),
-            },
+            }),
             None => {}
         }
     }
@@ -384,12 +393,12 @@ fn run_coordinator(cfg: &ClusterConfig, c: u32) -> io::Result<NodeOutput> {
             break;
         }
         match host.transport.poll(Duration::from_millis(20)) {
-            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => rt.on_message(msg, &mut host),
-            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => rt.on_ctrl(ctrl, &mut host),
+            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => or_die(rt.on_message(msg, &mut host)),
+            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => or_die(rt.on_ctrl(ctrl, &mut host)),
             // The transport may retransmit across a reconnect; begin each
             // transaction exactly once (dups fall through to the catch-all).
             Some(NetEvent::Msg(WireMsg::StartGlobal { gtxn, program })) if started.insert(gtxn) => {
-                rt.begin(gtxn, program, &mut host);
+                or_die(rt.begin(gtxn, program, &mut host));
             }
             Some(NetEvent::Msg(WireMsg::Drain)) => draining = true,
             Some(NetEvent::Msg(WireMsg::Shutdown)) => break,
@@ -428,7 +437,7 @@ fn run_central(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
         }
         match host.transport.poll(Duration::from_millis(20)) {
             Some(NetEvent::Msg(WireMsg::Ctrl { from, ctrl, .. })) => {
-                rt.on_ctrl(from, ctrl, &mut host)
+                or_die(rt.on_ctrl(from, ctrl, &mut host))
             }
             Some(NetEvent::Msg(WireMsg::Drain)) if !reported => {
                 reported = true;
@@ -514,12 +523,12 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
     // Phase 1: drive every global transaction to its terminal outcome.
     while (settled.len() as u64) < total_globals && Instant::now() < deadline {
         match host.transport.poll(Duration::from_millis(20)) {
-            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => rt.on_message(msg, &mut host),
-            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => rt.on_ctrl(ctrl, &mut host),
+            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => or_die(rt.on_message(msg, &mut host)),
+            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => or_die(rt.on_ctrl(ctrl, &mut host)),
             // This driver's own slice, looped back through the inbox
             // (dups from a retransmit fall through to the catch-all).
             Some(NetEvent::Msg(WireMsg::StartGlobal { gtxn, program })) if started.insert(gtxn) => {
-                rt.begin(gtxn, program, &mut host);
+                or_die(rt.begin(gtxn, program, &mut host));
             }
             Some(NetEvent::Msg(WireMsg::Finished { gtxn, outcome })) => settle!(gtxn, outcome),
             Some(NetEvent::Msg(WireMsg::NodeReport {
@@ -566,8 +575,8 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
             }
             // Late protocol stragglers (duplicates after reconnect) still
             // reach the runtime, which is hardened against them.
-            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => rt.on_message(msg, &mut host),
-            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => rt.on_ctrl(ctrl, &mut host),
+            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => or_die(rt.on_message(msg, &mut host)),
+            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => or_die(rt.on_ctrl(ctrl, &mut host)),
             Some(_) => {}
             None => {}
         }

@@ -79,25 +79,38 @@ impl<'a> Reader<'a> {
         if self.remaining() < n {
             return Err(WireError::Truncated);
         }
+        // In bounds by the `remaining` guard above: this is the single
+        // bounds-checked gate every other read goes through.
+        // mdbs-check: allow(panic-freedom)
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
 
+    /// A fixed-size slice as an array. `take` already guarantees the
+    /// length, so the conversion cannot fail; it still reports
+    /// [`WireError::Truncated`] rather than panicking.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?.try_into().map_err(|_| WireError::Truncated)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        match self.take(1)? {
+            [b] => Ok(*b),
+            _ => Err(WireError::Truncated),
+        }
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     /// A `u32` collection count, sanity-checked against the remaining
@@ -738,6 +751,67 @@ pub enum WireMsg {
     },
     /// Driver → everyone: exit now.
     Shutdown,
+}
+
+impl WireMsg {
+    /// The variant's source-level name. `mdbs-check`'s vocabulary lint
+    /// cross-checks this list against the enum parsed from this file, so a
+    /// new variant that forgets its name (or its codec arm) fails CI.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            WireMsg::Hello { .. } => "Hello",
+            WireMsg::Net { .. } => "Net",
+            WireMsg::Ctrl { .. } => "Ctrl",
+            WireMsg::StartGlobal { .. } => "StartGlobal",
+            WireMsg::Finished { .. } => "Finished",
+            WireMsg::Drain => "Drain",
+            WireMsg::NodeReport { .. } => "NodeReport",
+            WireMsg::Shutdown => "Shutdown",
+        }
+    }
+
+    /// One representative value per variant, with every field populated.
+    /// Ground truth for the codec round-trip tests and the vocabulary
+    /// inventory in `mdbs-check`.
+    pub fn specimens() -> Vec<WireMsg> {
+        let gtxn = GlobalTxnId(7);
+        vec![
+            WireMsg::Hello { node: 3 },
+            WireMsg::Net {
+                from: 1_000_000,
+                to: 0,
+                msg: Message::Commit { gtxn },
+            },
+            WireMsg::Ctrl {
+                from: 1_000_000,
+                to: 2_000_000,
+                ctrl: CtrlMsg::CgmFinished { gtxn },
+            },
+            WireMsg::StartGlobal {
+                gtxn,
+                program: vec![(SiteId(0), Command::Update(KeySpec::Key(3), 1))],
+            },
+            WireMsg::Finished {
+                gtxn,
+                outcome: GlobalOutcome::Aborted,
+            },
+            WireMsg::Drain,
+            WireMsg::NodeReport {
+                node: 1,
+                ops: vec![Op {
+                    txn: Txn::Local(LocalTxnId {
+                        site: SiteId(1),
+                        n: 4,
+                    }),
+                    incarnation: 0,
+                    kind: OpKind::Read(Item::new(SiteId(1), 9)),
+                }],
+                local_committed: 5,
+                local_aborted: 2,
+            },
+            WireMsg::Shutdown,
+        ]
+    }
 }
 
 impl Wire for WireMsg {

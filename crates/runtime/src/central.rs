@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use mdbs_baselines::{CommitGraph, GlobalLockManager};
 use mdbs_histories::GlobalTxnId;
 
-use crate::host::{CtrlMsg, RuntimeHost};
+use crate::host::{CtrlMsg, RuntimeError, RuntimeHost};
 use crate::CENTRAL;
 
 /// The Commit Graph Method's central scheduler: site-granularity global
@@ -30,7 +30,12 @@ impl CentralRuntime {
     }
 
     /// A control message from coordinator `from` arrived.
-    pub fn on_ctrl<H: RuntimeHost>(&mut self, from: u32, ctrl: CtrlMsg, host: &mut H) {
+    pub fn on_ctrl<H: RuntimeHost>(
+        &mut self,
+        from: u32,
+        ctrl: CtrlMsg,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         match ctrl {
             CtrlMsg::CgmRequest { gtxn, modes } => {
                 self.cnode_of.insert(gtxn, from);
@@ -38,6 +43,7 @@ impl CentralRuntime {
                     host.send_ctrl(CENTRAL, from, CtrlMsg::CgmAdmitted { gtxn });
                 }
                 // Otherwise queued; admission happens on a later release.
+                Ok(())
             }
             CtrlMsg::CgmVote { gtxn, sites } => {
                 let ok = !self.graph.would_cycle(gtxn, &sites);
@@ -50,17 +56,27 @@ impl CentralRuntime {
                     "cgm_votes_cycle"
                 });
                 host.send_ctrl(CENTRAL, from, CtrlMsg::CgmVoteResult { gtxn, ok });
+                Ok(())
             }
             CtrlMsg::CgmFinished { gtxn } => {
                 self.graph.remove(gtxn);
                 self.cnode_of.remove(&gtxn);
                 let admitted = self.locks.release(gtxn);
                 for g in admitted {
-                    let cnode = self.cnode_of[&g];
+                    let Some(&cnode) = self.cnode_of.get(&g) else {
+                        return Err(RuntimeError::MissingState {
+                            node: CENTRAL,
+                            context: "coordinator of a queued admission",
+                        });
+                    };
                     host.send_ctrl(CENTRAL, cnode, CtrlMsg::CgmAdmitted { gtxn: g });
                 }
+                Ok(())
             }
-            other => panic!("central scheduler received unexpected control message {other:?}"),
+            other => Err(RuntimeError::UnexpectedCtrl {
+                node: CENTRAL,
+                ctrl: other,
+            }),
         }
     }
 }

@@ -7,7 +7,7 @@ use mdbs_dtm::{CoordAction, Coordinator, Message};
 use mdbs_histories::{GlobalTxnId, Op, SiteId};
 use mdbs_ldbs::Command;
 
-use crate::host::{CtrlMsg, RuntimeHost};
+use crate::host::{CtrlMsg, RuntimeError, RuntimeHost};
 use crate::CENTRAL;
 
 /// CGM bookkeeping for one global transaction at its coordinator.
@@ -56,7 +56,7 @@ impl CoordinatorRuntime {
         gtxn: GlobalTxnId,
         program: Vec<(SiteId, Command)>,
         host: &mut H,
-    ) {
+    ) -> Result<(), RuntimeError> {
         if self.cgm {
             // Admission through the central scheduler first.
             let sites: BTreeSet<SiteId> = program.iter().map(|(s, _)| *s).collect();
@@ -83,42 +83,65 @@ impl CoordinatorRuntime {
                     modes: modes.into_iter().collect(),
                 },
             );
+            Ok(())
         } else {
             let actions = self.inner.begin(gtxn, program);
-            self.run_actions(actions, host);
+            self.run_actions(actions, host)
         }
     }
 
     /// A 2PC message from a site agent arrived.
-    pub fn on_message<H: RuntimeHost>(&mut self, msg: Message, host: &mut H) {
+    pub fn on_message<H: RuntimeHost>(
+        &mut self,
+        msg: Message,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         let now_local = host.local_time_us(self.node);
         let actions = self.inner.on_message(now_local, msg);
-        self.run_actions(actions, host);
+        self.run_actions(actions, host)
     }
 
     /// A control message from the central scheduler arrived.
-    pub fn on_ctrl<H: RuntimeHost>(&mut self, ctrl: CtrlMsg, host: &mut H) {
+    pub fn on_ctrl<H: RuntimeHost>(
+        &mut self,
+        ctrl: CtrlMsg,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         match ctrl {
             CtrlMsg::CgmAdmitted { gtxn } => {
-                let program = self.cgm_txns[&gtxn].program.clone();
+                let Some(entry) = self.cgm_txns.get(&gtxn) else {
+                    return Err(RuntimeError::MissingState {
+                        node: self.node,
+                        context: "admission grant for an unknown CGM transaction",
+                    });
+                };
+                let program = entry.program.clone();
                 let actions = self.inner.begin(gtxn, program);
-                self.run_actions(actions, host);
+                self.run_actions(actions, host)
             }
             CtrlMsg::CgmVoteResult { gtxn, ok } => {
                 if ok {
                     // Release the held PREPAREs.
-                    let held = std::mem::take(
-                        &mut self.cgm_txns.get_mut(&gtxn).expect("cgm txn").held_prepares,
-                    );
+                    let Some(entry) = self.cgm_txns.get_mut(&gtxn) else {
+                        return Err(RuntimeError::MissingState {
+                            node: self.node,
+                            context: "vote verdict for an unknown CGM transaction",
+                        });
+                    };
+                    let held = std::mem::take(&mut entry.held_prepares);
                     for (site, msg) in held {
                         host.send(self.node, site.0, msg);
                     }
+                    Ok(())
                 } else {
                     let actions = self.inner.abort_externally(gtxn);
-                    self.run_actions(actions, host);
+                    self.run_actions(actions, host)
                 }
             }
-            other => panic!("coordinator received unexpected control message {other:?}"),
+            other => Err(RuntimeError::UnexpectedCtrl {
+                node: self.node,
+                ctrl: other,
+            }),
         }
     }
 
@@ -127,14 +150,23 @@ impl CoordinatorRuntime {
         self.cgm_txns.remove(&gtxn);
     }
 
-    fn run_actions<H: RuntimeHost>(&mut self, actions: Vec<CoordAction>, host: &mut H) {
+    fn run_actions<H: RuntimeHost>(
+        &mut self,
+        actions: Vec<CoordAction>,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         for action in actions {
             match action {
                 CoordAction::ToAgent { site, msg } => {
                     // CGM: hold PREPAREs until the commit-graph vote.
                     if self.cgm {
                         if let Message::Prepare { gtxn, .. } = msg {
-                            let entry = self.cgm_txns.get_mut(&gtxn).expect("cgm txn");
+                            let Some(entry) = self.cgm_txns.get_mut(&gtxn) else {
+                                return Err(RuntimeError::MissingState {
+                                    node: self.node,
+                                    context: "PREPARE for an unknown CGM transaction",
+                                });
+                            };
                             entry.held_prepares.push((site, msg));
                             if entry.held_prepares.len() == entry.sites.len() {
                                 let sites = entry.sites.clone();
@@ -160,5 +192,6 @@ impl CoordinatorRuntime {
                 }
             }
         }
+        Ok(())
     }
 }

@@ -88,6 +88,111 @@ pub enum CtrlMsg {
     },
 }
 
+impl CtrlMsg {
+    /// The variant's source-level name, as written in this file. Ground
+    /// truth for `mdbs-check lint`'s vocabulary rule and the codec
+    /// round-trip tests (see [`mdbs_dtm::Message::variant_name`] for the
+    /// scheme).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            CtrlMsg::CgmRequest { .. } => "CgmRequest",
+            CtrlMsg::CgmAdmitted { .. } => "CgmAdmitted",
+            CtrlMsg::CgmVote { .. } => "CgmVote",
+            CtrlMsg::CgmVoteResult { .. } => "CgmVoteResult",
+            CtrlMsg::CgmFinished { .. } => "CgmFinished",
+        }
+    }
+
+    /// Whether the message travels coordinator → central scheduler (the
+    /// rest travel central → coordinator). Decides which runtime must
+    /// carry the handler arm for the variant.
+    pub fn is_to_central(&self) -> bool {
+        matches!(
+            self,
+            CtrlMsg::CgmRequest { .. } | CtrlMsg::CgmVote { .. } | CtrlMsg::CgmFinished { .. }
+        )
+    }
+
+    /// One representative value per variant, with nontrivial payloads.
+    /// Adding a variant without extending this list is a compile error
+    /// ([`CtrlMsg::variant_name`] matches exhaustively).
+    pub fn specimens() -> Vec<CtrlMsg> {
+        let gtxn = GlobalTxnId(12);
+        vec![
+            CtrlMsg::CgmRequest {
+                gtxn,
+                modes: vec![
+                    (SiteId(0), SiteLockMode::Read),
+                    (SiteId(1), SiteLockMode::Update),
+                ],
+            },
+            CtrlMsg::CgmAdmitted { gtxn },
+            CtrlMsg::CgmVote {
+                gtxn,
+                sites: BTreeSet::from([SiteId(0), SiteId(2)]),
+            },
+            CtrlMsg::CgmVoteResult { gtxn, ok: false },
+            CtrlMsg::CgmFinished { gtxn },
+        ]
+    }
+}
+
+/// An internal-consistency failure surfaced by a runtime instead of a
+/// panic: the engine rejected an operation the protocol state machine
+/// believed valid, or a control message arrived at a node that can never
+/// legally receive it. Drivers decide the blast radius — the simulation
+/// and cluster node treat it as fatal, the bounded model checker reports
+/// it as a counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The LDBS engine refused an operation issued by the runtime.
+    Engine {
+        /// The site whose engine failed.
+        site: SiteId,
+        /// What the runtime was doing.
+        context: &'static str,
+        /// The engine's error.
+        source: mdbs_ldbs::EngineError,
+    },
+    /// A control message reached a node that never handles its variant.
+    UnexpectedCtrl {
+        /// The receiving node.
+        node: u32,
+        /// The offending message.
+        ctrl: CtrlMsg,
+    },
+    /// A runtime's bookkeeping lost track of a transaction it needed.
+    MissingState {
+        /// The node that noticed.
+        node: u32,
+        /// What was being looked up.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Engine {
+                site,
+                context,
+                source,
+            } => write!(f, "engine failure at site {site}: {context}: {source:?}"),
+            RuntimeError::UnexpectedCtrl { node, ctrl } => {
+                write!(
+                    f,
+                    "node {node} received unexpected control message {ctrl:?}"
+                )
+            }
+            RuntimeError::MissingState { node, context } => {
+                write!(f, "node {node} lost runtime state: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
 /// Message and timer delivery.
 pub trait Transport {
     /// Hand a 2PC protocol message to the network.

@@ -24,6 +24,8 @@
 //! `node = site id`, coordinators at [`COORD_BASE`]` + i`, the CGM central
 //! scheduler at [`CENTRAL`].
 
+#![forbid(unsafe_code)]
+
 pub mod central;
 pub mod coordinator;
 pub mod host;
@@ -32,7 +34,7 @@ pub mod trace;
 
 pub use central::CentralRuntime;
 pub use coordinator::CoordinatorRuntime;
-pub use host::{message_kind, CtrlMsg, RuntimeHost, TimeSource, Timer, Transport};
+pub use host::{message_kind, CtrlMsg, RuntimeError, RuntimeHost, TimeSource, Timer, Transport};
 pub use site::SiteRuntime;
 pub use trace::{Observer, TraceEvent};
 

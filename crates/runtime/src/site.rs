@@ -8,7 +8,7 @@ use mdbs_histories::{Instance, SiteId, Txn};
 use mdbs_ldbs::{Command, EngineError, ExecStep, Ldbs, ResumedExec};
 use mdbs_simkit::SimTime;
 
-use crate::host::{RuntimeHost, Timer};
+use crate::host::{RuntimeError, RuntimeHost, Timer};
 use crate::trace::TraceEvent;
 
 /// A local transaction being driven directly against its LTM.
@@ -23,6 +23,12 @@ struct LocalRunner {
 /// Interprets [`AgentAction`]s against the engine and turns engine
 /// progress back into [`AgentInput`]s; everything that leaves the site
 /// (messages, timers, history ops) goes through the host.
+///
+/// Every entry point returns `Result`: an `Err` means the engine and the
+/// protocol state machine disagreed about what is possible — a bug, not a
+/// recoverable condition — and the driver chooses whether that is fatal
+/// (sim, cluster node) or a reportable counterexample (`mdbs-check
+/// explore`).
 #[derive(Debug)]
 pub struct SiteRuntime {
     site: SiteId,
@@ -58,9 +64,17 @@ impl SiteRuntime {
         self.site
     }
 
-    /// Read access to the agent (for end-of-run statistics).
+    /// Read access to the agent (for end-of-run statistics and the model
+    /// checker's prepared-table snapshots).
     pub fn agent(&self) -> &Agent {
         &self.agent
+    }
+
+    /// Whether `instance` is currently active at the LTM (the model
+    /// checker uses this to enumerate meaningful unilateral-abort
+    /// injection points).
+    pub fn is_instance_active(&self, instance: Instance) -> bool {
+        self.ldbs.is_active(instance)
     }
 
     /// Whether any local transaction is still running here.
@@ -85,23 +99,41 @@ impl SiteRuntime {
             && self.agent.table_len() == 0
     }
 
+    fn engine_err(&self, context: &'static str, source: EngineError) -> RuntimeError {
+        RuntimeError::Engine {
+            site: self.site,
+            context,
+            source,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Agent plumbing
     // ------------------------------------------------------------------
 
     /// Feed one input to the agent and interpret the resulting actions.
-    pub fn agent_input<H: RuntimeHost>(&mut self, input: AgentInput, host: &mut H) {
+    pub fn agent_input<H: RuntimeHost>(
+        &mut self,
+        input: AgentInput,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         let now_local = host.local_time_us(self.site.0);
         let actions = self.agent.handle(now_local, input);
-        self.run_agent_actions(actions, host);
+        self.run_agent_actions(actions, host)
     }
 
-    fn run_agent_actions<H: RuntimeHost>(&mut self, actions: Vec<AgentAction>, host: &mut H) {
+    fn run_agent_actions<H: RuntimeHost>(
+        &mut self,
+        actions: Vec<AgentAction>,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         for action in actions {
             match action {
                 AgentAction::Reply { coord, msg } => host.send(self.site.0, coord, msg),
                 AgentAction::LtmBegin(instance) => {
-                    self.ldbs.begin(instance).expect("begin");
+                    self.ldbs
+                        .begin(instance)
+                        .map_err(|e| self.engine_err("agent begin", e))?;
                 }
                 AgentAction::LtmSubmit { instance, command } => {
                     host.set_timer(
@@ -111,18 +143,21 @@ impl SiteRuntime {
                     );
                 }
                 AgentAction::LtmCommit(instance) => {
-                    let resumed = self.ldbs.commit(instance).expect("agent commit");
+                    let resumed = self
+                        .ldbs
+                        .commit(instance)
+                        .map_err(|e| self.engine_err("agent commit", e))?;
                     self.drain_log(host);
-                    self.process_resumed(resumed, host);
+                    self.process_resumed(resumed, host)?;
                 }
                 AgentAction::LtmAbort(instance) => match self.ldbs.abort(instance) {
                     Ok(resumed) => {
                         self.blocked_since.remove(&instance);
                         self.drain_log(host);
-                        self.process_resumed(resumed, host);
+                        self.process_resumed(resumed, host)?;
                     }
                     Err(EngineError::UnknownTransaction(_)) => {}
-                    Err(e) => panic!("agent abort failed: {e:?}"),
+                    Err(e) => return Err(self.engine_err("agent abort", e)),
                 },
                 AgentAction::Bind { keys, owner } => {
                     self.ldbs.bind(keys, owner);
@@ -130,7 +165,7 @@ impl SiteRuntime {
                 AgentAction::Unbind { owner } => {
                     let resumed = self.ldbs.unbind_all_of(owner);
                     self.drain_log(host);
-                    self.process_resumed(resumed, host);
+                    self.process_resumed(resumed, host)?;
                 }
                 AgentAction::RecordPrepare(gtxn) => {
                     host.record_op(mdbs_histories::Op::prepare(gtxn.0, self.site));
@@ -139,7 +174,12 @@ impl SiteRuntime {
                         site: self.site,
                         gtxn,
                     });
-                    let incarnation = self.agent.incarnation_of(gtxn).expect("just prepared");
+                    let Some(incarnation) = self.agent.incarnation_of(gtxn) else {
+                        return Err(RuntimeError::MissingState {
+                            node: self.site.0,
+                            context: "incarnation of a just-prepared subtransaction",
+                        });
+                    };
                     host.prepared(self.site, gtxn, incarnation);
                 }
                 AgentAction::StartAliveTimer { gtxn, after_us } => {
@@ -150,6 +190,7 @@ impl SiteRuntime {
                 }
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -158,14 +199,19 @@ impl SiteRuntime {
 
     /// A [`Timer::LtmExec`] fired: the service delay elapsed, submit the
     /// command to the engine.
-    pub fn ltm_exec<H: RuntimeHost>(&mut self, instance: Instance, command: Command, host: &mut H) {
+    pub fn ltm_exec<H: RuntimeHost>(
+        &mut self,
+        instance: Instance,
+        command: Command,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         let step = match self.ldbs.submit(instance, &command) {
             Ok(step) => step,
-            Err(EngineError::UnknownTransaction(_)) => return, // aborted meanwhile
-            Err(e) => panic!("submit failed: {e:?}"),
+            Err(EngineError::UnknownTransaction(_)) => return Ok(()), // aborted meanwhile
+            Err(e) => return Err(self.engine_err("submit", e)),
         };
         self.drain_log(host);
-        self.handle_exec_step(instance, step, host);
+        self.handle_exec_step(instance, step, host)
     }
 
     fn handle_exec_step<H: RuntimeHost>(
@@ -173,7 +219,7 @@ impl SiteRuntime {
         instance: Instance,
         step: ExecStep,
         host: &mut H,
-    ) {
+    ) -> Result<(), RuntimeError> {
         match step {
             ExecStep::Blocked => {
                 // Every Blocked report follows fresh progress (a new
@@ -181,12 +227,13 @@ impl SiteRuntime {
                 // next operation), so the wait-timeout clock restarts.
                 let now = host.now();
                 self.blocked_since.insert(instance, now);
+                Ok(())
             }
             ExecStep::Done(result) => {
                 self.blocked_since.remove(&instance);
                 match instance.txn {
                     Txn::Global(gtxn) => {
-                        self.agent_input(AgentInput::LtmDone { gtxn, result }, host);
+                        self.agent_input(AgentInput::LtmDone { gtxn, result }, host)
                     }
                     Txn::Local(_) => self.advance_local(instance, host),
                 }
@@ -194,10 +241,15 @@ impl SiteRuntime {
         }
     }
 
-    fn process_resumed<H: RuntimeHost>(&mut self, resumed: Vec<ResumedExec>, host: &mut H) {
+    fn process_resumed<H: RuntimeHost>(
+        &mut self,
+        resumed: Vec<ResumedExec>,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         for r in resumed {
-            self.handle_exec_step(r.instance, r.step, host);
+            self.handle_exec_step(r.instance, r.step, host)?;
         }
+        Ok(())
     }
 
     fn drain_log<H: RuntimeHost>(&mut self, host: &mut H) {
@@ -212,10 +264,22 @@ impl SiteRuntime {
 
     /// Start a local transaction with the given site-unique number and
     /// program (the driver draws both from the workload).
-    pub fn start_local<H: RuntimeHost>(&mut self, n: u32, commands: Vec<Command>, host: &mut H) {
+    pub fn start_local<H: RuntimeHost>(
+        &mut self,
+        n: u32,
+        commands: Vec<Command>,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         let instance = Instance::local(self.site, n);
-        self.ldbs.begin(instance).expect("local begin");
-        let first = commands[0];
+        let Some(&first) = commands.first() else {
+            return Err(RuntimeError::MissingState {
+                node: self.site.0,
+                context: "local transaction with an empty program",
+            });
+        };
+        self.ldbs
+            .begin(instance)
+            .map_err(|e| self.engine_err("local begin", e))?;
         self.local_runners
             .insert(instance, LocalRunner { commands, next: 0 });
         host.set_timer(
@@ -226,28 +290,35 @@ impl SiteRuntime {
                 command: first,
             },
         );
+        Ok(())
     }
 
-    fn advance_local<H: RuntimeHost>(&mut self, instance: Instance, host: &mut H) {
+    fn advance_local<H: RuntimeHost>(
+        &mut self,
+        instance: Instance,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         let Some(runner) = self.local_runners.get_mut(&instance) else {
-            return; // aborted meanwhile
+            return Ok(()); // aborted meanwhile
         };
         runner.next += 1;
-        if runner.next < runner.commands.len() {
-            let command = runner.commands[runner.next];
+        if let Some(&command) = runner.commands.get(runner.next) {
             host.set_timer(
                 self.site.0,
                 self.ltm_service_us,
                 Timer::LtmExec { instance, command },
             );
-            return;
+            return Ok(());
         }
         // Program complete: commit at the LTM.
         self.local_runners.remove(&instance);
-        let resumed = self.ldbs.commit(instance).expect("local commit");
+        let resumed = self
+            .ldbs
+            .commit(instance)
+            .map_err(|e| self.engine_err("local commit", e))?;
         host.local_settled(self.site, true);
         self.drain_log(host);
-        self.process_resumed(resumed, host);
+        self.process_resumed(resumed, host)
     }
 
     // ------------------------------------------------------------------
@@ -256,60 +327,76 @@ impl SiteRuntime {
 
     /// An injected unilateral abort strikes `instance` (no-op if it
     /// already committed or was replaced).
-    pub fn inject_abort<H: RuntimeHost>(&mut self, instance: Instance, host: &mut H) {
+    pub fn inject_abort<H: RuntimeHost>(
+        &mut self,
+        instance: Instance,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         if !self.ldbs.is_active(instance) {
-            return; // already committed or replaced
+            return Ok(()); // already committed or replaced
         }
         host.inc("injected_unilateral_aborts");
         host.trace(TraceEvent::UnilateralAbort {
             at: host.now(),
             instance,
         });
-        self.abort_instance(instance, host);
+        self.abort_instance(instance, host)
     }
 
     /// Unilaterally abort an instance at the LTM and notify the agent (UAN).
-    pub fn abort_instance<H: RuntimeHost>(&mut self, instance: Instance, host: &mut H) {
+    pub fn abort_instance<H: RuntimeHost>(
+        &mut self,
+        instance: Instance,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         let resumed = match self.ldbs.unilateral_abort(instance) {
             Ok(r) => r,
-            Err(EngineError::UnknownTransaction(_)) => return,
-            Err(e) => panic!("unilateral abort failed: {e:?}"),
+            Err(EngineError::UnknownTransaction(_)) => return Ok(()),
+            Err(e) => return Err(self.engine_err("unilateral abort", e)),
         };
         self.blocked_since.remove(&instance);
         self.drain_log(host);
         match instance.txn {
             Txn::Global(_) => {
-                self.agent_input(AgentInput::Uan { instance }, host);
+                self.agent_input(AgentInput::Uan { instance }, host)?;
             }
             Txn::Local(_) => {
                 self.local_runners.remove(&instance);
                 host.local_settled(self.site, false);
             }
         }
-        self.process_resumed(resumed, host);
+        self.process_resumed(resumed, host)
     }
 
     /// Break every local waits-for cycle by aborting victims.
-    pub fn kill_local_deadlocks<H: RuntimeHost>(&mut self, host: &mut H) {
+    pub fn kill_local_deadlocks<H: RuntimeHost>(
+        &mut self,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         while let Some(victim) = self.ldbs.deadlock_victim() {
             host.inc("deadlock_victims");
             host.trace(TraceEvent::DeadlockVictim {
                 at: host.now(),
                 instance: victim,
             });
-            self.abort_instance(victim, host);
+            self.abort_instance(victim, host)?;
         }
+        Ok(())
     }
 
     /// Abort an instance whose wait exceeded the timeout (the driver scans
     /// [`SiteRuntime::blocked`] across sites and decides who expired).
-    pub fn abort_on_timeout<H: RuntimeHost>(&mut self, instance: Instance, host: &mut H) {
+    pub fn abort_on_timeout<H: RuntimeHost>(
+        &mut self,
+        instance: Instance,
+        host: &mut H,
+    ) -> Result<(), RuntimeError> {
         host.inc("wait_timeouts");
         host.trace(TraceEvent::WaitTimeout {
             at: host.now(),
             instance,
         });
-        self.abort_instance(instance, host);
+        self.abort_instance(instance, host)
     }
 
     /// A whole-site crash: every active transaction is unilaterally
@@ -317,7 +404,7 @@ impl SiteRuntime {
     /// and the 2PC Agent is rebuilt from its durable log
     /// (`Agent::recover`). The durable store itself survives — committed
     /// data is safe.
-    pub fn crash<H: RuntimeHost>(&mut self, host: &mut H) {
+    pub fn crash<H: RuntimeHost>(&mut self, host: &mut H) -> Result<(), RuntimeError> {
         host.inc("site_crashes");
         host.trace(TraceEvent::SiteCrash {
             at: host.now(),
@@ -358,6 +445,6 @@ impl SiteRuntime {
         host.add("resubmissions", st.resubmissions);
         host.add("commit_retries", st.commit_retries);
         host.add("commit_cert_overrides", st.commit_cert_overrides);
-        self.run_agent_actions(actions, host);
+        self.run_agent_actions(actions, host)
     }
 }

@@ -27,6 +27,8 @@
 //! `mdbs-baselines` as pure state machines and the integration crate
 //! `mdbs-sim` interprets their actions against this kernel.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod event;
 pub mod fault;

@@ -5,6 +5,8 @@
 //! injection parameters. Everything derives deterministically from a seed,
 //! so two protocol variants can be compared on *identical* workloads.
 
+#![forbid(unsafe_code)]
+
 pub mod predraw;
 pub mod spec;
 pub mod zipf;

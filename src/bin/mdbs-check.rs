@@ -1,0 +1,166 @@
+//! `mdbs-check`: invariant lints and bounded model checking for the
+//! certifier protocols.
+//!
+//! ```text
+//! mdbs-check lint [--root <dir>]
+//! mdbs-check explore [--preset <name>] [--mode <certifier>] [--cgm]
+//!                    [--delays N] [--faults N] [--crashes N]
+//!                    [--max-steps N] [--max-runs N] [--no-interval-check]
+//! ```
+//!
+//! `lint` runs the project-specific source lints (determinism,
+//! panic-freedom in decode paths, message-vocabulary exhaustiveness) and
+//! exits 1 if any finding survives suppression. `explore` runs the
+//! bounded model checker on a preset world and exits 1 with a minimized
+//! trace if a schedule violates atomicity, the §4.2 interval invariant,
+//! or commit-order acyclicity.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mdbs_check::explore::{explore, ExploreConfig, ExploreOutcome};
+use mdbs_check::lint::run_lint;
+use mdbs_dtm::CertifierMode;
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("mdbs-check: {err}");
+    eprintln!("usage: mdbs-check lint [--root <dir>]");
+    eprintln!(
+        "       mdbs-check explore [--preset smoke-2cm|smoke-cgm|conflict|mutation-interval]"
+    );
+    eprintln!("                          [--mode full|no-certification|prepare-cert-only|prepare-order|ticket-order|broken-basic-cert]");
+    eprintln!("                          [--cgm] [--delays N] [--faults N] [--crashes N]");
+    eprintln!("                          [--max-steps N] [--max-runs N] [--no-interval-check]");
+    ExitCode::from(2)
+}
+
+fn run_lint_cmd(mut args: std::env::Args) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            other => return usage(&format!("unknown lint argument {other:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    match run_lint(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("mdbs-check lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("mdbs-check lint: {} finding(s)", findings.len());
+            ExitCode::from(1)
+        }
+        Err(e) => usage(&e),
+    }
+}
+
+fn parse_mode(text: &str) -> Option<CertifierMode> {
+    match text {
+        "full" => Some(CertifierMode::Full),
+        "no-certification" => Some(CertifierMode::NoCertification),
+        "prepare-cert-only" => Some(CertifierMode::PrepareCertOnly),
+        "prepare-order" => Some(CertifierMode::PrepareOrder),
+        "ticket-order" => Some(CertifierMode::TicketOrder),
+        "broken-basic-cert" => Some(CertifierMode::BrokenBasicCert),
+        _ => None,
+    }
+}
+
+fn parse_num(args: &mut std::env::Args, flag: &str) -> Result<u64, String> {
+    let Some(text) = args.next() else {
+        return Err(format!("{flag} needs a number"));
+    };
+    text.parse::<u64>()
+        .map_err(|_| format!("{flag}: {text:?} is not a number"))
+}
+
+fn run_explore_cmd(mut args: std::env::Args) -> ExitCode {
+    let mut cfg = ExploreConfig::smoke_2cm();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--preset" => {
+                cfg = match args.next().as_deref() {
+                    Some("smoke-2cm") => ExploreConfig::smoke_2cm(),
+                    Some("smoke-cgm") => ExploreConfig::smoke_cgm(),
+                    Some("conflict") => ExploreConfig::conflict(),
+                    Some("mutation-interval") => ExploreConfig::mutation_interval(),
+                    Some(other) => return usage(&format!("unknown preset {other:?}")),
+                    None => return usage("--preset needs a name"),
+                };
+            }
+            "--mode" => match args.next().as_deref().and_then(parse_mode) {
+                Some(mode) => cfg.mode = mode,
+                None => return usage("--mode needs a certifier name"),
+            },
+            "--cgm" => cfg.cgm = true,
+            "--delays" => match parse_num(&mut args, "--delays") {
+                Ok(n) => cfg.delay_budget = n as u32,
+                Err(e) => return usage(&e),
+            },
+            "--faults" => match parse_num(&mut args, "--faults") {
+                Ok(n) => cfg.fault_budget = n as u32,
+                Err(e) => return usage(&e),
+            },
+            "--crashes" => match parse_num(&mut args, "--crashes") {
+                Ok(n) => cfg.crash_budget = n as u32,
+                Err(e) => return usage(&e),
+            },
+            "--max-steps" => match parse_num(&mut args, "--max-steps") {
+                Ok(n) => cfg.max_steps = n as usize,
+                Err(e) => return usage(&e),
+            },
+            "--max-runs" => match parse_num(&mut args, "--max-runs") {
+                Ok(n) => cfg.max_runs = n as usize,
+                Err(e) => return usage(&e),
+            },
+            "--no-interval-check" => cfg.check_intervals = false,
+            other => return usage(&format!("unknown explore argument {other:?}")),
+        }
+    }
+    println!(
+        "mdbs-check explore: {} site(s), {} txn(s), mode {:?}, cgm {}, budgets \
+         (delays {}, faults {}, crashes {}), caps (steps {}, runs {})",
+        cfg.sites,
+        cfg.programs.len(),
+        cfg.mode,
+        cfg.cgm,
+        cfg.delay_budget,
+        cfg.fault_budget,
+        cfg.crash_budget,
+        cfg.max_steps,
+        cfg.max_runs
+    );
+    match explore(&cfg) {
+        ExploreOutcome::Exhausted { runs } => {
+            println!("exhausted {runs} schedule(s): no violation");
+            ExitCode::SUCCESS
+        }
+        ExploreOutcome::RunCapped { runs } => {
+            println!("run cap hit after {runs} schedule(s): no violation found (inexhaustive)");
+            ExitCode::SUCCESS
+        }
+        ExploreOutcome::Violation(cex) => {
+            print!("{cex}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    match args.next().as_deref() {
+        Some("lint") => run_lint_cmd(args),
+        Some("explore") => run_explore_cmd(args),
+        Some(other) => usage(&format!("unknown command {other:?}")),
+        None => usage("a command is required"),
+    }
+}

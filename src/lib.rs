@@ -44,6 +44,8 @@
 //! assert!(report.checks.passed(), "C(H) is view serializable");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mdbs_baselines as baselines;
 pub use mdbs_dtm as dtm;
 pub use mdbs_histories as histories;

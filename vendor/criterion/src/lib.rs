@@ -7,6 +7,8 @@
 //! and min ns/iteration to stdout. No statistics engine, plotting, or
 //! comparison baselines.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::{self, Display};
 use std::time::{Duration, Instant};
 

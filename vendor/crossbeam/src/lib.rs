@@ -9,6 +9,8 @@
 //!   Throughput is adequate for the runner workloads in this repo; the
 //!   upstream lock-free implementation is not reproduced.
 
+#![forbid(unsafe_code)]
+
 pub mod thread {
     //! Crossbeam-compatible scoped threads.
 

@@ -4,6 +4,8 @@
 //! (`lock()` returns the guard directly). Poisoned locks are treated as
 //! held data, matching `parking_lot`'s semantics of never poisoning.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::Duration;

@@ -10,6 +10,8 @@
 //! and `.proptest-regressions` files are ignored. A failing case panics
 //! with the generated inputs left to the assertion message.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     //! Value-generation strategies.
 

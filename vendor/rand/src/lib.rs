@@ -8,6 +8,8 @@
 //! its stream differs from upstream `StdRng` (ChaCha12). Nothing in this
 //! workspace depends on upstream's exact stream, only on determinism.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Error type mirrored from upstream; infallible here.

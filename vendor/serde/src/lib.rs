@@ -6,6 +6,8 @@
 //! dependency tree drives an actual serializer — so empty expansions are
 //! sufficient and keep the build fully offline.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait standing in for `serde::Serialize`.

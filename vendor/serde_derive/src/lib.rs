@@ -6,6 +6,8 @@
 //! attribute is still declared so `#[serde(...)]` field/container attributes
 //! would not break compilation if one appears later.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive.
