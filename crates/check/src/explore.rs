@@ -38,7 +38,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
-use mdbs_dtm::{AgentConfig, AgentInput, CertifierMode, GlobalOutcome, Message};
+use mdbs_dtm::{AgentConfig, AgentInput, CertifierMode, CoordMutation, GlobalOutcome, Message};
 use mdbs_histories::{commit_order_graph, GlobalTxnId, History, Instance, Op, OpKind, SiteId};
 use mdbs_ldbs::{Command, KeySpec, Ldbs, SiteProfile, Store};
 use mdbs_runtime::TraceEvent;
@@ -83,6 +83,9 @@ pub struct ExploreConfig {
     /// admission. On for every preset; a flag so the mutation smoke test
     /// can demonstrate it is this check (not atomicity) that fires.
     pub check_intervals: bool,
+    /// Deliberate coordinator deviation under test (`CoordMutation::None`
+    /// outside the mutation kill matrix).
+    pub coord_mutation: CoordMutation,
 }
 
 impl ExploreConfig {
@@ -101,6 +104,7 @@ impl ExploreConfig {
             max_runs: 20_000,
             wait_timeout_ticks: 400,
             check_intervals: true,
+            coord_mutation: CoordMutation::None,
         }
     }
 
@@ -539,10 +543,9 @@ impl World {
         }
         let mut coords = BTreeMap::new();
         for c in 0..cfg.coordinators {
-            coords.insert(
-                COORD_BASE + c,
-                CoordinatorRuntime::new(COORD_BASE + c, cfg.cgm),
-            );
+            let mut rt = CoordinatorRuntime::new(COORD_BASE + c, cfg.cgm);
+            rt.set_coord_mutation(cfg.coord_mutation);
+            coords.insert(COORD_BASE + c, rt);
         }
         World {
             sites,

@@ -12,9 +12,20 @@
 //!   delay/fault/crash budgets) and checks global atomicity, the §4
 //!   prepared-set alive-interval invariant, and commit-order acyclicity
 //!   on every step of every run.
+//! - [`conc`] — a static concurrency pass over the crates that spawn OS
+//!   threads (threaded runner, TCP transport, cluster driver, lock
+//!   manager): lock-order discipline against a checked-in table, blocking
+//!   calls under held guards, guards held across locking loops, poison
+//!   handling, and panic-freedom on worker threads.
+//! - [`mutate`] — the certifier mutation kill matrix: a catalog of
+//!   deliberate protocol deviations (each breaking one §4/§5/Appendix
+//!   mechanism) run against every checker; the matrix fails if any mutant
+//!   survives everything or the real protocol fails anything.
 
 #![forbid(unsafe_code)]
 
+pub mod conc;
 pub mod explore;
 pub mod lint;
+pub mod mutate;
 pub mod scan;

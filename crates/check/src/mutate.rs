@@ -1,0 +1,857 @@
+//! The certifier mutation kill matrix.
+//!
+//! Mutation testing turned on the protocol itself: the catalog below lists
+//! deliberate, `doc(hidden)` deviations of the certifier and the 2PC
+//! coordinator — each breaking exactly one mechanism of §§4–5 or the
+//! Appendix algorithms — and [`run_matrix`] runs every checker in the
+//! project against every mutant. A mutant that survives *all* checkers
+//! marks a hole in the test net: some paper mechanism nobody would notice
+//! us dropping. The matrix fails if any mutant survives, and also if the
+//! real protocol ([`CertifierMode::Full`], [`CoordMutation::None`]) fails
+//! anything — the checkers must be discriminating, not merely trigger-happy.
+//!
+//! Three checker families, all deterministic:
+//!
+//! - **Probes** (`probe-*`) — unit-level drives of the [`Agent`] /
+//!   [`Coordinator`] state machines through the exact scenario the targeted
+//!   mechanism exists for, asserting the protocol-mandated reaction.
+//! - **Exploration** (`explore-*`) — the bounded model checker of
+//!   [`crate::explore`] on the mutation-interval and conflict worlds, with
+//!   the mutant installed; a kill is a found violation.
+//! - **Simulation** (`sim-conflict`) — one contended, unilateral-abort-heavy
+//!   discrete-event run; a kill is a failed end-to-end correctness report
+//!   (or a runtime panic). Agent-side mutants only: the simulator has no
+//!   coordinator-mutation knob, and growing one is not worth weakening the
+//!   goldens' "defaults untouched" guarantee.
+//!
+//! Every mutant is off by default and unreachable from configuration files,
+//! so shipping the catalog changes no golden digest.
+
+use mdbs_dtm::{
+    Agent, AgentAction, AgentConfig, AgentInput, CertifierMode, CoordAction, CoordMutation,
+    Coordinator, Message, RefuseReason, SerialNumber,
+};
+use mdbs_histories::{GlobalTxnId, Instance, SiteId};
+use mdbs_ldbs::{Command, CommandResult, KeySpec};
+use mdbs_sim::{Protocol, SimConfig, Simulation};
+use mdbs_workload::WorkloadSpec;
+
+use crate::explore::{explore, ExploreConfig, ExploreOutcome};
+
+/// One deliberate protocol deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutantSpec {
+    /// An agent-side certifier deviation.
+    Agent(CertifierMode),
+    /// A coordinator-side 2PC deviation.
+    Coord(CoordMutation),
+}
+
+/// A catalog entry: the deviation plus the paper mechanism it breaks.
+#[derive(Debug, Clone, Copy)]
+pub struct Mutant {
+    /// Stable identifier used in reports and the pinned matrix test.
+    pub id: &'static str,
+    /// What to install.
+    pub spec: MutantSpec,
+    /// The paper mechanism this deviation disables or inverts.
+    pub mechanism: &'static str,
+    /// One-line description of the deviation.
+    pub summary: &'static str,
+}
+
+/// The full mutant catalog. Every entry must be killed by at least one
+/// checker; the pinned matrix test in `crates/check/tests/` fails when one
+/// is not, or when an entry is added here without extending the pin.
+pub fn catalog() -> Vec<Mutant> {
+    vec![
+        Mutant {
+            id: "broken-basic-cert",
+            spec: MutantSpec::Agent(CertifierMode::BrokenBasicCert),
+            mechanism: "§4.2 basic prepare certification",
+            summary: "skips the alive-interval intersection check entirely",
+        },
+        Mutant {
+            id: "interval-boundary",
+            spec: MutantSpec::Agent(CertifierMode::MutIntervalBoundary),
+            mechanism: "§4.2 basic prepare certification (boundary)",
+            summary: "off-by-one: treats an interval ending just before the candidate as intersecting",
+        },
+        Mutant {
+            id: "stale-refresh",
+            spec: MutantSpec::Agent(CertifierMode::MutStaleRefresh),
+            mechanism: "§4.2 alive-interval maintenance",
+            summary: "skips the inline refresh of alive entries' intervals at PREPARE",
+        },
+        Mutant {
+            id: "no-prepare-extension",
+            spec: MutantSpec::Agent(CertifierMode::MutNoPrepareExtension),
+            mechanism: "§5.3 extended prepare certification",
+            summary: "never refuses a PREPARE whose sn is below the largest committed sn",
+        },
+        Mutant {
+            id: "sn-check-flip",
+            spec: MutantSpec::Agent(CertifierMode::MutSnCheckFlip),
+            mechanism: "§5.3 extended prepare certification",
+            summary: "inverts the §5.3 comparison: refuses sn above the largest committed sn",
+        },
+        Mutant {
+            id: "stale-max-sn",
+            spec: MutantSpec::Agent(CertifierMode::MutStaleMaxSn),
+            mechanism: "§5.3 extended prepare certification (state)",
+            summary: "local commits never advance the largest-committed-sn watermark",
+        },
+        Mutant {
+            id: "skip-replay",
+            spec: MutantSpec::Agent(CertifierMode::MutSkipReplay),
+            mechanism: "Appendix A resubmission",
+            summary: "resubmission opens a fresh incarnation but replays none of the logged commands",
+        },
+        Mutant {
+            id: "drop-resubmission",
+            spec: MutantSpec::Agent(CertifierMode::MutDropResubmission),
+            mechanism: "Appendix A alive check",
+            summary: "the alive check detects a unilateral abort but never resubmits",
+        },
+        Mutant {
+            id: "commit-edge-flip",
+            spec: MutantSpec::Agent(CertifierMode::MutCommitEdgeFlip),
+            mechanism: "Appendix C commit certification",
+            summary: "inverts the sn-order wait: commits while a *larger*-sn entry is in the table",
+        },
+        Mutant {
+            id: "commit-pending-only",
+            spec: MutantSpec::Agent(CertifierMode::MutCommitPendingOnly),
+            mechanism: "Appendix C commit certification",
+            summary: "commit certification ignores merely-prepared entries, waiting only on commit-pending ones",
+        },
+        Mutant {
+            id: "keep-rollback-in-table",
+            spec: MutantSpec::Agent(CertifierMode::MutKeepRollbackInTable),
+            mechanism: "§4.2 alive-interval table eviction",
+            summary: "ROLLBACK acknowledges but leaves the entry in the alive-interval table",
+        },
+        Mutant {
+            id: "drop-dup-ready-retransmit",
+            spec: MutantSpec::Coord(CoordMutation::DropDupReadyRetransmit),
+            mechanism: "§2 2PC decision retransmission",
+            summary: "a duplicate READY while committing is ignored instead of answered with COMMIT",
+        },
+        Mutant {
+            id: "skip-commit-record",
+            spec: MutantSpec::Coord(CoordMutation::SkipCommitRecord),
+            mechanism: "§3 global commit record (C_k)",
+            summary: "unanimous READY sends COMMITs without durably recording the decision",
+        },
+    ]
+}
+
+/// The certifier mode a spec installs at the agents.
+fn agent_mode(spec: MutantSpec) -> CertifierMode {
+    match spec {
+        MutantSpec::Agent(m) => m,
+        MutantSpec::Coord(_) => CertifierMode::Full,
+    }
+}
+
+/// The coordinator mutation a spec installs.
+fn coord_mutation(spec: MutantSpec) -> CoordMutation {
+    match spec {
+        MutantSpec::Agent(_) => CoordMutation::None,
+        MutantSpec::Coord(c) => c,
+    }
+}
+
+/// One checker's verdict on one spec.
+#[derive(Debug, Clone)]
+pub struct CheckerResult {
+    /// Checker name (`probe-*`, `explore-*`, `sim-*`).
+    pub checker: &'static str,
+    /// Whether the checker rejected the spec (a *kill* for mutants, a
+    /// *failure* for the real protocol).
+    pub killed: bool,
+    /// What happened, one line.
+    pub detail: String,
+}
+
+/// One catalog row of the matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixRow {
+    /// Mutant id, or `"full"` for the real protocol.
+    pub id: &'static str,
+    /// The broken mechanism (empty for `"full"`).
+    pub mechanism: &'static str,
+    /// Every checker's verdict, in checker order.
+    pub results: Vec<CheckerResult>,
+}
+
+impl MatrixRow {
+    /// Names of the checkers that killed this row.
+    pub fn killers(&self) -> Vec<&'static str> {
+        self.results
+            .iter()
+            .filter(|r| r.killed)
+            .map(|r| r.checker)
+            .collect()
+    }
+
+    /// A mutant row nothing killed.
+    pub fn survived(&self) -> bool {
+        self.results.iter().all(|r| !r.killed)
+    }
+}
+
+/// The full kill matrix.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// The real protocol's row: every `killed` must be `false`.
+    pub full: MatrixRow,
+    /// One row per catalog mutant.
+    pub rows: Vec<MatrixRow>,
+}
+
+impl Matrix {
+    /// Whether the real protocol passed every checker.
+    pub fn full_clean(&self) -> bool {
+        self.full.results.iter().all(|r| !r.killed)
+    }
+
+    /// Ids of mutants no checker killed.
+    pub fn survivors(&self) -> Vec<&'static str> {
+        self.rows
+            .iter()
+            .filter(|r| r.survived())
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// The matrix verdict: real protocol clean *and* 100% kill rate.
+    pub fn passed(&self) -> bool {
+        self.full_clean() && self.survivors().is_empty()
+    }
+}
+
+/// Caps for the expensive checkers. [`Quick`] trims the exploration run
+/// caps for interactive use; [`Pinned`] is what the pinned matrix test and
+/// CI run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Exploration capped at 2 000 runs per world.
+    Quick,
+    /// Exploration capped at 30 000 runs per world (exhausts both worlds).
+    Pinned,
+}
+
+impl Budget {
+    fn explore_runs(self) -> usize {
+        match self {
+            Budget::Quick => 2_000,
+            Budget::Pinned => 30_000,
+        }
+    }
+}
+
+/// Run every checker against the real protocol and every catalog mutant.
+pub fn run_matrix(budget: Budget) -> Matrix {
+    let full = run_row("full", "", MutantSpec::Agent(CertifierMode::Full), budget);
+    let rows = catalog()
+        .into_iter()
+        .map(|m| run_row(m.id, m.mechanism, m.spec, budget))
+        .collect();
+    Matrix { full, rows }
+}
+
+/// One checker: `Ok(())` accepts the spec, `Err` rejects (kills) it.
+type Checker = fn(MutantSpec, Budget) -> Result<(), String>;
+
+/// The checkers, in column order.
+const CHECKERS: &[(&str, Checker)] = &[
+    ("probe-basic-cert", |s, _| probe_basic_cert(agent_mode(s))),
+    ("probe-interval-boundary", |s, _| {
+        probe_interval_boundary(agent_mode(s))
+    }),
+    ("probe-prepare-refresh", |s, _| {
+        probe_prepare_refresh(agent_mode(s))
+    }),
+    ("probe-sn-extension", |s, _| {
+        probe_sn_extension(agent_mode(s))
+    }),
+    ("probe-resubmission", |s, _| {
+        probe_resubmission(agent_mode(s))
+    }),
+    ("probe-commit-order", |s, _| {
+        probe_commit_order(agent_mode(s))
+    }),
+    ("probe-rollback-evict", |s, _| {
+        probe_rollback_evict(agent_mode(s))
+    }),
+    ("probe-dup-ready", |s, _| probe_dup_ready(coord_mutation(s))),
+    ("probe-commit-record", |s, _| {
+        probe_commit_record(coord_mutation(s))
+    }),
+    ("explore-interval", |s, b| {
+        explore_world(ExploreConfig::mutation_interval(), s, b)
+    }),
+    ("explore-conflict", |s, b| {
+        explore_world(ExploreConfig::conflict(), s, b)
+    }),
+    ("sim-conflict", |s, _| sim_conflict(s)),
+];
+
+fn run_row(
+    id: &'static str,
+    mechanism: &'static str,
+    spec: MutantSpec,
+    budget: Budget,
+) -> MatrixRow {
+    let results = CHECKERS
+        .iter()
+        .map(|(name, run)| match run(spec, budget) {
+            Ok(()) => CheckerResult {
+                checker: name,
+                killed: false,
+                detail: "pass".to_string(),
+            },
+            Err(detail) => CheckerResult {
+                checker: name,
+                killed: true,
+                detail,
+            },
+        })
+        .collect();
+    MatrixRow {
+        id,
+        mechanism,
+        results,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Probe scaffolding: drive the pure state machines directly.
+// ---------------------------------------------------------------------------
+
+const SITE: SiteId = SiteId(0);
+const SITE_B: SiteId = SiteId(1);
+const COORD: u32 = 1_000_000;
+
+fn sn(t: u64) -> SerialNumber {
+    SerialNumber {
+        ticks: t,
+        node: COORD,
+        seq: 0,
+    }
+}
+
+fn g(k: u32) -> GlobalTxnId {
+    GlobalTxnId(k)
+}
+
+fn agent(mode: CertifierMode) -> Agent {
+    let cfg = AgentConfig {
+        mode,
+        ..AgentConfig::default()
+    };
+    Agent::new(SITE, cfg)
+}
+
+fn cmd() -> Command {
+    Command::Update(KeySpec::Key(0), 1)
+}
+
+fn result(keys: &[u64]) -> CommandResult {
+    CommandResult {
+        rows: keys.iter().map(|&k| (k, 0)).collect(),
+        wrote: keys.to_vec(),
+    }
+}
+
+/// Drive transaction `k` to the prepared state: BEGIN, one DML, its LTM
+/// completion at `t_done`, then PREPARE at `t_prepare` carrying `sn_ticks`.
+/// Returns the PREPARE's actions (the READY/REFUSE decision).
+fn prepare_one(
+    a: &mut Agent,
+    k: u32,
+    t_done: u64,
+    t_prepare: u64,
+    sn_ticks: u64,
+) -> Vec<AgentAction> {
+    a.handle(
+        t_done,
+        AgentInput::Deliver(Message::Begin {
+            gtxn: g(k),
+            coord: COORD,
+        }),
+    );
+    a.handle(
+        t_done,
+        AgentInput::Deliver(Message::Dml {
+            gtxn: g(k),
+            step: 0,
+            command: cmd(),
+        }),
+    );
+    a.handle(
+        t_done,
+        AgentInput::LtmDone {
+            gtxn: g(k),
+            result: result(&[k as u64]),
+        },
+    );
+    a.handle(
+        t_prepare,
+        AgentInput::Deliver(Message::Prepare {
+            gtxn: g(k),
+            sn: sn(sn_ticks),
+        }),
+    )
+}
+
+fn has_ready(actions: &[AgentAction]) -> bool {
+    actions.iter().any(|a| {
+        matches!(
+            a,
+            AgentAction::Reply {
+                msg: Message::Ready { .. },
+                ..
+            }
+        )
+    })
+}
+
+fn refuse_reason(actions: &[AgentAction]) -> Option<RefuseReason> {
+    actions.iter().find_map(|a| match a {
+        AgentAction::Reply {
+            msg: Message::Refuse { reason, .. },
+            ..
+        } => Some(*reason),
+        _ => None,
+    })
+}
+
+fn has_ltm_commit(actions: &[AgentAction]) -> bool {
+    actions
+        .iter()
+        .any(|a| matches!(a, AgentAction::LtmCommit(..)))
+}
+
+fn has_ltm_begin(actions: &[AgentAction]) -> bool {
+    actions
+        .iter()
+        .any(|a| matches!(a, AgentAction::LtmBegin(..)))
+}
+
+fn has_ltm_submit(actions: &[AgentAction]) -> bool {
+    actions
+        .iter()
+        .any(|a| matches!(a, AgentAction::LtmSubmit { .. }))
+}
+
+/// Expect a READY, with a mechanism-specific message otherwise.
+fn expect_ready(actions: &[AgentAction], what: &str) -> Result<(), String> {
+    if has_ready(actions) {
+        Ok(())
+    } else {
+        Err(format!(
+            "{what}: expected READY, got {:?}",
+            refuse_reason(actions)
+        ))
+    }
+}
+
+/// Expect a REFUSE with the given reason.
+fn expect_refuse(actions: &[AgentAction], reason: RefuseReason, what: &str) -> Result<(), String> {
+    match refuse_reason(actions) {
+        Some(r) if r == reason => Ok(()),
+        other => Err(format!(
+            "{what}: expected REFUSE({reason:?}), got {}",
+            match (&other, has_ready(actions)) {
+                (Some(r), _) => format!("REFUSE({r:?})"),
+                (None, true) => "READY".to_string(),
+                (None, false) => "no vote".to_string(),
+            }
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Agent probes (§4.2, §5.3, Appendices A and C).
+// ---------------------------------------------------------------------------
+
+/// §4.2: a PREPARE whose candidate interval is disjoint from a stored
+/// (frozen) interval must be refused; an intersecting one must be admitted.
+fn probe_basic_cert(mode: CertifierMode) -> Result<(), String> {
+    // Disjoint: T1 prepares at t=100, then its LTM unilaterally aborts it —
+    // the stored interval is frozen at [_, 100]. T2's work completes at
+    // t=300, so its candidate interval starts at 300: no intersection.
+    let mut a = agent(mode);
+    let acts = prepare_one(&mut a, 1, 100, 100, 100);
+    expect_ready(&acts, "clean first PREPARE")?;
+    a.handle(
+        110,
+        AgentInput::Uan {
+            instance: Instance::global(1, SITE, 0),
+        },
+    );
+    let acts = prepare_one(&mut a, 2, 300, 300, 200);
+    expect_refuse(
+        &acts,
+        RefuseReason::AliveIntervalDisjoint,
+        "§4.2: candidate interval disjoint from T1's frozen interval",
+    )?;
+
+    // Intersecting: both transactions alive and overlapping — must admit.
+    let mut a = agent(mode);
+    let acts = prepare_one(&mut a, 1, 100, 100, 100);
+    expect_ready(&acts, "clean first PREPARE")?;
+    let acts = prepare_one(&mut a, 2, 100, 100, 200);
+    expect_ready(&acts, "§4.2: intersecting candidate must be admitted")
+}
+
+/// §4.2 boundary: an interval ending strictly before the candidate begins
+/// (by one tick) is disjoint; one touching it exactly intersects.
+fn probe_interval_boundary(mode: CertifierMode) -> Result<(), String> {
+    // T1's interval frozen at [_, 100]; T2's candidate begins at 101.
+    let mut a = agent(mode);
+    prepare_one(&mut a, 1, 100, 100, 100);
+    a.handle(
+        100,
+        AgentInput::Uan {
+            instance: Instance::global(1, SITE, 0),
+        },
+    );
+    let acts = prepare_one(&mut a, 2, 101, 101, 200);
+    expect_refuse(
+        &acts,
+        RefuseReason::AliveIntervalDisjoint,
+        "§4.2 boundary: frozen end 100 < candidate begin 101 is disjoint",
+    )?;
+
+    // Frozen end == candidate begin: the intervals touch, so they intersect.
+    let mut a = agent(mode);
+    prepare_one(&mut a, 1, 100, 100, 100);
+    a.handle(
+        100,
+        AgentInput::Uan {
+            instance: Instance::global(1, SITE, 0),
+        },
+    );
+    let acts = prepare_one(&mut a, 2, 100, 100, 200);
+    expect_ready(&acts, "§4.2 boundary: touching intervals intersect")
+}
+
+/// §4.2 maintenance: PREPARE refreshes the stored intervals of entries that
+/// are still alive, so a candidate arriving much later than an alive entry's
+/// last refresh still intersects it.
+fn probe_prepare_refresh(mode: CertifierMode) -> Result<(), String> {
+    let mut a = agent(mode);
+    let acts = prepare_one(&mut a, 1, 100, 100, 100);
+    expect_ready(&acts, "clean first PREPARE")?;
+    // T1 stays alive. T2 completes at t=300 — admissible only because the
+    // certifier extends T1's interval to now before intersecting.
+    let acts = prepare_one(&mut a, 2, 300, 300, 200);
+    expect_ready(
+        &acts,
+        "§4.2: candidate must intersect an alive entry after refresh",
+    )
+}
+
+/// §5.3: refuse a PREPARE whose sn is below the largest locally committed
+/// sn; admit one above it.
+fn probe_sn_extension(mode: CertifierMode) -> Result<(), String> {
+    let mut a = agent(mode);
+    let acts = prepare_one(&mut a, 1, 100, 100, 100);
+    expect_ready(&acts, "clean first PREPARE")?;
+    let acts = a.handle(110, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+    if !has_ltm_commit(&acts) {
+        return Err("lone COMMIT did not reach the LTM".to_string());
+    }
+    // sn 50 < committed 100: the §5.3 extension must refuse.
+    let acts = prepare_one(&mut a, 2, 200, 200, 50);
+    expect_refuse(
+        &acts,
+        RefuseReason::SnOutOfOrder,
+        "§5.3: PREPARE with sn below the largest committed sn",
+    )?;
+    // sn 500 > committed 100: must be admitted.
+    let acts = prepare_one(&mut a, 3, 300, 300, 500);
+    expect_ready(
+        &acts,
+        "§5.3: PREPARE with sn above the largest committed sn",
+    )
+}
+
+/// Appendix A: after a unilateral abort of a prepared subtransaction, the
+/// alive-check timer must open a fresh incarnation *and* replay the logged
+/// commands.
+fn probe_resubmission(mode: CertifierMode) -> Result<(), String> {
+    let mut a = agent(mode);
+    let acts = prepare_one(&mut a, 1, 100, 100, 100);
+    expect_ready(&acts, "clean first PREPARE")?;
+    a.handle(
+        110,
+        AgentInput::Uan {
+            instance: Instance::global(1, SITE, 0),
+        },
+    );
+    let acts = a.handle(120, AgentInput::AliveTimer { gtxn: g(1) });
+    if !has_ltm_begin(&acts) {
+        return Err(
+            "Appendix A: alive check saw the unilateral abort but opened no new incarnation"
+                .to_string(),
+        );
+    }
+    if !has_ltm_submit(&acts) {
+        return Err(
+            "Appendix A: resubmission opened an incarnation but replayed no logged command"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// Appendix C: local commits happen in sn order — a COMMIT for the
+/// larger-sn transaction waits (with retry) while a smaller-sn entry is in
+/// the table, and proceeds once it leaves.
+fn probe_commit_order(mode: CertifierMode) -> Result<(), String> {
+    let mut a = agent(mode);
+    let acts = prepare_one(&mut a, 1, 100, 100, 100);
+    expect_ready(&acts, "clean first PREPARE")?;
+    let acts = prepare_one(&mut a, 2, 110, 110, 200);
+    expect_ready(&acts, "clean second PREPARE")?;
+    // T2 (sn 200) is told to commit while T1 (sn 100) is still prepared:
+    // commit certification must hold it back.
+    let acts = a.handle(120, AgentInput::Deliver(Message::Commit { gtxn: g(2) }));
+    if has_ltm_commit(&acts) {
+        return Err("Appendix C: committed sn 200 while sn 100 was still in the table".to_string());
+    }
+    let retries = acts
+        .iter()
+        .any(|x| matches!(x, AgentAction::StartCommitRetryTimer { .. }));
+    if !retries {
+        return Err("Appendix C: held-back COMMIT armed no retry timer".to_string());
+    }
+    // T1 commits; the retry for T2 must now go through.
+    let acts = a.handle(130, AgentInput::Deliver(Message::Commit { gtxn: g(1) }));
+    if !has_ltm_commit(&acts) {
+        return Err("Appendix C: smallest-sn COMMIT did not proceed".to_string());
+    }
+    let acts = a.handle(140, AgentInput::CommitRetryTimer { gtxn: g(2) });
+    if !has_ltm_commit(&acts) {
+        return Err("Appendix C: retry after the blocker left still did not commit".to_string());
+    }
+    Ok(())
+}
+
+/// §4.2 eviction: ROLLBACK removes the entry from the alive-interval table.
+fn probe_rollback_evict(mode: CertifierMode) -> Result<(), String> {
+    let mut a = agent(mode);
+    let acts = prepare_one(&mut a, 1, 100, 100, 100);
+    expect_ready(&acts, "clean first PREPARE")?;
+    a.handle(110, AgentInput::Deliver(Message::Rollback { gtxn: g(1) }));
+    if a.has_subtxn(g(1)) {
+        return Err(
+            "§4.2: rolled-back subtransaction still occupies the alive-interval table".to_string(),
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator probes (§2 / §3).
+// ---------------------------------------------------------------------------
+
+/// Drive a two-site transaction at a coordinator through unanimous READY;
+/// returns (the unanimous-READY actions, the coordinator).
+fn coordinator_to_commit(mutation: CoordMutation) -> (Vec<CoordAction>, Coordinator) {
+    let mut c = Coordinator::new(COORD);
+    c.set_mutation(mutation);
+    c.begin(g(1), vec![(SITE, cmd()), (SITE_B, cmd())]);
+    c.on_message(
+        10,
+        Message::DmlResult {
+            gtxn: g(1),
+            site: SITE,
+            step: 0,
+            result: result(&[0]),
+        },
+    );
+    c.on_message(
+        20,
+        Message::DmlResult {
+            gtxn: g(1),
+            site: SITE_B,
+            step: 1,
+            result: result(&[0]),
+        },
+    );
+    c.on_message(
+        30,
+        Message::Ready {
+            gtxn: g(1),
+            site: SITE,
+        },
+    );
+    let decision = c.on_message(
+        40,
+        Message::Ready {
+            gtxn: g(1),
+            site: SITE_B,
+        },
+    );
+    (decision, c)
+}
+
+/// §2: a duplicate READY arriving while the coordinator is committing must
+/// be answered with a retransmitted COMMIT (the recovered voter depends on
+/// it).
+fn probe_dup_ready(mutation: CoordMutation) -> Result<(), String> {
+    let (decision, mut c) = coordinator_to_commit(mutation);
+    if !decision.iter().any(|a| {
+        matches!(
+            a,
+            CoordAction::ToAgent {
+                msg: Message::Commit { .. },
+                ..
+            }
+        )
+    }) {
+        return Err("unanimous READY produced no COMMIT".to_string());
+    }
+    let acts = c.on_message(
+        50,
+        Message::Ready {
+            gtxn: g(1),
+            site: SITE,
+        },
+    );
+    if !acts.iter().any(|a| {
+        matches!(
+            a,
+            CoordAction::ToAgent {
+                msg: Message::Commit { .. },
+                ..
+            }
+        )
+    }) {
+        return Err(
+            "§2: duplicate READY while committing was not answered with a retransmitted COMMIT"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// §3: unanimous READY durably records the global commit decision (the
+/// `C_k` record) before the COMMITs go out.
+fn probe_commit_record(mutation: CoordMutation) -> Result<(), String> {
+    let (decision, _) = coordinator_to_commit(mutation);
+    if !decision
+        .iter()
+        .any(|a| matches!(a, CoordAction::RecordGlobalCommit(..)))
+    {
+        return Err(
+            "§3: unanimous READY sent COMMITs without recording the global commit decision"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Exploration and simulation checkers.
+// ---------------------------------------------------------------------------
+
+/// Run a bounded-exploration world with the mutant installed; a found
+/// violation is a kill.
+fn explore_world(mut cfg: ExploreConfig, spec: MutantSpec, budget: Budget) -> Result<(), String> {
+    cfg.mode = agent_mode(spec);
+    cfg.coord_mutation = coord_mutation(spec);
+    cfg.max_runs = budget.explore_runs();
+    match explore(&cfg) {
+        ExploreOutcome::Violation(cx) => Err(format!(
+            "{} after {} runs ({} deviation(s))",
+            cx.violation,
+            cx.runs_explored,
+            cx.deviations.len()
+        )),
+        ExploreOutcome::Exhausted { .. } | ExploreOutcome::RunCapped { .. } => Ok(()),
+    }
+}
+
+/// One contended, unilateral-abort-heavy simulation run; a failed
+/// correctness report (or a panic inside the simulator) is a kill.
+/// Coordinator mutants pass vacuously: the simulator has no
+/// coordinator-mutation knob.
+fn sim_conflict(spec: MutantSpec) -> Result<(), String> {
+    let MutantSpec::Agent(mode) = spec else {
+        return Ok(());
+    };
+    let cfg = SimConfig {
+        workload: WorkloadSpec {
+            seed: 7,
+            sites: 2,
+            items_per_site: 8,
+            global_txns: 24,
+            mpl: 4,
+            local_txns_per_site: 10,
+            unilateral_abort_prob: 0.2,
+            ..WorkloadSpec::default()
+        },
+        protocol: Protocol::TwoCm(mode),
+        ..SimConfig::default()
+    };
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Simulation::new(cfg).run()));
+    match outcome {
+        Err(_) => Err("the simulation panicked".to_string()),
+        Ok(report) => {
+            let c = &report.checks;
+            if c.passed() {
+                Ok(())
+            } else {
+                let mut why = Vec::new();
+                if c.rigor_violation.is_some() {
+                    why.push("rigorousness violated");
+                }
+                if !c.cg_acyclic {
+                    why.push("commit-order graph cyclic");
+                }
+                if c.global_distortion.is_some() {
+                    why.push("global view distortion");
+                }
+                if c.view_serializable_exact == Some(false) {
+                    why.push("not view serializable");
+                }
+                Err(why.join("; "))
+            }
+        }
+    }
+}
+
+/// Render the matrix as an aligned text table (mutants × checkers, `X` for
+/// a kill).
+pub fn render(matrix: &Matrix) -> String {
+    let mut out = String::new();
+    let id_w = matrix
+        .rows
+        .iter()
+        .map(|r| r.id.len())
+        .chain([matrix.full.id.len()])
+        .max()
+        .unwrap_or(4);
+    let cols: Vec<&str> = matrix.full.results.iter().map(|r| r.checker).collect();
+    out.push_str(&format!("{:id_w$}", ""));
+    for c in &cols {
+        out.push_str(&format!("  {c}"));
+    }
+    out.push('\n');
+    for row in std::iter::once(&matrix.full).chain(&matrix.rows) {
+        out.push_str(&format!("{:id_w$}", row.id));
+        for r in &row.results {
+            let mark = if r.killed { "X" } else { "." };
+            out.push_str(&format!("  {mark:^w$}", w = r.checker.len()));
+        }
+        out.push('\n');
+    }
+    out
+}

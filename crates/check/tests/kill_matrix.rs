@@ -1,0 +1,172 @@
+//! Pinned certifier-mutation kill matrix.
+//!
+//! The catalog in `mdbs_check::mutate` enumerates doc(hidden) deviations of
+//! the §4/§5/Appendix mechanisms; each must be *killed* (rejected) by at
+//! least one checker while the real protocol stays clean. This test pins
+//! the full mutant×checker outcome table under `Budget::Quick` so that:
+//!
+//! - adding a catalog mutant without extending the pin fails (row-set
+//!   mismatch),
+//! - a checker regression that loses a kill fails (killer-set mismatch),
+//! - a mutant surviving every checker fails outright.
+//!
+//! A separate test asserts that `CertifierMode::Full` *exhausts* both
+//! exploration worlds clean at the pinned budget — not merely that it
+//! survives a capped search.
+
+use std::sync::OnceLock;
+
+use mdbs_check::explore::{explore, ExploreConfig, ExploreOutcome};
+use mdbs_check::mutate::{catalog, run_matrix, Budget, Matrix};
+use mdbs_dtm::CertifierMode;
+
+/// Matrix column order. Every row reports these checkers, in this order.
+const CHECKERS: &[&str] = &[
+    "probe-basic-cert",
+    "probe-interval-boundary",
+    "probe-prepare-refresh",
+    "probe-sn-extension",
+    "probe-resubmission",
+    "probe-commit-order",
+    "probe-rollback-evict",
+    "probe-dup-ready",
+    "probe-commit-record",
+    "explore-interval",
+    "explore-conflict",
+    "sim-conflict",
+];
+
+/// Expected killers per mutant under `Budget::Quick`, in catalog order.
+/// (`Budget::Pinned` additionally lets `explore-interval` kill
+/// `interval-boundary`; the quick table is what ties this test's runtime
+/// down.)
+const PINNED: &[(&str, &[&str])] = &[
+    (
+        "broken-basic-cert",
+        &[
+            "probe-basic-cert",
+            "probe-interval-boundary",
+            "explore-interval",
+            "sim-conflict",
+        ],
+    ),
+    ("interval-boundary", &["probe-interval-boundary"]),
+    (
+        "stale-refresh",
+        &["probe-prepare-refresh", "probe-commit-order"],
+    ),
+    ("no-prepare-extension", &["probe-sn-extension"]),
+    ("sn-check-flip", &["probe-sn-extension"]),
+    ("stale-max-sn", &["probe-sn-extension"]),
+    ("skip-replay", &["probe-resubmission"]),
+    ("drop-resubmission", &["probe-resubmission"]),
+    (
+        "commit-edge-flip",
+        &["probe-commit-order", "explore-interval", "sim-conflict"],
+    ),
+    (
+        "commit-pending-only",
+        &["probe-commit-order", "sim-conflict"],
+    ),
+    (
+        "keep-rollback-in-table",
+        &["probe-rollback-evict", "explore-interval", "sim-conflict"],
+    ),
+    ("drop-dup-ready-retransmit", &["probe-dup-ready"]),
+    ("skip-commit-record", &["probe-commit-record"]),
+];
+
+/// The quick-budget matrix, computed once and shared across tests.
+fn quick_matrix() -> &'static Matrix {
+    static MATRIX: OnceLock<Matrix> = OnceLock::new();
+    MATRIX.get_or_init(|| run_matrix(Budget::Quick))
+}
+
+#[test]
+fn catalog_is_pinned() {
+    let cat = catalog();
+    assert!(
+        cat.len() >= 10,
+        "the issue requires at least 10 mutants, catalog has {}",
+        cat.len()
+    );
+    let ids: Vec<&str> = cat.iter().map(|m| m.id).collect();
+    let pinned: Vec<&str> = PINNED.iter().map(|(id, _)| *id).collect();
+    assert_eq!(
+        ids, pinned,
+        "catalog ids diverge from the pinned table; extend PINNED when adding a mutant"
+    );
+    for m in &cat {
+        assert!(
+            !m.mechanism.is_empty(),
+            "{}: every mutant must name the paper mechanism it breaks",
+            m.id
+        );
+        assert!(!m.summary.is_empty(), "{}: summary missing", m.id);
+    }
+}
+
+#[test]
+fn matrix_shape_is_pinned() {
+    let matrix = quick_matrix();
+    let cols: Vec<&str> = matrix.full.results.iter().map(|r| r.checker).collect();
+    assert_eq!(cols, CHECKERS, "checker column set or order changed");
+    for row in &matrix.rows {
+        let cols: Vec<&str> = row.results.iter().map(|r| r.checker).collect();
+        assert_eq!(cols, CHECKERS, "{}: ragged row", row.id);
+    }
+}
+
+#[test]
+fn every_mutant_is_killed_and_full_is_clean() {
+    let matrix = quick_matrix();
+    for r in &matrix.full.results {
+        assert!(
+            !r.killed,
+            "real protocol failed {}: {}",
+            r.checker, r.detail
+        );
+    }
+    assert_eq!(
+        matrix.survivors(),
+        Vec::<&str>::new(),
+        "mutant(s) survived every checker"
+    );
+    assert!(matrix.passed());
+}
+
+#[test]
+fn kill_matrix_matches_pin() {
+    let matrix = quick_matrix();
+    assert_eq!(matrix.rows.len(), PINNED.len());
+    for (row, (id, killers)) in matrix.rows.iter().zip(PINNED) {
+        assert_eq!(row.id, *id);
+        assert_eq!(
+            row.killers(),
+            *killers,
+            "{}: killer set drifted from the pin",
+            row.id
+        );
+    }
+}
+
+/// The §4.2 and conflict worlds must be *exhausted* clean by the real
+/// protocol at the pinned budget — `RunCapped` would make the mutate gate
+/// vacuous there, and a `Violation` is a protocol bug.
+#[test]
+fn full_exhausts_mutant_worlds() {
+    for (name, mut cfg) in [
+        ("mutation-interval", ExploreConfig::mutation_interval()),
+        ("conflict", ExploreConfig::conflict()),
+    ] {
+        cfg.mode = CertifierMode::Full;
+        cfg.max_runs = 30_000;
+        match explore(&cfg) {
+            ExploreOutcome::Exhausted { .. } => {}
+            ExploreOutcome::RunCapped { runs } => {
+                panic!("{name}: run cap hit after {runs} runs; world no longer exhaustible")
+            }
+            ExploreOutcome::Violation(cx) => panic!("{name}: full protocol violated: {cx}"),
+        }
+    }
+}

@@ -245,11 +245,13 @@ impl SubTxn {
 
     /// Whether a candidate interval starting at `begin` intersects any
     /// stored interval (candidate end = "now" ≥ every stored begin, so
-    /// the test reduces to `begin <= some stored end`).
-    fn intersects_candidate(&self, candidate_begin: u64) -> bool {
+    /// the test reduces to `begin <= some stored end`). `slack` is 0 under
+    /// every real mode; the boundary mutant passes 1, admitting a candidate
+    /// that begins one tick after the stored interval ended.
+    fn intersects_candidate(&self, candidate_begin: u64, slack: u64) -> bool {
         self.intervals
             .iter()
-            .any(|&(_, end)| end >= candidate_begin)
+            .any(|&(_, end)| end.saturating_add(slack) >= candidate_begin)
     }
 
     /// Alive right now: all commands executed, current incarnation neither
@@ -594,9 +596,11 @@ impl Agent {
         // Refresh the alive intervals of table entries that are alive right
         // now (an inline alive check; keeps long alive-check periods from
         // causing spurious refusals — the paper's §6 assumes exactly this).
-        for st in self.subtxns.values_mut() {
-            if st.in_table() && st.alive() {
-                st.extend_interval(now);
+        if !self.config.mode.skips_prepare_refresh() {
+            for st in self.subtxns.values_mut() {
+                if st.in_table() && st.alive() {
+                    st.extend_interval(now);
+                }
             }
         }
 
@@ -620,7 +624,12 @@ impl Agent {
         // §5.3 extension: an "older" transaction already committed here?
         if self.config.mode.prepare_extension() {
             if let Some(max_sn) = self.max_committed_sn {
-                if sn < max_sn {
+                let out_of_order = if self.config.mode.sn_extension_flipped() {
+                    sn > max_sn
+                } else {
+                    sn < max_sn
+                };
+                if out_of_order {
                     self.stats.refused_sn_out_of_order += 1;
                     return self.refuse(gtxn, coord, RefuseReason::SnOutOfOrder);
                 }
@@ -640,11 +649,12 @@ impl Agent {
 
         // §4.2 basic certification: candidate interval vs. table intervals.
         if self.config.mode.prepare_certification() {
+            let slack = self.config.mode.interval_boundary_slack();
             let disjoint = self
                 .subtxns
                 .iter()
                 .filter(|(g, other)| **g != gtxn && other.in_table())
-                .any(|(_, other)| !other.intersects_candidate(candidate_begin));
+                .any(|(_, other)| !other.intersects_candidate(candidate_begin, slack));
             if disjoint {
                 self.stats.refused_interval_disjoint += 1;
                 return self.refuse(gtxn, coord, RefuseReason::AliveIntervalDisjoint);
@@ -821,7 +831,7 @@ impl Agent {
         } else if !st.aborted {
             // Alive: extend the stored interval.
             st.extend_interval(now);
-        } else {
+        } else if !self.config.mode.drops_resubmission() {
             // Unilaterally aborted: resubmit commands from the Agent log.
             actions.extend(self.start_resubmission(gtxn));
         }
@@ -843,6 +853,12 @@ impl Agent {
         self.stats.resubmissions += 1;
         let inst = Instance::global(gtxn.0, self.site, st.incarnation);
         let mut actions = vec![AgentAction::LtmBegin(inst)];
+        if self.config.mode.skips_resubmit_replay() {
+            // Mutant: declare the fresh incarnation alive without replaying
+            // the logged commands — the re-executed writes are lost.
+            st.resubmit_next = None;
+            return actions;
+        }
         if let Some(&command) = st.commands.first() {
             st.resubmit_next = Some(1);
             st.executing = true;
@@ -883,11 +899,24 @@ impl Agent {
         // Certification: every other table entry must be "younger".
         let passes = if self.config.mode.sn_commit_certification() {
             match st.sn {
-                Some(my_sn) => self
-                    .subtxns
-                    .iter()
-                    .filter(|(g, o)| **g != gtxn && o.in_table())
-                    .all(|(_, o)| o.sn.map(|s| s > my_sn).unwrap_or(true)),
+                Some(my_sn) => {
+                    let flipped = self.config.mode.commit_edge_flipped();
+                    let pending_only = self.config.mode.commit_cert_pending_only();
+                    self.subtxns
+                        .iter()
+                        .filter(|(g, o)| {
+                            **g != gtxn
+                                && if pending_only {
+                                    o.phase == Phase::CommitPending
+                                } else {
+                                    o.in_table()
+                                }
+                        })
+                        .all(|(_, o)| {
+                            o.sn.map(|s| if flipped { s < my_sn } else { s > my_sn })
+                                .unwrap_or(true)
+                        })
+                }
                 // A commit-pending entry always carries the serial number
                 // from its PREPARE; pass vacuously if it is missing.
                 None => true,
@@ -925,9 +954,11 @@ impl Agent {
             return vec![]; // unreachable: presence checked above
         };
         self.done.insert(gtxn);
-        if let Some(sn) = st.sn {
-            if self.max_committed_sn.is_none_or(|m| sn > m) {
-                self.max_committed_sn = Some(sn);
+        if !self.config.mode.skips_max_committed_update() {
+            if let Some(sn) = st.sn {
+                if self.max_committed_sn.is_none_or(|m| sn > m) {
+                    self.max_committed_sn = Some(sn);
+                }
             }
         }
         self.stats.local_commits += 1;
@@ -960,18 +991,22 @@ impl Agent {
         // Terminal either way: a BEGIN surfacing after this point (injected
         // reordering) must not start a fresh conversation.
         self.done.insert(gtxn);
-        let Some(st) = self.subtxns.remove(&gtxn) else {
+        let Some(st) = self.subtxns.get(&gtxn) else {
             // Already refused and forgotten: just acknowledge. The
             // coordinator's ROLLBACK crossed our REFUSE; replying keeps the
             // protocol idempotent.
             return vec![];
         };
+        let (coord, aborted, incarnation) = (st.coord, st.aborted, st.incarnation);
+        if !self.config.mode.keeps_rollback_in_table() {
+            self.subtxns.remove(&gtxn);
+        }
         let mut actions = Vec::new();
-        if !st.aborted {
+        if !aborted {
             actions.push(AgentAction::LtmAbort(Instance::global(
                 gtxn.0,
                 self.site,
-                st.incarnation,
+                incarnation,
             )));
         }
         actions.push(AgentAction::Unbind {
@@ -979,7 +1014,7 @@ impl Agent {
         });
         self.stats.rollbacks += 1;
         actions.push(AgentAction::Reply {
-            coord: st.coord,
+            coord,
             msg: Message::RollbackAck {
                 gtxn,
                 site: self.site,

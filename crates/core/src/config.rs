@@ -45,6 +45,49 @@ pub enum CertifierMode {
     /// production or benchmark mode.
     #[doc(hidden)]
     BrokenBasicCert,
+    /// Mutant: §4.2 interval intersection off by one — a candidate interval
+    /// beginning exactly one tick after a stored interval ends is admitted.
+    /// Breaks the Conflict Detection Basis at its boundary.
+    #[doc(hidden)]
+    MutIntervalBoundary,
+    /// Mutant: the §5.3 extension (refuse a PREPARE whose serial number is
+    /// below the largest locally *committed* one) is skipped entirely.
+    #[doc(hidden)]
+    MutNoPrepareExtension,
+    /// Mutant: the §5.3 extension comparison is flipped — PREPAREs *newer*
+    /// than the largest committed serial number are refused, stale ones
+    /// admitted.
+    #[doc(hidden)]
+    MutSnCheckFlip,
+    /// Mutant: Appendix A resubmission skips the Agent-log replay — the new
+    /// incarnation is declared alive without re-executing any command.
+    #[doc(hidden)]
+    MutSkipReplay,
+    /// Mutant: Appendix A alive check never starts a resubmission — a
+    /// unilaterally aborted prepared subtransaction is left wedged.
+    #[doc(hidden)]
+    MutDropResubmission,
+    /// Mutant: Appendix C commit certification with the edge direction
+    /// flipped — a COMMIT proceeds while an *older* (smaller-SN)
+    /// subtransaction is still in the table.
+    #[doc(hidden)]
+    MutCommitEdgeFlip,
+    /// Mutant: Appendix C commit certification only checks entries that are
+    /// already commit-pending, ignoring merely-prepared older ones.
+    #[doc(hidden)]
+    MutCommitPendingOnly,
+    /// Mutant: a coordinator ROLLBACK does not evict the prepared entry
+    /// from the alive-interval table (§4.2 eviction on abort omitted).
+    #[doc(hidden)]
+    MutKeepRollbackInTable,
+    /// Mutant: the inline alive-interval refresh at PREPARE time (§6's
+    /// assumption that certification sees current intervals) is skipped.
+    #[doc(hidden)]
+    MutStaleRefresh,
+    /// Mutant: a local commit does not advance `max_committed_sn`, so the
+    /// §5.3 extension certifies against stale state.
+    #[doc(hidden)]
+    MutStaleMaxSn,
 }
 
 impl CertifierMode {
@@ -60,14 +103,23 @@ impl CertifierMode {
 
     /// Whether the §5.3 extension (max-committed-SN check) runs.
     pub fn prepare_extension(&self) -> bool {
-        matches!(self, CertifierMode::Full | CertifierMode::BrokenBasicCert)
+        !matches!(
+            self,
+            CertifierMode::NoCertification
+                | CertifierMode::PrepareCertOnly
+                | CertifierMode::PrepareOrder
+                | CertifierMode::TicketOrder
+                | CertifierMode::MutNoPrepareExtension
+        )
     }
 
     /// Whether local commits are ordered by serial number.
     pub fn sn_commit_certification(&self) -> bool {
-        matches!(
+        !matches!(
             self,
-            CertifierMode::Full | CertifierMode::TicketOrder | CertifierMode::BrokenBasicCert
+            CertifierMode::NoCertification
+                | CertifierMode::PrepareCertOnly
+                | CertifierMode::PrepareOrder
         )
     }
 
@@ -80,6 +132,65 @@ impl CertifierMode {
     /// comparator's predeclared total order).
     pub fn ticket_prepare_check(&self) -> bool {
         matches!(self, CertifierMode::TicketOrder)
+    }
+
+    // ---- Mutation-catalog deviations (`mdbs-check mutate`). Each hook is
+    // dead unless the corresponding doc(hidden) mutant variant is selected,
+    // so the default `Full` pipeline is untouched.
+
+    /// Extra slack ticks the §4.2 intersection test tolerates (off-by-one
+    /// boundary mutant; 0 under every real mode).
+    #[doc(hidden)]
+    pub fn interval_boundary_slack(&self) -> u64 {
+        u64::from(matches!(self, CertifierMode::MutIntervalBoundary))
+    }
+
+    /// Whether the §5.3 extension comparison direction is flipped.
+    #[doc(hidden)]
+    pub fn sn_extension_flipped(&self) -> bool {
+        matches!(self, CertifierMode::MutSnCheckFlip)
+    }
+
+    /// Whether resubmission skips replaying the Agent log.
+    #[doc(hidden)]
+    pub fn skips_resubmit_replay(&self) -> bool {
+        matches!(self, CertifierMode::MutSkipReplay)
+    }
+
+    /// Whether the alive check drops resubmission of aborted entries.
+    #[doc(hidden)]
+    pub fn drops_resubmission(&self) -> bool {
+        matches!(self, CertifierMode::MutDropResubmission)
+    }
+
+    /// Whether the commit-certification comparison direction is flipped.
+    #[doc(hidden)]
+    pub fn commit_edge_flipped(&self) -> bool {
+        matches!(self, CertifierMode::MutCommitEdgeFlip)
+    }
+
+    /// Whether commit certification ignores merely-prepared entries.
+    #[doc(hidden)]
+    pub fn commit_cert_pending_only(&self) -> bool {
+        matches!(self, CertifierMode::MutCommitPendingOnly)
+    }
+
+    /// Whether a ROLLBACK leaves the prepared entry in the table.
+    #[doc(hidden)]
+    pub fn keeps_rollback_in_table(&self) -> bool {
+        matches!(self, CertifierMode::MutKeepRollbackInTable)
+    }
+
+    /// Whether the inline interval refresh at PREPARE time is skipped.
+    #[doc(hidden)]
+    pub fn skips_prepare_refresh(&self) -> bool {
+        matches!(self, CertifierMode::MutStaleRefresh)
+    }
+
+    /// Whether a local commit fails to advance `max_committed_sn`.
+    #[doc(hidden)]
+    pub fn skips_max_committed_update(&self) -> bool {
+        matches!(self, CertifierMode::MutStaleMaxSn)
     }
 }
 

@@ -195,7 +195,9 @@ impl LockManager {
         let keys: Vec<u64> = self.entries.keys().copied().collect();
         let mut granted = Vec::new();
         for key in keys {
-            let entry = self.entries.get_mut(&key).expect("key exists");
+            let Some(entry) = self.entries.get_mut(&key) else {
+                continue;
+            };
             entry.holders.retain(|(o, _)| *o != owner);
             entry.queue.retain(|w| w.owner != owner);
             granted.extend(self.grant_pass(key).into_iter().map(|(o, m)| (o, key, m)));

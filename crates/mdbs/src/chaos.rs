@@ -455,6 +455,10 @@ fn protocol_expr(p: Protocol) -> &'static str {
         Protocol::TwoCm(CertifierMode::BrokenBasicCert) => {
             "Protocol::TwoCm(CertifierMode::BrokenBasicCert)"
         }
+        // Mutation-catalog modes never reach the chaos sweep's reproducer
+        // codegen; name the family so a hand-driven run still compiles into
+        // *something* greppable.
+        Protocol::TwoCm(_) => "Protocol::TwoCm(/* mutation-catalog mode */ CertifierMode::Full)",
         Protocol::Cgm => "Protocol::Cgm",
     }
 }

@@ -42,6 +42,9 @@ impl Protocol {
             Protocol::TwoCm(CertifierMode::PrepareOrder) => "2CM-prep-order",
             Protocol::TwoCm(CertifierMode::TicketOrder) => "Ticket",
             Protocol::TwoCm(CertifierMode::BrokenBasicCert) => "2CM-broken-cert",
+            // The doc(hidden) mutation-catalog modes (`mdbs-check mutate`)
+            // share one label; they are never configured from a file.
+            Protocol::TwoCm(_) => "2CM-mutant",
             Protocol::Cgm => "CGM",
         }
     }

@@ -191,7 +191,9 @@ impl ThreadHost {
     fn take_due_timers(&mut self, now_us: u64) -> Vec<Timer> {
         let mut due = Vec::new();
         while self.timers.peek().is_some_and(|t| t.at_us <= now_us) {
-            due.push(self.timers.pop().expect("peeked").timer);
+            if let Some(t) = self.timers.pop() {
+                due.push(t.timer);
+            }
         }
         due
     }
@@ -453,7 +455,7 @@ impl ThreadedRunner {
         let mut site_stats: Vec<AgentStats> = Vec::new();
         let mut metrics = Metrics::new();
 
-        crossbeam::thread::scope(|scope| {
+        let scope_result = crossbeam::thread::scope(|scope| {
             let cfg = &cfg;
             let mut site_handles = Vec::new();
             for s in 0..spec.sites {
@@ -481,6 +483,7 @@ impl ThreadedRunner {
                 site_handles.push(scope.spawn(move |_| {
                     let _guard = guard;
                     if panic_node == Some(s) {
+                        // mdbs-check: allow(conc-panic-in-thread) -- doc(hidden) fault-injection hook; panics only when a test asks for one
                         panic!("injected test panic at node {s}");
                     }
                     site_loop(rt, host, rx, local_queue, cfg, deadline)
@@ -505,6 +508,7 @@ impl ThreadedRunner {
                 coord_handles.push(scope.spawn(move |_| {
                     let _guard = guard;
                     if panic_node == Some(node) {
+                        // mdbs-check: allow(conc-panic-in-thread) -- doc(hidden) fault-injection hook; panics only when a test asks for one
                         panic!("injected test panic at node {node}");
                     }
                     coord_loop(rt, host, rx, cgm)
@@ -529,6 +533,7 @@ impl ThreadedRunner {
                 Some(scope.spawn(move |_| {
                     let _guard = guard;
                     if panic_node == Some(CENTRAL) {
+                        // mdbs-check: allow(conc-panic-in-thread) -- doc(hidden) fault-injection hook; panics only when a test asks for one
                         panic!("injected test panic at node {CENTRAL}");
                     }
                     central_loop(rt, host, rx)
@@ -664,8 +669,13 @@ impl ThreadedRunner {
                 finished_at,
                 metrics,
             }
-        })
-        .expect("threaded runner scope")
+        });
+        // A child panic surfaces here as the scope error; re-raise it with
+        // its original payload instead of wrapping it in a second panic.
+        match scope_result {
+            Ok(report) => report,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 }
 
@@ -752,6 +762,7 @@ fn site_loop(
             Ok(NodeMsg::Net(msg)) => or_die(rt.agent_input(AgentInput::Deliver(msg), &mut host)),
             Ok(NodeMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
             Ok(NodeMsg::Ctrl { .. }) | Ok(NodeMsg::StartGlobal { .. }) => {
+                // mdbs-check: allow(conc-panic-in-thread) -- routing invariant: the driver only ever sends Net to site nodes
                 unreachable!("sites receive no control traffic")
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -808,6 +819,7 @@ fn central_loop(mut rt: CentralRuntime, mut host: ThreadHost, rx: Receiver<NodeM
         match rx.recv() {
             Ok(NodeMsg::Ctrl { from, ctrl }) => or_die(rt.on_ctrl(from, ctrl, &mut host)),
             Ok(NodeMsg::Shutdown) | Err(_) => break,
+            // mdbs-check: allow(conc-panic-in-thread) -- routing invariant: coordinators address the central node with Ctrl only
             Ok(_) => unreachable!("central receives only control traffic"),
         }
     }

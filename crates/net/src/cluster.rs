@@ -77,7 +77,9 @@ pub fn loopback_cluster(scenario: SimConfig) -> io::Result<ClusterConfig> {
     let coords = scenario.coordinators as usize;
     let central = matches!(scenario.protocol, Protocol::Cgm);
     let mut addrs = loopback_addrs(sites + coords + usize::from(central))?;
-    let central_addr = central.then(|| addrs.pop().expect("reserved"));
+    // `addrs` reserved one extra slot when `central` is set, so this pop
+    // always succeeds; an `if` keeps the non-central path panic-free.
+    let central_addr = if central { addrs.pop() } else { None };
     let coord_addrs = addrs.split_off(sites);
     Ok(ClusterConfig {
         scenario,
@@ -158,8 +160,17 @@ impl ClusterRunner {
                 .stderr(Stdio::piped())
                 .spawn()
                 .map_err(|e| format!("spawn {} as {}: {e}", self.binary.display(), role.key()))?;
-            let stdout = drain(child.stdout.take().expect("piped"));
-            let stderr = drain(child.stderr.take().expect("piped"));
+            // Both pipes were requested with `Stdio::piped()` above; if the
+            // OS still hands us nothing, drain an empty reader instead of
+            // panicking in the runner.
+            let stdout = match child.stdout.take() {
+                Some(pipe) => drain(pipe),
+                None => drain(io::empty()),
+            };
+            let stderr = match child.stderr.take() {
+                Some(pipe) => drain(pipe),
+                None => drain(io::empty()),
+            };
             procs.push(Proc {
                 role,
                 child,
@@ -202,8 +213,10 @@ impl ClusterRunner {
                 joined_stderr(&outputs)
             ));
         }
+        // Every `None` status was killed and reported above, so only the
+        // settled processes remain to inspect.
         for (i, st) in statuses.iter().enumerate() {
-            let st = st.expect("all settled");
+            let Some(st) = st else { continue };
             if !st.success() {
                 return Err(format!(
                     "{} exited with {st}; stderr:\n{}",

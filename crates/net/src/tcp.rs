@@ -150,8 +150,7 @@ impl TcpTransport {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("mdbs-net-accept-{}", cfg.node))
-                    .spawn(move || accept_loop(listener, inbound_tx, stop, stats))
-                    .expect("spawn accept loop"),
+                    .spawn(move || accept_loop(listener, inbound_tx, stop, stats))?,
             );
         }
 
@@ -178,8 +177,7 @@ impl TcpTransport {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("mdbs-net-writer-{}-to-{}", cfg.node, peer))
-                    .spawn(move || writer.run())
-                    .expect("spawn peer writer"),
+                    .spawn(move || writer.run())?,
             );
         }
 
@@ -217,21 +215,34 @@ impl TcpTransport {
             // A send can only fail if the writer thread is already gone,
             // which only happens during shutdown — dropping is fine then.
             Some(tx) => drop(tx.send(msg)),
+            // A missing route is a cluster misconfiguration; dropping the
+            // frame would wedge the protocol invisibly, so die loudly.
+            // mdbs-check: allow(conc-panic-in-thread) -- deliberate die-fast on misconfigured topology
             None => panic!("node {} has no route to node {to}", self.node),
         }
+    }
+
+    /// Pop the head timer if it is due at `now`.
+    fn pop_due_timer(&mut self, now: Instant) -> Option<NetEvent> {
+        if self
+            .timers
+            .peek()
+            .is_none_or(|Reverse(head)| head.deadline > now)
+        {
+            return None;
+        }
+        let Reverse(e) = self.timers.pop()?;
+        Some(NetEvent::Timer {
+            node: e.node,
+            timer: e.timer,
+        })
     }
 
     /// Wait up to `max_wait` for the next message or due timer.
     pub fn poll(&mut self, max_wait: Duration) -> Option<NetEvent> {
         let now = Instant::now();
-        if let Some(Reverse(head)) = self.timers.peek() {
-            if head.deadline <= now {
-                let Reverse(e) = self.timers.pop().expect("peeked");
-                return Some(NetEvent::Timer {
-                    node: e.node,
-                    timer: e.timer,
-                });
-            }
+        if let Some(due) = self.pop_due_timer(now) {
+            return Some(due);
         }
         let wait = match self.timers.peek() {
             Some(Reverse(head)) => max_wait.min(head.deadline - now),
@@ -239,19 +250,7 @@ impl TcpTransport {
         };
         match self.inbound.recv_timeout(wait) {
             Ok(msg) => Some(NetEvent::Msg(msg)),
-            Err(RecvTimeoutError::Timeout) => {
-                let now = Instant::now();
-                match self.timers.peek() {
-                    Some(Reverse(head)) if head.deadline <= now => {
-                        let Reverse(e) = self.timers.pop().expect("peeked");
-                        Some(NetEvent::Timer {
-                            node: e.node,
-                            timer: e.timer,
-                        })
-                    }
-                    _ => None,
-                }
-            }
+            Err(RecvTimeoutError::Timeout) => self.pop_due_timer(Instant::now()),
             Err(RecvTimeoutError::Disconnected) => None,
         }
     }
@@ -303,12 +302,16 @@ fn accept_loop(
                 let inbound = inbound.clone();
                 let stop = Arc::clone(&stop);
                 let stats = Arc::clone(&stats);
-                readers.push(
-                    std::thread::Builder::new()
-                        .name("mdbs-net-reader".to_string())
-                        .spawn(move || reader_loop(stream, inbound, stop, stats))
-                        .expect("spawn reader"),
-                );
+                match std::thread::Builder::new()
+                    .name("mdbs-net-reader".to_string())
+                    .spawn(move || reader_loop(stream, inbound, stop, stats))
+                {
+                    Ok(h) => readers.push(h),
+                    // Out of threads: the failed spawn dropped (closed) the
+                    // connection, so the peer's writer reconnects and
+                    // retransmits — at-least-once holds, nothing is lost.
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -406,10 +409,10 @@ impl PeerWriter {
             if self.stream.is_none() && !self.connect(&mut backoff) {
                 return false;
             }
-            let res = {
-                let s = self.stream.as_mut().expect("just connected");
-                s.write_all(frame).and_then(|_| s.flush())
+            let Some(s) = self.stream.as_mut() else {
+                continue; // connect() raced a drop hook; try again
             };
+            let res = s.write_all(frame).and_then(|_| s.flush());
             match res {
                 Ok(()) => {
                     let sent = self.stats.frames_sent.fetch_add(1, Ordering::Relaxed) + 1;

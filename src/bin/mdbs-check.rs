@@ -2,61 +2,133 @@
 //! certifier protocols.
 //!
 //! ```text
-//! mdbs-check lint [--root <dir>]
+//! mdbs-check lint [--root <dir>] [--json|--github]
+//! mdbs-check conc [--root <dir>] [--json|--github]
 //! mdbs-check explore [--preset <name>] [--mode <certifier>] [--cgm]
 //!                    [--delays N] [--faults N] [--crashes N]
 //!                    [--max-steps N] [--max-runs N] [--no-interval-check]
+//! mdbs-check mutate [--quick] [--json]
 //! ```
 //!
 //! `lint` runs the project-specific source lints (determinism,
-//! panic-freedom in decode paths, message-vocabulary exhaustiveness) and
-//! exits 1 if any finding survives suppression. `explore` runs the
-//! bounded model checker on a preset world and exits 1 with a minimized
-//! trace if a schedule violates atomicity, the §4.2 interval invariant,
-//! or commit-order acyclicity.
+//! panic-freedom in decode paths, message-vocabulary exhaustiveness);
+//! `conc` runs the static concurrency pass over the threaded crates
+//! (lock order, blocking under guards, poison handling, panic-freedom on
+//! worker threads). Both exit 1 if any finding survives suppression, and
+//! can emit findings as JSON lines (`--json`) or GitHub Actions error
+//! annotations (`--github`). `explore` runs the bounded model checker on
+//! a preset world and exits 1 with a minimized trace if a schedule
+//! violates atomicity, the §4.2 interval invariant, or commit-order
+//! acyclicity. `mutate` runs the certifier mutation kill matrix and exits
+//! 1 if any cataloged mutant survives every checker — or if the real
+//! protocol fails one.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use mdbs_check::conc::run_conc;
 use mdbs_check::explore::{explore, ExploreConfig, ExploreOutcome};
-use mdbs_check::lint::run_lint;
+use mdbs_check::lint::{run_lint, Finding};
+use mdbs_check::mutate::{render, run_matrix, Budget};
 use mdbs_dtm::CertifierMode;
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("mdbs-check: {err}");
-    eprintln!("usage: mdbs-check lint [--root <dir>]");
+    eprintln!("usage: mdbs-check lint [--root <dir>] [--json|--github]");
+    eprintln!("       mdbs-check conc [--root <dir>] [--json|--github]");
     eprintln!(
         "       mdbs-check explore [--preset smoke-2cm|smoke-cgm|conflict|mutation-interval]"
     );
     eprintln!("                          [--mode full|no-certification|prepare-cert-only|prepare-order|ticket-order|broken-basic-cert]");
     eprintln!("                          [--cgm] [--delays N] [--faults N] [--crashes N]");
     eprintln!("                          [--max-steps N] [--max-runs N] [--no-interval-check]");
+    eprintln!("       mdbs-check mutate [--quick] [--json]");
     ExitCode::from(2)
 }
 
-fn run_lint_cmd(mut args: std::env::Args) -> ExitCode {
+/// How findings are printed.
+#[derive(Clone, Copy, PartialEq)]
+enum Output {
+    Text,
+    Json,
+    Github,
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn print_findings(tool: &str, findings: &[Finding], output: Output) {
+    for f in findings {
+        match output {
+            Output::Text => println!("{f}"),
+            Output::Json => println!(
+                "{{\"tool\":{},\"rule\":{},\"file\":{},\"line\":{},\"msg\":{}}}",
+                json_str(tool),
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.msg)
+            ),
+            // GitHub Actions error annotations: rendered on the PR diff.
+            Output::Github => println!(
+                "::error file={},line={},title=mdbs-check {}::{}",
+                f.file, f.line, f.rule, f.msg
+            ),
+        }
+    }
+    if output != Output::Json {
+        if findings.is_empty() {
+            println!("mdbs-check {tool}: clean");
+        } else {
+            println!("mdbs-check {tool}: {} finding(s)", findings.len());
+        }
+    }
+}
+
+/// Shared driver for the two source passes (`lint` and `conc`).
+fn run_findings_cmd(
+    tool: &str,
+    mut args: std::env::Args,
+    run: fn(&std::path::Path) -> Result<Vec<Finding>, String>,
+) -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut output = Output::Text;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage("--root needs a path"),
             },
-            other => return usage(&format!("unknown lint argument {other:?}")),
+            "--json" => output = Output::Json,
+            "--github" => output = Output::Github,
+            other => return usage(&format!("unknown {tool} argument {other:?}")),
         }
     }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
-    match run_lint(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("mdbs-check lint: clean");
-            ExitCode::SUCCESS
-        }
+    match run(&root) {
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            print_findings(tool, &findings, output);
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
             }
-            println!("mdbs-check lint: {} finding(s)", findings.len());
-            ExitCode::from(1)
         }
         Err(e) => usage(&e),
     }
@@ -154,12 +226,83 @@ fn run_explore_cmd(mut args: std::env::Args) -> ExitCode {
     }
 }
 
+fn run_mutate_cmd(args: std::env::Args) -> ExitCode {
+    let mut budget = Budget::Pinned;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => budget = Budget::Quick,
+            "--json" => json = true,
+            other => return usage(&format!("unknown mutate argument {other:?}")),
+        }
+    }
+    let matrix = run_matrix(budget);
+    if json {
+        for row in std::iter::once(&matrix.full).chain(&matrix.rows) {
+            let cells: Vec<String> = row
+                .results
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"checker\":{},\"killed\":{},\"detail\":{}}}",
+                        json_str(r.checker),
+                        r.killed,
+                        json_str(&r.detail)
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"mutant\":{},\"mechanism\":{},\"results\":[{}]}}",
+                json_str(row.id),
+                json_str(row.mechanism),
+                cells.join(",")
+            );
+        }
+    } else {
+        print!("{}", render(&matrix));
+        println!();
+        for row in &matrix.rows {
+            let killers = row.killers();
+            if killers.is_empty() {
+                println!("SURVIVOR {} ({})", row.id, row.mechanism);
+            } else {
+                println!("killed   {} by {}", row.id, killers.join(", "));
+            }
+        }
+        for r in &matrix.full.results {
+            if r.killed {
+                println!("FULL FAILS {}: {}", r.checker, r.detail);
+            }
+        }
+    }
+    if matrix.passed() {
+        if !json {
+            println!(
+                "mdbs-check mutate: {} mutant(s), 100% killed, full protocol clean",
+                matrix.rows.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            println!(
+                "mdbs-check mutate: FAILED ({} survivor(s), full clean: {})",
+                matrix.survivors().len(),
+                matrix.full_clean()
+            );
+        }
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args();
     let _argv0 = args.next();
     match args.next().as_deref() {
-        Some("lint") => run_lint_cmd(args),
+        Some("lint") => run_findings_cmd("lint", args, run_lint),
+        Some("conc") => run_findings_cmd("conc", args, run_conc),
         Some("explore") => run_explore_cmd(args),
+        Some("mutate") => run_mutate_cmd(args),
         Some(other) => usage(&format!("unknown command {other:?}")),
         None => usage("a command is required"),
     }
