@@ -21,7 +21,8 @@
 //!
 //! A *guard binding* is recognized conservatively: `let g = path.lock();`
 //! (optionally chained through `unwrap`/`expect`/`ok`, optionally behind
-//! `&`/`mut`/`*`). Everything else — `m.lock().push(x);`,
+//! `&`/`mut`/`*`, and the path may index into a shard table —
+//! `self.shards[slot].buf.lock()`). Everything else — `m.lock().push(x);`,
 //! `take(&mut *m.lock())` — is a statement-scoped temporary whose guard
 //! drops at the `;`, and is deliberately not treated as held.
 //!
@@ -44,6 +45,7 @@ use crate::scan::{ident_occurrences, match_brace, SourceFile};
 
 /// The files that spawn or service OS threads, in pass order.
 pub const CONC_FILES: &[&str] = &[
+    "crates/mdbs/src/shard.rs",
     "crates/mdbs/src/threaded.rs",
     "crates/net/src/tcp.rs",
     "crates/net/src/cluster.rs",
@@ -55,8 +57,7 @@ pub const CONC_FILES: &[&str] = &[
 /// first. Every `Mutex`/`RwLock` struct field in a [`CONC_FILES`] entry
 /// must be listed here — `conc-lock-order` fails otherwise — so adding a
 /// lock forces a deliberate decision about where it sits in the order.
-pub const DECLARED_LOCK_ORDER: &[(&str, &[&str])] =
-    &[("crates/mdbs/src/threaded.rs", &["history"])];
+pub const DECLARED_LOCK_ORDER: &[(&str, &[&str])] = &[("crates/mdbs/src/shard.rs", &["buf"])];
 
 const RULE_ORDER: &str = "conc-lock-order";
 const RULE_BLOCKING: &str = "conc-blocking-under-guard";
@@ -574,10 +575,15 @@ fn guard_scope(code: &str, body: (usize, usize), acq: &Acquisition) -> Option<(u
         return None;
     }
     // …whose initializer is the bare lock path (`=` then only `&`, `mut`,
-    // `*`, path segments up to the acquisition).
+    // `*`, path segments up to the acquisition). Indexing — the sharded
+    // idiom `self.shards[slot].buf.lock()` — still names a single lock, so
+    // `[`/`]` are allowed: such a guard is *held*, and skipping it here
+    // would exempt every sharded lock from the guard rules.
     let eq = find_plain_eq(code, ss, acq.at)?;
     if !code[eq + 1..acq.at].bytes().all(|b| {
-        b.is_ascii_whitespace() || is_ident_byte(b) || matches!(b, b'&' | b'*' | b'.' | b':')
+        b.is_ascii_whitespace()
+            || is_ident_byte(b)
+            || matches!(b, b'&' | b'*' | b'.' | b':' | b'[' | b']')
     }) {
         return None;
     }
@@ -1111,6 +1117,62 @@ mod tests {
             vec![RULE_PANIC, RULE_PANIC, RULE_PANIC, RULE_PANIC],
             "{f:?}"
         );
+    }
+
+    #[test]
+    fn indexed_sharded_guard_is_recognized_as_held() {
+        // The sharded idiom: the lock lives behind an index expression.
+        // The guard is just as held as a plain `let g = s.q.lock();` —
+        // blocking under it must still be reported.
+        let raw = "struct Shard { buf: Mutex<Vec<u8>> }\n\
+                   struct S { shards: Vec<Shard> }\n\
+                   fn f(s: &S, i: usize, rx: &Receiver<u8>) {\n\
+                       let mut g = s.shards[i].buf.lock();\n\
+                       rx.recv();\n\
+                   }\n";
+        let f = check(raw, &["buf"]);
+        assert_eq!(rules(&f), vec![RULE_BLOCKING], "{f:?}");
+        assert!(f[0].msg.contains("`buf`"));
+    }
+
+    #[test]
+    fn indexed_sharded_temporary_still_drops_at_the_statement() {
+        let raw = "struct Shard { buf: Mutex<Vec<u8>> }\n\
+                   struct S { shards: Vec<Shard> }\n\
+                   fn f(s: &S, i: usize, rx: &Receiver<u8>) {\n\
+                       s.shards[i].buf.lock().push(1);\n\
+                       rx.recv();\n\
+                   }\n";
+        assert!(check(raw, &["buf"]).is_empty());
+    }
+
+    #[test]
+    fn sharded_guard_reacquisition_is_a_self_deadlock() {
+        // Two shards of the same table are still the same declared lock:
+        // the order table has one entry per lock *name*, so holding one
+        // shard while taking another is flagged. The runner's drain
+        // releases each shard's guard before taking the next.
+        let raw = "struct Shard { buf: Mutex<Vec<u8>> }\n\
+                   struct S { shards: Vec<Shard> }\n\
+                   fn f(s: &S) {\n\
+                       let a = s.shards[0].buf.lock();\n\
+                       let b = s.shards[1].buf.lock();\n\
+                   }\n";
+        let f = check(raw, &["buf"]);
+        assert!(f.iter().any(|f| f.msg.contains("self-deadlock")), "{f:?}");
+    }
+
+    #[test]
+    fn indexed_guard_with_call_in_index_is_not_a_guard_binding() {
+        // An index that *computes* — `s.shards[pick(i)].buf.lock()` — has a
+        // `(` in the initializer and stays outside the conservative shape.
+        let raw = "struct Shard { buf: Mutex<Vec<u8>> }\n\
+                   struct S { shards: Vec<Shard> }\n\
+                   fn f(s: &S, i: usize, rx: &Receiver<u8>) {\n\
+                       let g = s.shards[pick(i)].buf.lock();\n\
+                       rx.recv();\n\
+                   }\n";
+        assert!(check(raw, &["buf"]).is_empty());
     }
 
     #[test]

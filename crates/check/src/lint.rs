@@ -63,6 +63,7 @@ const PANIC_FREE_FILES: &[&str] = &[
     "crates/net/src/wire.rs",
     "crates/net/src/frame.rs",
     "crates/core/src/agent.rs",
+    "crates/core/src/certifier.rs",
     "crates/core/src/coordinator.rs",
     "crates/runtime/src/site.rs",
     "crates/runtime/src/coordinator.rs",

@@ -33,6 +33,7 @@ use mdbs_ldbs::{Command, CommandResult};
 use serde::{Deserialize, Serialize};
 
 use crate::agent_log::{AgentLog, LogRecord, RecoveredTxn};
+use crate::certifier::CertIndex;
 use crate::config::AgentConfig;
 use crate::msg::Message;
 use crate::sn::SerialNumber;
@@ -210,6 +211,10 @@ struct SubTxn {
     intervals: Vec<(u64, u64)>,
     /// Local prepare order (for the §5.3 strawman commit rule).
     prepare_seq: u64,
+    /// Handler sequence number at which the current incarnation last became
+    /// alive. The certifier's lazy refresh floor applies to this entry only
+    /// when the floor postdates it (see [`crate::certifier`]).
+    alive_since_seq: u64,
     /// Failed commit certifications so far (safety-valve counter).
     commit_retries: u32,
     /// Highest DML step accepted so far; duplicate deliveries of a step
@@ -273,6 +278,13 @@ pub struct Agent {
     max_prepared_sn: Option<SerialNumber>,
     prepare_counter: u64,
     stats: AgentStats,
+    /// Handler sequence number: bumped once per [`Agent::handle`] call.
+    /// Orders refresh floors against entry alive-points.
+    seq: u64,
+    /// Incremental index over the in-table entries: answers the §4.2
+    /// disjointness question and the Appendix C commit-order question in
+    /// O(log n) instead of a full-table scan per admission.
+    idx: CertIndex,
     /// The durable Agent log (commands, prepare/commit records).
     log: AgentLog,
     /// Transactions that reached a terminal local outcome (committed,
@@ -293,6 +305,8 @@ impl Agent {
             max_prepared_sn: None,
             prepare_counter: 0,
             stats: AgentStats::default(),
+            seq: 0,
+            idx: CertIndex::new(config.cert_shards),
             log: AgentLog::new(),
             done: BTreeSet::new(),
         }
@@ -324,6 +338,8 @@ impl Agent {
             max_prepared_sn: None,
             prepare_counter: 0,
             stats: AgentStats::default(),
+            seq: 0,
+            idx: CertIndex::new(config.cert_shards),
             log,
             done: BTreeSet::new(),
         };
@@ -377,10 +393,14 @@ impl Agent {
                     // until its resubmission completes.
                     intervals: vec![(0, 0)],
                     prepare_seq,
+                    alive_since_seq: 0,
                     commit_retries: 0,
                     last_dml_step: None,
                 },
             );
+            if !matches!(phase, Phase::Active) {
+                agent.idx.register_frozen(txn.gtxn, &touched, sn, 0);
+            }
             match phase {
                 Phase::Active => {
                     // The in-flight conversation died with the site; tell
@@ -437,7 +457,13 @@ impl Agent {
     /// Number of subtransactions currently in the prepared state (the
     /// alive-interval table size).
     pub fn table_len(&self) -> usize {
-        self.subtxns.values().filter(|s| s.in_table()).count()
+        let n = self.idx.len();
+        debug_assert_eq!(
+            n,
+            self.subtxns.values().filter(|s| s.in_table()).count(),
+            "certifier index out of sync with the subtransaction table"
+        );
+        n
     }
 
     /// Current incarnation index of a subtransaction (for tests).
@@ -459,15 +485,29 @@ impl Agent {
     /// bounded model checker asserts the §4 pairwise-intersection property
     /// against; the agent never reads it back.
     pub fn prepared_table(&self) -> Vec<PreparedEntry> {
+        let (floor, floor_seq) = self.idx.floor();
         self.subtxns
             .iter()
             .filter(|(_, st)| st.in_table())
-            .map(|(g, st)| PreparedEntry {
-                gtxn: *g,
-                sn: st.sn,
-                intervals: st.intervals.clone(),
-                alive: st.alive(),
-                commit_pending: st.phase == Phase::CommitPending,
+            .map(|(g, st)| {
+                let mut intervals = st.intervals.clone();
+                // Materialize the lazy refresh floor: an entry alive since
+                // before the last PREPARE-time refresh was (logically)
+                // extended to the refresh instant.
+                if st.alive() && st.alive_since_seq < floor_seq {
+                    if let Some(last) = intervals.last_mut() {
+                        if floor > last.1 {
+                            last.1 = floor;
+                        }
+                    }
+                }
+                PreparedEntry {
+                    gtxn: *g,
+                    sn: st.sn,
+                    intervals,
+                    alive: st.alive(),
+                    commit_pending: st.phase == Phase::CommitPending,
+                }
             })
             .collect()
     }
@@ -478,6 +518,7 @@ impl Agent {
 
     /// Process one input at local time `now` (microseconds, local clock).
     pub fn handle(&mut self, now: u64, input: AgentInput) -> Vec<AgentAction> {
+        self.seq = self.seq.wrapping_add(1);
         match input {
             AgentInput::Deliver(msg) => self.on_message(now, msg),
             AgentInput::LtmDone { gtxn, result } => self.on_ltm_done(now, gtxn, result),
@@ -510,6 +551,7 @@ impl Agent {
                     sn: None,
                     intervals: vec![(now, now)],
                     prepare_seq: 0,
+                    alive_since_seq: 0,
                     commit_retries: 0,
                     last_dml_step: None,
                 };
@@ -596,12 +638,12 @@ impl Agent {
         // Refresh the alive intervals of table entries that are alive right
         // now (an inline alive check; keeps long alive-check periods from
         // causing spurious refusals — the paper's §6 assumes exactly this).
+        // The refresh is lazy: recording the floor marks every currently
+        // alive entry as extended to `now` without walking the table; the
+        // extension is materialized into the stored intervals when an entry
+        // freezes (UAN) and when the table is snapshotted.
         if !self.config.mode.skips_prepare_refresh() {
-            for st in self.subtxns.values_mut() {
-                if st.in_table() && st.alive() {
-                    st.extend_interval(now);
-                }
-            }
+            self.idx.note_refresh(now, self.seq);
         }
 
         let Some(st) = self.subtxns.get(&gtxn) else {
@@ -650,11 +692,20 @@ impl Agent {
         // §4.2 basic certification: candidate interval vs. table intervals.
         if self.config.mode.prepare_certification() {
             let slack = self.config.mode.interval_boundary_slack();
-            let disjoint = self
-                .subtxns
-                .iter()
-                .filter(|(g, other)| **g != gtxn && other.in_table())
-                .any(|(_, other)| !other.intersects_candidate(candidate_begin, slack));
+            let disjoint = if self.config.mode.skips_prepare_refresh() {
+                // Stale-refresh mutant: without the inline refresh the
+                // index's alive-entries-always-intersect shortcut does not
+                // hold, so scan the raw stored intervals like the original
+                // implementation did.
+                self.subtxns
+                    .iter()
+                    .filter(|(g, other)| **g != gtxn && other.in_table())
+                    .any(|(_, other)| !other.intersects_candidate(candidate_begin, slack))
+            } else {
+                // The candidate itself is still in the active phase, so it
+                // is not registered and needs no self-exclusion.
+                self.idx.disjoint(now, candidate_begin, slack, &st.touched)
+            };
             if disjoint {
                 self.stats.refused_interval_disjoint += 1;
                 return self.refuse(gtxn, coord, RefuseReason::AliveIntervalDisjoint);
@@ -674,11 +725,16 @@ impl Agent {
         st.sn = Some(sn);
         st.intervals = vec![(candidate_begin, now)];
         st.phase = Phase::Prepared;
+        // The entry becomes alive-in-table at this very handler call, so
+        // the floor recorded above (same seq) does not apply to it: its
+        // stored end is already `now`.
+        st.alive_since_seq = self.seq;
         if self.max_prepared_sn.is_none_or(|m| sn > m) {
             self.max_prepared_sn = Some(sn);
         }
         self.prepare_counter += 1;
         st.prepare_seq = self.prepare_counter;
+        self.idx.register(gtxn, &st.touched, Some(sn));
         let keys: Vec<u64> = st.touched.iter().copied().collect();
         self.stats.prepares_accepted += 1;
         self.log.append(LogRecord::Prepare {
@@ -762,6 +818,10 @@ impl Agent {
             st.resubmit_next = None;
             let cap = self.config.stored_intervals;
             st.push_interval(now, cap);
+            st.alive_since_seq = self.seq;
+            // Back alive: clear the frozen end from the index. The key set
+            // may have grown during the replay, so re-derive the shards.
+            self.idx.unfreeze(gtxn, &st.touched);
             if st.phase == Phase::CommitPending {
                 return self.try_commit(now, gtxn);
             }
@@ -792,6 +852,21 @@ impl Agent {
         };
         if st.incarnation != instance.incarnation {
             return vec![]; // stale notification for an old incarnation
+        }
+        if st.in_table() && st.alive() {
+            // The entry freezes: materialize the lazy refresh floor into
+            // the stored interval (what the eager PREPARE-time refresh
+            // would have written), then index the now-fixed end.
+            let (floor, floor_seq) = self.idx.floor();
+            if st.alive_since_seq < floor_seq {
+                if let Some(last) = st.intervals.last_mut() {
+                    if floor > last.1 {
+                        last.1 = floor;
+                    }
+                }
+            }
+            let end = st.intervals.last().map_or(0, |l| l.1);
+            self.idx.freeze(gtxn, end);
         }
         st.aborted = true;
         st.executing = false;
@@ -857,6 +932,8 @@ impl Agent {
             // Mutant: declare the fresh incarnation alive without replaying
             // the logged commands — the re-executed writes are lost.
             st.resubmit_next = None;
+            st.alive_since_seq = self.seq;
+            self.idx.unfreeze(gtxn, &st.touched);
             return actions;
         }
         if let Some(&command) = st.commands.first() {
@@ -870,6 +947,8 @@ impl Agent {
             st.resubmit_next = None;
             // Nothing to replay: instantly alive again. The interval restart
             // happens on the next alive check / prepare refresh.
+            st.alive_since_seq = self.seq;
+            self.idx.unfreeze(gtxn, &st.touched);
         }
         actions
     }
@@ -901,21 +980,21 @@ impl Agent {
             match st.sn {
                 Some(my_sn) => {
                     let flipped = self.config.mode.commit_edge_flipped();
-                    let pending_only = self.config.mode.commit_cert_pending_only();
-                    self.subtxns
-                        .iter()
-                        .filter(|(g, o)| {
-                            **g != gtxn
-                                && if pending_only {
-                                    o.phase == Phase::CommitPending
-                                } else {
-                                    o.in_table()
-                                }
-                        })
-                        .all(|(_, o)| {
-                            o.sn.map(|s| if flipped { s < my_sn } else { s > my_sn })
-                                .unwrap_or(true)
-                        })
+                    if self.config.mode.commit_cert_pending_only() {
+                        // Mutant: the phase filter needs per-entry state the
+                        // index does not keep — scan like the original.
+                        self.subtxns
+                            .iter()
+                            .filter(|(g, o)| **g != gtxn && o.phase == Phase::CommitPending)
+                            .all(|(_, o)| {
+                                o.sn.map(|s| if flipped { s < my_sn } else { s > my_sn })
+                                    .unwrap_or(true)
+                            })
+                    } else {
+                        // Appendix C via the index: the extreme serial
+                        // number among the other entries decides.
+                        !self.idx.commit_blocked(gtxn, my_sn, flipped)
+                    }
                 }
                 // A commit-pending entry always carries the serial number
                 // from its PREPARE; pass vacuously if it is missing.
@@ -953,6 +1032,7 @@ impl Agent {
         let Some(st) = self.subtxns.remove(&gtxn) else {
             return vec![]; // unreachable: presence checked above
         };
+        self.idx.remove(gtxn);
         self.done.insert(gtxn);
         if !self.config.mode.skips_max_committed_update() {
             if let Some(sn) = st.sn {
@@ -1000,6 +1080,7 @@ impl Agent {
         let (coord, aborted, incarnation) = (st.coord, st.aborted, st.incarnation);
         if !self.config.mode.keeps_rollback_in_table() {
             self.subtxns.remove(&gtxn);
+            self.idx.remove(gtxn);
         }
         let mut actions = Vec::new();
         if !aborted {

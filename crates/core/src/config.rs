@@ -219,6 +219,14 @@ pub struct AgentConfig {
     /// the in-family anomaly baselines can livelock without it, and a
     /// forced commit surfaces exactly the anomaly the run measures.
     pub max_commit_retries: u32,
+    /// Key-range shards of the certifier's prepared table. With 1 (the
+    /// default) a PREPARE certifies against *every* table entry — the
+    /// paper's site-global §4.2 rule, which the golden digests are recorded
+    /// against. With k > 1 the table is partitioned by `key % k` and a
+    /// PREPARE consults only the shards of the keys its subtransaction
+    /// touched, so disjoint-key subtransactions certify independently.
+    /// 0 is treated as 1.
+    pub cert_shards: usize,
 }
 
 impl Default for AgentConfig {
@@ -229,6 +237,7 @@ impl Default for AgentConfig {
             commit_retry_interval_us: 5_000,
             stored_intervals: 1,
             max_commit_retries: 1_000_000,
+            cert_shards: 1,
         }
     }
 }

@@ -35,6 +35,7 @@
 
 pub mod agent;
 pub mod agent_log;
+pub mod certifier;
 pub mod config;
 pub mod coordinator;
 pub mod msg;

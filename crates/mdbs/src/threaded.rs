@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use mdbs_dtm::{AgentInput, AgentStats, GlobalOutcome, Message};
 use mdbs_histories::{GlobalTxnId, Instance, Op, SiteId};
 use mdbs_ldbs::{Command, Ldbs, SiteProfile, Store};
@@ -33,11 +33,16 @@ use mdbs_runtime::{
 };
 use mdbs_simkit::{DetRng, FaultPlan, Metrics, SimTime};
 use mdbs_workload::predraw;
-use parking_lot::Mutex;
 
 use crate::config::{Protocol, SimConfig};
 use crate::report::{CorrectnessReport, SimReport};
+use crate::shard::ShardedBuffer;
 use crate::sim::{effective_agent_cfg, or_die};
+
+/// How many already-queued messages one wake-up of a site loop delivers
+/// after its blocking receive returns. Bounded so a deep backlog never
+/// starves due timers or injections.
+const RECV_BATCH: usize = 64;
 
 /// What one node thread receives.
 enum NodeMsg {
@@ -119,11 +124,11 @@ struct SharedWorld {
     notices: Sender<Notice>,
     /// The runner's epoch; all node clocks read elapsed time from it.
     epoch: Instant,
-    /// Global operation sequencer: each recorded op takes a stamp so the
-    /// merged history is a real-time-consistent linearization.
-    op_stamp: AtomicU64,
-    /// The merged history, as (stamp, op) pairs.
-    history: Mutex<Vec<(u64, Op)>>,
+    /// Per-node history slots (sites, then coordinators, then central),
+    /// merged in ascending slot order at drain. Conflicts are intra-site,
+    /// so each site's slot carries its own order — the same merge the
+    /// multi-process cluster driver performs on its per-node slices.
+    history: ShardedBuffer<Op>,
     /// Messages handed to the transport (protocol + control).
     messages: AtomicU64,
 }
@@ -132,6 +137,8 @@ struct SharedWorld {
 /// thread-local timer/injection queues the node's event loop drains.
 struct ThreadHost {
     shared: Arc<SharedWorld>,
+    /// This node's slot in the shared history buffer.
+    slot: usize,
     metrics: Metrics,
     timers: BinaryHeap<TimerEntry>,
     timer_seq: u64,
@@ -161,6 +168,7 @@ struct ThreadHost {
 impl ThreadHost {
     fn new(
         shared: Arc<SharedWorld>,
+        slot: usize,
         inject_rng: DetRng,
         cfg: &SimConfig,
         fault_plan: Arc<FaultPlan>,
@@ -168,6 +176,7 @@ impl ThreadHost {
     ) -> Self {
         ThreadHost {
             shared,
+            slot,
             metrics: Metrics::new(),
             timers: BinaryHeap::new(),
             timer_seq: 0,
@@ -321,8 +330,7 @@ impl Transport for ThreadHost {
 
 impl RuntimeHost for ThreadHost {
     fn record_op(&mut self, op: Op) {
-        let stamp = self.shared.op_stamp.fetch_add(1, Ordering::SeqCst);
-        self.shared.history.lock().push((stamp, op));
+        self.shared.history.record(self.slot, op);
     }
 
     fn inc(&mut self, name: &'static str) {
@@ -441,13 +449,17 @@ impl ThreadedRunner {
             register(CENTRAL);
         }
 
+        // Slot layout: sites 0..S, coordinators S..S+C, central S+C.
+        let coord_slot0 = spec.sites as usize;
+        let central_slot = coord_slot0 + cfg.coordinators as usize;
+        let slots = central_slot + usize::from(cgm);
+
         let (notice_tx, notice_rx) = unbounded();
         let shared = Arc::new(SharedWorld {
             senders,
             notices: notice_tx,
             epoch: Instant::now(),
-            op_stamp: AtomicU64::new(0),
-            history: Mutex::new(Vec::new()),
+            history: ShardedBuffer::new(slots),
             messages: AtomicU64::new(0),
         });
 
@@ -470,6 +482,7 @@ impl ThreadedRunner {
                 let rx = receivers[&s].clone();
                 let host = ThreadHost::new(
                     Arc::clone(&shared),
+                    s as usize,
                     root.substream_n("inject", s as u64),
                     cfg,
                     Arc::clone(&fault_plan),
@@ -496,6 +509,7 @@ impl ThreadedRunner {
                 let rx = receivers[&node].clone();
                 let host = ThreadHost::new(
                     Arc::clone(&shared),
+                    coord_slot0 + c as usize,
                     root.substream("unused"),
                     cfg,
                     Arc::clone(&fault_plan),
@@ -521,6 +535,7 @@ impl ThreadedRunner {
                 // which is never faulted.
                 let host = ThreadHost::new(
                     Arc::clone(&shared),
+                    central_slot,
                     root.substream("unused"),
                     cfg,
                     Arc::clone(&fault_plan),
@@ -644,9 +659,7 @@ impl ThreadedRunner {
             metrics.add("global_committed", committed);
             metrics.add("global_aborted", aborted);
 
-            let mut ops = std::mem::take(&mut *shared.history.lock());
-            ops.sort_by_key(|&(stamp, _)| stamp);
-            let history = mdbs_histories::History::from_ops(ops.into_iter().map(|(_, op)| op));
+            let history = mdbs_histories::History::from_ops(shared.history.drain());
             let checks = CorrectnessReport::analyze(&history, spec.sites);
             for st in &site_stats {
                 metrics.add("prepares_accepted", st.prepares_accepted);
@@ -758,14 +771,39 @@ fn site_loop(
             .unwrap_or(u64::MAX)
             .min(cfg.deadlock_scan_us.max(1))
             .max(1);
+        let mut shutdown = false;
         match rx.recv_timeout(Duration::from_micros(wait_us)) {
-            Ok(NodeMsg::Net(msg)) => or_die(rt.agent_input(AgentInput::Deliver(msg), &mut host)),
+            Ok(NodeMsg::Net(msg)) => {
+                or_die(rt.agent_input(AgentInput::Deliver(msg), &mut host));
+                // Messages already queued behind the first one are
+                // delivered in the same wake-up, up to RECV_BATCH, before
+                // deadlines are recomputed.
+                for _ in 1..RECV_BATCH {
+                    match rx.try_recv() {
+                        Ok(NodeMsg::Net(msg)) => {
+                            or_die(rt.agent_input(AgentInput::Deliver(msg), &mut host))
+                        }
+                        Ok(NodeMsg::Shutdown) | Err(TryRecvError::Disconnected) => {
+                            shutdown = true;
+                            break;
+                        }
+                        Ok(NodeMsg::Ctrl { .. }) | Ok(NodeMsg::StartGlobal { .. }) => {
+                            // mdbs-check: allow(conc-panic-in-thread) -- routing invariant: the driver only ever sends Net to site nodes
+                            unreachable!("sites receive no control traffic")
+                        }
+                        Err(TryRecvError::Empty) => break,
+                    }
+                }
+            }
             Ok(NodeMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
             Ok(NodeMsg::Ctrl { .. }) | Ok(NodeMsg::StartGlobal { .. }) => {
                 // mdbs-check: allow(conc-panic-in-thread) -- routing invariant: the driver only ever sends Net to site nodes
                 unreachable!("sites receive no control traffic")
             }
             Err(RecvTimeoutError::Timeout) => {}
+        }
+        if shutdown {
+            break;
         }
     }
     (host.metrics, *rt.agent().stats())

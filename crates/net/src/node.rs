@@ -40,6 +40,11 @@ use mdbs_workload::predraw;
 use crate::tcp::{NetEvent, TcpTransport, TcpTransportConfig, TransportStats};
 use crate::wire::WireMsg;
 
+/// How many already-queued events one wake-up of a site loop handles after
+/// its blocking poll returns. Bounded so a deep backlog never starves the
+/// injection and deadlock-scan schedule.
+const RECV_BATCH: usize = 64;
+
 /// What a finished node hands back to its caller: the stdout lines the
 /// cluster harness parses (digests from the driver, stats from everyone).
 #[derive(Debug, Clone)]
@@ -342,21 +347,42 @@ fn run_site(cfg: &ClusterConfig, s: u32) -> io::Result<NodeOutput> {
             .unwrap_or(u64::MAX)
             .min(next_scan_us.saturating_sub(host.elapsed_us()).max(1))
             .clamp(1, 20_000);
-        match host.transport.poll(Duration::from_micros(wait_us)) {
-            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => {
-                or_die(rt.agent_input(AgentInput::Deliver(msg), &mut host))
-            }
-            Some(NetEvent::Msg(WireMsg::Drain)) => draining = true,
-            Some(NetEvent::Msg(WireMsg::Shutdown)) => break,
-            Some(NetEvent::Msg(_)) => {} // not site traffic; ignore
-            Some(NetEvent::Timer { timer, .. }) => or_die(match timer {
-                Timer::Alive { gtxn } => rt.agent_input(AgentInput::AliveTimer { gtxn }, &mut host),
-                Timer::CommitRetry { gtxn } => {
-                    rt.agent_input(AgentInput::CommitRetryTimer { gtxn }, &mut host)
+        // One blocking poll, then drain what is already queued (with a
+        // budget so injections and deadlock scans still run on schedule).
+        let mut event = host.transport.poll(Duration::from_micros(wait_us));
+        let mut budget = RECV_BATCH;
+        let mut shutdown = false;
+        while let Some(ev) = event.take() {
+            match ev {
+                NetEvent::Msg(WireMsg::Net { msg, .. }) => {
+                    or_die(rt.agent_input(AgentInput::Deliver(msg), &mut host))
                 }
-                Timer::LtmExec { instance, command } => rt.ltm_exec(instance, command, &mut host),
-            }),
-            None => {}
+                NetEvent::Msg(WireMsg::Drain) => draining = true,
+                NetEvent::Msg(WireMsg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                NetEvent::Msg(_) => {} // not site traffic; ignore
+                NetEvent::Timer { timer, .. } => or_die(match timer {
+                    Timer::Alive { gtxn } => {
+                        rt.agent_input(AgentInput::AliveTimer { gtxn }, &mut host)
+                    }
+                    Timer::CommitRetry { gtxn } => {
+                        rt.agent_input(AgentInput::CommitRetryTimer { gtxn }, &mut host)
+                    }
+                    Timer::LtmExec { instance, command } => {
+                        rt.ltm_exec(instance, command, &mut host)
+                    }
+                }),
+            }
+            budget -= 1;
+            if budget == 0 {
+                break;
+            }
+            event = host.transport.try_poll();
+        }
+        if shutdown {
+            break;
         }
     }
 

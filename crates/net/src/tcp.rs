@@ -255,6 +255,20 @@ impl TcpTransport {
         }
     }
 
+    /// Non-blocking [`TcpTransport::poll`]: the next already-queued message
+    /// or already-due timer, or `None` immediately. Lets an event loop
+    /// drain a backlog in one wake-up instead of paying one blocking
+    /// receive per frame.
+    pub fn try_poll(&mut self) -> Option<NetEvent> {
+        if let Some(due) = self.pop_due_timer(Instant::now()) {
+            return Some(due);
+        }
+        match self.inbound.try_recv() {
+            Ok(msg) => Some(NetEvent::Msg(msg)),
+            Err(_) => None,
+        }
+    }
+
     /// Stop every thread and join them. Queued frames on healthy
     /// connections are flushed first; frames for unreachable peers are
     /// abandoned.
