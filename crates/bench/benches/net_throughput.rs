@@ -1,16 +1,27 @@
 //! `mdbs-net` throughput: wire codec and TCP loopback transport.
 //!
-//! Two measurements, into `BENCH_net.json` at the repository root:
+//! Three measurements, into `BENCH_net.json` at the repository root:
 //!
 //! 1. **Codec** — encode + frame + deframe + decode a representative 2PC
 //!    conversation mix, single-threaded, no sockets: the pure CPU cost of
 //!    the hand-rolled wire format (messages/s and MB/s).
-//! 2. **TCP loopback** — one [`TcpTransport`] pair on `127.0.0.1`; the
-//!    sender pumps the same mix through a bounded outbox, the receiver
-//!    polls it back out: end-to-end frames/s including framing, CRC,
-//!    syscalls, and the per-peer writer thread.
+//! 2. **TCP loopback, batched** — one [`TcpTransport`] pair on
+//!    `127.0.0.1` with the default coalescing knobs (`batch_max = 256`,
+//!    adaptive 100µs flush deadline); the sender pumps the same mix
+//!    through a bounded outbox, the receiver polls it back out:
+//!    end-to-end delivered messages/s including framing, CRC, syscalls,
+//!    and the per-peer writer thread.
+//! 3. **TCP loopback, unbatched** — the same pair with `batch_max = 1`,
+//!    deadline 0 (one v1 frame per message, the pre-batching wire
+//!    format), measured in the same run as the batched number so the
+//!    speedup is an apples-to-apples baseline.
+//!
+//! `NET_BENCH_SMOKE=1` switches to a time-capped CI mode: fewer rounds,
+//! no JSON written, and a hard assertion that batching delivers at least
+//! 2× the unbatched message rate.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use mdbs_dtm::{Message, SerialNumber};
@@ -95,11 +106,23 @@ fn bench_codec(rounds: u32) -> CodecSample {
 }
 
 struct TcpSample {
-    frames_per_s: f64,
+    /// Delivered protocol messages per second (the apples-to-apples rate:
+    /// unbatched, one message is exactly one wire frame).
+    msgs_per_s: f64,
     mb_per_s: f64,
+    /// Wire frames the sender actually flushed (< messages when batching
+    /// coalesces).
+    wire_frames: u64,
+    /// Flushed frames that coalesced more than one message.
+    batches: u64,
 }
 
-fn transport(node: u32, addrs: &[String]) -> TcpTransport {
+fn transport(
+    node: u32,
+    addrs: &[String],
+    batch_max: usize,
+    flush_deadline_us: u64,
+) -> TcpTransport {
     let peers: BTreeMap<u32, String> = (0..addrs.len() as u32)
         .filter(|&n| n != node)
         .map(|n| (n, addrs[n as usize].clone()))
@@ -109,6 +132,8 @@ fn transport(node: u32, addrs: &[String]) -> TcpTransport {
         listen_addr: addrs[node as usize].clone(),
         peers,
         outbox_capacity: 1024,
+        batch_max,
+        flush_deadline_us,
         backoff_initial: Duration::from_millis(10),
         backoff_max: Duration::from_millis(500),
         test_drop_after: None,
@@ -116,10 +141,10 @@ fn transport(node: u32, addrs: &[String]) -> TcpTransport {
     .expect("bind loopback transport")
 }
 
-fn bench_tcp(rounds: u32) -> TcpSample {
+fn bench_tcp(rounds: u32, batch_max: usize, flush_deadline_us: u64) -> TcpSample {
     let addrs = loopback_addrs(2).expect("reserve loopback addrs");
-    let sender = transport(0, &addrs);
-    let mut receiver = transport(1, &addrs);
+    let sender = transport(0, &addrs, batch_max, flush_deadline_us);
+    let mut receiver = transport(1, &addrs, batch_max, flush_deadline_us);
     let expect = u64::from(rounds) * conversation(1).len() as u64;
     let bytes: u64 = conversation(1)
         .iter()
@@ -140,27 +165,55 @@ fn bench_tcp(rounds: u32) -> TcpSample {
 
     let start = Instant::now();
     for g in 0..rounds {
-        for msg in conversation(g + 1) {
-            sender.send_wire(1, msg);
-        }
+        // One conversation = one group, exactly how the node runtime's
+        // group-commit buffer hands bursts to the transport. Under
+        // batch_max = 1 the group is chunked back into single-message
+        // sends at enqueue time, reproducing the pre-batching path.
+        sender.send_wire_group(1, conversation(g + 1));
     }
     let (receiver, got) = rx.join().expect("receiver thread");
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     assert_eq!(got, expect, "loopback transport must deliver everything");
+    let wire_frames = sender.stats().frames_sent.load(Ordering::Relaxed);
+    let batches = sender.stats().batches_sent.load(Ordering::Relaxed);
     sender.shutdown();
     receiver.shutdown();
     TcpSample {
-        frames_per_s: got as f64 / secs,
+        msgs_per_s: got as f64 / secs,
         mb_per_s: bytes as f64 / secs / 1e6,
+        wire_frames,
+        batches,
     }
 }
 
+/// Best of `runs` for one knob setting.
+fn tcp_best(runs: u32, rounds: u32, batch_max: usize, flush_deadline_us: u64) -> TcpSample {
+    let mut best = bench_tcp(rounds, batch_max, flush_deadline_us);
+    for _ in 1..runs {
+        let s = bench_tcp(rounds, batch_max, flush_deadline_us);
+        if s.msgs_per_s > best.msgs_per_s {
+            best = s;
+        }
+    }
+    best
+}
+
+const BATCH_MAX: usize = 256;
+const FLUSH_DEADLINE_US: u64 = 100;
+
 fn main() {
-    // Warm up, then measure (best of 3).
+    let smoke = std::env::var_os("NET_BENCH_SMOKE").is_some();
+
+    // Warm up, then measure (best of 3; smoke mode trims everything).
+    let (codec_rounds, tcp_rounds, runs) = if smoke {
+        (2_000, 10_000, 1)
+    } else {
+        (20_000, 50_000, 3)
+    };
     bench_codec(1_000);
-    let mut codec = bench_codec(20_000);
-    for _ in 0..2 {
-        let s = bench_codec(20_000);
+    let mut codec = bench_codec(codec_rounds);
+    for _ in 1..=if smoke { 0 } else { 2 } {
+        let s = bench_codec(codec_rounds);
         if s.msgs_per_s > codec.msgs_per_s {
             codec = s;
         }
@@ -170,24 +223,55 @@ fn main() {
         codec.msgs_per_s, codec.mb_per_s, codec.bytes_per_msg
     );
 
-    let mut tcp = bench_tcp(5_000);
-    for _ in 0..2 {
-        let s = bench_tcp(5_000);
-        if s.frames_per_s > tcp.frames_per_s {
-            tcp = s;
-        }
-    }
+    // Same-run baseline: batch_max 1, deadline 0 — the pre-batching wire
+    // format, one v1 frame per message.
+    let unbatched = tcp_best(runs, tcp_rounds, 1, 0);
     println!(
-        "tcp loopback: {:.0} frames/s, {:.1} MB/s",
-        tcp.frames_per_s, tcp.mb_per_s
+        "tcp loopback unbatched: {:.0} msgs/s, {:.1} MB/s ({} frames, {} batches)",
+        unbatched.msgs_per_s, unbatched.mb_per_s, unbatched.wire_frames, unbatched.batches
     );
+    assert_eq!(unbatched.batches, 0, "batch_max=1 must never coalesce");
+
+    let batched = tcp_best(runs, tcp_rounds, BATCH_MAX, FLUSH_DEADLINE_US);
+    let speedup = batched.msgs_per_s / unbatched.msgs_per_s.max(1e-9);
+    println!(
+        "tcp loopback batched: {:.0} msgs/s, {:.1} MB/s ({} frames, {} batches, {:.1}x unbatched)",
+        batched.msgs_per_s, batched.mb_per_s, batched.wire_frames, batched.batches, speedup
+    );
+    assert!(batched.batches > 0, "coalescing never engaged");
+
+    if smoke {
+        // CI gate: batching must be worth at least 2x on the same box in
+        // the same run, or the hot path regressed.
+        assert!(
+            speedup >= 2.0,
+            "batched loopback {:.0} msgs/s is under 2x the unbatched {:.0} msgs/s",
+            batched.msgs_per_s,
+            unbatched.msgs_per_s
+        );
+        println!("smoke ok: {speedup:.1}x >= 2x");
+        return;
+    }
 
     let json = format!(
         "{{\n  \"bench\": \"net_throughput\",\n  \
          \"mix\": \"6-message 2PC conversation (Dml, DmlResult x11 rows, Prepare, Ready, Commit, CommitAck)\",\n  \
          \"codec\": {{\"msgs_per_s\": {:.1}, \"mb_per_s\": {:.2}, \"bytes_per_msg\": {:.1}}},\n  \
-         \"tcp_loopback\": {{\"frames_per_s\": {:.1}, \"mb_per_s\": {:.2}}}\n}}\n",
-        codec.msgs_per_s, codec.mb_per_s, codec.bytes_per_msg, tcp.frames_per_s, tcp.mb_per_s
+         \"tcp_loopback\": {{\"frames_per_s\": {:.1}, \"mb_per_s\": {:.2}, \"wire_frames\": {}, \"batches\": {}, \"batch_max\": {}, \"flush_deadline_us\": {}}},\n  \
+         \"tcp_loopback_unbatched\": {{\"frames_per_s\": {:.1}, \"mb_per_s\": {:.2}}},\n  \
+         \"batched_speedup\": {:.2}\n}}\n",
+        codec.msgs_per_s,
+        codec.mb_per_s,
+        codec.bytes_per_msg,
+        batched.msgs_per_s,
+        batched.mb_per_s,
+        batched.wire_frames,
+        batched.batches,
+        BATCH_MAX,
+        FLUSH_DEADLINE_US,
+        unbatched.msgs_per_s,
+        unbatched.mb_per_s,
+        speedup
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
     std::fs::write(path, &json).expect("write BENCH_net.json");

@@ -560,13 +560,21 @@ pub struct ClusterConfig {
     /// Listen address of the CGM central scheduler, when the protocol
     /// needs one.
     pub central_addr: Option<String>,
-    /// Per-peer outbox capacity (frames); senders block when full.
+    /// Per-peer outbox capacity (message groups); senders block when full.
     pub outbox_capacity: usize,
+    /// Most messages one wire frame may coalesce; 1 disables batching
+    /// (every message rides its own v1 frame, as before the batch
+    /// envelope existed).
+    pub batch_max: usize,
+    /// Ceiling of the adaptive group-flush deadline in microseconds; 0
+    /// flushes every batch as soon as the outbox runs dry.
+    pub flush_deadline_us: u64,
     /// Reconnect backoff `(initial_ms, max_ms)`, doubling per attempt.
     pub backoff_ms: (u64, u64),
-    /// Test hook: `(node, frame_count)` — the node severs its outbound
-    /// sockets once after sending `frame_count` frames, forcing the
-    /// reconnect + retransmission path mid-run.
+    /// Test hook: `(node, message_count)` — the node severs its outbound
+    /// sockets once after sending `message_count` messages (counted
+    /// across batches), forcing the reconnect + retransmission path
+    /// mid-run.
     pub test_drop: Vec<(u32, u64)>,
 }
 
@@ -589,6 +597,11 @@ impl ClusterConfig {
             return Err(ConfigError("protocol cgm needs node.central.addr".into()));
         }
         let outbox_capacity = kv.get_or("net.outbox_capacity", 1024usize)?;
+        let batch_max = kv.get_or("net.batch_max", 256usize)?;
+        if batch_max == 0 {
+            return Err(ConfigError("net.batch_max must be >= 1".into()));
+        }
+        let flush_deadline_us = kv.get_or("net.flush_deadline_us", 100u64)?;
         let backoff_ms = (
             kv.get_or("net.backoff_initial_ms", 10u64)?,
             kv.get_or("net.backoff_max_ms", 1000u64)?,
@@ -615,6 +628,8 @@ impl ClusterConfig {
             coord_addrs,
             central_addr,
             outbox_capacity,
+            batch_max,
+            flush_deadline_us,
             backoff_ms,
             test_drop,
         })
@@ -633,6 +648,11 @@ impl ClusterConfig {
             out.push_str(&format!("node.central.addr = {addr}\n"));
         }
         out.push_str(&format!("net.outbox_capacity = {}\n", self.outbox_capacity));
+        out.push_str(&format!("net.batch_max = {}\n", self.batch_max));
+        out.push_str(&format!(
+            "net.flush_deadline_us = {}\n",
+            self.flush_deadline_us
+        ));
         out.push_str(&format!("net.backoff_initial_ms = {}\n", self.backoff_ms.0));
         out.push_str(&format!("net.backoff_max_ms = {}\n", self.backoff_ms.1));
         if !self.test_drop.is_empty() {
@@ -860,18 +880,27 @@ mod tests {
     #[test]
     fn cluster_test_drop_and_knobs_parse() {
         let text = format!(
-            "{}net.outbox_capacity = 64\nnet.backoff_initial_ms = 5\n\
+            "{}net.outbox_capacity = 64\nnet.batch_max = 16\n\
+             net.flush_deadline_us = 50\nnet.backoff_initial_ms = 5\n\
              net.backoff_max_ms = 250\nnet.test_drop = 0@10,1000000@3\n",
             cluster_text()
         );
         let c = ClusterConfig::from_kv_text(&text).unwrap();
         assert_eq!(c.outbox_capacity, 64);
+        assert_eq!(c.batch_max, 16);
+        assert_eq!(c.flush_deadline_us, 50);
         assert_eq!(c.backoff_ms, (5, 250));
         assert_eq!(c.test_drop, vec![(0, 10), (1_000_000, 3)]);
         assert_eq!(
             ClusterConfig::from_kv_text(&c.to_kv_text().unwrap()).unwrap(),
             c
         );
+        // Defaults: batching on, adaptive deadline at its 100µs ceiling.
+        let c = ClusterConfig::from_kv_text(&cluster_text()).unwrap();
+        assert_eq!((c.batch_max, c.flush_deadline_us), (256, 100));
+        // batch_max 0 would make every frame empty; rejected outright.
+        let text = format!("{}net.batch_max = 0\n", cluster_text());
+        assert!(ClusterConfig::from_kv_text(&text).is_err());
     }
 
     #[test]

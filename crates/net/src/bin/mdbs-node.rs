@@ -14,8 +14,8 @@
 
 use std::process::ExitCode;
 
-use rigorous_mdbs::net::run_node;
-use rigorous_mdbs::sim::{ClusterConfig, NodeRole};
+use mdbs_net::run_node;
+use mdbs_sim::{ClusterConfig, NodeRole};
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("mdbs-node: {err}");

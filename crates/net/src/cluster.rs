@@ -25,6 +25,12 @@ pub struct NodeStats {
     pub frames_sent: u64,
     /// Frames received and decoded.
     pub frames_received: u64,
+    /// Messages carried by sent frames (≥ frames when batches coalesce).
+    pub msgs_sent: u64,
+    /// Messages carried by received frames.
+    pub msgs_received: u64,
+    /// Sent frames that coalesced more than one message.
+    pub batches_sent: u64,
     /// Successful outbound connections (first connects and reconnects).
     pub connects: u64,
     /// Inbound connections severed by framing/codec errors.
@@ -87,6 +93,8 @@ pub fn loopback_cluster(scenario: SimConfig) -> io::Result<ClusterConfig> {
         coord_addrs,
         central_addr,
         outbox_capacity: 1024,
+        batch_max: 256,
+        flush_deadline_us: 100,
         backoff_ms: (10, 1_000),
         test_drop: Vec::new(),
     })
@@ -290,6 +298,9 @@ fn parse_outcome(outputs: &[(NodeRole, String, String)]) -> Result<ClusterOutcom
                         NodeStats {
                             frames_sent: num(&f, "frames_sent")?,
                             frames_received: num(&f, "frames_received")?,
+                            msgs_sent: num(&f, "msgs_sent")?,
+                            msgs_received: num(&f, "msgs_received")?,
+                            batches_sent: num(&f, "batches_sent")?,
                             connects: num(&f, "connects")?,
                             decode_errors: num(&f, "decode_errors")?,
                             test_drops: num(&f, "test_drops")?,
@@ -336,10 +347,11 @@ mdbs-node outcome digest=0x00000000deadbeef
 mdbs-node site-verdict site=0 digest=0x0000000000000010
 mdbs-node site-verdict site=1 digest=0x0000000000000020
 mdbs-node summary committed=10 aborted=2 local_committed=6 local_aborted=0 checks_passed=true
-mdbs-node stats node=1000000 role=coord:0 frames_sent=40 frames_received=41 connects=4 decode_errors=0 test_drops=0
+mdbs-node stats node=1000000 role=coord:0 frames_sent=40 frames_received=41 msgs_sent=90 msgs_received=95 batches_sent=12 connects=4 decode_errors=0 test_drops=0
 ";
         let site_out = "mdbs-node stats node=0 role=site:0 frames_sent=9 \
-                        frames_received=8 connects=2 decode_errors=0 test_drops=1\n";
+                        frames_received=8 msgs_sent=20 msgs_received=17 batches_sent=3 \
+                        connects=2 decode_errors=0 test_drops=1\n";
         let outputs = vec![
             (
                 NodeRole::Coordinator(0),
@@ -355,7 +367,9 @@ mdbs-node stats node=1000000 role=coord:0 frames_sent=40 frames_received=41 conn
         assert_eq!((o.committed, o.aborted), (10, 2));
         assert!(o.checks_passed);
         assert_eq!(o.stats[&0].test_drops, 1);
+        assert_eq!(o.stats[&0].msgs_sent, 20);
         assert_eq!(o.stats[&1_000_000].frames_sent, 40);
+        assert_eq!(o.stats[&1_000_000].batches_sent, 12);
         assert!(o.missing_reports.is_empty());
     }
 }

@@ -5,11 +5,18 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"MDBN"
-//! 4       1     version (currently 1)
+//! 4       1     version (1 = single message, 2 = batch)
 //! 5       4     payload length, little-endian, <= MAX_FRAME_LEN
 //! 9       4     CRC32 (IEEE) of the payload, little-endian
-//! 13      len   payload (one wire::WireMsg)
+//! 13      len   payload
 //! ```
+//!
+//! A **version 1** payload is one `wire::WireMsg`; a **version 2** payload
+//! is a `wire` batch: a `u32` message count followed by that many
+//! back-to-back `WireMsg` encodings (see `wire::encode_batch`). Both
+//! versions share the header layout, so one [`FrameDecoder`] handles a
+//! stream that interleaves them freely — the sender coalesces when it can
+//! and falls back to single-message frames when it can't.
 //!
 //! The decoder is incremental — feed it whatever `read()` returned and
 //! take complete frames out — and strict: bad magic, an unknown version,
@@ -23,8 +30,12 @@ use std::fmt;
 
 /// Leading bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"MDBN";
-/// The only wire version this build speaks.
+/// Wire version for a single-message payload (the v1 format every build
+/// has always spoken).
 pub const WIRE_VERSION: u8 = 1;
+/// Wire version for a batch payload: one CRC-framed header carrying many
+/// messages.
+pub const WIRE_VERSION_BATCH: u8 = 2;
 /// Header size in bytes: magic + version + length + CRC.
 pub const HEADER_LEN: usize = 13;
 /// Hard cap on a payload. Generous — a full node report for a large run
@@ -105,13 +116,27 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
-/// Wrap a payload in a frame.
+/// Wrap a single-message payload in a version 1 frame.
 ///
 /// # Panics
 ///
 /// If `payload` exceeds [`MAX_FRAME_LEN`] — encoding oversized frames is
 /// a local programming error, not a peer's.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    encode_frame_versioned(WIRE_VERSION, payload)
+}
+
+/// Wrap a batch payload (`wire::encode_batch`) in a version 2 frame.
+///
+/// # Panics
+///
+/// If `payload` exceeds [`MAX_FRAME_LEN`] — encoding oversized frames is
+/// a local programming error, not a peer's.
+pub fn encode_batch_frame(payload: &[u8]) -> Vec<u8> {
+    encode_frame_versioned(WIRE_VERSION_BATCH, payload)
+}
+
+fn encode_frame_versioned(version: u8, payload: &[u8]) -> Vec<u8> {
     assert!(
         payload.len() <= MAX_FRAME_LEN,
         "refusing to encode a {}-byte frame (cap {MAX_FRAME_LEN})",
@@ -119,11 +144,21 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
     );
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.push(WIRE_VERSION);
+    out.push(version);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
     out
+}
+
+/// One complete frame out of the decoder: which payload format the header
+/// declared, and the CRC-verified payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// [`WIRE_VERSION`] or [`WIRE_VERSION_BATCH`].
+    pub version: u8,
+    /// The payload (one message, or one batch of messages).
+    pub payload: Vec<u8>,
 }
 
 /// A little-endian `u32` at `offset`, or `None` if the buffer is short.
@@ -156,11 +191,35 @@ impl FrameDecoder {
         self.buf.len()
     }
 
-    /// Pop the next complete payload, if one is buffered.
+    /// Pop the next complete **version 1** payload, if one is buffered.
+    ///
+    /// This is the legacy single-message reader: a batch frame in the
+    /// stream is a clean [`FrameError::BadVersion`] (sever the
+    /// connection), never a panic or a misread. Batch-aware readers use
+    /// [`next_frame_versioned`].
     ///
     /// `Ok(None)` means "need more bytes"; an `Err` means the stream is
     /// unrecoverably mis-framed and the connection should be dropped.
+    ///
+    /// [`next_frame_versioned`]: FrameDecoder::next_frame_versioned
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        match self.next_frame_versioned()? {
+            Some(Frame {
+                version: WIRE_VERSION,
+                payload,
+            }) => Ok(Some(payload)),
+            Some(Frame { version, .. }) => Err(FrameError::BadVersion(version)),
+            None => Ok(None),
+        }
+    }
+
+    /// Pop the next complete frame — single-message or batch — if one is
+    /// buffered. This is the batch-aware reader: version 1 and version 2
+    /// frames may interleave freely on one stream.
+    ///
+    /// `Ok(None)` means "need more bytes"; an `Err` means the stream is
+    /// unrecoverably mis-framed and the connection should be dropped.
+    pub fn next_frame_versioned(&mut self) -> Result<Option<Frame>, FrameError> {
         // Validate what we have of the magic eagerly — even before a full
         // header — so garbage is rejected without waiting for more bytes.
         // The zip stops at the shorter side, so a matching partial prefix
@@ -178,11 +237,11 @@ impl FrameDecoder {
         // The header is complete from here on; every read still goes
         // through `get` so a logic slip degrades to "need more bytes"
         // instead of a panic.
-        match self.buf.get(4) {
-            Some(&v) if v == WIRE_VERSION => {}
+        let version = match self.buf.get(4) {
+            Some(&v) if v == WIRE_VERSION || v == WIRE_VERSION_BATCH => v,
             Some(&v) => return Err(FrameError::BadVersion(v)),
             None => return Ok(None),
-        }
+        };
         let Some(len) = read_le_u32(&self.buf, 5) else {
             return Ok(None);
         };
@@ -205,7 +264,7 @@ impl FrameDecoder {
             });
         }
         self.buf.drain(..total);
-        Ok(Some(payload))
+        Ok(Some(Frame { version, payload }))
     }
 }
 
@@ -280,6 +339,60 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.extend(&frame);
         assert!(matches!(dec.next_frame(), Err(FrameError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn batch_frame_round_trips_and_interleaves_with_v1() {
+        let mut bytes = encode_frame(b"solo");
+        bytes.extend_from_slice(&encode_batch_frame(b"batchy payload"));
+        bytes.extend_from_slice(&encode_frame(b"solo again"));
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert_eq!(
+            dec.next_frame_versioned().expect("clean"),
+            Some(Frame {
+                version: WIRE_VERSION,
+                payload: b"solo".to_vec()
+            })
+        );
+        assert_eq!(
+            dec.next_frame_versioned().expect("clean"),
+            Some(Frame {
+                version: WIRE_VERSION_BATCH,
+                payload: b"batchy payload".to_vec()
+            })
+        );
+        assert_eq!(
+            dec.next_frame_versioned().expect("clean"),
+            Some(Frame {
+                version: WIRE_VERSION,
+                payload: b"solo again".to_vec()
+            })
+        );
+        assert_eq!(dec.next_frame_versioned().expect("clean"), None);
+    }
+
+    #[test]
+    fn legacy_reader_rejects_batch_frames_cleanly() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&encode_batch_frame(b"newer than you"));
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::BadVersion(WIRE_VERSION_BATCH))
+        );
+    }
+
+    #[test]
+    fn corrupt_batch_payload_fails_crc() {
+        let mut frame = encode_batch_frame(b"group commit");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&frame);
+        assert!(matches!(
+            dec.next_frame_versioned(),
+            Err(FrameError::BadCrc { .. })
+        ));
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub struct NodeOutput {
 /// injection and settlement state.
 struct NodeHost {
     transport: TcpTransport,
+    /// Group-commit buffer: everything a burst of input produces is
+    /// staged per destination and handed to the transport as one
+    /// [`TcpTransport::send_wire_group`] at flush points (before every
+    /// blocking poll and before shutdown). A site's READYs and a
+    /// coordinator's COMMITs for concurrently prepared transactions
+    /// therefore ride one frame per link.
+    outgoing: BTreeMap<u32, Vec<WireMsg>>,
     metrics: Metrics,
     /// This node's history slice, in local order.
     ops: Vec<Op>,
@@ -80,6 +87,7 @@ impl NodeHost {
     fn new(transport: TcpTransport, inject_rng: DetRng, cfg: &ClusterConfig) -> NodeHost {
         NodeHost {
             transport,
+            outgoing: BTreeMap::new(),
             metrics: Metrics::new(),
             ops: Vec::new(),
             injections: Vec::new(),
@@ -96,6 +104,20 @@ impl NodeHost {
 
     fn elapsed_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Stage one envelope for the next flush. Every send — protocol,
+    /// control, or cluster envelope — goes through here so the per-link
+    /// FIFO order of the unbatched transport is preserved exactly.
+    fn queue_wire(&mut self, to: u32, msg: WireMsg) {
+        self.outgoing.entry(to).or_default().push(msg);
+    }
+
+    /// Hand every staged group to the transport, one group per link.
+    fn flush_outgoing(&mut self) {
+        while let Some((to, msgs)) = self.outgoing.pop_first() {
+            self.transport.send_wire_group(to, msgs);
+        }
     }
 
     fn take_due_injections(&mut self, now_us: u64) -> Vec<Instance> {
@@ -119,11 +141,14 @@ impl NodeHost {
         use std::sync::atomic::Ordering::Relaxed;
         let s: &TransportStats = self.transport.stats();
         format!(
-            "mdbs-node stats node={} role={} frames_sent={} frames_received={} connects={} decode_errors={} test_drops={}",
+            "mdbs-node stats node={} role={} frames_sent={} frames_received={} msgs_sent={} msgs_received={} batches_sent={} connects={} decode_errors={} test_drops={}",
             node,
             role.key(),
             s.frames_sent.load(Relaxed),
             s.frames_received.load(Relaxed),
+            s.msgs_sent.load(Relaxed),
+            s.msgs_received.load(Relaxed),
+            s.batches_sent.load(Relaxed),
             s.connects.load(Relaxed),
             s.decode_errors.load(Relaxed),
             s.test_drops.load(Relaxed),
@@ -149,11 +174,11 @@ impl TimeSource for NodeHost {
 impl Transport for NodeHost {
     fn send(&mut self, from: u32, to: u32, msg: Message) {
         self.metrics.inc(message_kind(&msg));
-        self.transport.send(from, to, msg);
+        self.queue_wire(to, WireMsg::Net { from, to, msg });
     }
 
     fn send_ctrl(&mut self, from: u32, to: u32, ctrl: CtrlMsg) {
-        self.transport.send_ctrl(from, to, ctrl);
+        self.queue_wire(to, WireMsg::Ctrl { from, to, ctrl });
     }
 
     fn set_timer(&mut self, node: u32, after_us: u64, timer: Timer) {
@@ -250,6 +275,8 @@ fn start_transport(cfg: &ClusterConfig, node: u32) -> io::Result<TcpTransport> {
         listen_addr,
         peers,
         outbox_capacity: cfg.outbox_capacity,
+        batch_max: cfg.batch_max,
+        flush_deadline_us: cfg.flush_deadline_us,
         backoff_initial: Duration::from_millis(cfg.backoff_ms.0),
         backoff_max: Duration::from_millis(cfg.backoff_ms.1),
         test_drop_after,
@@ -336,7 +363,7 @@ fn run_site(cfg: &ClusterConfig, s: u32) -> io::Result<NodeOutput> {
                 local_committed: host.local_committed,
                 local_aborted: host.local_aborted,
             };
-            host.transport.send_wire(COORD_BASE, report);
+            host.queue_wire(COORD_BASE, report);
         }
         if Instant::now() >= deadline {
             break; // wall-clock safety valve
@@ -347,6 +374,9 @@ fn run_site(cfg: &ClusterConfig, s: u32) -> io::Result<NodeOutput> {
             .unwrap_or(u64::MAX)
             .min(next_scan_us.saturating_sub(host.elapsed_us()).max(1))
             .clamp(1, 20_000);
+        // Group-commit flush: everything the last burst produced leaves
+        // as one group per link before this loop blocks.
+        host.flush_outgoing();
         // One blocking poll, then drain what is already queued (with a
         // budget so injections and deadlock scans still run on schedule).
         let mut event = host.transport.poll(Duration::from_micros(wait_us));
@@ -386,6 +416,7 @@ fn run_site(cfg: &ClusterConfig, s: u32) -> io::Result<NodeOutput> {
         }
     }
 
+    host.flush_outgoing();
     let lines = vec![host.stats_line(s, &NodeRole::Site(s))];
     host.transport.shutdown();
     Ok(NodeOutput { node: s, lines })
@@ -413,24 +444,42 @@ fn run_coordinator(cfg: &ClusterConfig, c: u32) -> io::Result<NodeOutput> {
                 local_committed: 0,
                 local_aborted: 0,
             };
-            host.transport.send_wire(COORD_BASE, report);
+            host.queue_wire(COORD_BASE, report);
         }
         if Instant::now() >= deadline {
             break;
         }
-        match host.transport.poll(Duration::from_millis(20)) {
-            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => or_die(rt.on_message(msg, &mut host)),
-            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => or_die(rt.on_ctrl(ctrl, &mut host)),
-            // The transport may retransmit across a reconnect; begin each
-            // transaction exactly once (dups fall through to the catch-all).
-            Some(NetEvent::Msg(WireMsg::StartGlobal { gtxn, program })) if started.insert(gtxn) => {
-                or_die(rt.begin(gtxn, program, &mut host));
+        host.flush_outgoing();
+        // One blocking poll, then a bounded burst of whatever is already
+        // queued: the COMMITs/ROLLBACKs the burst produces coalesce into
+        // one frame per link at the flush above.
+        let mut event = host.transport.poll(Duration::from_millis(20));
+        let mut budget = RECV_BATCH;
+        let mut shutdown = false;
+        while let Some(ev) = event.take() {
+            match ev {
+                NetEvent::Msg(WireMsg::Net { msg, .. }) => or_die(rt.on_message(msg, &mut host)),
+                NetEvent::Msg(WireMsg::Ctrl { ctrl, .. }) => or_die(rt.on_ctrl(ctrl, &mut host)),
+                // The transport may retransmit across a reconnect; begin
+                // each transaction exactly once.
+                NetEvent::Msg(WireMsg::StartGlobal { gtxn, program }) => {
+                    if started.insert(gtxn) {
+                        or_die(rt.begin(gtxn, program, &mut host));
+                    }
+                }
+                NetEvent::Msg(WireMsg::Drain) => draining = true,
+                NetEvent::Msg(WireMsg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                NetEvent::Msg(_) => {}
+                NetEvent::Timer { .. } => {} // coordinators set no timers
             }
-            Some(NetEvent::Msg(WireMsg::Drain)) => draining = true,
-            Some(NetEvent::Msg(WireMsg::Shutdown)) => break,
-            Some(NetEvent::Msg(_)) => {}
-            Some(NetEvent::Timer { .. }) => {} // coordinators set no timers
-            None => {}
+            budget -= 1;
+            if budget == 0 {
+                break;
+            }
+            event = host.transport.try_poll();
         }
         for (cnode, gtxn, outcome) in std::mem::take(&mut host.pending_finished) {
             if finished.insert(gtxn) {
@@ -438,12 +487,15 @@ fn run_coordinator(cfg: &ClusterConfig, c: u32) -> io::Result<NodeOutput> {
                     rt.cgm_cleanup(gtxn);
                     host.send_ctrl(cnode, CENTRAL, CtrlMsg::CgmFinished { gtxn });
                 }
-                host.transport
-                    .send_wire(COORD_BASE, WireMsg::Finished { gtxn, outcome });
+                host.queue_wire(COORD_BASE, WireMsg::Finished { gtxn, outcome });
             }
+        }
+        if shutdown {
+            break;
         }
     }
 
+    host.flush_outgoing();
     let lines = vec![host.stats_line(node, &NodeRole::Coordinator(c))];
     host.transport.shutdown();
     Ok(NodeOutput { node, lines })
@@ -461,26 +513,45 @@ fn run_central(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
         if Instant::now() >= deadline {
             break;
         }
-        match host.transport.poll(Duration::from_millis(20)) {
-            Some(NetEvent::Msg(WireMsg::Ctrl { from, ctrl, .. })) => {
-                or_die(rt.on_ctrl(from, ctrl, &mut host))
+        host.flush_outgoing();
+        // The certifier's votes for a burst of concurrent CERTIFY
+        // requests leave as one frame per coordinator.
+        let mut event = host.transport.poll(Duration::from_millis(20));
+        let mut budget = RECV_BATCH;
+        let mut shutdown = false;
+        while let Some(ev) = event.take() {
+            match ev {
+                NetEvent::Msg(WireMsg::Ctrl { from, ctrl, .. }) => {
+                    or_die(rt.on_ctrl(from, ctrl, &mut host))
+                }
+                NetEvent::Msg(WireMsg::Drain) if !reported => {
+                    reported = true;
+                    let report = WireMsg::NodeReport {
+                        node: CENTRAL,
+                        ops: std::mem::take(&mut host.ops),
+                        local_committed: 0,
+                        local_aborted: 0,
+                    };
+                    host.queue_wire(COORD_BASE, report);
+                }
+                NetEvent::Msg(WireMsg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                _ => {}
             }
-            Some(NetEvent::Msg(WireMsg::Drain)) if !reported => {
-                reported = true;
-                let report = WireMsg::NodeReport {
-                    node: CENTRAL,
-                    ops: std::mem::take(&mut host.ops),
-                    local_committed: 0,
-                    local_aborted: 0,
-                };
-                host.transport.send_wire(COORD_BASE, report);
+            budget -= 1;
+            if budget == 0 {
+                break;
             }
-            Some(NetEvent::Msg(WireMsg::Shutdown)) => break,
-            Some(_) => {}
-            None => {}
+            event = host.transport.try_poll();
+        }
+        if shutdown {
+            break;
         }
     }
 
+    host.flush_outgoing();
     let lines = vec![host.stats_line(CENTRAL, &NodeRole::Central)];
     host.transport.shutdown();
     Ok(NodeOutput {
@@ -526,8 +597,7 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
                 };
                 in_flight += 1;
                 let cnode = COORD_BASE + (gtxn.0 % scenario.coordinators);
-                host.transport
-                    .send_wire(cnode, WireMsg::StartGlobal { gtxn, program });
+                host.queue_wire(cnode, WireMsg::StartGlobal { gtxn, program });
             }
         };
     }
@@ -548,27 +618,36 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
 
     // Phase 1: drive every global transaction to its terminal outcome.
     while (settled.len() as u64) < total_globals && Instant::now() < deadline {
-        match host.transport.poll(Duration::from_millis(20)) {
-            Some(NetEvent::Msg(WireMsg::Net { msg, .. })) => or_die(rt.on_message(msg, &mut host)),
-            Some(NetEvent::Msg(WireMsg::Ctrl { ctrl, .. })) => or_die(rt.on_ctrl(ctrl, &mut host)),
-            // This driver's own slice, looped back through the inbox
-            // (dups from a retransmit fall through to the catch-all).
-            Some(NetEvent::Msg(WireMsg::StartGlobal { gtxn, program })) if started.insert(gtxn) => {
-                or_die(rt.begin(gtxn, program, &mut host));
+        host.flush_outgoing();
+        let mut event = host.transport.poll(Duration::from_millis(20));
+        let mut budget = RECV_BATCH;
+        while let Some(ev) = event.take() {
+            match ev {
+                NetEvent::Msg(WireMsg::Net { msg, .. }) => or_die(rt.on_message(msg, &mut host)),
+                NetEvent::Msg(WireMsg::Ctrl { ctrl, .. }) => or_die(rt.on_ctrl(ctrl, &mut host)),
+                // This driver's own slice, looped back through the inbox
+                // (retransmitted dups are screened by `started`).
+                NetEvent::Msg(WireMsg::StartGlobal { gtxn, program }) if started.insert(gtxn) => {
+                    or_die(rt.begin(gtxn, program, &mut host));
+                }
+                NetEvent::Msg(WireMsg::Finished { gtxn, outcome }) => settle!(gtxn, outcome),
+                NetEvent::Msg(WireMsg::NodeReport {
+                    node: n,
+                    ops,
+                    local_committed,
+                    local_aborted,
+                }) => {
+                    reports
+                        .entry(n)
+                        .or_insert((ops, local_committed, local_aborted));
+                }
+                _ => {}
             }
-            Some(NetEvent::Msg(WireMsg::Finished { gtxn, outcome })) => settle!(gtxn, outcome),
-            Some(NetEvent::Msg(WireMsg::NodeReport {
-                node: n,
-                ops,
-                local_committed,
-                local_aborted,
-            })) => {
-                reports
-                    .entry(n)
-                    .or_insert((ops, local_committed, local_aborted));
+            budget -= 1;
+            if budget == 0 {
+                break;
             }
-            Some(_) => {}
-            None => {}
+            event = host.transport.try_poll();
         }
         for (cnode, gtxn, outcome) in std::mem::take(&mut host.pending_finished) {
             if finished_here.insert(gtxn) {
@@ -584,10 +663,11 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
     // Phase 2: drain barrier — everyone finishes local work and reports.
     for &id in &all_nodes {
         if id != node {
-            host.transport.send_wire(id, WireMsg::Drain);
+            host.queue_wire(id, WireMsg::Drain);
         }
     }
     while reports.len() < expected_reports && Instant::now() < deadline {
+        host.flush_outgoing();
         match host.transport.poll(Duration::from_millis(20)) {
             Some(NetEvent::Msg(WireMsg::NodeReport {
                 node: n,
@@ -648,9 +728,10 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
     // Phase 4: release the cluster.
     for &id in &all_nodes {
         if id != node {
-            host.transport.send_wire(id, WireMsg::Shutdown);
+            host.queue_wire(id, WireMsg::Shutdown);
         }
     }
+    host.flush_outgoing();
     host.transport.shutdown();
     Ok(NodeOutput { node, lines })
 }

@@ -1,28 +1,43 @@
 //! [`TcpTransport`]: the runtime [`Transport`] over real sockets.
 //!
 //! Topology: every node listens on one address and owns **one writer
-//! thread per peer**. A writer drains a **bounded** outbox (senders block
-//! when it fills — backpressure instead of unbounded memory), connects
+//! thread per peer**. A writer drains a **bounded** outbox of message
+//! *groups* (senders block when it fills — backpressure instead of
+//! unbounded memory), **coalesces** queued groups into one CRC-framed
+//! batch frame per write (see [`crate::frame`] version 2), connects
 //! lazily with exponential backoff, announces itself with a
 //! [`WireMsg::Hello`] frame on every fresh connection, and **retransmits
-//! the in-flight frame** after a reconnect. Delivery is therefore
-//! at-least-once and per-link FIFO: a write failure can duplicate a
-//! message but never reorder one — exactly the fault envelope the 2PC
-//! agents were hardened against.
+//! the in-flight frame** after a reconnect — the whole batch, as one
+//! frame, never re-fragmented. Delivery is therefore at-least-once and
+//! per-link FIFO at both message and batch granularity: a write failure
+//! can duplicate a frame but never reorder or split one — exactly the
+//! fault envelope the 2PC agents were hardened against.
+//!
+//! **Flush policy.** A batch closes when it reaches
+//! [`TcpTransportConfig::batch_max`] messages (or a byte ceiling), or when
+//! the **adaptive flush deadline** expires with nothing more queued. The
+//! deadline starts at [`TcpTransportConfig::flush_deadline_us`] and
+//! adapts per link: a batch that fills on size (busy link) or a wait that
+//! actually harvested more messages keeps the full deadline; a wait that
+//! expired fruitlessly halves it, so an idle request-response link decays
+//! to flush-immediately and pays no added latency. `batch_max = 1` or
+//! `flush_deadline_us = 0` with an empty queue degenerate to the old
+//! frame-per-message path (version 1 frames on the wire).
 //!
 //! Inbound, a polling accept loop spawns one reader thread per
-//! connection; each runs its own [`FrameDecoder`] and pushes decoded
-//! messages into a shared channel. A framing or codec error severs that
-//! connection (once framing is lost a TCP stream cannot be resynchronized)
-//! and counts in [`TransportStats::decode_errors`]; the peer's writer will
-//! reconnect and retransmit.
+//! connection; each runs its own [`FrameDecoder`] and pushes each frame's
+//! decoded messages into a shared channel as one group. A framing or
+//! codec error severs that connection (once framing is lost a TCP stream
+//! cannot be resynchronized) and counts in
+//! [`TransportStats::decode_errors`]; the peer's writer will reconnect
+//! and retransmit.
 //!
 //! Timers ([`Transport::set_timer`]) never touch the network: they sit in
 //! a local min-heap keyed by wall-clock deadline and pop out of
 //! [`TcpTransport::poll`] interleaved with received messages.
 
 use std::cmp::Reverse;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,13 +49,20 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use mdbs_dtm::Message;
 use mdbs_runtime::{CtrlMsg, Timer, Transport};
 
-use crate::frame::{encode_frame, FrameDecoder};
-use crate::wire::{decode_msg, encode_msg, WireMsg};
+use crate::frame::{encode_batch_frame, encode_frame, FrameDecoder};
+use crate::wire::{decode_frame_payload, encode_msg, Wire, WireMsg};
 
 /// How long blocked reads/writes wait before re-checking the stop flag.
 const IO_POLL: Duration = Duration::from_millis(50);
 /// How often the accept loop polls for new connections.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Soft byte ceiling per batch payload: a batch closes once its encoded
+/// payload reaches this, whatever the message count says. Keeps worst-case
+/// frames (e.g. coalesced `NodeReport`s) far below `MAX_FRAME_LEN`.
+const BATCH_SOFT_BYTES: usize = 1 << 20;
+/// How many queued groups one lock acquisition moves from the outbox into
+/// the writer's local queue.
+const OUTBOX_DRAIN: usize = 128;
 
 /// Shared transport counters, readable while the transport runs.
 #[derive(Default)]
@@ -49,6 +71,13 @@ pub struct TransportStats {
     pub frames_sent: AtomicU64,
     /// Frames received and decoded (including Hello).
     pub frames_received: AtomicU64,
+    /// Messages written and flushed (including Hello and retransmits).
+    /// With batching a frame carries one or more of these.
+    pub msgs_sent: AtomicU64,
+    /// Messages received and decoded (including Hello).
+    pub msgs_received: AtomicU64,
+    /// Frames sent that coalesced more than one message.
+    pub batches_sent: AtomicU64,
     /// Successful outbound connections (first connects and reconnects).
     pub connects: AtomicU64,
     /// Inbound connections severed by a framing or codec error.
@@ -71,14 +100,25 @@ pub struct TcpTransportConfig {
     pub listen_addr: String,
     /// Runtime node id → address for every peer this node may talk to.
     pub peers: BTreeMap<u32, String>,
-    /// Outbox depth per peer; senders block when it fills.
+    /// Outbox depth per peer, in message groups; senders block when it
+    /// fills.
     pub outbox_capacity: usize,
+    /// Most messages one frame may coalesce. `1` disables batching: every
+    /// message rides its own version 1 frame, exactly the pre-batching
+    /// wire behavior.
+    pub batch_max: usize,
+    /// Ceiling of the adaptive flush deadline: how long a writer may hold
+    /// an underfull batch open waiting for more traffic. `0` flushes as
+    /// soon as the queue is drained (coalescing still happens when a
+    /// backlog exists, but nothing ever waits).
+    pub flush_deadline_us: u64,
     /// First reconnect backoff.
     pub backoff_initial: Duration,
     /// Backoff cap (doubles up to this).
     pub backoff_max: Duration,
-    /// Fault hook: after this many frames written by this node, close the
-    /// active connection once, forcing the reconnect + retransmit path.
+    /// Fault hook: after this many *messages* written by this node, close
+    /// the active connection once, forcing the reconnect + retransmit
+    /// path (with batching, the cut lands mid-batch-stream).
     pub test_drop_after: Option<u64>,
 }
 
@@ -123,9 +163,14 @@ impl Ord for TimerEntry {
 /// The real-network transport. See the module docs for the thread model.
 pub struct TcpTransport {
     node: u32,
-    outboxes: BTreeMap<u32, Sender<WireMsg>>,
-    inbound_tx: Sender<WireMsg>,
-    inbound: Receiver<WireMsg>,
+    batch_max: usize,
+    outboxes: BTreeMap<u32, Sender<Vec<WireMsg>>>,
+    inbound_tx: Sender<Vec<WireMsg>>,
+    inbound: Receiver<Vec<WireMsg>>,
+    /// Messages already taken off the inbound channel but not yet polled
+    /// out: the channel moves whole frame-groups, this hands them out one
+    /// at a time without a lock per message.
+    ready: VecDeque<WireMsg>,
     timers: std::collections::BinaryHeap<Reverse<TimerEntry>>,
     timer_seq: u64,
     stop: Arc<AtomicBool>,
@@ -168,6 +213,10 @@ impl TcpTransport {
                 rx,
                 stop: Arc::clone(&stop),
                 stats: Arc::clone(&stats),
+                batch_max: cfg.batch_max.max(1),
+                flush_deadline_us: cfg.flush_deadline_us,
+                deadline_us: cfg.flush_deadline_us,
+                pending: VecDeque::new(),
                 backoff_initial: cfg.backoff_initial,
                 backoff_max: cfg.backoff_max,
                 drop_after: cfg.test_drop_after,
@@ -183,9 +232,11 @@ impl TcpTransport {
 
         Ok(TcpTransport {
             node: cfg.node,
+            batch_max: cfg.batch_max.max(1),
             outboxes,
             inbound_tx,
             inbound,
+            ready: VecDeque::new(),
             timers: std::collections::BinaryHeap::new(),
             timer_seq: 0,
             stop,
@@ -207,14 +258,40 @@ impl TcpTransport {
     /// Queue a cluster envelope for `to`. Blocks while `to`'s outbox is
     /// full; a self-send short-circuits to the inbound queue.
     pub fn send_wire(&self, to: u32, msg: WireMsg) {
+        self.send_group(to, vec![msg]);
+    }
+
+    /// Queue a *group* of envelopes for `to`, preserving their order. A
+    /// group rides the wire intact: the writer coalesces whole groups
+    /// into one frame but never splits one across frames, so a caller
+    /// that groups one 2PC conversation's worth of traffic (a site's
+    /// READYs, a coordinator's COMMITs) gets them delivered in one frame.
+    /// Groups larger than `batch_max` are chunked here, at enqueue time,
+    /// so the no-split invariant downstream is unconditional.
+    pub fn send_wire_group(&self, to: u32, msgs: Vec<WireMsg>) {
+        if msgs.is_empty() {
+            return;
+        }
+        if msgs.len() <= self.batch_max {
+            self.send_group(to, msgs);
+            return;
+        }
+        let mut msgs = VecDeque::from(msgs);
+        while !msgs.is_empty() {
+            let take = self.batch_max.min(msgs.len());
+            self.send_group(to, msgs.drain(..take).collect());
+        }
+    }
+
+    fn send_group(&self, to: u32, msgs: Vec<WireMsg>) {
         if to == self.node {
-            let _ = self.inbound_tx.send(msg);
+            let _ = self.inbound_tx.send(msgs);
             return;
         }
         match self.outboxes.get(&to) {
             // A send can only fail if the writer thread is already gone,
             // which only happens during shutdown — dropping is fine then.
-            Some(tx) => drop(tx.send(msg)),
+            Some(tx) => drop(tx.send(msgs)),
             // A missing route is a cluster misconfiguration; dropping the
             // frame would wedge the protocol invisibly, so die loudly.
             // mdbs-check: allow(conc-panic-in-thread) -- deliberate die-fast on misconfigured topology
@@ -238,18 +315,40 @@ impl TcpTransport {
         })
     }
 
+    /// Pop the next message already handed out of the inbound channel, or
+    /// refill the hand-out queue from the channel without blocking.
+    fn pop_ready(&mut self) -> Option<WireMsg> {
+        if let Some(msg) = self.ready.pop_front() {
+            return Some(msg);
+        }
+        let mut groups = Vec::new();
+        if self.inbound.try_recv_many(&mut groups, OUTBOX_DRAIN) > 0 {
+            for g in groups {
+                self.ready.extend(g);
+            }
+            return self.ready.pop_front();
+        }
+        None
+    }
+
     /// Wait up to `max_wait` for the next message or due timer.
     pub fn poll(&mut self, max_wait: Duration) -> Option<NetEvent> {
         let now = Instant::now();
         if let Some(due) = self.pop_due_timer(now) {
             return Some(due);
         }
+        if let Some(msg) = self.pop_ready() {
+            return Some(NetEvent::Msg(msg));
+        }
         let wait = match self.timers.peek() {
             Some(Reverse(head)) => max_wait.min(head.deadline - now),
             None => max_wait,
         };
         match self.inbound.recv_timeout(wait) {
-            Ok(msg) => Some(NetEvent::Msg(msg)),
+            Ok(group) => {
+                self.ready.extend(group);
+                self.ready.pop_front().map(NetEvent::Msg)
+            }
             Err(RecvTimeoutError::Timeout) => self.pop_due_timer(Instant::now()),
             Err(RecvTimeoutError::Disconnected) => None,
         }
@@ -263,10 +362,7 @@ impl TcpTransport {
         if let Some(due) = self.pop_due_timer(Instant::now()) {
             return Some(due);
         }
-        match self.inbound.try_recv() {
-            Ok(msg) => Some(NetEvent::Msg(msg)),
-            Err(_) => None,
-        }
+        self.pop_ready().map(NetEvent::Msg)
     }
 
     /// Stop every thread and join them. Queued frames on healthy
@@ -305,7 +401,7 @@ impl Transport for TcpTransport {
 
 fn accept_loop(
     listener: TcpListener,
-    inbound: Sender<WireMsg>,
+    inbound: Sender<Vec<WireMsg>>,
     stop: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
 ) {
@@ -340,7 +436,7 @@ fn accept_loop(
 
 fn reader_loop(
     stream: TcpStream,
-    inbound: Sender<WireMsg>,
+    inbound: Sender<Vec<WireMsg>>,
     stop: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
 ) {
@@ -361,15 +457,22 @@ fn reader_loop(
         };
         dec.extend(&buf[..n]);
         loop {
-            match dec.next_frame() {
-                Ok(Some(payload)) => match decode_msg(&payload) {
-                    Ok(WireMsg::Hello { .. }) => {
-                        // Connection metadata only; never surfaced.
+            match dec.next_frame_versioned() {
+                Ok(Some(frame)) => match decode_frame_payload(frame.version, &frame.payload) {
+                    Ok(msgs) => {
                         TransportStats::bump(&stats.frames_received);
-                    }
-                    Ok(msg) => {
-                        TransportStats::bump(&stats.frames_received);
-                        if inbound.send(msg).is_err() {
+                        stats
+                            .msgs_received
+                            .fetch_add(msgs.len() as u64, Ordering::Relaxed);
+                        // Hello frames are connection metadata only; never
+                        // surfaced. A batch's messages travel as one group
+                        // so the inbound channel is locked once per frame,
+                        // not once per message.
+                        let surfaced: Vec<WireMsg> = msgs
+                            .into_iter()
+                            .filter(|m| !matches!(m, WireMsg::Hello { .. }))
+                            .collect();
+                        if !surfaced.is_empty() && inbound.send(surfaced).is_err() {
                             return;
                         }
                     }
@@ -393,9 +496,18 @@ fn reader_loop(
 struct PeerWriter {
     self_node: u32,
     addr: String,
-    rx: Receiver<WireMsg>,
+    rx: Receiver<Vec<WireMsg>>,
     stop: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
+    /// Most messages one frame may coalesce (≥ 1).
+    batch_max: usize,
+    /// Configured ceiling of the flush deadline (µs).
+    flush_deadline_us: u64,
+    /// Current adaptive deadline (µs), decaying on idle links.
+    deadline_us: u64,
+    /// Groups pulled off the outbox but not yet framed: the overflow left
+    /// behind when a batch closes on its size threshold.
+    pending: VecDeque<Vec<WireMsg>>,
     backoff_initial: Duration,
     backoff_max: Duration,
     drop_after: Option<u64>,
@@ -403,21 +515,120 @@ struct PeerWriter {
     stream: Option<TcpStream>,
 }
 
+/// A batch payload under construction: `[count: u32][msg]…` with the
+/// count patched in at close time, so closing a one-message batch can
+/// instead reuse the bytes after the count slot as a version 1 payload.
+struct BatchBuf {
+    payload: Vec<u8>,
+    count: usize,
+}
+
+impl BatchBuf {
+    fn new() -> BatchBuf {
+        BatchBuf {
+            payload: vec![0u8; 4],
+            count: 0,
+        }
+    }
+
+    fn push_group(&mut self, msgs: &[WireMsg]) {
+        for m in msgs {
+            m.put(&mut self.payload);
+        }
+        self.count += msgs.len();
+    }
+
+    /// Whether the batch must close before taking a group of `more`
+    /// messages.
+    fn closed_to(&self, more: usize, batch_max: usize) -> bool {
+        self.count > 0 && (self.count + more > batch_max || self.payload.len() >= BATCH_SOFT_BYTES)
+    }
+
+    /// The finished frame: version 1 when exactly one message was
+    /// coalesced (bit-identical to the pre-batching wire format), version
+    /// 2 otherwise.
+    fn into_frame(mut self) -> (Vec<u8>, usize) {
+        let n = self.count;
+        if n == 1 {
+            return (encode_frame(&self.payload[4..]), n);
+        }
+        self.payload[..4].copy_from_slice(&(n as u32).to_le_bytes());
+        (encode_batch_frame(&self.payload), n)
+    }
+}
+
 impl PeerWriter {
     fn run(mut self) {
-        // recv() keeps returning queued frames after the senders drop, so
+        // recv() keeps returning queued groups after the senders drop, so
         // shutdown flushes the outbox before this loop ends.
-        while let Ok(msg) = self.rx.recv() {
-            let frame = encode_frame(&encode_msg(&msg));
-            if !self.deliver(&frame) {
+        loop {
+            let first = match self.pending.pop_front() {
+                Some(g) => g,
+                None => match self.rx.recv() {
+                    Ok(g) => g,
+                    Err(_) => return,
+                },
+            };
+            let mut batch = BatchBuf::new();
+            batch.push_group(&first);
+            self.coalesce(&mut batch);
+            let (frame, n) = batch.into_frame();
+            if !self.deliver(&frame, n as u64) {
                 return; // stop requested while the peer was unreachable
             }
         }
     }
 
-    /// Write one frame, reconnecting and retransmitting on failure.
-    /// Returns false only when the stop flag cut a retry short.
-    fn deliver(&mut self, frame: &[u8]) -> bool {
+    /// Grow `batch` with whole queued groups until the size threshold
+    /// closes it or the adaptive deadline expires with the queue dry.
+    fn coalesce(&mut self, batch: &mut BatchBuf) {
+        loop {
+            // Whatever is already queued, up to the thresholds.
+            while let Some(g) = self.pending.front() {
+                if batch.closed_to(g.len(), self.batch_max) {
+                    return;
+                }
+                // The front() above just returned Some.
+                let Some(g) = self.pending.pop_front() else {
+                    return;
+                };
+                batch.push_group(&g);
+            }
+            let mut drained = Vec::new();
+            if self.rx.try_recv_many(&mut drained, OUTBOX_DRAIN) > 0 {
+                self.pending.extend(drained);
+                continue;
+            }
+            // Queue dry: hold the batch open for up to the adaptive
+            // deadline. A fruitful wait keeps the deadline; a fruitless
+            // one halves it so idle links decay to flush-immediately. A
+            // size-closed batch (checked above) resets it to the ceiling.
+            if batch.count >= self.batch_max || self.deadline_us == 0 {
+                return;
+            }
+            match self
+                .rx
+                .recv_timeout(Duration::from_micros(self.deadline_us))
+            {
+                Ok(g) => {
+                    self.deadline_us = self.flush_deadline_us;
+                    self.pending.push_back(g);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.deadline_us /= 2;
+                    return;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Write one frame carrying `msgs` messages, reconnecting and
+    /// retransmitting on failure. The retransmission unit is the frame's
+    /// exact bytes: a replayed batch keeps its boundaries instead of
+    /// re-fragmenting into per-message frames. Returns false only when
+    /// the stop flag cut a retry short.
+    fn deliver(&mut self, frame: &[u8], msgs: u64) -> bool {
         let mut backoff = self.backoff_initial;
         loop {
             if self.stream.is_none() && !self.connect(&mut backoff) {
@@ -429,7 +640,11 @@ impl PeerWriter {
             let res = s.write_all(frame).and_then(|_| s.flush());
             match res {
                 Ok(()) => {
-                    let sent = self.stats.frames_sent.fetch_add(1, Ordering::Relaxed) + 1;
+                    TransportStats::bump(&self.stats.frames_sent);
+                    if msgs > 1 {
+                        TransportStats::bump(&self.stats.batches_sent);
+                    }
+                    let sent = self.stats.msgs_sent.fetch_add(msgs, Ordering::Relaxed) + msgs;
                     if let Some(t) = self.drop_after {
                         if sent >= t && !self.drop_fired.swap(true, Ordering::SeqCst) {
                             // Fault hook: close the healthy connection.
@@ -446,7 +661,8 @@ impl PeerWriter {
                 }
                 Err(_) => {
                     // Sever and retransmit this same frame on a fresh
-                    // connection: at-least-once, never reordered.
+                    // connection: at-least-once, never reordered, never
+                    // re-fragmented.
                     if let Some(s) = self.stream.take() {
                         let _ = s.shutdown(Shutdown::Both);
                     }
@@ -474,6 +690,7 @@ impl PeerWriter {
                 if s.write_all(&hello).and_then(|_| s.flush()).is_ok() {
                     TransportStats::bump(&self.stats.connects);
                     TransportStats::bump(&self.stats.frames_sent);
+                    TransportStats::bump(&self.stats.msgs_sent);
                     self.stream = Some(s);
                     return true;
                 }
@@ -511,6 +728,8 @@ mod tests {
             listen_addr: listen.to_string(),
             peers: peers.iter().map(|&(n, a)| (n, a.to_string())).collect(),
             outbox_capacity: 64,
+            batch_max: 64,
+            flush_deadline_us: 100,
             backoff_initial: Duration::from_millis(5),
             backoff_max: Duration::from_millis(100),
             test_drop_after: None,
@@ -585,9 +804,12 @@ mod tests {
             listen_addr: "127.0.0.1:39121".to_string(),
             peers: BTreeMap::from([(2, "127.0.0.1:39122".to_string())]),
             outbox_capacity: 64,
+            batch_max: 64,
+            flush_deadline_us: 100,
             backoff_initial: Duration::from_millis(5),
             backoff_max: Duration::from_millis(100),
-            // Fires after the Hello + a few frames: mid-stream.
+            // Fires after the Hello + a few messages: mid-stream, and —
+            // when the commits below coalesce — mid-batch.
             test_drop_after: Some(3),
         })
         .expect("bind");

@@ -912,3 +912,48 @@ pub fn decode_msg(payload: &[u8]) -> Result<WireMsg, WireError> {
     }
     Ok(msg)
 }
+
+/// Encode a batch of messages as a version 2 frame payload: a `u32`
+/// message count followed by the messages back-to-back. A batch of one —
+/// or even zero — is legal; senders normally put singletons in version 1
+/// frames instead, but the decoder accepts every size.
+pub fn encode_batch(msgs: &[WireMsg]) -> Vec<u8> {
+    let mut out = Vec::new();
+    (msgs.len() as u32).put(&mut out);
+    for msg in msgs {
+        msg.put(&mut out);
+    }
+    out
+}
+
+/// Decode a batch payload (`encode_batch`), rejecting leftovers. Hostile
+/// bytes — truncated, bit-flipped, oversized counts — surface as clean
+/// [`WireError`]s, never panics, exactly like [`decode_msg`].
+pub fn decode_batch(payload: &[u8]) -> Result<Vec<WireMsg>, WireError> {
+    let mut r = Reader::new(payload);
+    let n = r.count()?;
+    let mut msgs = Vec::with_capacity(n);
+    for _ in 0..n {
+        msgs.push(WireMsg::get(&mut r)?);
+    }
+    if r.remaining() != 0 {
+        return Err(WireError::Trailing);
+    }
+    Ok(msgs)
+}
+
+/// Decode a complete frame payload under its header version: a version 1
+/// payload is one message, a version 2 payload is a batch. This is the
+/// batch-aware read path — it accepts both formats interleaved on one
+/// stream. Any other version byte is rejected here as a defense in depth
+/// (the frame layer already refuses to surface such a frame).
+pub fn decode_frame_payload(version: u8, payload: &[u8]) -> Result<Vec<WireMsg>, WireError> {
+    match version {
+        crate::frame::WIRE_VERSION => Ok(vec![decode_msg(payload)?]),
+        crate::frame::WIRE_VERSION_BATCH => decode_batch(payload),
+        tag => Err(WireError::BadTag {
+            what: "frame version",
+            tag,
+        }),
+    }
+}

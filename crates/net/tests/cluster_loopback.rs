@@ -15,11 +15,11 @@
 
 use std::time::Duration;
 
-use rigorous_mdbs::dtm::CertifierMode;
-use rigorous_mdbs::histories::SiteId;
-use rigorous_mdbs::net::{loopback_cluster, ClusterOutcome, ClusterRunner};
-use rigorous_mdbs::sim::report::{outcome_digest, site_verdict_digest};
-use rigorous_mdbs::sim::{Protocol, SimConfig, SimReport, Simulation};
+use mdbs_dtm::CertifierMode;
+use mdbs_histories::SiteId;
+use mdbs_net::{loopback_cluster, ClusterOutcome, ClusterRunner};
+use mdbs_sim::report::{outcome_digest, site_verdict_digest};
+use mdbs_sim::{Protocol, SimConfig, SimReport, Simulation};
 
 const SITES: u32 = 3;
 const GLOBALS: u64 = 12;
