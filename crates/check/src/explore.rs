@@ -38,13 +38,14 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+use mdbs_consensus::{acceptor_count, PaxosCommit};
 use mdbs_dtm::{AgentConfig, AgentInput, CertifierMode, CoordMutation, GlobalOutcome, Message};
 use mdbs_histories::{commit_order_graph, GlobalTxnId, History, Instance, Op, OpKind, SiteId};
 use mdbs_ldbs::{Command, KeySpec, Ldbs, SiteProfile, Store};
 use mdbs_runtime::TraceEvent;
 use mdbs_runtime::{
-    message_kind, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeError, RuntimeHost,
-    SiteRuntime, TimeSource, Timer, Transport, CENTRAL, COORD_BASE,
+    message_kind, AcceptorRuntime, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeError,
+    RuntimeHost, SiteRuntime, TimeSource, Timer, Transport, ACCEPTOR_BASE, CENTRAL, COORD_BASE,
 };
 use mdbs_simkit::SimTime;
 
@@ -70,6 +71,15 @@ pub struct ExploreConfig {
     pub fault_budget: u32,
     /// Site crashes allowed per run (each site at most once).
     pub crash_budget: u32,
+    /// Coordinator crash-stops allowed per run. A crash is only enabled
+    /// while a READY is pending delivery at the coordinator — the window
+    /// between vote collection and the decision broadcast — and the lowest
+    /// surviving coordinator takes over immediately afterwards.
+    pub coord_crash_budget: u32,
+    /// Paxos Commit fault tolerance: `F > 0` adds `2F+1` acceptor nodes
+    /// and gates every commit decision on the quorum; `0` is the paper's
+    /// direct 2PC decision.
+    pub consensus_f: u32,
     /// Hard cap on steps per run (exceeding it is reported as a
     /// counterexample: the world failed to settle).
     pub max_steps: usize,
@@ -100,6 +110,8 @@ impl ExploreConfig {
             delay_budget: 2,
             fault_budget: 0,
             crash_budget: 0,
+            coord_crash_budget: 0,
+            consensus_f: 0,
             max_steps: 600,
             max_runs: 20_000,
             wait_timeout_ticks: 400,
@@ -189,6 +201,30 @@ impl ExploreConfig {
         cfg.delay_budget = 2;
         cfg.fault_budget = 1;
         cfg.max_steps = 800;
+        cfg
+    }
+
+    /// The smoke world under `F = 1` Paxos Commit with a coordinator
+    /// crash-stop in the READY window. The backup reads the acceptor
+    /// quorum and adopts the dead coordinator's transactions, so every
+    /// schedule must still settle atomically: the preset must exhaust
+    /// clean.
+    pub fn coord_failover() -> Self {
+        let mut cfg = ExploreConfig::smoke_2cm();
+        cfg.consensus_f = 1;
+        cfg.coord_crash_budget = 1;
+        cfg.delay_budget = 1;
+        cfg.max_steps = 900;
+        cfg.max_runs = 40_000;
+        cfg
+    }
+
+    /// The same crash under direct 2PC (`F = 0`): the decision dies with
+    /// the coordinator, so some schedule leaves a prepared agent blocked
+    /// forever. The explorer must find that counterexample.
+    pub fn coord_crash_direct() -> Self {
+        let mut cfg = ExploreConfig::coord_failover();
+        cfg.consensus_f = 0;
         cfg
     }
 }
@@ -495,6 +531,9 @@ enum Action {
     Inject(SiteId, Instance),
     /// Crash a whole site.
     Crash(SiteId),
+    /// Crash-stop a coordinator while a READY is pending at it, then let
+    /// the lowest surviving coordinator take over.
+    CrashCoord(u32),
 }
 
 /// Budget class of a deviation.
@@ -503,6 +542,7 @@ enum Cost {
     Delay,
     Fault,
     Crash,
+    CoordCrash,
 }
 
 /// Everything one run needs to report back to the search.
@@ -518,9 +558,11 @@ struct World {
     sites: BTreeMap<SiteId, SiteRuntime>,
     coords: BTreeMap<u32, CoordinatorRuntime>,
     central: CentralRuntime,
+    acceptors: BTreeMap<u32, AcceptorRuntime>,
     host: ExploreHost,
     outcomes: BTreeMap<GlobalTxnId, GlobalOutcome>,
     crashed: Vec<SiteId>,
+    crashed_coords: Vec<u32>,
     cgm: bool,
 }
 
@@ -529,6 +571,13 @@ impl World {
         let agent_cfg = AgentConfig {
             mode: cfg.mode,
             ..AgentConfig::default()
+        };
+        let acceptor_nodes: Vec<u32> = if cfg.consensus_f > 0 {
+            (0..acceptor_count(cfg.consensus_f))
+                .map(|a| ACCEPTOR_BASE + a)
+                .collect()
+        } else {
+            Vec::new()
         };
         let mut sites = BTreeMap::new();
         for s in 0..cfg.sites {
@@ -539,21 +588,38 @@ impl World {
                 Store::with_rows(cfg.items_per_site, 100),
             );
             engine.set_enforce_dlu(true);
-            sites.insert(site, SiteRuntime::new(site, agent_cfg, engine, 1));
+            let mut rt = SiteRuntime::new(site, agent_cfg, engine, 1);
+            if cfg.consensus_f > 0 {
+                rt.set_acceptors(acceptor_nodes.clone());
+            }
+            sites.insert(site, rt);
         }
         let mut coords = BTreeMap::new();
         for c in 0..cfg.coordinators {
             let mut rt = CoordinatorRuntime::new(COORD_BASE + c, cfg.cgm);
             rt.set_coord_mutation(cfg.coord_mutation);
+            if cfg.consensus_f > 0 {
+                rt.set_consensus(Box::new(PaxosCommit::new(
+                    COORD_BASE + c,
+                    cfg.consensus_f,
+                    acceptor_nodes.clone(),
+                )));
+            }
             coords.insert(COORD_BASE + c, rt);
         }
+        let acceptors = acceptor_nodes
+            .iter()
+            .map(|&node| (node, AcceptorRuntime::new(node)))
+            .collect();
         World {
             sites,
             coords,
             central: CentralRuntime::new(),
+            acceptors,
             host: ExploreHost::new(),
             outcomes: BTreeMap::new(),
             crashed: Vec::new(),
+            crashed_coords: Vec::new(),
             cgm: cfg.cgm,
         }
     }
@@ -648,6 +714,15 @@ impl World {
     /// are small — the level-order search reaches them early.
     fn enumerate(&mut self, cfg: &ExploreConfig) -> Vec<(Action, Cost)> {
         self.prune_dead_timers();
+        // Messages addressed to a crashed coordinator are lost; pruning
+        // their lanes keeps the step space free of no-op deliveries.
+        if !self.crashed_coords.is_empty() {
+            let crashed = &self.crashed_coords;
+            self.host.lanes.retain(|key, _| match key {
+                LaneKey::Link { to, .. } => !crashed.contains(to),
+                LaneKey::Timers { .. } => true,
+            });
+        }
         let mut deliveries: Vec<((u64, u64), LaneKey)> = self
             .host
             .lanes
@@ -683,6 +758,35 @@ impl World {
                 }
             }
         }
+        if cfg.coord_crash_budget > 0 {
+            // A coordinator crash-stop is enabled exactly while a READY is
+            // pending delivery at it — the window between a site's vote
+            // and the decision broadcast — and only while a backup
+            // survives to take over.
+            let live = self.coords.len() - self.crashed_coords.len();
+            if live >= 2 {
+                for &cnode in self.coords.keys() {
+                    if self.crashed_coords.contains(&cnode) {
+                        continue;
+                    }
+                    let ready_pending = self.host.lanes.iter().any(|(key, lane)| {
+                        matches!(key, LaneKey::Link { to, .. } if *to == cnode)
+                            && lane.front().is_some_and(|(_, p)| {
+                                matches!(
+                                    p,
+                                    Pending::Msg {
+                                        msg: Message::Ready { .. },
+                                        ..
+                                    }
+                                )
+                            })
+                    });
+                    if ready_pending {
+                        actions.push((Action::CrashCoord(cnode), Cost::CoordCrash));
+                    }
+                }
+            }
+        }
         for &(_, key) in &deliveries[1..] {
             actions.push((Action::Deliver(key), Cost::Delay));
         }
@@ -694,6 +798,9 @@ impl World {
         match p {
             Pending::Msg { to, msg } => {
                 if to >= COORD_BASE {
+                    if self.crashed_coords.contains(&to) {
+                        return Ok(()); // dropped on the dead node's floor
+                    }
                     match self.coords.get_mut(&to) {
                         Some(c) => c.on_message(msg, &mut self.host),
                         None => Err(RuntimeError::MissingState {
@@ -712,9 +819,20 @@ impl World {
                 }
             }
             Pending::Ctrl { from, to, ctrl } => {
-                if to == CENTRAL {
+                if to >= ACCEPTOR_BASE {
+                    match self.acceptors.get_mut(&to) {
+                        Some(a) => a.on_ctrl(ctrl, &mut self.host),
+                        None => Err(RuntimeError::MissingState {
+                            node: to,
+                            context: "control message for an unknown acceptor",
+                        }),
+                    }
+                } else if to == CENTRAL {
                     self.central.on_ctrl(from, ctrl, &mut self.host)
                 } else {
+                    if self.crashed_coords.contains(&to) {
+                        return Ok(());
+                    }
                     match self.coords.get_mut(&to) {
                         Some(c) => c.on_ctrl(ctrl, &mut self.host),
                         None => Err(RuntimeError::MissingState {
@@ -744,6 +862,35 @@ impl World {
                 }
             }
         }
+    }
+
+    /// Crash-stop a coordinator. Control traffic it already handed to the
+    /// network is not revoked — the in-flight coordinator → acceptor
+    /// messages (registrations, compactions) are delivered in order first,
+    /// so a failover never races a registration it structurally cannot
+    /// miss. Everything addressed *to* the dead node is dropped, and the
+    /// lowest surviving coordinator takes over (the failover timer, folded
+    /// into the crash step to keep the search space small).
+    fn crash_coord(&mut self, cnode: u32) -> Result<(), RuntimeError> {
+        let acceptor_nodes: Vec<u32> = self.acceptors.keys().copied().collect();
+        for &a in &acceptor_nodes {
+            let key = LaneKey::Link { from: cnode, to: a };
+            while let Some(p) = self.pop(key) {
+                self.deliver(p)?;
+            }
+        }
+        self.crashed_coords.push(cnode);
+        let backup = self
+            .coords
+            .keys()
+            .copied()
+            .find(|n| !self.crashed_coords.contains(n));
+        if let Some(backup) = backup {
+            if let Some(rt) = self.coords.get_mut(&backup) {
+                rt.take_over(&mut self.host)?;
+            }
+        }
+        Ok(())
     }
 
     /// Pop the deliverable entry of a lane (see [`World::head_key`]).
@@ -940,6 +1087,9 @@ impl World {
                 format!("inject unilateral abort of {instance} at site {site}")
             }
             Action::Crash(site) => format!("crash site {site}"),
+            Action::CrashCoord(cnode) => {
+                format!("crash-stop coordinator {cnode}; backup takes over")
+            }
         }
     }
 }
@@ -1052,6 +1202,7 @@ fn run_schedule(cfg: &ExploreConfig, schedule: &[(usize, usize)]) -> RunResult {
                     None => Ok(()),
                 }
             }
+            Action::CrashCoord(cnode) => world.crash_coord(*cnode),
         };
         if let Err(e) = result {
             return fail(Violation::Runtime(e), trace, steps);
@@ -1082,6 +1233,7 @@ fn fits(cfg: &ExploreConfig, spent: &[Cost], cost: Cost) -> bool {
     count(Cost::Delay) <= cfg.delay_budget
         && count(Cost::Fault) <= cfg.fault_budget
         && count(Cost::Crash) <= cfg.crash_budget
+        && count(Cost::CoordCrash) <= cfg.coord_crash_budget
 }
 
 /// A frontier entry: the schedule (sorted by decision index) and the

@@ -1,9 +1,10 @@
 //! The certifier mutation kill matrix.
 //!
 //! Mutation testing turned on the protocol itself: the catalog below lists
-//! deliberate, `doc(hidden)` deviations of the certifier and the 2PC
-//! coordinator — each breaking exactly one mechanism of §§4–5 or the
-//! Appendix algorithms — and [`run_matrix`] runs every checker in the
+//! deliberate, `doc(hidden)` deviations of the certifier, the 2PC
+//! coordinator, and the Paxos Commit leader — each breaking exactly one
+//! mechanism of §§4–5, the Appendix algorithms, or the consensus layer's
+//! safety argument — and [`run_matrix`] runs every checker in the
 //! project against every mutant. A mutant that survives *all* checkers
 //! marks a hole in the test net: some paper mechanism nobody would notice
 //! us dropping. The matrix fails if any mutant survives, and also if the
@@ -27,6 +28,9 @@
 //! Every mutant is off by default and unreachable from configuration files,
 //! so shipping the catalog changes no golden digest.
 
+use std::collections::BTreeSet;
+
+use mdbs_consensus::{Acceptor, Ballot, Decision, Leader, LeaderMutation, PaxosMsg, Vote};
 use mdbs_dtm::{
     Agent, AgentAction, AgentConfig, AgentInput, CertifierMode, CoordAction, CoordMutation,
     Coordinator, Message, RefuseReason, SerialNumber,
@@ -45,6 +49,8 @@ pub enum MutantSpec {
     Agent(CertifierMode),
     /// A coordinator-side 2PC deviation.
     Coord(CoordMutation),
+    /// A Paxos Commit leader deviation.
+    Consensus(LeaderMutation),
 }
 
 /// A catalog entry: the deviation plus the paper mechanism it breaks.
@@ -143,6 +149,18 @@ pub fn catalog() -> Vec<Mutant> {
             mechanism: "§3 global commit record (C_k)",
             summary: "unanimous READY sends COMMITs without durably recording the decision",
         },
+        Mutant {
+            id: "quorum-shortcut",
+            spec: MutantSpec::Consensus(LeaderMutation::QuorumShortcut),
+            mechanism: "Paxos Commit per-instance quorum coverage",
+            summary: "commits once any F+1 acceptances arrive, without covering every participant",
+        },
+        Mutant {
+            id: "stale-ballot-replay",
+            spec: MutantSpec::Consensus(LeaderMutation::StaleBallotReplay),
+            mechanism: "Paxos Commit phase-1 promise adoption",
+            summary: "failover ignores the quorum's accepted votes and proposes from its stale view",
+        },
     ]
 }
 
@@ -150,15 +168,23 @@ pub fn catalog() -> Vec<Mutant> {
 fn agent_mode(spec: MutantSpec) -> CertifierMode {
     match spec {
         MutantSpec::Agent(m) => m,
-        MutantSpec::Coord(_) => CertifierMode::Full,
+        MutantSpec::Coord(_) | MutantSpec::Consensus(_) => CertifierMode::Full,
     }
 }
 
 /// The coordinator mutation a spec installs.
 fn coord_mutation(spec: MutantSpec) -> CoordMutation {
     match spec {
-        MutantSpec::Agent(_) => CoordMutation::None,
+        MutantSpec::Agent(_) | MutantSpec::Consensus(_) => CoordMutation::None,
         MutantSpec::Coord(c) => c,
+    }
+}
+
+/// The consensus-leader mutation a spec installs.
+fn leader_mutation(spec: MutantSpec) -> LeaderMutation {
+    match spec {
+        MutantSpec::Agent(_) | MutantSpec::Coord(_) => LeaderMutation::None,
+        MutantSpec::Consensus(m) => m,
     }
 }
 
@@ -288,6 +314,12 @@ const CHECKERS: &[(&str, Checker)] = &[
     ("probe-dup-ready", |s, _| probe_dup_ready(coord_mutation(s))),
     ("probe-commit-record", |s, _| {
         probe_commit_record(coord_mutation(s))
+    }),
+    ("probe-consensus-quorum", |s, _| {
+        probe_consensus_quorum(leader_mutation(s))
+    }),
+    ("probe-consensus-takeover", |s, _| {
+        probe_consensus_takeover(leader_mutation(s))
     }),
     ("explore-interval", |s, b| {
         explore_world(ExploreConfig::mutation_interval(), s, b)
@@ -753,6 +785,109 @@ fn probe_commit_record(mutation: CoordMutation) -> Result<(), String> {
             "§3: unanimous READY sent COMMITs without recording the global commit decision"
                 .to_string(),
         );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Consensus probes (Paxos Commit leader safety).
+// ---------------------------------------------------------------------------
+
+const CRASHED_COORD: u32 = 1_000_001;
+const ACCEPTORS: [u32; 3] = [3_000_000, 3_000_001, 3_000_002];
+
+fn consensus_leader(node: u32, mutation: LeaderMutation) -> Leader {
+    let mut l = Leader::new(node, 1, ACCEPTORS.to_vec());
+    l.set_mutation(mutation);
+    l
+}
+
+/// Per-instance quorum coverage: a commit decision needs an F+1 quorum of
+/// acceptances for *every* participant's instance — acceptances piling up
+/// on one instance must not decide while another participant never voted.
+fn probe_consensus_quorum(mutation: LeaderMutation) -> Result<(), String> {
+    let mut l = consensus_leader(COORD, mutation);
+    l.register(g(1), BTreeSet::from([SITE, SITE_B]));
+    let accepted = |site, acceptor| PaxosMsg::Accepted {
+        gtxn: g(1),
+        site,
+        ballot: Ballot::ZERO,
+        vote: Vote::Ready,
+        acceptor,
+    };
+    // A quorum of acceptances, all for SITE's instance; SITE_B never voted.
+    for acc in [ACCEPTORS[0], ACCEPTORS[1]] {
+        let (_, decisions) = l.on_msg(accepted(SITE, acc));
+        if !decisions.is_empty() {
+            return Err(
+                "committed with a participant whose instance never reached a quorum".to_string(),
+            );
+        }
+    }
+    // SITE_B's instance reaches F+1 too: now (and only now) commit.
+    l.on_msg(accepted(SITE_B, ACCEPTORS[0]));
+    let (_, decisions) = l.on_msg(accepted(SITE_B, ACCEPTORS[1]));
+    if decisions != vec![Decision::Commit { gtxn: g(1) }] {
+        return Err(format!(
+            "full per-instance coverage must decide commit, got {decisions:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Promise adoption: a failover must complete a transaction whose READY
+/// votes a quorum already accepted — the phase-1b promises carry those
+/// votes precisely so the backup cannot decide from its stale view.
+fn probe_consensus_takeover(mutation: LeaderMutation) -> Result<(), String> {
+    let mut accs: Vec<Acceptor> = ACCEPTORS.iter().map(|&n| Acceptor::new(n)).collect();
+    // The crashed coordinator got every vote replicated before dying.
+    for acc in &mut accs {
+        acc.handle(PaxosMsg::Begin {
+            gtxn: g(1),
+            coord: CRASHED_COORD,
+            participants: BTreeSet::from([SITE, SITE_B]),
+        });
+        for site in [SITE, SITE_B] {
+            acc.handle(PaxosMsg::Vote2a {
+                gtxn: g(1),
+                site,
+                coord: CRASHED_COORD,
+                vote: Vote::Ready,
+            });
+        }
+    }
+    let mut backup = consensus_leader(COORD, mutation);
+    // Deliver every message between the backup and the acceptors until
+    // quiescent.
+    let mut inbox = backup.take_over();
+    let mut decisions = Vec::new();
+    let mut hops = 0;
+    while !inbox.is_empty() {
+        hops += 1;
+        if hops >= 100 {
+            return Err("takeover message storm".to_string());
+        }
+        let mut next = Vec::new();
+        for (to, msg) in inbox {
+            if to == COORD {
+                let (out, ds) = backup.on_msg(msg);
+                next.extend(out);
+                decisions.extend(ds);
+            } else if let Some(acc) = accs.iter_mut().find(|a| a.node() == to) {
+                next.extend(acc.handle(msg));
+            }
+        }
+        inbox = next;
+    }
+    let expected = vec![Decision::Adopted {
+        gtxn: g(1),
+        participants: BTreeSet::from([SITE, SITE_B]),
+        commit: true,
+    }];
+    if decisions != expected {
+        return Err(format!(
+            "a fully-voted orphan must be adopted and committed, got {decisions:?}"
+        ));
     }
     Ok(())
 }

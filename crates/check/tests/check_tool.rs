@@ -92,6 +92,48 @@ fn explorer_finds_the_interval_violation_in_the_broken_certifier() {
 }
 
 #[test]
+fn explorer_exhausts_the_coord_failover_world_clean() {
+    // F=1 Paxos Commit: a coordinator crash-stop in the READY window is
+    // survivable on every schedule — the backup adopts the dead
+    // coordinator's transactions through the acceptor quorum.
+    match explore(&ExploreConfig::coord_failover()) {
+        ExploreOutcome::Exhausted { runs } => {
+            assert!(runs > 100, "suspiciously small schedule space: {runs}")
+        }
+        other => panic!("expected exhaustion without violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn explorer_finds_the_blocked_agent_under_direct_commit() {
+    // The identical crash under F=0 direct 2PC: the decision dies with
+    // the coordinator and some schedule strands a prepared agent. The
+    // counterexample is minimal — one deviation, the crash itself.
+    let ExploreOutcome::Violation(cex) = explore(&ExploreConfig::coord_crash_direct()) else {
+        panic!("a coordinator crash without consensus must strand an agent");
+    };
+    assert!(
+        matches!(
+            cex.violation,
+            Violation::Incomplete { .. } | Violation::StepLimit { .. }
+        ),
+        "expected a blocked-agent violation, got: {}",
+        cex.violation
+    );
+    assert_eq!(
+        cex.deviations.len(),
+        1,
+        "the minimal counterexample is the crash alone: {:#?}",
+        cex.deviations
+    );
+    assert!(
+        cex.deviations[0].contains("crash-stop coordinator"),
+        "the single deviation must be the coordinator crash: {:#?}",
+        cex.deviations
+    );
+}
+
+#[test]
 fn the_full_certifier_is_clean_on_the_mutation_world() {
     let mut cfg = ExploreConfig::mutation_interval();
     cfg.mode = mdbs_dtm::CertifierMode::Full;

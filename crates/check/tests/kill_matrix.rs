@@ -31,6 +31,8 @@ const CHECKERS: &[&str] = &[
     "probe-rollback-evict",
     "probe-dup-ready",
     "probe-commit-record",
+    "probe-consensus-quorum",
+    "probe-consensus-takeover",
     "explore-interval",
     "explore-conflict",
     "sim-conflict",
@@ -74,6 +76,8 @@ const PINNED: &[(&str, &[&str])] = &[
     ),
     ("drop-dup-ready-retransmit", &["probe-dup-ready"]),
     ("skip-commit-record", &["probe-commit-record"]),
+    ("quorum-shortcut", &["probe-consensus-quorum"]),
+    ("stale-ballot-replay", &["probe-consensus-takeover"]),
 ];
 
 /// The quick-budget matrix, computed once and shared across tests.

@@ -1,0 +1,212 @@
+//! The Paxos Commit message vocabulary.
+//!
+//! Rides the control plane (wrapped in the runtime's `CtrlMsg`), never the
+//! 2PC message stream: site agents and the certifier are oblivious to it.
+
+use std::collections::BTreeSet;
+
+use mdbs_histories::{GlobalTxnId, SiteId};
+
+use crate::{Ballot, Vote};
+
+/// A transaction's registration in the acceptor log: which coordinator
+/// leads it and which sites participate. This is what lets a backup know
+/// the full instance set it must finish or abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    /// The transaction.
+    pub gtxn: GlobalTxnId,
+    /// Its (original) coordinator node.
+    pub coord: u32,
+    /// Its participant sites — one commit instance each.
+    pub participants: BTreeSet<SiteId>,
+}
+
+/// One accepted instance value, as reported in a phase-1b promise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceptedVote {
+    /// The transaction.
+    pub gtxn: GlobalTxnId,
+    /// The participant whose instance this is.
+    pub site: SiteId,
+    /// The ballot the value was accepted at.
+    pub ballot: Ballot,
+    /// The accepted vote.
+    pub vote: Vote,
+}
+
+/// Paxos Commit control messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaxosMsg {
+    /// Coordinator → acceptors: register a beginning transaction (its
+    /// participant set), so a later failover knows every instance.
+    Begin {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// Its coordinator node.
+        coord: u32,
+        /// Its participant sites.
+        participants: BTreeSet<SiteId>,
+    },
+    /// Participant → acceptors: the fast-path phase-2a message at ballot 0.
+    /// Sent directly by the site agent alongside its READY/REFUSE to the
+    /// coordinator — closing the window where only the coordinator knows
+    /// the vote.
+    Vote2a {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// The voting participant.
+        site: SiteId,
+        /// The transaction's coordinator (the ballot-0 leader, to whom the
+        /// acceptor reports acceptance).
+        coord: u32,
+        /// The vote.
+        vote: Vote,
+    },
+    /// Acceptor → leader: phase-2b, this acceptor accepted an instance
+    /// value at the given ballot.
+    Accepted {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// The participant whose instance was accepted.
+        site: SiteId,
+        /// The ballot of the accepted value.
+        ballot: Ballot,
+        /// The accepted vote.
+        vote: Vote,
+        /// The reporting acceptor node.
+        acceptor: u32,
+    },
+    /// Backup → acceptors: phase-1a for the *whole log* (multi-shot — one
+    /// ballot amortized over every in-flight transaction).
+    Prepare1a {
+        /// The backup's ballot; `ballot.node` is the backup itself.
+        ballot: Ballot,
+    },
+    /// Acceptor → backup: phase-1b promise carrying the full log — every
+    /// registration and every accepted vote.
+    Promise1b {
+        /// The promised ballot.
+        ballot: Ballot,
+        /// The promising acceptor node.
+        acceptor: u32,
+        /// Every transaction registered at this acceptor.
+        registrations: Vec<Registration>,
+        /// Every instance value this acceptor has accepted.
+        accepted: Vec<AcceptedVote>,
+    },
+    /// Backup → acceptors: phase-2a at the backup's ballot for one
+    /// instance (the adopted vote, or Abort where the quorum showed none).
+    Propose2a {
+        /// The proposal ballot; `ballot.node` is the proposing backup.
+        ballot: Ballot,
+        /// The transaction.
+        gtxn: GlobalTxnId,
+        /// The participant whose instance is proposed.
+        site: SiteId,
+        /// The proposed vote.
+        vote: Vote,
+    },
+    /// Leader → acceptors: the transaction settled everywhere; drop its
+    /// registration and instances (log compaction — a failover never
+    /// re-adopts a settled transaction).
+    Clear {
+        /// The transaction.
+        gtxn: GlobalTxnId,
+    },
+}
+
+impl PaxosMsg {
+    /// The variant's source-level name (vocabulary lint + codec tests; see
+    /// `Message::variant_name` for the scheme).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            PaxosMsg::Begin { .. } => "Begin",
+            PaxosMsg::Vote2a { .. } => "Vote2a",
+            PaxosMsg::Accepted { .. } => "Accepted",
+            PaxosMsg::Prepare1a { .. } => "Prepare1a",
+            PaxosMsg::Promise1b { .. } => "Promise1b",
+            PaxosMsg::Propose2a { .. } => "Propose2a",
+            PaxosMsg::Clear { .. } => "Clear",
+        }
+    }
+
+    /// One representative value per variant, with nontrivial payloads.
+    /// Adding a variant without extending this list is a compile error
+    /// ([`PaxosMsg::variant_name`] matches exhaustively).
+    pub fn specimens() -> Vec<PaxosMsg> {
+        let gtxn = GlobalTxnId(9);
+        let ballot = Ballot {
+            number: 3,
+            node: 1_000_001,
+        };
+        vec![
+            PaxosMsg::Begin {
+                gtxn,
+                coord: 1_000_001,
+                participants: BTreeSet::from([SiteId(0), SiteId(2)]),
+            },
+            PaxosMsg::Vote2a {
+                gtxn,
+                site: SiteId(2),
+                coord: 1_000_001,
+                vote: Vote::Ready,
+            },
+            PaxosMsg::Accepted {
+                gtxn,
+                site: SiteId(2),
+                ballot: Ballot::ZERO,
+                vote: Vote::Abort,
+                acceptor: 3_000_002,
+            },
+            PaxosMsg::Prepare1a { ballot },
+            PaxosMsg::Promise1b {
+                ballot,
+                acceptor: 3_000_000,
+                registrations: vec![Registration {
+                    gtxn,
+                    coord: 1_000_001,
+                    participants: BTreeSet::from([SiteId(0), SiteId(2)]),
+                }],
+                accepted: vec![AcceptedVote {
+                    gtxn,
+                    site: SiteId(0),
+                    ballot: Ballot::ZERO,
+                    vote: Vote::Ready,
+                }],
+            },
+            PaxosMsg::Propose2a {
+                ballot,
+                gtxn,
+                site: SiteId(0),
+                vote: Vote::Abort,
+            },
+            PaxosMsg::Clear { gtxn },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specimens_cover_every_variant_once() {
+        let names: Vec<&str> = PaxosMsg::specimens()
+            .iter()
+            .map(PaxosMsg::variant_name)
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate specimen variant");
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn specimens_round_trip_as_event_payloads() {
+        for msg in PaxosMsg::specimens() {
+            assert_eq!(msg.clone(), msg);
+        }
+    }
+}

@@ -292,6 +292,12 @@ pub struct Agent {
     /// from "unknown because never begun" when duplicated or reordered
     /// deliveries surface after the fact.
     done: BTreeSet<GlobalTxnId>,
+    /// Failover redirects for transactions this agent never started: a
+    /// NEW-COORD can precede any other message when a backup coordinator
+    /// aborts a crashed coordinator's transaction whose BEGIN never
+    /// reached us. The backup still needs our ROLLBACK ack to finish, so
+    /// remember where to send it.
+    redirects: BTreeMap<GlobalTxnId, u32>,
 }
 
 impl Agent {
@@ -309,6 +315,7 @@ impl Agent {
             idx: CertIndex::new(config.cert_shards),
             log: AgentLog::new(),
             done: BTreeSet::new(),
+            redirects: BTreeMap::new(),
         }
     }
 
@@ -342,6 +349,7 @@ impl Agent {
             idx: CertIndex::new(config.cert_shards),
             log,
             done: BTreeSet::new(),
+            redirects: BTreeMap::new(),
         };
         let mut actions = Vec::new();
 
@@ -619,6 +627,17 @@ impl Agent {
                     }
                     st.phase = Phase::CommitPending;
                     self.try_commit(now, gtxn)
+                } else if let Some(coord) = self.redirects.remove(&gtxn) {
+                    // Failover re-decision for a transaction we already
+                    // committed (the original coordinator died holding our
+                    // ack): re-ack so the backup can finish it.
+                    vec![AgentAction::Reply {
+                        coord,
+                        msg: Message::CommitAck {
+                            gtxn,
+                            site: self.site,
+                        },
+                    }]
                 } else {
                     // Refused earlier and forgotten; the coordinator's
                     // decision crossed our REFUSE. Nothing to commit.
@@ -626,6 +645,20 @@ impl Agent {
                 }
             }
             Message::Rollback { gtxn } => self.on_rollback(gtxn),
+            Message::NewCoord { gtxn, coord } => {
+                // Paxos Commit failover: the decision for this transaction
+                // will come from a backup coordinator; redirect the ack.
+                // Unknown transaction means either the BEGIN never arrived
+                // or we already settled it and the original coordinator
+                // died holding our ack — either way the backup re-decides
+                // and waits on our ack, so remember where it belongs.
+                if let Some(st) = self.subtxns.get_mut(&gtxn) {
+                    st.coord = coord;
+                } else {
+                    self.redirects.insert(gtxn, coord);
+                }
+                vec![]
+            }
             other => {
                 debug_assert!(false, "agent received upstream message {other:?}");
                 vec![]
@@ -1072,9 +1105,21 @@ impl Agent {
         // reordering) must not start a fresh conversation.
         self.done.insert(gtxn);
         let Some(st) = self.subtxns.get(&gtxn) else {
-            // Already refused and forgotten: just acknowledge. The
-            // coordinator's ROLLBACK crossed our REFUSE; replying keeps the
-            // protocol idempotent.
+            // Two ways to get here. A ROLLBACK crossing our REFUSE needs
+            // no reply (the coordinator counts the refusal as settled).
+            // But a failover ROLLBACK for a transaction whose BEGIN never
+            // arrived must be acked, or the backup waits forever — the
+            // preceding NEW-COORD left the return address.
+            if let Some(coord) = self.redirects.remove(&gtxn) {
+                self.stats.rollbacks += 1;
+                return vec![AgentAction::Reply {
+                    coord,
+                    msg: Message::RollbackAck {
+                        gtxn,
+                        site: self.site,
+                    },
+                }];
+            }
             return vec![];
         };
         let (coord, aborted, incarnation) = (st.coord, st.aborted, st.incarnation);

@@ -112,6 +112,11 @@ pub struct Coordinator {
     sn_gen: SnGenerator,
     txns: BTreeMap<GlobalTxnId, GlobalTxn>,
     mutation: CoordMutation,
+    /// Paxos Commit gating: when set, unanimous READY does *not* decide —
+    /// the consensus layer calls [`Coordinator::commit_decided`] once the
+    /// acceptor quorum holds every participant's vote. False (`F=0`)
+    /// reproduces the paper's direct 2PC decision exactly.
+    gate_commit: bool,
 }
 
 impl Coordinator {
@@ -122,7 +127,17 @@ impl Coordinator {
             sn_gen: SnGenerator::new(node),
             txns: BTreeMap::new(),
             mutation: CoordMutation::None,
+            gate_commit: false,
         }
+    }
+
+    /// Gate the commit decision behind an external consensus layer: on
+    /// unanimous READY the coordinator stays in the preparing phase until
+    /// [`Coordinator::commit_decided`] is called. Abort decisions are not
+    /// gated — they are always safe (a refused instance can never decide
+    /// Ready at the acceptors).
+    pub fn set_gate_commit(&mut self, gate: bool) {
+        self.gate_commit = gate;
     }
 
     /// Select a deliberate deviation (mutation kill matrix only).
@@ -294,6 +309,12 @@ impl Coordinator {
         if txn.ready.len() < txn.participants.len() {
             return vec![];
         }
+        if self.gate_commit {
+            // Paxos Commit: unanimity here is not a decision — the
+            // consensus layer decides once the acceptor quorum holds every
+            // participant's READY, and calls `commit_decided`.
+            return vec![];
+        }
         // Unanimous READY: record the commit decision, then COMMIT.
         txn.phase = TxnPhase::Committing;
         let mut actions = if self.mutation == CoordMutation::SkipCommitRecord {
@@ -384,6 +405,90 @@ impl Coordinator {
                 vec![]
             }
         }
+    }
+
+    /// The consensus layer decided commit for `gtxn`: record the decision
+    /// and send COMMIT to every participant. Only meaningful while
+    /// preparing — the acceptor quorum can complete before every READY has
+    /// reached this coordinator, so the ready set may still be partial
+    /// (stragglers arriving afterwards get the committing-phase duplicate
+    /// handling, i.e. a retransmitted COMMIT). A decision for a
+    /// transaction that already aborted (a REFUSE raced the quorum) or
+    /// already settled is ignored: the refusal path never lets a refused
+    /// instance decide Ready, so such a decision can only be a duplicate.
+    pub fn commit_decided(&mut self, gtxn: GlobalTxnId) -> Vec<CoordAction> {
+        let Some(txn) = self.txns.get_mut(&gtxn) else {
+            return vec![];
+        };
+        if txn.phase != TxnPhase::Preparing {
+            return vec![];
+        }
+        txn.phase = TxnPhase::Committing;
+        let mut actions = vec![CoordAction::RecordGlobalCommit(gtxn)];
+        actions.extend(txn.participants.iter().map(|&site| CoordAction::ToAgent {
+            site,
+            msg: Message::Commit { gtxn },
+        }));
+        actions
+    }
+
+    /// Adopt an orphaned transaction during Paxos Commit failover: this
+    /// coordinator was not the original leader, but the consensus layer
+    /// read the outcome from the acceptor quorum. Installs the transaction
+    /// directly in its decided phase and drives the decision: NEW-COORD
+    /// (so agents redirect their acks here) followed by COMMIT/ROLLBACK to
+    /// every participant. A transaction already known here is ignored —
+    /// adoption is only for other coordinators' work.
+    pub fn adopt(
+        &mut self,
+        gtxn: GlobalTxnId,
+        participants: BTreeSet<SiteId>,
+        commit: bool,
+    ) -> Vec<CoordAction> {
+        if self.txns.contains_key(&gtxn) {
+            return vec![];
+        }
+        let mut actions = vec![if commit {
+            CoordAction::RecordGlobalCommit(gtxn)
+        } else {
+            CoordAction::RecordGlobalAbort(gtxn)
+        }];
+        for &site in &participants {
+            actions.push(CoordAction::ToAgent {
+                site,
+                msg: Message::NewCoord {
+                    gtxn,
+                    coord: self.node,
+                },
+            });
+            actions.push(CoordAction::ToAgent {
+                site,
+                msg: if commit {
+                    Message::Commit { gtxn }
+                } else {
+                    Message::Rollback { gtxn }
+                },
+            });
+        }
+        self.txns.insert(
+            gtxn,
+            GlobalTxn {
+                program: Vec::new(),
+                step: 0,
+                participants,
+                phase: if commit {
+                    TxnPhase::Committing
+                } else {
+                    TxnPhase::Aborting
+                },
+                ready: BTreeSet::new(),
+                acked: BTreeSet::new(),
+                refused: BTreeSet::new(),
+                sn: None,
+                results: Vec::new(),
+            },
+        );
+        actions
     }
 
     /// Abort a transaction from outside the 2PC vote flow (an external
@@ -573,6 +678,107 @@ mod tests {
             }]
         );
         assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn gated_coordinator_waits_for_commit_decided() {
+        let mut c = Coordinator::new(100);
+        c.set_gate_commit(true);
+        c.begin(g(1), program2());
+        for (i, (site, step)) in [(A, 0), (B, 1)].into_iter().enumerate() {
+            c.on_message(
+                i as u64 + 1,
+                Message::DmlResult {
+                    gtxn: g(1),
+                    site,
+                    step,
+                    result: result(),
+                },
+            );
+        }
+        c.on_message(
+            3,
+            Message::Ready {
+                gtxn: g(1),
+                site: A,
+            },
+        );
+        let acts = c.on_message(
+            4,
+            Message::Ready {
+                gtxn: g(1),
+                site: B,
+            },
+        );
+        assert!(acts.is_empty(), "unanimity must not decide while gated");
+        // The consensus layer decides.
+        let acts = c.commit_decided(g(1));
+        assert!(matches!(acts[0], CoordAction::RecordGlobalCommit(_)));
+        assert_eq!(sent_to(&acts).len(), 2);
+        // A duplicate decision is inert.
+        assert!(c.commit_decided(g(1)).is_empty());
+        // A late straggler READY gets the usual retransmitted COMMIT.
+        let acts = c.on_message(
+            5,
+            Message::Ready {
+                gtxn: g(1),
+                site: A,
+            },
+        );
+        assert!(matches!(
+            sent_to(&acts)[0],
+            (SiteId(0), Message::Commit { .. })
+        ));
+    }
+
+    #[test]
+    fn commit_decided_for_unknown_or_settled_txn_is_inert() {
+        let mut c = Coordinator::new(100);
+        assert!(c.commit_decided(g(9)).is_empty());
+        c.set_gate_commit(true);
+        c.begin(g(1), program2());
+        // Still executing: a (impossibly early) decision must not commit a
+        // transaction whose program has not finished.
+        assert!(c.commit_decided(g(1)).is_empty());
+    }
+
+    #[test]
+    fn adopt_drives_the_decision_with_new_coord_first() {
+        let mut c = Coordinator::new(100);
+        let acts = c.adopt(g(7), BTreeSet::from([A, B]), true);
+        assert!(matches!(acts[0], CoordAction::RecordGlobalCommit(_)));
+        let msgs = sent_to(&acts);
+        assert_eq!(msgs.len(), 4, "NEW-COORD + COMMIT per participant");
+        assert!(
+            matches!(msgs[0], (SiteId(0), Message::NewCoord { coord: 100, .. })),
+            "redirect must precede the decision message"
+        );
+        assert!(matches!(msgs[1], (SiteId(0), Message::Commit { .. })));
+        // Acks settle it like any committing transaction.
+        c.on_message(
+            1,
+            Message::CommitAck {
+                gtxn: g(7),
+                site: A,
+            },
+        );
+        let acts = c.on_message(
+            2,
+            Message::CommitAck {
+                gtxn: g(7),
+                site: B,
+            },
+        );
+        assert!(matches!(acts[0], CoordAction::Finished { .. }));
+        assert_eq!(c.in_flight(), 0);
+
+        // The abort flavor sends ROLLBACKs.
+        let acts = c.adopt(g(8), BTreeSet::from([A]), false);
+        assert!(matches!(acts[0], CoordAction::RecordGlobalAbort(_)));
+        let msgs = sent_to(&acts);
+        assert!(matches!(msgs[1], (SiteId(0), Message::Rollback { .. })));
+        // Adopting a transaction we already track is refused.
+        assert!(c.adopt(g(8), BTreeSet::from([A]), true).is_empty());
     }
 
     #[test]

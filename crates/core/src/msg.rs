@@ -110,6 +110,16 @@ pub enum Message {
         /// The replying site.
         site: SiteId,
     },
+    /// Coordinator → Agent: a backup coordinator took over this
+    /// transaction after its original coordinator crashed (Paxos Commit
+    /// failover); send all further replies — in particular the ack for the
+    /// decision that follows — to `coord`. Never sent at `F=0`.
+    NewCoord {
+        /// The global transaction.
+        gtxn: GlobalTxnId,
+        /// The backup coordinator's node id.
+        coord: u32,
+    },
 }
 
 impl Message {
@@ -126,7 +136,8 @@ impl Message {
             | Message::Ready { gtxn, .. }
             | Message::Refuse { gtxn, .. }
             | Message::CommitAck { gtxn, .. }
-            | Message::RollbackAck { gtxn, .. } => gtxn,
+            | Message::RollbackAck { gtxn, .. }
+            | Message::NewCoord { gtxn, .. } => gtxn,
         }
     }
 
@@ -139,6 +150,7 @@ impl Message {
                 | Message::Prepare { .. }
                 | Message::Commit { .. }
                 | Message::Rollback { .. }
+                | Message::NewCoord { .. }
         )
     }
 
@@ -162,6 +174,7 @@ impl Message {
             Message::Refuse { .. } => "Refuse",
             Message::CommitAck { .. } => "CommitAck",
             Message::RollbackAck { .. } => "RollbackAck",
+            Message::NewCoord { .. } => "NewCoord",
         }
     }
 
@@ -225,6 +238,10 @@ impl Message {
             Message::RollbackAck {
                 gtxn: GlobalTxnId(8),
                 site: SiteId(0),
+            },
+            Message::NewCoord {
+                gtxn: GlobalTxnId(7),
+                coord: 1_000_000,
             },
         ]
     }

@@ -115,6 +115,21 @@ pub fn crash_quake() -> FaultProfile {
     }
 }
 
+/// Coordinator crashes mid-2PC: violates the implicit §2 assumption that
+/// the decision-maker survives until its decision is delivered. At `F=0`
+/// the in-flight transactions block (safety only); with `consensus.f > 0`
+/// Paxos Commit failover restores settlement.
+pub fn coord_failover() -> FaultProfile {
+    FaultProfile {
+        name: "coord-failover".to_string(),
+        horizon_us: 80_000,
+        window_us: (10_000, 40_000),
+        coord_crashes: 1,
+        crash_at_us: (10_000, 60_000),
+        ..FaultProfile::default()
+    }
+}
+
 /// All built-in profiles, assumption-preserving first.
 pub fn builtin_profiles() -> Vec<FaultProfile> {
     vec![
@@ -124,6 +139,7 @@ pub fn builtin_profiles() -> Vec<FaultProfile> {
         crash_quake(),
         partition_flap(),
         fifo_scramble(),
+        coord_failover(),
     ]
 }
 
@@ -168,12 +184,25 @@ impl Expectation {
     }
 }
 
-/// The expectation policy for a protocol under a profile.
+/// The expectation policy for a protocol under a profile, at `F=0` (no
+/// Paxos Commit). See [`expectation_at`].
 pub fn expectation(protocol: Protocol, profile: &FaultProfile) -> Expectation {
+    expectation_at(protocol, profile, 0)
+}
+
+/// The expectation policy for a protocol under a profile with Paxos Commit
+/// fault tolerance `consensus_f`. Coordinator crashes violate the implicit
+/// §2 assumption that the decision-maker lives to deliver its decision:
+/// at `F=0` blocked transactions are expected (safety only), while
+/// `F > 0` restores the strict bar — failover must finish every in-flight
+/// transaction the crashed coordinator left behind.
+pub fn expectation_at(protocol: Protocol, profile: &FaultProfile, consensus_f: u32) -> Expectation {
     let delivery_holds = !profile.violates_no_loss() && !profile.violates_fifo();
+    let decisions_survive = !profile.violates_coord_liveness() || consensus_f > 0;
     Expectation {
-        settlement: delivery_holds,
+        settlement: delivery_holds && decisions_survive,
         full_checks: delivery_holds
+            && decisions_survive
             && matches!(
                 protocol,
                 Protocol::TwoCm(CertifierMode::Full) | Protocol::Cgm
@@ -236,6 +265,15 @@ pub fn chaos_cfg(seed: u64, protocol: Protocol) -> SimConfig {
     SimConfig::from_kv_text(&text).expect("built-in chaos scenario is well-formed")
 }
 
+/// The failover chaos workload: [`chaos_cfg`] with Paxos Commit enabled
+/// (`consensus.f = 1`, so three acceptors and a backup coordinator) —
+/// the scenario [`coord_failover`] drills are held to the strict bar on.
+pub fn failover_cfg(seed: u64, protocol: Protocol) -> SimConfig {
+    let mut cfg = chaos_cfg(seed, protocol);
+    cfg.consensus_f = 1;
+    cfg
+}
+
 /// Sample `profile` into a plan for `cfg`'s topology, keyed by its seed.
 pub fn plan_for(cfg: &SimConfig, profile: &FaultProfile) -> FaultPlan {
     let sites: Vec<u32> = (0..cfg.workload.sites).collect();
@@ -266,12 +304,18 @@ pub struct ChaosRun {
     pub failure: Option<String>,
 }
 
-/// Run one chaos case.
+/// Run one chaos case on the base workload ([`chaos_cfg`], `F=0`).
 pub fn run_case(seed: u64, protocol: Protocol, profile: &FaultProfile) -> ChaosRun {
-    let mut cfg = chaos_cfg(seed, protocol);
+    run_case_on(chaos_cfg(seed, protocol), profile)
+}
+
+/// Run one chaos case on an explicit scenario (e.g. [`failover_cfg`] for
+/// Paxos Commit drills). The expectation derives from the scenario's own
+/// `consensus.f`.
+pub fn run_case_on(mut cfg: SimConfig, profile: &FaultProfile) -> ChaosRun {
     let plan = plan_for(&cfg, profile);
     cfg.faults = Some(plan.clone());
-    let exp = expectation(protocol, profile);
+    let exp = expectation_at(cfg.protocol, profile, cfg.consensus_f);
     let report = Simulation::new(cfg.clone()).run();
     let faults_applied = [
         "faults_dropped",
@@ -284,8 +328,8 @@ pub fn run_case(seed: u64, protocol: Protocol, profile: &FaultProfile) -> ChaosR
     .map(|k| report.metrics.counter(k))
     .sum();
     ChaosRun {
-        seed,
-        protocol,
+        seed: cfg.workload.seed,
+        protocol: cfg.protocol,
         profile: profile.name.clone(),
         plan,
         expectation: exp,
@@ -530,6 +574,9 @@ fn action_expr(a: &FaultAction) -> String {
         FaultAction::SiteCrash { site, at_us } => {
             format!("FaultAction::SiteCrash {{ site: {site}, at_us: {at_us} }}")
         }
+        FaultAction::CoordCrash { coord, at_us } => {
+            format!("FaultAction::CoordCrash {{ coord: {coord}, at_us: {at_us} }}")
+        }
         FaultAction::AbortBurst {
             from_us,
             until_us,
@@ -659,6 +706,34 @@ mod tests {
             expectation(full, &fifo_scramble()),
             Expectation::safety_only()
         );
+    }
+
+    #[test]
+    fn coord_crash_expectation_tracks_fault_tolerance() {
+        let full = Protocol::TwoCm(CertifierMode::Full);
+        // At F=0 a crashed coordinator blocks its transactions forever:
+        // safety only. With failover the strict bar comes back.
+        assert_eq!(
+            expectation(full, &coord_failover()),
+            Expectation::safety_only()
+        );
+        assert_eq!(
+            expectation_at(full, &coord_failover(), 1),
+            Expectation::strict()
+        );
+        // Fault tolerance does not excuse broken delivery assumptions.
+        assert_eq!(
+            expectation_at(full, &partition_flap(), 1),
+            Expectation::safety_only()
+        );
+        assert!(profile_by_name("coord-failover").is_some());
+    }
+
+    #[test]
+    fn failover_cfg_enables_paxos_commit() {
+        let cfg = failover_cfg(3, Protocol::TwoCm(CertifierMode::Full));
+        assert_eq!(cfg.consensus_f, 1);
+        assert!(cfg.coordinators >= 2, "a backup must exist");
     }
 
     #[test]

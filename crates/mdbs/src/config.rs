@@ -130,6 +130,26 @@ pub struct SimConfig {
     /// Each action deliberately violates one of the paper's network
     /// assumptions; CGM control traffic is never faulted.
     pub faults: Option<FaultPlan>,
+    /// Paxos Commit fault tolerance: the commit decision survives `F`
+    /// simultaneous coordinator/acceptor crashes. `0` (the default) is the
+    /// paper's direct 2PC decision — no acceptors, zero extra messages,
+    /// bit-for-bit identical digests. `F > 0` runs `2F+1` acceptor nodes
+    /// and requires `coordinators >= 2` under the 2CM protocol family.
+    #[serde(default)]
+    pub consensus_f: u32,
+    /// How long a backup coordinator waits after a coordinator crash
+    /// before taking over its in-flight transactions, µs.
+    #[serde(default = "default_failover_delay_us")]
+    pub failover_delay_us: u64,
+    /// Test hook: `(coord, k)` — coordinator `coord` crashes on receipt of
+    /// its `k`-th READY (1-based), *before* processing it: exactly the
+    /// window between collecting votes and broadcasting the decision.
+    #[serde(default)]
+    pub coord_crash_after_ready: Option<(u32, u32)>,
+}
+
+fn default_failover_delay_us() -> u64 {
+    50_000
 }
 
 impl Default for SimConfig {
@@ -151,6 +171,9 @@ impl Default for SimConfig {
             link_overrides: Vec::new(),
             time_limit: SimTime::from_secs(300),
             faults: None,
+            consensus_f: 0,
+            failover_delay_us: default_failover_delay_us(),
+            coord_crash_after_ready: None,
         }
     }
 }
@@ -357,6 +380,37 @@ pub fn scenario_from_kv(kv: &mut KvConfig) -> Result<SimConfig, ConfigError> {
     if let Some(list) = kv.raw("crashes") {
         cfg.crashes = parse_crashes(list)?;
     }
+    cfg.consensus_f = kv.get_or("consensus.f", cfg.consensus_f)?;
+    cfg.failover_delay_us = kv.get_or("consensus.failover_delay_us", cfg.failover_delay_us)?;
+    if let Some(spec) = kv.raw("consensus.crash_coord_after_ready") {
+        let err = || {
+            ConfigError(format!(
+                "bad consensus.crash_coord_after_ready {spec:?} (want COORD@K)"
+            ))
+        };
+        let (c, k) = spec.split_once('@').ok_or_else(err)?;
+        let c: u32 = c.trim().parse().map_err(|_| err())?;
+        let k: u32 = k.trim().parse().map_err(|_| err())?;
+        if k == 0 {
+            return Err(err());
+        }
+        cfg.coord_crash_after_ready = Some((c, k));
+    }
+    if cfg.consensus_f > 0 {
+        if matches!(cfg.protocol, Protocol::Cgm) {
+            return Err(ConfigError(
+                "consensus.f > 0 needs the 2CM protocol family (CGM's central \
+                 scheduler is its own single point of failure)"
+                    .into(),
+            ));
+        }
+        if cfg.coordinators < 2 {
+            return Err(ConfigError(
+                "consensus.f > 0 needs coordinators >= 2 (a backup must exist to fail over to)"
+                    .into(),
+            ));
+        }
+    }
     if let Some(profile) = kv.raw("faults.profile").map(str::to_string) {
         let profile = crate::chaos::profile_by_name(&profile)
             .ok_or_else(|| ConfigError(format!("unknown fault profile {profile:?}")))?;
@@ -443,6 +497,14 @@ pub fn scenario_to_kv(cfg: &SimConfig) -> Result<String, ConfigError> {
     push("wait_timeout_us", cfg.wait_timeout_us.to_string());
     push("abort_delay_max_us", cfg.abort_delay_max_us.to_string());
     push("time_limit_us", cfg.time_limit.as_micros().to_string());
+    push("consensus.f", cfg.consensus_f.to_string());
+    push(
+        "consensus.failover_delay_us",
+        cfg.failover_delay_us.to_string(),
+    );
+    if let Some((c, k)) = cfg.coord_crash_after_ready {
+        push("consensus.crash_coord_after_ready", format!("{c}@{k}"));
+    }
     if !cfg.crashes.is_empty() {
         let list: Vec<String> = cfg
             .crashes
@@ -514,16 +576,24 @@ pub enum NodeRole {
     Coordinator(u32),
     /// The CGM central scheduler (only for `protocol = cgm`).
     Central,
+    /// A Paxos Commit acceptor, `node = ACCEPTOR_BASE + i` (only for
+    /// `consensus.f > 0`).
+    Acceptor(u32),
 }
 
 impl NodeRole {
-    /// Parse `site:N`, `coord:N`, or `central`.
+    /// Parse `site:N`, `coord:N`, `acceptor:N`, or `central`.
     pub fn parse(s: &str) -> Result<NodeRole, ConfigError> {
-        let err = || ConfigError(format!("bad role {s:?} (site:N | coord:N | central)"));
+        let err = || {
+            ConfigError(format!(
+                "bad role {s:?} (site:N | coord:N | acceptor:N | central)"
+            ))
+        };
         match s.split_once(':') {
             None if s == "central" => Ok(NodeRole::Central),
             Some(("site", n)) => n.parse().map(NodeRole::Site).map_err(|_| err()),
             Some(("coord", n)) => n.parse().map(NodeRole::Coordinator).map_err(|_| err()),
+            Some(("acceptor", n)) => n.parse().map(NodeRole::Acceptor).map_err(|_| err()),
             _ => Err(err()),
         }
     }
@@ -534,6 +604,7 @@ impl NodeRole {
             NodeRole::Site(s) => s,
             NodeRole::Coordinator(c) => mdbs_runtime::COORD_BASE + c,
             NodeRole::Central => mdbs_runtime::CENTRAL,
+            NodeRole::Acceptor(a) => mdbs_runtime::ACCEPTOR_BASE + a,
         }
     }
 
@@ -543,6 +614,7 @@ impl NodeRole {
             NodeRole::Site(s) => format!("site:{s}"),
             NodeRole::Coordinator(c) => format!("coord:{c}"),
             NodeRole::Central => "central".into(),
+            NodeRole::Acceptor(a) => format!("acceptor:{a}"),
         }
     }
 }
@@ -560,6 +632,10 @@ pub struct ClusterConfig {
     /// Listen address of the CGM central scheduler, when the protocol
     /// needs one.
     pub central_addr: Option<String>,
+    /// Listen address per Paxos Commit acceptor, indexed by acceptor
+    /// number — exactly `2F+1` of them when `consensus.f = F > 0`, else
+    /// empty.
+    pub acceptor_addrs: Vec<String>,
     /// Per-peer outbox capacity (message groups); senders block when full.
     pub outbox_capacity: usize,
     /// Most messages one wire frame may coalesce; 1 disables batching
@@ -596,6 +672,12 @@ impl ClusterConfig {
         if matches!(scenario.protocol, Protocol::Cgm) && central_addr.is_none() {
             return Err(ConfigError("protocol cgm needs node.central.addr".into()));
         }
+        let mut acceptor_addrs = Vec::new();
+        if scenario.consensus_f > 0 {
+            for a in 0..mdbs_consensus::acceptor_count(scenario.consensus_f) {
+                acceptor_addrs.push(kv.require::<String>(&format!("node.acceptor.{a}.addr"))?);
+            }
+        }
         let outbox_capacity = kv.get_or("net.outbox_capacity", 1024usize)?;
         let batch_max = kv.get_or("net.batch_max", 256usize)?;
         if batch_max == 0 {
@@ -627,6 +709,7 @@ impl ClusterConfig {
             site_addrs,
             coord_addrs,
             central_addr,
+            acceptor_addrs,
             outbox_capacity,
             batch_max,
             flush_deadline_us,
@@ -646,6 +729,9 @@ impl ClusterConfig {
         }
         if let Some(addr) = &self.central_addr {
             out.push_str(&format!("node.central.addr = {addr}\n"));
+        }
+        for (a, addr) in self.acceptor_addrs.iter().enumerate() {
+            out.push_str(&format!("node.acceptor.{a}.addr = {addr}\n"));
         }
         out.push_str(&format!("net.outbox_capacity = {}\n", self.outbox_capacity));
         out.push_str(&format!("net.batch_max = {}\n", self.batch_max));
@@ -668,9 +754,15 @@ impl ClusterConfig {
 
     /// The listen address of a runtime node id, if configured.
     pub fn addr_of(&self, node: u32) -> Option<&str> {
-        use mdbs_runtime::{CENTRAL, COORD_BASE};
+        use mdbs_runtime::{ACCEPTOR_BASE, CENTRAL, COORD_BASE};
         if node == CENTRAL {
             return self.central_addr.as_deref();
+        }
+        if node >= ACCEPTOR_BASE {
+            return self
+                .acceptor_addrs
+                .get((node - ACCEPTOR_BASE) as usize)
+                .map(|s| s.as_str());
         }
         if node >= COORD_BASE {
             return self
@@ -682,19 +774,27 @@ impl ClusterConfig {
     }
 
     /// Every runtime node id in this cluster (sites, coordinators,
-    /// central), in canonical order.
+    /// central, acceptors), in canonical order.
     pub fn node_ids(&self) -> Vec<u32> {
-        use mdbs_runtime::{CENTRAL, COORD_BASE};
+        use mdbs_runtime::{ACCEPTOR_BASE, CENTRAL, COORD_BASE};
         let mut ids: Vec<u32> = (0..self.site_addrs.len() as u32).collect();
         ids.extend((0..self.coord_addrs.len() as u32).map(|c| COORD_BASE + c));
         if self.central_addr.is_some() {
             ids.push(CENTRAL);
         }
+        ids.extend((0..self.acceptor_addrs.len() as u32).map(|a| ACCEPTOR_BASE + a));
         ids
     }
 
+    /// The runtime node ids of every acceptor in this cluster.
+    pub fn acceptor_nodes(&self) -> Vec<u32> {
+        (0..self.acceptor_addrs.len() as u32)
+            .map(|a| mdbs_runtime::ACCEPTOR_BASE + a)
+            .collect()
+    }
+
     /// The roles of this cluster, in canonical order (sites, coords,
-    /// central) — one `mdbs-node` process each.
+    /// central, acceptors) — one `mdbs-node` process each.
     pub fn roles(&self) -> Vec<NodeRole> {
         let mut roles: Vec<NodeRole> = (0..self.site_addrs.len() as u32)
             .map(NodeRole::Site)
@@ -703,6 +803,7 @@ impl ClusterConfig {
         if self.central_addr.is_some() {
             roles.push(NodeRole::Central);
         }
+        roles.extend((0..self.acceptor_addrs.len() as u32).map(NodeRole::Acceptor));
         roles
     }
 }
@@ -904,11 +1005,62 @@ mod tests {
     }
 
     #[test]
+    fn consensus_kv_round_trips_and_validates() {
+        let cfg = SimConfig {
+            consensus_f: 1,
+            failover_delay_us: 75_000,
+            coord_crash_after_ready: Some((1, 2)),
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            SimConfig::from_kv_text(&cfg.to_kv_text().unwrap()).unwrap(),
+            cfg
+        );
+        // F > 0 needs a backup coordinator to fail over to...
+        let err = SimConfig::from_kv_text("consensus.f = 1\ncoordinators = 1\n").unwrap_err();
+        assert!(err.0.contains("coordinators"), "{err}");
+        // ...and the decentralized protocol family (CGM is centralized).
+        let err = SimConfig::from_kv_text("consensus.f = 1\nprotocol = cgm\n").unwrap_err();
+        assert!(err.0.contains("2CM"), "{err}");
+        // The crash hook is 1-based: crash-on-0th-READY is meaningless.
+        assert!(SimConfig::from_kv_text("consensus.crash_coord_after_ready = 1@0\n").is_err());
+        assert!(SimConfig::from_kv_text("consensus.crash_coord_after_ready = oops\n").is_err());
+    }
+
+    #[test]
+    fn cluster_config_acceptors_require_addresses() {
+        let text = format!("{}consensus.f = 1\ncoordinators = 2\n", cluster_text());
+        let text = text.replace("coordinators = 1\n", "");
+        let text = format!("{text}node.coord.1.addr = 127.0.0.1:7201\n");
+        // 2F+1 = 3 acceptor addresses are required...
+        let err = ClusterConfig::from_kv_text(&text).unwrap_err();
+        assert!(err.0.contains("node.acceptor.0.addr"), "{err}");
+        let text = format!(
+            "{text}node.acceptor.0.addr = 127.0.0.1:7300\n\
+             node.acceptor.1.addr = 127.0.0.1:7301\n\
+             node.acceptor.2.addr = 127.0.0.1:7302\n"
+        );
+        let c = ClusterConfig::from_kv_text(&text).unwrap();
+        assert_eq!(c.acceptor_addrs.len(), 3);
+        let base = mdbs_runtime::ACCEPTOR_BASE;
+        assert_eq!(c.acceptor_nodes(), vec![base, base + 1, base + 2]);
+        assert_eq!(c.addr_of(base + 2), Some("127.0.0.1:7302"));
+        assert_eq!(c.roles().last(), Some(&NodeRole::Acceptor(2)));
+        assert_eq!(c.node_ids().last(), Some(&(base + 2)));
+        // ...and round-trip through the file format.
+        assert_eq!(
+            ClusterConfig::from_kv_text(&c.to_kv_text().unwrap()).unwrap(),
+            c
+        );
+    }
+
+    #[test]
     fn node_role_parse_round_trips() {
         for r in [
             NodeRole::Site(2),
             NodeRole::Coordinator(1),
             NodeRole::Central,
+            NodeRole::Acceptor(2),
         ] {
             assert_eq!(NodeRole::parse(&r.key()).unwrap(), r);
         }
@@ -920,5 +1072,9 @@ mod tests {
             mdbs_runtime::COORD_BASE + 2
         );
         assert_eq!(NodeRole::Central.node_id(), mdbs_runtime::CENTRAL);
+        assert_eq!(
+            NodeRole::Acceptor(1).node_id(),
+            mdbs_runtime::ACCEPTOR_BASE + 1
+        );
     }
 }

@@ -17,12 +17,13 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use mdbs_consensus::PaxosCommit;
 use mdbs_dtm::{AgentConfig, AgentInput, GlobalOutcome, Message};
 use mdbs_histories::{GlobalTxnId, Instance, Op, SiteId};
 use mdbs_ldbs::{Command, Ldbs, SiteProfile, Store};
 use mdbs_runtime::{
-    message_kind, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeHost, SiteRuntime,
-    TimeSource, Timer, Transport,
+    message_kind, AcceptorRuntime, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeHost,
+    SiteRuntime, TimeSource, Timer, Transport,
 };
 use mdbs_simkit::{
     AppliedFault, DetRng, EventQueue, FaultyNetwork, LatencyModel, Metrics, Network, SimDuration,
@@ -33,7 +34,7 @@ use mdbs_workload::{predraw, PredrawnWorkload, WorkloadGen};
 use crate::config::{Protocol, SimConfig};
 use crate::report::{CorrectnessReport, SimReport};
 
-pub use mdbs_runtime::{Observer, TraceEvent, CENTRAL, COORD_BASE};
+pub use mdbs_runtime::{Observer, TraceEvent, ACCEPTOR_BASE, CENTRAL, COORD_BASE};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Ev {
@@ -53,6 +54,11 @@ enum Ev {
     DeadlockScan,
     /// A whole-site crash: collective abort + agent recovery from its log.
     SiteCrash { site: SiteId },
+    /// A coordinator node crashes mid-protocol (Paxos Commit failover).
+    CoordCrash { coord: u32 },
+    /// The failover delay elapsed: a backup coordinator reads the acceptor
+    /// quorum and completes the crashed coordinators' transactions.
+    CoordTakeover { backup: u32 },
 }
 
 /// Driver policy for runtime-internal failures: inside the deterministic
@@ -236,6 +242,13 @@ pub struct Simulation {
     sites: BTreeMap<SiteId, SiteRuntime>,
     coords: BTreeMap<u32, CoordinatorRuntime>,
     central: CentralRuntime,
+    acceptors: BTreeMap<u32, AcceptorRuntime>,
+    /// Coordinator nodes that have crashed: every message addressed to
+    /// them is silently dropped, as a dead process would drop it.
+    crashed_coords: std::collections::BTreeSet<u32>,
+    /// The `coord_crash_after_ready` hook, resolved to `(node, k)`.
+    ready_crash: Option<(u32, u32)>,
+    ready_seen: u32,
     host: SimHost,
 
     // Global transaction admission.
@@ -304,6 +317,18 @@ impl Simulation {
             clocks.insert(COORD_BASE + c, draw_clock(&mut clock_rng));
         }
         clocks.insert(CENTRAL, draw_clock(&mut clock_rng));
+        // Acceptor clocks are drawn last, and only when acceptors exist:
+        // at F=0 the RNG streams stay bit-for-bit what they always were.
+        let acceptor_nodes: Vec<u32> = if cfg.consensus_f > 0 {
+            (0..mdbs_consensus::acceptor_count(cfg.consensus_f))
+                .map(|a| ACCEPTOR_BASE + a)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for &a in &acceptor_nodes {
+            clocks.insert(a, draw_clock(&mut clock_rng));
+        }
 
         let agent_cfg = effective_agent_cfg(&cfg);
 
@@ -316,16 +341,28 @@ impl Simulation {
                 Store::with_rows(spec.items_per_site, spec.initial_value),
             );
             engine.set_enforce_dlu(spec.enforce_dlu);
-            sites.insert(
-                site,
-                SiteRuntime::new(site, agent_cfg, engine, cfg.ltm_service_us),
-            );
+            let mut rt = SiteRuntime::new(site, agent_cfg, engine, cfg.ltm_service_us);
+            rt.set_acceptors(acceptor_nodes.clone());
+            sites.insert(site, rt);
         }
         let cgm = matches!(cfg.protocol, Protocol::Cgm);
         let mut coords = BTreeMap::new();
         for c in 0..cfg.coordinators {
-            coords.insert(COORD_BASE + c, CoordinatorRuntime::new(COORD_BASE + c, cgm));
+            let node = COORD_BASE + c;
+            let mut rt = CoordinatorRuntime::new(node, cgm);
+            if cfg.consensus_f > 0 {
+                rt.set_consensus(Box::new(PaxosCommit::new(
+                    node,
+                    cfg.consensus_f,
+                    acceptor_nodes.clone(),
+                )));
+            }
+            coords.insert(node, rt);
         }
+        let acceptors: BTreeMap<u32, AcceptorRuntime> = acceptor_nodes
+            .iter()
+            .map(|&a| (a, AcceptorRuntime::new(a)))
+            .collect();
 
         let mut queue = EventQueue::new();
         queue.schedule_at(SimTime::from_micros(1), Ev::GlobalArrival);
@@ -352,6 +389,16 @@ impl Simulation {
                 );
             }
         }
+        for (coord, at_us) in plan.coord_crashes() {
+            if coord < cfg.coordinators {
+                queue.schedule_at(
+                    SimTime::from_micros(at_us),
+                    Ev::CoordCrash {
+                        coord: COORD_BASE + coord,
+                    },
+                );
+            }
+        }
 
         let host = SimHost {
             queue,
@@ -371,11 +418,18 @@ impl Simulation {
             pending_finished: Vec::new(),
         };
 
+        let ready_crash = cfg
+            .coord_crash_after_ready
+            .map(|(c, k)| (COORD_BASE + c, k));
         Simulation {
             cfg,
             sites,
             coords,
             central: CentralRuntime::new(),
+            acceptors,
+            crashed_coords: std::collections::BTreeSet::new(),
+            ready_crash,
+            ready_seen: 0,
             host,
             programs: BTreeMap::new(),
             coord_of: BTreeMap::new(),
@@ -462,6 +516,24 @@ impl Simulation {
         match ev {
             Ev::Deliver { from: _, to, msg } => {
                 if to >= COORD_BASE {
+                    // The crash hook fires on receipt of the k-th READY,
+                    // *before* processing it: the coordinator dies having
+                    // collected votes but not broadcast a decision.
+                    if let Some((crash_node, k)) = self.ready_crash {
+                        if to == crash_node
+                            && matches!(msg, Message::Ready { .. })
+                            && !self.crashed_coords.contains(&to)
+                        {
+                            self.ready_seen += 1;
+                            if self.ready_seen == k {
+                                self.crash_coord(to);
+                                return;
+                            }
+                        }
+                    }
+                    if self.crashed_coords.contains(&to) {
+                        return;
+                    }
                     or_die(
                         self.coords
                             .get_mut(&to)
@@ -481,7 +553,17 @@ impl Simulation {
             Ev::Ctrl { from, to, ctrl } => {
                 if to == CENTRAL {
                     or_die(self.central.on_ctrl(from, ctrl, &mut self.host));
+                } else if to >= ACCEPTOR_BASE {
+                    or_die(
+                        self.acceptors
+                            .get_mut(&to)
+                            .expect("acceptor node")
+                            .on_ctrl(ctrl, &mut self.host),
+                    );
                 } else {
+                    if self.crashed_coords.contains(&to) {
+                        return;
+                    }
                     or_die(
                         self.coords
                             .get_mut(&to)
@@ -523,6 +605,41 @@ impl Simulation {
                         .crash(&mut self.host),
                 );
             }
+            Ev::CoordCrash { coord } => self.crash_coord(coord),
+            Ev::CoordTakeover { backup } => {
+                if self.crashed_coords.contains(&backup) {
+                    return;
+                }
+                self.host.metrics.inc("coord_takeovers");
+                or_die(
+                    self.coords
+                        .get_mut(&backup)
+                        .expect("coordinator node")
+                        .take_over(&mut self.host),
+                );
+            }
+        }
+    }
+
+    /// Kill a coordinator node and, when a live backup exists, schedule
+    /// its takeover after the failover grace delay. The delay doubles as a
+    /// drain window: in-flight BEGIN/DML from the dead coordinator reach
+    /// the agents before the backup's ROLLBACK/COMMIT can race past them.
+    fn crash_coord(&mut self, coord: u32) {
+        if !self.crashed_coords.insert(coord) {
+            return;
+        }
+        self.host.metrics.inc("coord_crashes");
+        let backup = self
+            .coords
+            .keys()
+            .copied()
+            .find(|c| !self.crashed_coords.contains(c));
+        if let Some(backup) = backup {
+            self.host.queue.schedule_after(
+                SimDuration::from_micros(self.cfg.failover_delay_us),
+                Ev::CoordTakeover { backup },
+            );
         }
     }
 
@@ -612,7 +729,15 @@ impl Simulation {
             };
             self.in_flight += 1;
             self.start_time.insert(gtxn, self.host.queue.now());
-            let cnode = COORD_BASE + (gtxn.0 % self.cfg.coordinators);
+            let mut cnode = COORD_BASE + (gtxn.0 % self.cfg.coordinators);
+            if self.crashed_coords.contains(&cnode) {
+                cnode = self
+                    .coords
+                    .keys()
+                    .copied()
+                    .find(|c| !self.crashed_coords.contains(c))
+                    .expect("a live coordinator to admit work");
+            }
             self.coord_of.insert(gtxn, cnode);
             let program = self.programs[&gtxn].clone();
             or_die(self.coords.get_mut(&cnode).expect("coordinator").begin(

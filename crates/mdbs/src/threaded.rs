@@ -24,12 +24,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use mdbs_consensus::{acceptor_count, PaxosCommit};
 use mdbs_dtm::{AgentInput, AgentStats, GlobalOutcome, Message};
 use mdbs_histories::{GlobalTxnId, Instance, Op, SiteId};
 use mdbs_ldbs::{Command, Ldbs, SiteProfile, Store};
 use mdbs_runtime::{
-    message_kind, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeHost, SiteRuntime,
-    TimeSource, Timer, TraceEvent, Transport, CENTRAL, COORD_BASE,
+    message_kind, AcceptorRuntime, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeHost,
+    SiteRuntime, TimeSource, Timer, TraceEvent, Transport, ACCEPTOR_BASE, CENTRAL, COORD_BASE,
 };
 use mdbs_simkit::{DetRng, FaultPlan, Metrics, SimTime};
 use mdbs_workload::predraw;
@@ -55,6 +56,10 @@ enum NodeMsg {
         gtxn: GlobalTxnId,
         program: Vec<(SiteId, Command)>,
     },
+    /// Driver → backup coordinator: a coordinator crash-stopped; adopt its
+    /// in-flight transactions through the acceptor quorum (Paxos Commit
+    /// failover).
+    TakeOver,
     /// Drain and exit.
     Shutdown,
 }
@@ -448,11 +453,22 @@ impl ThreadedRunner {
         if cgm {
             register(CENTRAL);
         }
+        let acceptors = if cfg.consensus_f > 0 {
+            acceptor_count(cfg.consensus_f)
+        } else {
+            0
+        };
+        for a in 0..acceptors {
+            register(ACCEPTOR_BASE + a);
+        }
+        let acceptor_nodes: Vec<u32> = (0..acceptors).map(|a| ACCEPTOR_BASE + a).collect();
 
-        // Slot layout: sites 0..S, coordinators S..S+C, central S+C.
+        // Slot layout: sites 0..S, coordinators S..S+C, central S+C, then
+        // acceptors (which never record ops, but each host owns a slot).
         let coord_slot0 = spec.sites as usize;
         let central_slot = coord_slot0 + cfg.coordinators as usize;
-        let slots = central_slot + usize::from(cgm);
+        let acceptor_slot0 = central_slot + usize::from(cgm);
+        let slots = acceptor_slot0 + acceptors as usize;
 
         let (notice_tx, notice_rx) = unbounded();
         let shared = Arc::new(SharedWorld {
@@ -478,7 +494,10 @@ impl ThreadedRunner {
                     Store::with_rows(spec.items_per_site, spec.initial_value),
                 );
                 engine.set_enforce_dlu(spec.enforce_dlu);
-                let rt = SiteRuntime::new(site, agent_cfg, engine, cfg.ltm_service_us);
+                let mut rt = SiteRuntime::new(site, agent_cfg, engine, cfg.ltm_service_us);
+                if cfg.consensus_f > 0 {
+                    rt.set_acceptors(acceptor_nodes.clone());
+                }
                 let rx = receivers[&s].clone();
                 let host = ThreadHost::new(
                     Arc::clone(&shared),
@@ -505,7 +524,20 @@ impl ThreadedRunner {
             let mut coord_handles = Vec::new();
             for c in 0..cfg.coordinators {
                 let node = COORD_BASE + c;
-                let rt = CoordinatorRuntime::new(node, cgm);
+                let mut rt = CoordinatorRuntime::new(node, cgm);
+                if cfg.consensus_f > 0 {
+                    rt.set_consensus(Box::new(PaxosCommit::new(
+                        node,
+                        cfg.consensus_f,
+                        acceptor_nodes.clone(),
+                    )));
+                }
+                // Crash-stop knob: this coordinator exits its loop cleanly
+                // just before processing its k-th READY (same semantics as
+                // the simulation and TCP drivers).
+                let ready_crash = cfg
+                    .coord_crash_after_ready
+                    .and_then(|(cc, k)| (cc == c).then_some(k));
                 let rx = receivers[&node].clone();
                 let host = ThreadHost::new(
                     Arc::clone(&shared),
@@ -525,7 +557,35 @@ impl ThreadedRunner {
                         // mdbs-check: allow(conc-panic-in-thread) -- doc(hidden) fault-injection hook; panics only when a test asks for one
                         panic!("injected test panic at node {node}");
                     }
-                    coord_loop(rt, host, rx, cgm)
+                    coord_loop(rt, host, rx, cgm, ready_crash)
+                }));
+            }
+            let mut acceptor_handles = Vec::new();
+            for a in 0..acceptors {
+                let node = ACCEPTOR_BASE + a;
+                let rt = AcceptorRuntime::new(node);
+                let rx = receivers[&node].clone();
+                // Acceptors only ever see control traffic, which is never
+                // faulted, and they record no ops.
+                let host = ThreadHost::new(
+                    Arc::clone(&shared),
+                    acceptor_slot0 + a as usize,
+                    root.substream("unused"),
+                    cfg,
+                    Arc::clone(&fault_plan),
+                    root.substream_n("netfault", node as u64),
+                );
+                let guard = ExitGuard {
+                    node,
+                    notices: shared.notices.clone(),
+                };
+                acceptor_handles.push(scope.spawn(move |_| {
+                    let _guard = guard;
+                    if panic_node == Some(node) {
+                        // mdbs-check: allow(conc-panic-in-thread) -- doc(hidden) fault-injection hook; panics only when a test asks for one
+                        panic!("injected test panic at node {node}");
+                    }
+                    acceptor_loop(rt, host, rx)
                 }));
             }
             let central_handle = if cgm {
@@ -569,19 +629,35 @@ impl ThreadedRunner {
             let mut local_committed = 0u64;
             let mut local_aborted = 0u64;
 
-            let admit =
-                |in_flight: &mut u32,
-                 ready: &mut VecDeque<(GlobalTxnId, Vec<(SiteId, Command)>)>| {
-                    while *in_flight < spec.mpl {
-                        let Some((gtxn, program)) = ready.pop_front() else {
-                            return;
-                        };
-                        *in_flight += 1;
-                        let cnode = COORD_BASE + (gtxn.0 % cfg.coordinators);
-                        let _ = shared.senders[&cnode].send(NodeMsg::StartGlobal { gtxn, program });
+            // A coordinator configured to crash-stop exits mid-run; the
+            // driver promotes a backup instead of abandoning the run.
+            let expected_crash = cfg
+                .coord_crash_after_ready
+                .map(|(cc, _)| COORD_BASE + cc)
+                .filter(|_| cfg.consensus_f > 0);
+            let mut crashed: Option<u32> = None;
+
+            let admit = |in_flight: &mut u32,
+                         ready: &mut VecDeque<(GlobalTxnId, Vec<(SiteId, Command)>)>,
+                         crashed: Option<u32>| {
+                while *in_flight < spec.mpl {
+                    let Some((gtxn, program)) = ready.pop_front() else {
+                        return;
+                    };
+                    *in_flight += 1;
+                    let mut cnode = COORD_BASE + (gtxn.0 % cfg.coordinators);
+                    if Some(cnode) == crashed {
+                        // The home coordinator is dead; route to the
+                        // lowest live one (the backup that took over).
+                        cnode = (0..cfg.coordinators)
+                            .map(|c| COORD_BASE + c)
+                            .find(|&n| Some(n) != crashed)
+                            .unwrap_or(cnode);
                     }
-                };
-            admit(&mut in_flight, &mut ready);
+                    let _ = shared.senders[&cnode].send(NodeMsg::StartGlobal { gtxn, program });
+                }
+            };
+            admit(&mut in_flight, &mut ready, crashed);
 
             while settled_globals < spec.global_txns as u64 || settled_locals < total_locals {
                 if Instant::now() >= deadline {
@@ -595,7 +671,7 @@ impl ThreadedRunner {
                             GlobalOutcome::Committed => committed += 1,
                             GlobalOutcome::Aborted => aborted += 1,
                         }
-                        admit(&mut in_flight, &mut ready);
+                        admit(&mut in_flight, &mut ready, crashed);
                     }
                     Ok(Notice::LocalSettled { committed: ok }) => {
                         settled_locals += 1;
@@ -606,6 +682,36 @@ impl ThreadedRunner {
                         }
                     }
                     Ok(Notice::NodeExited { node, panicked }) => {
+                        if !panicked && expected_crash == Some(node) && crashed.is_none() {
+                            // The configured crash-stop fired: promote the
+                            // lowest live coordinator, which reads the
+                            // acceptor quorum and adopts the dead
+                            // coordinator's in-flight transactions.
+                            crashed = Some(node);
+                            metrics.inc("coord_crashes");
+                            if let Some(backup) = (0..cfg.coordinators)
+                                .map(|c| COORD_BASE + c)
+                                .find(|&n| Some(n) != crashed)
+                            {
+                                metrics.inc("coord_takeovers");
+                                let _ = shared.senders[&backup].send(NodeMsg::TakeOver);
+                                // The dead coordinator's channel may hold
+                                // StartGlobals it never processed (no Begin
+                                // was ever sent, so the takeover cannot
+                                // adopt them); the driver still owns a
+                                // receiver clone, so replay them at the
+                                // backup behind the TakeOver. No more can
+                                // arrive: admission reroutes from here on.
+                                while let Ok(m) = receivers[&node].try_recv() {
+                                    if let NodeMsg::StartGlobal { gtxn, program } = m {
+                                        let _ = shared.senders[&backup]
+                                            .send(NodeMsg::StartGlobal { gtxn, program });
+                                    }
+                                }
+                            }
+                            admit(&mut in_flight, &mut ready, crashed);
+                            continue;
+                        }
                         // A node died mid-run (panic or premature exit).
                         // Stop waiting for its work immediately instead of
                         // sleeping out the time limit; the joins below
@@ -641,6 +747,12 @@ impl ThreadedRunner {
                 }
             }
             for h in coord_handles {
+                match h.join() {
+                    Ok(m) => metrics.merge(&m),
+                    Err(p) => panics.push(p),
+                }
+            }
+            for h in acceptor_handles {
                 match h.join() {
                     Ok(m) => metrics.merge(&m),
                     Err(p) => panics.push(p),
@@ -787,7 +899,9 @@ fn site_loop(
                             shutdown = true;
                             break;
                         }
-                        Ok(NodeMsg::Ctrl { .. }) | Ok(NodeMsg::StartGlobal { .. }) => {
+                        Ok(NodeMsg::Ctrl { .. })
+                        | Ok(NodeMsg::StartGlobal { .. })
+                        | Ok(NodeMsg::TakeOver) => {
                             // mdbs-check: allow(conc-panic-in-thread) -- routing invariant: the driver only ever sends Net to site nodes
                             unreachable!("sites receive no control traffic")
                         }
@@ -796,7 +910,7 @@ fn site_loop(
                 }
             }
             Ok(NodeMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
-            Ok(NodeMsg::Ctrl { .. }) | Ok(NodeMsg::StartGlobal { .. }) => {
+            Ok(NodeMsg::Ctrl { .. }) | Ok(NodeMsg::StartGlobal { .. }) | Ok(NodeMsg::TakeOver) => {
                 // mdbs-check: allow(conc-panic-in-thread) -- routing invariant: the driver only ever sends Net to site nodes
                 unreachable!("sites receive no control traffic")
             }
@@ -817,7 +931,9 @@ fn coord_loop(
     mut host: ThreadHost,
     rx: Receiver<NodeMsg>,
     cgm: bool,
+    ready_crash: Option<u32>,
 ) -> Metrics {
+    let mut ready_seen = 0u32;
     loop {
         host.flush_outbox(host.elapsed_us());
         let received = if let Some(at) = host.next_outbox_deadline() {
@@ -834,9 +950,21 @@ fn coord_loop(
             }
         };
         match received {
-            NodeMsg::Net(msg) => or_die(rt.on_message(msg, &mut host)),
+            NodeMsg::Net(msg) => {
+                if ready_crash.is_some() && matches!(msg, Message::Ready { .. }) {
+                    ready_seen += 1;
+                    if Some(ready_seen) >= ready_crash {
+                        // Crash-stop: exit without processing the k-th
+                        // READY — between vote collection and the decision
+                        // broadcast. The ExitGuard tells the driver.
+                        break;
+                    }
+                }
+                or_die(rt.on_message(msg, &mut host))
+            }
             NodeMsg::Ctrl { from: _, ctrl } => or_die(rt.on_ctrl(ctrl, &mut host)),
             NodeMsg::StartGlobal { gtxn, program } => or_die(rt.begin(gtxn, program, &mut host)),
+            NodeMsg::TakeOver => or_die(rt.take_over(&mut host)),
             NodeMsg::Shutdown => break,
         }
         // Finished is always the tail of a batch; settle it now.
@@ -859,6 +987,20 @@ fn central_loop(mut rt: CentralRuntime, mut host: ThreadHost, rx: Receiver<NodeM
             Ok(NodeMsg::Shutdown) | Err(_) => break,
             // mdbs-check: allow(conc-panic-in-thread) -- routing invariant: coordinators address the central node with Ctrl only
             Ok(_) => unreachable!("central receives only control traffic"),
+        }
+    }
+    host.metrics
+}
+
+/// One Paxos Commit acceptor's event loop: durable ballot/vote log, driven
+/// entirely by control traffic from sites and coordinators.
+fn acceptor_loop(mut rt: AcceptorRuntime, mut host: ThreadHost, rx: Receiver<NodeMsg>) -> Metrics {
+    loop {
+        match rx.recv() {
+            Ok(NodeMsg::Ctrl { from: _, ctrl }) => or_die(rt.on_ctrl(ctrl, &mut host)),
+            Ok(NodeMsg::Shutdown) | Err(_) => break,
+            // mdbs-check: allow(conc-panic-in-thread) -- routing invariant: sites and coordinators address acceptors with Ctrl only
+            Ok(_) => unreachable!("acceptors receive only control traffic"),
         }
     }
     host.metrics

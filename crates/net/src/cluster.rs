@@ -82,7 +82,13 @@ pub fn loopback_cluster(scenario: SimConfig) -> io::Result<ClusterConfig> {
     let sites = scenario.workload.sites as usize;
     let coords = scenario.coordinators as usize;
     let central = matches!(scenario.protocol, Protocol::Cgm);
-    let mut addrs = loopback_addrs(sites + coords + usize::from(central))?;
+    let acceptors = if scenario.consensus_f > 0 {
+        mdbs_consensus::acceptor_count(scenario.consensus_f) as usize
+    } else {
+        0
+    };
+    let mut addrs = loopback_addrs(sites + coords + usize::from(central) + acceptors)?;
+    let acceptor_addrs = addrs.split_off(sites + coords + usize::from(central));
     // `addrs` reserved one extra slot when `central` is set, so this pop
     // always succeeds; an `if` keeps the non-central path panic-free.
     let central_addr = if central { addrs.pop() } else { None };
@@ -92,6 +98,7 @@ pub fn loopback_cluster(scenario: SimConfig) -> io::Result<ClusterConfig> {
         site_addrs: addrs,
         coord_addrs,
         central_addr,
+        acceptor_addrs,
         outbox_capacity: 1024,
         batch_max: 256,
         flush_deadline_us: 100,

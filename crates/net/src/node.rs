@@ -24,12 +24,13 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 use std::time::{Duration, Instant, SystemTime};
 
+use mdbs_consensus::PaxosCommit;
 use mdbs_dtm::{AgentInput, GlobalOutcome, Message};
 use mdbs_histories::{GlobalTxnId, History, Instance, Op, SiteId};
 use mdbs_ldbs::{Command, Ldbs, SiteProfile, Store};
 use mdbs_runtime::{
-    message_kind, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeHost, SiteRuntime,
-    TimeSource, Timer, TraceEvent, Transport, CENTRAL, COORD_BASE,
+    message_kind, AcceptorRuntime, CentralRuntime, CoordinatorRuntime, CtrlMsg, RuntimeHost,
+    SiteRuntime, TimeSource, Timer, TraceEvent, Transport, ACCEPTOR_BASE, CENTRAL, COORD_BASE,
 };
 use mdbs_sim::report::{outcome_digest, site_verdict_digest, CorrectnessReport};
 use mdbs_sim::sim::effective_agent_cfg;
@@ -292,6 +293,7 @@ pub fn run_node(cfg: &ClusterConfig, role: NodeRole) -> io::Result<NodeOutput> {
         NodeRole::Coordinator(0) => run_driver(cfg),
         NodeRole::Coordinator(c) => run_coordinator(cfg, c),
         NodeRole::Central => run_central(cfg),
+        NodeRole::Acceptor(a) => run_acceptor(cfg, a),
     }
 }
 
@@ -311,6 +313,11 @@ fn run_site(cfg: &ClusterConfig, s: u32) -> io::Result<NodeOutput> {
         engine,
         scenario.ltm_service_us,
     );
+    if scenario.consensus_f > 0 {
+        // Paxos Commit fast path: vote replies double as ballot-0
+        // phase-2a messages fanned to every acceptor.
+        rt.set_acceptors(cfg.acceptor_nodes());
+    }
 
     let root = DetRng::new(spec.seed);
     let mut drawn = predraw(spec);
@@ -426,6 +433,13 @@ fn run_coordinator(cfg: &ClusterConfig, c: u32) -> io::Result<NodeOutput> {
     let node = COORD_BASE + c;
     let cgm = matches!(cfg.scenario.protocol, Protocol::Cgm);
     let mut rt = CoordinatorRuntime::new(node, cgm);
+    if cfg.scenario.consensus_f > 0 {
+        rt.set_consensus(Box::new(PaxosCommit::new(
+            node,
+            cfg.scenario.consensus_f,
+            cfg.acceptor_nodes(),
+        )));
+    }
     let root = DetRng::new(cfg.scenario.workload.seed);
     let transport = start_transport(cfg, node)?;
     let mut host = NodeHost::new(transport, root.substream("unused"), cfg);
@@ -434,6 +448,14 @@ fn run_coordinator(cfg: &ClusterConfig, c: u32) -> io::Result<NodeOutput> {
     let mut finished: BTreeSet<GlobalTxnId> = BTreeSet::new();
     let mut draining = false;
     let mut reported = false;
+    // Forced-crash hook (failover tests): die without processing the k-th
+    // READY, exactly where the simulation's hook lands. The process exits
+    // cleanly so the harness reads it as a crash-stop, not a bug.
+    let ready_crash: Option<u32> = match cfg.scenario.coord_crash_after_ready {
+        Some((crash_c, k)) if crash_c == c => Some(k),
+        _ => None,
+    };
+    let mut ready_seen = 0u32;
 
     loop {
         if draining && !reported && started.len() == finished.len() {
@@ -458,7 +480,17 @@ fn run_coordinator(cfg: &ClusterConfig, c: u32) -> io::Result<NodeOutput> {
         let mut shutdown = false;
         while let Some(ev) = event.take() {
             match ev {
-                NetEvent::Msg(WireMsg::Net { msg, .. }) => or_die(rt.on_message(msg, &mut host)),
+                NetEvent::Msg(WireMsg::Net { msg, .. }) => {
+                    if ready_crash.is_some() && matches!(msg, Message::Ready { .. }) {
+                        ready_seen += 1;
+                        if Some(ready_seen) >= ready_crash {
+                            // Crash-stop: no flush, no report — staged
+                            // output and runtime state vanish with us.
+                            std::process::exit(0);
+                        }
+                    }
+                    or_die(rt.on_message(msg, &mut host))
+                }
                 NetEvent::Msg(WireMsg::Ctrl { ctrl, .. }) => or_die(rt.on_ctrl(ctrl, &mut host)),
                 // The transport may retransmit across a reconnect; begin
                 // each transaction exactly once.
@@ -560,6 +592,64 @@ fn run_central(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
     })
 }
 
+/// One Paxos Commit acceptor: answers control-plane traffic only, and
+/// reports an empty history slice at the drain barrier (acceptors record
+/// no ops — the vote log is protocol state, not history).
+fn run_acceptor(cfg: &ClusterConfig, a: u32) -> io::Result<NodeOutput> {
+    let node = ACCEPTOR_BASE + a;
+    let mut rt = AcceptorRuntime::new(node);
+    let root = DetRng::new(cfg.scenario.workload.seed);
+    let transport = start_transport(cfg, node)?;
+    let mut host = NodeHost::new(transport, root.substream("unused"), cfg);
+    let deadline = wall_deadline(cfg);
+    let mut reported = false;
+
+    loop {
+        if Instant::now() >= deadline {
+            break;
+        }
+        host.flush_outgoing();
+        let mut event = host.transport.poll(Duration::from_millis(20));
+        let mut budget = RECV_BATCH;
+        let mut shutdown = false;
+        while let Some(ev) = event.take() {
+            match ev {
+                NetEvent::Msg(WireMsg::Ctrl { ctrl, .. }) => or_die(rt.on_ctrl(ctrl, &mut host)),
+                NetEvent::Msg(WireMsg::Drain) if !reported => {
+                    reported = true;
+                    host.queue_wire(
+                        COORD_BASE,
+                        WireMsg::NodeReport {
+                            node,
+                            ops: Vec::new(),
+                            local_committed: 0,
+                            local_aborted: 0,
+                        },
+                    );
+                }
+                NetEvent::Msg(WireMsg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                _ => {}
+            }
+            budget -= 1;
+            if budget == 0 {
+                break;
+            }
+            event = host.transport.try_poll();
+        }
+        if shutdown {
+            break;
+        }
+    }
+
+    host.flush_outgoing();
+    let lines = vec![host.stats_line(node, &NodeRole::Acceptor(a))];
+    host.transport.shutdown();
+    Ok(NodeOutput { node, lines })
+}
+
 /// Coordinator 0: runs its own [`CoordinatorRuntime`] *and* the cluster
 /// driver — admission, the drain barrier, report collection, digests.
 fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
@@ -568,6 +658,13 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
     let spec = &scenario.workload;
     let cgm = matches!(scenario.protocol, Protocol::Cgm);
     let mut rt = CoordinatorRuntime::new(node, cgm);
+    if scenario.consensus_f > 0 {
+        rt.set_consensus(Box::new(PaxosCommit::new(
+            node,
+            scenario.consensus_f,
+            cfg.acceptor_nodes(),
+        )));
+    }
     let root = DetRng::new(spec.seed);
     let transport = start_transport(cfg, node)?;
     let mut host = NodeHost::new(transport, root.substream("unused"), cfg);
@@ -587,7 +684,14 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
     let mut reports: BTreeMap<u32, (Vec<Op>, u64, u64)> = BTreeMap::new();
 
     let all_nodes = cfg.node_ids();
-    let expected_reports = all_nodes.len() - 1;
+    // A coordinator configured to crash-stop never reports: exempt it
+    // from the drain barrier and the history merge (the driver itself —
+    // coordinator 0 — cannot crash; the simulation covers that case).
+    let crash_exempt: Option<u32> = scenario
+        .coord_crash_after_ready
+        .map(|(c, _)| COORD_BASE + c)
+        .filter(|&n| n != node);
+    let expected_reports = all_nodes.len() - 1 - usize::from(crash_exempt.is_some());
 
     macro_rules! admit {
         () => {
@@ -615,6 +719,14 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
     }
 
     admit!();
+
+    // Failover stall detector: with fault tolerance on, a settlement gap
+    // this long means a coordinator likely died — take over its in-flight
+    // transactions through the acceptor quorum. Re-fires each window
+    // (every takeover runs a fresh, higher ballot, so repeats are safe).
+    let stall = Duration::from_micros(scenario.failover_delay_us).max(Duration::from_millis(500));
+    let mut last_progress = Instant::now();
+    let mut last_settled = 0usize;
 
     // Phase 1: drive every global transaction to its terminal outcome.
     while (settled.len() as u64) < total_globals && Instant::now() < deadline {
@@ -657,6 +769,13 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
                 }
                 settle!(gtxn, outcome);
             }
+        }
+        if settled.len() != last_settled {
+            last_settled = settled.len();
+            last_progress = Instant::now();
+        } else if scenario.consensus_f > 0 && last_progress.elapsed() >= stall {
+            last_progress = Instant::now();
+            or_die(rt.take_over(&mut host));
         }
     }
 
@@ -704,6 +823,9 @@ fn run_driver(cfg: &ClusterConfig) -> io::Result<NodeOutput> {
                 local_committed += lc;
                 local_aborted += la;
             }
+            // The crash-stopped coordinator's slice died with it, by
+            // design; everyone else missing is worth reporting.
+            None if Some(id) == crash_exempt => {}
             None => lines.push(format!("mdbs-node missing-report node={id}")),
         }
     }

@@ -19,6 +19,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use mdbs_baselines::SiteLockMode;
+use mdbs_consensus::{AcceptedVote, Ballot, PaxosMsg, Registration, Vote};
 use mdbs_dtm::{GlobalOutcome, Message, RefuseReason, SerialNumber};
 use mdbs_histories::{GlobalTxnId, Item, LocalTxnId, Op, OpKind, SiteId, Txn};
 use mdbs_ldbs::{Command, CommandResult, KeySpec};
@@ -482,6 +483,11 @@ impl Wire for Message {
                 gtxn.put(out);
                 site.put(out);
             }
+            Message::NewCoord { gtxn, coord } => {
+                out.push(11);
+                gtxn.put(out);
+                coord.put(out);
+            }
         }
     }
     fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -532,8 +538,192 @@ impl Wire for Message {
                 gtxn: GlobalTxnId::get(r)?,
                 site: SiteId::get(r)?,
             }),
+            11 => Ok(Message::NewCoord {
+                gtxn: GlobalTxnId::get(r)?,
+                coord: r.u32()?,
+            }),
             tag => Err(WireError::BadTag {
                 what: "Message",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Ballot {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.number.put(out);
+        self.node.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Ballot {
+            number: r.u32()?,
+            node: r.u32()?,
+        })
+    }
+}
+
+impl Wire for Vote {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Vote::Ready => 0,
+            Vote::Abort => 1,
+        });
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Vote::Ready),
+            1 => Ok(Vote::Abort),
+            tag => Err(WireError::BadTag { what: "Vote", tag }),
+        }
+    }
+}
+
+impl Wire for Registration {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.gtxn.put(out);
+        self.coord.put(out);
+        self.participants.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Registration {
+            gtxn: GlobalTxnId::get(r)?,
+            coord: r.u32()?,
+            participants: <BTreeSet<SiteId> as Wire>::get(r)?,
+        })
+    }
+}
+
+impl Wire for AcceptedVote {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.gtxn.put(out);
+        self.site.put(out);
+        self.ballot.put(out);
+        self.vote.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AcceptedVote {
+            gtxn: GlobalTxnId::get(r)?,
+            site: SiteId::get(r)?,
+            ballot: Ballot::get(r)?,
+            vote: Vote::get(r)?,
+        })
+    }
+}
+
+impl Wire for PaxosMsg {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            PaxosMsg::Begin {
+                gtxn,
+                coord,
+                participants,
+            } => {
+                out.push(0);
+                gtxn.put(out);
+                coord.put(out);
+                participants.put(out);
+            }
+            PaxosMsg::Vote2a {
+                gtxn,
+                site,
+                coord,
+                vote,
+            } => {
+                out.push(1);
+                gtxn.put(out);
+                site.put(out);
+                coord.put(out);
+                vote.put(out);
+            }
+            PaxosMsg::Accepted {
+                gtxn,
+                site,
+                ballot,
+                vote,
+                acceptor,
+            } => {
+                out.push(2);
+                gtxn.put(out);
+                site.put(out);
+                ballot.put(out);
+                vote.put(out);
+                acceptor.put(out);
+            }
+            PaxosMsg::Prepare1a { ballot } => {
+                out.push(3);
+                ballot.put(out);
+            }
+            PaxosMsg::Promise1b {
+                ballot,
+                acceptor,
+                registrations,
+                accepted,
+            } => {
+                out.push(4);
+                ballot.put(out);
+                acceptor.put(out);
+                registrations.put(out);
+                accepted.put(out);
+            }
+            PaxosMsg::Propose2a {
+                ballot,
+                gtxn,
+                site,
+                vote,
+            } => {
+                out.push(5);
+                ballot.put(out);
+                gtxn.put(out);
+                site.put(out);
+                vote.put(out);
+            }
+            PaxosMsg::Clear { gtxn } => {
+                out.push(6);
+                gtxn.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(PaxosMsg::Begin {
+                gtxn: GlobalTxnId::get(r)?,
+                coord: r.u32()?,
+                participants: <BTreeSet<SiteId> as Wire>::get(r)?,
+            }),
+            1 => Ok(PaxosMsg::Vote2a {
+                gtxn: GlobalTxnId::get(r)?,
+                site: SiteId::get(r)?,
+                coord: r.u32()?,
+                vote: Vote::get(r)?,
+            }),
+            2 => Ok(PaxosMsg::Accepted {
+                gtxn: GlobalTxnId::get(r)?,
+                site: SiteId::get(r)?,
+                ballot: Ballot::get(r)?,
+                vote: Vote::get(r)?,
+                acceptor: r.u32()?,
+            }),
+            3 => Ok(PaxosMsg::Prepare1a {
+                ballot: Ballot::get(r)?,
+            }),
+            4 => Ok(PaxosMsg::Promise1b {
+                ballot: Ballot::get(r)?,
+                acceptor: r.u32()?,
+                registrations: Vec::get(r)?,
+                accepted: Vec::get(r)?,
+            }),
+            5 => Ok(PaxosMsg::Propose2a {
+                ballot: Ballot::get(r)?,
+                gtxn: GlobalTxnId::get(r)?,
+                site: SiteId::get(r)?,
+                vote: Vote::get(r)?,
+            }),
+            6 => Ok(PaxosMsg::Clear {
+                gtxn: GlobalTxnId::get(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "PaxosMsg",
                 tag,
             }),
         }
@@ -566,6 +756,10 @@ impl Wire for CtrlMsg {
                 out.push(4);
                 gtxn.put(out);
             }
+            CtrlMsg::Paxos { msg } => {
+                out.push(5);
+                msg.put(out);
+            }
         }
     }
     fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -587,6 +781,9 @@ impl Wire for CtrlMsg {
             }),
             4 => Ok(CtrlMsg::CgmFinished {
                 gtxn: GlobalTxnId::get(r)?,
+            }),
+            5 => Ok(CtrlMsg::Paxos {
+                msg: PaxosMsg::get(r)?,
             }),
             tag => Err(WireError::BadTag {
                 what: "CtrlMsg",

@@ -103,6 +103,81 @@ fn loopback_cluster_matches_the_sim_and_survives_a_connection_drop() {
     );
 }
 
+/// The failover scenario: two coordinators under F=1 Paxos Commit, two
+/// global transactions (gtxn 1 → coordinator 1, gtxn 2 → coordinator 0),
+/// and coordinator 1 forced to crash-stop on receipt of its first READY —
+/// after the participants' votes are already fanned to the acceptor
+/// quorum, but before it can decide. Coordinator 0 (the driver, which
+/// cannot crash) must adopt the orphan through the quorum.
+///
+/// `mpl = 1` and no local transactions: with two coordinators stamping
+/// serial numbers from independent real clocks, *concurrent* certification
+/// is timing-dependent (a §5.3 sn-order refuse the deterministic sim never
+/// takes), so the scenario serializes the globals — the driver admits
+/// gtxn 2 only after the failover settles gtxn 1 — leaving the verdicts
+/// timing-independent while the crash window itself stays maximally racy.
+fn failover_scenario() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.workload.seed = 20260808;
+    cfg.workload.sites = 2;
+    cfg.workload.global_txns = 2;
+    cfg.workload.mpl = 1;
+    cfg.workload.local_txns_per_site = 0;
+    cfg.workload.items_per_site = 32;
+    cfg.workload.unilateral_abort_prob = 0.0;
+    cfg.coordinators = 2;
+    cfg.consensus_f = 1;
+    cfg.coord_crash_after_ready = Some((1, 1));
+    cfg.protocol = Protocol::TwoCm(CertifierMode::Full);
+    cfg
+}
+
+#[test]
+fn loopback_coordinator_crash_fails_over_and_matches_the_sim() {
+    // Reference: the deterministic simulation of the identical crash.
+    let mut sim = Simulation::new(failover_scenario());
+    sim.use_predrawn_workload();
+    let sim = sim.run();
+    assert_eq!(sim.metrics.counter("coord_crashes"), 1, "{}", sim.metrics);
+    assert!(sim.metrics.counter("coord_takeovers") >= 1);
+    assert_eq!(
+        sim.committed, 2,
+        "the crash window leaves every vote replicated at the quorum, so \
+         the backup must complete both transactions; metrics:\n{}",
+        sim.metrics
+    );
+    assert!(sim.checks.passed(), "{:?}", sim.checks);
+
+    // The real cluster: coordinator 1 calls `process::exit(0)` mid-2PC;
+    // the driver's stall detector promotes coordinator 0, which reads the
+    // acceptor quorum and finishes the orphan. Outcome and per-site
+    // verdicts must match the sim exactly.
+    let cfg = loopback_cluster(failover_scenario()).expect("reserve loopback addrs");
+    let runner = ClusterRunner::new(env!("CARGO_BIN_EXE_mdbs-node"), cfg);
+    let cluster = runner.run(Duration::from_secs(120)).expect("cluster run");
+
+    assert_eq!(cluster.committed, 2);
+    assert_eq!(cluster.aborted, 0);
+    assert!(cluster.checks_passed, "cluster history must pass checkers");
+    assert_eq!(
+        cluster.outcome_digest,
+        outcome_digest(&sim.history, &sim.checks),
+        "post-failover verdicts must match the sim"
+    );
+    for s in 0..2 {
+        assert_eq!(
+            cluster.site_verdicts.get(&s).copied(),
+            Some(site_verdict_digest(&sim.history, SiteId(s))),
+            "site {s} certifier verdicts must match the sim"
+        );
+    }
+    assert_eq!(
+        cluster.missing_reports,
+        Vec::<u32>::new(),
+        "every live node must report; the crashed coordinator is exempt"
+    );
+}
+
 #[test]
 fn loopback_cgm_cluster_with_central_scheduler_matches_the_sim() {
     let sim = sim_reference(Protocol::Cgm);

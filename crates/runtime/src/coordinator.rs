@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mdbs_baselines::SiteLockMode;
+use mdbs_consensus::{CommitConsensus, Decision, DirectCommit, PaxosMsg};
 use mdbs_dtm::{CoordAction, Coordinator, Message};
 use mdbs_histories::{GlobalTxnId, Op, SiteId};
 use mdbs_ldbs::Command;
@@ -30,6 +31,10 @@ pub struct CoordinatorRuntime {
     cgm: bool,
     inner: Coordinator,
     cgm_txns: BTreeMap<GlobalTxnId, CgmEntry>,
+    /// The commit-decision strategy. [`DirectCommit`] (the default) is the
+    /// paper's direct 2PC decision with zero extra traffic; `PaxosCommit`
+    /// replicates the decision through the acceptor quorum.
+    consensus: Box<dyn CommitConsensus>,
 }
 
 impl CoordinatorRuntime {
@@ -41,12 +46,36 @@ impl CoordinatorRuntime {
             cgm,
             inner: Coordinator::new(node),
             cgm_txns: BTreeMap::new(),
+            consensus: Box::new(DirectCommit),
         }
     }
 
     /// The node this coordinator runs at.
     pub fn node(&self) -> u32 {
         self.node
+    }
+
+    /// Install the commit-decision strategy. With a gating strategy
+    /// (Paxos Commit) the wrapped coordinator holds its commit decision
+    /// until the consensus layer reaches one.
+    pub fn set_consensus(&mut self, consensus: Box<dyn CommitConsensus>) {
+        self.inner.set_gate_commit(consensus.gates_commit());
+        self.consensus = consensus;
+    }
+
+    /// Assume leadership over crashed coordinators' in-flight transactions
+    /// (Paxos Commit failover): runs the consensus layer's whole-log
+    /// phase 1. A no-op under [`DirectCommit`].
+    pub fn take_over<H: RuntimeHost>(&mut self, host: &mut H) -> Result<(), RuntimeError> {
+        let out = self.consensus.take_over();
+        self.send_paxos(out, host);
+        Ok(())
+    }
+
+    fn send_paxos<H: RuntimeHost>(&mut self, out: Vec<(u32, PaxosMsg)>, host: &mut H) {
+        for (to, msg) in out {
+            host.send_ctrl(self.node, to, CtrlMsg::Paxos { msg });
+        }
     }
 
     /// Select a deliberate coordinator deviation (mutation kill matrix
@@ -92,6 +121,12 @@ impl CoordinatorRuntime {
             );
             Ok(())
         } else {
+            // Register the transaction at the acceptors before any 2PC
+            // message leaves: a failover must never see a BEGIN-less vote.
+            // Empty (zero messages) under DirectCommit.
+            let participants: BTreeSet<SiteId> = program.iter().map(|(s, _)| *s).collect();
+            let out = self.consensus.on_begin(gtxn, &participants);
+            self.send_paxos(out, host);
             let actions = self.inner.begin(gtxn, program);
             self.run_actions(actions, host)
         }
@@ -145,6 +180,22 @@ impl CoordinatorRuntime {
                     self.run_actions(actions, host)
                 }
             }
+            CtrlMsg::Paxos { msg } => {
+                let (out, decisions) = self.consensus.on_msg(msg);
+                self.send_paxos(out, host);
+                for decision in decisions {
+                    let actions = match decision {
+                        Decision::Commit { gtxn } => self.inner.commit_decided(gtxn),
+                        Decision::Adopted {
+                            gtxn,
+                            participants,
+                            commit,
+                        } => self.inner.adopt(gtxn, participants, commit),
+                    };
+                    self.run_actions(actions, host)?;
+                }
+                Ok(())
+            }
             other => Err(RuntimeError::UnexpectedCtrl {
                 node: self.node,
                 ctrl: other,
@@ -195,6 +246,10 @@ impl CoordinatorRuntime {
                     host.record_op(Op::global_abort(gtxn.0));
                 }
                 CoordAction::Finished { gtxn, outcome } => {
+                    // Compact the transaction out of the acceptor logs
+                    // (empty under DirectCommit) before the driver reacts.
+                    let out = self.consensus.on_finished(gtxn);
+                    self.send_paxos(out, host);
                     host.global_finished(self.node, gtxn, outcome);
                 }
             }

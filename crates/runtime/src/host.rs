@@ -8,6 +8,7 @@
 use std::collections::BTreeSet;
 
 use mdbs_baselines::SiteLockMode;
+use mdbs_consensus::PaxosMsg;
 use mdbs_dtm::{GlobalOutcome, Message};
 use mdbs_histories::{GlobalTxnId, Instance, Op, SiteId};
 use mdbs_ldbs::Command;
@@ -86,6 +87,13 @@ pub enum CtrlMsg {
         /// The transaction.
         gtxn: GlobalTxnId,
     },
+    /// Paxos Commit consensus traffic (coordinator ↔ acceptor ↔ site, in
+    /// every direction — routing is carried inside the [`PaxosMsg`]).
+    /// Absent entirely at `F=0`.
+    Paxos {
+        /// The wrapped consensus message.
+        msg: PaxosMsg,
+    },
 }
 
 impl CtrlMsg {
@@ -100,6 +108,7 @@ impl CtrlMsg {
             CtrlMsg::CgmVote { .. } => "CgmVote",
             CtrlMsg::CgmVoteResult { .. } => "CgmVoteResult",
             CtrlMsg::CgmFinished { .. } => "CgmFinished",
+            CtrlMsg::Paxos { .. } => "Paxos",
         }
     }
 
@@ -133,6 +142,11 @@ impl CtrlMsg {
             },
             CtrlMsg::CgmVoteResult { gtxn, ok: false },
             CtrlMsg::CgmFinished { gtxn },
+            // One specimen stands in for the whole Paxos vocabulary; the
+            // per-variant specimens live at `PaxosMsg::specimens`.
+            CtrlMsg::Paxos {
+                msg: PaxosMsg::Clear { gtxn },
+            },
         ]
     }
 }
@@ -251,6 +265,7 @@ pub fn message_kind(msg: &Message) -> &'static str {
         Message::Refuse { .. } => "msg_refuse",
         Message::CommitAck { .. } => "msg_commit_ack",
         Message::RollbackAck { .. } => "msg_rollback_ack",
+        Message::NewCoord { .. } => "msg_new_coord",
     }
 }
 
@@ -300,6 +315,10 @@ mod tests {
             },
             Message::CommitAck { gtxn, site },
             Message::RollbackAck { gtxn, site },
+            Message::NewCoord {
+                gtxn,
+                coord: 1_000_001,
+            },
         ]
     }
 
@@ -317,6 +336,7 @@ mod tests {
             "msg_refuse",
             "msg_commit_ack",
             "msg_rollback_ack",
+            "msg_new_coord",
         ];
         let messages = all_messages();
         assert_eq!(messages.len(), expected.len());
@@ -383,6 +403,14 @@ mod tests {
             },
             CtrlMsg::CgmVoteResult { gtxn, ok: true },
             CtrlMsg::CgmFinished { gtxn },
+            CtrlMsg::Paxos {
+                msg: PaxosMsg::Prepare1a {
+                    ballot: mdbs_consensus::Ballot {
+                        number: 1,
+                        node: 1_000_000,
+                    },
+                },
+            },
         ]
     }
 
@@ -403,7 +431,7 @@ mod tests {
 
         let kinds: Vec<&'static str> = recorder.sent.iter().map(|&(_, _, k)| k).collect();
         assert_eq!(kinds[0], "msg_begin");
-        assert_eq!(kinds[kinds.len() - 1], "msg_rollback_ack");
+        assert_eq!(kinds[kinds.len() - 1], "msg_new_coord");
         assert!(recorder.sent.iter().all(|&(from, _, _)| from == 100));
 
         let ctrl: Vec<CtrlMsg> = recorder.ctrl.iter().map(|(_, _, m)| m.clone()).collect();

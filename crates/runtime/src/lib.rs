@@ -22,16 +22,19 @@
 //!
 //! Node numbering is shared by every driver: site agents live at
 //! `node = site id`, coordinators at [`COORD_BASE`]` + i`, the CGM central
-//! scheduler at [`CENTRAL`].
+//! scheduler at [`CENTRAL`], and Paxos Commit acceptors (when
+//! `consensus.f > 0`) at [`ACCEPTOR_BASE`]` + i` (see [`AcceptorRuntime`]).
 
 #![forbid(unsafe_code)]
 
+pub mod acceptor;
 pub mod central;
 pub mod coordinator;
 pub mod host;
 pub mod site;
 pub mod trace;
 
+pub use acceptor::AcceptorRuntime;
 pub use central::CentralRuntime;
 pub use coordinator::CoordinatorRuntime;
 pub use host::{message_kind, CtrlMsg, RuntimeError, RuntimeHost, TimeSource, Timer, Transport};
@@ -42,3 +45,5 @@ pub use trace::{Observer, TraceEvent};
 pub const COORD_BASE: u32 = 1_000_000;
 /// The CGM central scheduler's node id.
 pub const CENTRAL: u32 = 2_000_000;
+/// First Paxos Commit acceptor node id (`consensus.f > 0` only).
+pub const ACCEPTOR_BASE: u32 = 3_000_000;

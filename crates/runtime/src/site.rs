@@ -3,12 +3,13 @@
 
 use std::collections::BTreeMap;
 
-use mdbs_dtm::{Agent, AgentAction, AgentConfig, AgentInput};
+use mdbs_consensus::{PaxosMsg, Vote};
+use mdbs_dtm::{Agent, AgentAction, AgentConfig, AgentInput, Message};
 use mdbs_histories::{Instance, SiteId, Txn};
 use mdbs_ldbs::{Command, EngineError, ExecStep, Ldbs, ResumedExec};
 use mdbs_simkit::SimTime;
 
-use crate::host::{RuntimeError, RuntimeHost, Timer};
+use crate::host::{CtrlMsg, RuntimeError, RuntimeHost, Timer};
 use crate::trace::TraceEvent;
 
 /// A local transaction being driven directly against its LTM.
@@ -43,6 +44,11 @@ pub struct SiteRuntime {
     local_runners: BTreeMap<Instance, LocalRunner>,
     /// Blocked-instance tracking for the wait timeout.
     blocked_since: BTreeMap<Instance, SimTime>,
+    /// Paxos Commit acceptor nodes. When non-empty, every READY/REFUSE/
+    /// FAILED reply also goes to the acceptors as a ballot-0 vote — the
+    /// fast path that closes the only-the-coordinator-knows window. Empty
+    /// (the `F=0` default): no extra traffic.
+    acceptors: Vec<u32>,
 }
 
 impl SiteRuntime {
@@ -56,12 +62,19 @@ impl SiteRuntime {
             ldbs: engine,
             local_runners: BTreeMap::new(),
             blocked_since: BTreeMap::new(),
+            acceptors: Vec::new(),
         }
     }
 
     /// The site this runtime serves.
     pub fn site(&self) -> SiteId {
         self.site
+    }
+
+    /// Install the Paxos Commit acceptor set (the `consensus.f > 0`
+    /// configuration). Votes fan out to these nodes from then on.
+    pub fn set_acceptors(&mut self, acceptors: Vec<u32>) {
+        self.acceptors = acceptors;
     }
 
     /// Read access to the agent (for end-of-run statistics and the model
@@ -129,7 +142,10 @@ impl SiteRuntime {
     ) -> Result<(), RuntimeError> {
         for action in actions {
             match action {
-                AgentAction::Reply { coord, msg } => host.send(self.site.0, coord, msg),
+                AgentAction::Reply { coord, msg } => {
+                    self.fan_out_vote(coord, &msg, host);
+                    host.send(self.site.0, coord, msg);
+                }
                 AgentAction::LtmBegin(instance) => {
                     self.ldbs
                         .begin(instance)
@@ -191,6 +207,36 @@ impl SiteRuntime {
             }
         }
         Ok(())
+    }
+
+    /// The Paxos Commit fast path: a vote reply (READY, REFUSE, or an
+    /// active-state FAILED) doubles as a ballot-0 phase-2a message sent
+    /// directly to every acceptor, with the transaction's coordinator as
+    /// the leader the acceptors report back to. No-op at `F=0`.
+    fn fan_out_vote<H: RuntimeHost>(&mut self, coord: u32, msg: &Message, host: &mut H) {
+        if self.acceptors.is_empty() {
+            return;
+        }
+        let vote = match msg {
+            Message::Ready { .. } => Vote::Ready,
+            Message::Refuse { .. } | Message::Failed { .. } => Vote::Abort,
+            _ => return,
+        };
+        let gtxn = msg.gtxn();
+        for &acceptor in &self.acceptors {
+            host.send_ctrl(
+                self.site.0,
+                acceptor,
+                CtrlMsg::Paxos {
+                    msg: PaxosMsg::Vote2a {
+                        gtxn,
+                        site: self.site,
+                        coord,
+                        vote,
+                    },
+                },
+            );
+        }
     }
 
     // ------------------------------------------------------------------

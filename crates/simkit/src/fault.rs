@@ -109,6 +109,15 @@ pub enum FaultAction {
         /// Crash instant, µs.
         at_us: u64,
     },
+    /// Crash a coordinator at a fixed point in time, leaving its in-flight
+    /// transactions to Paxos Commit failover (or blocked, at `F=0`). The
+    /// driver ignores these when the coordinator index is out of range.
+    CoordCrash {
+        /// Coordinator to crash (coordinator *number*, not a node id).
+        coord: u32,
+        /// Crash instant, µs.
+        at_us: u64,
+    },
     /// While active, boost the per-prepare unilateral-abort probability to at
     /// least `boost` (stressing §4.4 resubmission of prepared incarnations).
     AbortBurst {
@@ -257,6 +266,18 @@ impl FaultPlan {
                 boost: profile.burst_boost,
             });
         }
+        // Coordinators are the non-site endpoints; the sampled value is a
+        // coordinator *number* (index into that set), which every driver
+        // resolves against its own coordinator count.
+        let coord_count = nodes.iter().filter(|n| !sites.contains(n)).count();
+        for _ in 0..profile.coord_crashes {
+            if coord_count == 0 {
+                break;
+            }
+            let coord = rng.index(coord_count) as u32;
+            let at_us = rng.uniform_u64_incl(profile.crash_at_us.0, profile.crash_at_us.1);
+            actions.push(FaultAction::CoordCrash { coord, at_us });
+        }
         FaultPlan { actions }
     }
 
@@ -353,6 +374,14 @@ impl FaultPlan {
         })
     }
 
+    /// Scheduled coordinator crash points `(coord_number, at_us)`.
+    pub fn coord_crashes(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.actions.iter().filter_map(|a| match a {
+            FaultAction::CoordCrash { coord, at_us } => Some((*coord, *at_us)),
+            _ => None,
+        })
+    }
+
     /// The strongest abort-burst boost active at `now_us` (0.0 if none).
     pub fn abort_boost(&self, now_us: u64) -> f64 {
         self.actions
@@ -414,6 +443,10 @@ pub struct FaultProfile {
     pub partitions: u32,
     /// Number of site crash points.
     pub crashes: u32,
+    /// Number of coordinator crash points (Paxos Commit failover drills;
+    /// crash instants share `crash_at_us`).
+    #[serde(default)]
+    pub coord_crashes: u32,
     /// Crash-instant range `[lo, hi]`, µs.
     pub crash_at_us: (u64, u64),
     /// Number of unilateral-abort burst windows.
@@ -437,6 +470,7 @@ impl Default for FaultProfile {
             drops: 0,
             partitions: 0,
             crashes: 0,
+            coord_crashes: 0,
             crash_at_us: (10_000, 500_000),
             abort_bursts: 0,
             burst_boost: 0.5,
@@ -458,6 +492,12 @@ impl FaultProfile {
     /// True if plans from this profile can duplicate messages.
     pub fn violates_exactly_once(&self) -> bool {
         self.duplicates > 0
+    }
+
+    /// True if plans from this profile can kill a coordinator mid-2PC (the
+    /// §2 assumption that the decision-maker survives until the decision).
+    pub fn violates_coord_liveness(&self) -> bool {
+        self.coord_crashes > 0
     }
 }
 
@@ -821,7 +861,31 @@ mod tests {
                     assert!([0, 1, 2].contains(site), "crash must target a site");
                     assert!(*at_us >= profile.crash_at_us.0 && *at_us <= profile.crash_at_us.1);
                 }
+                FaultAction::CoordCrash { coord, at_us } => {
+                    assert!(*coord < 1, "one non-site endpoint in this topology");
+                    assert!(*at_us >= profile.crash_at_us.0 && *at_us <= profile.crash_at_us.1);
+                }
             }
         }
+    }
+
+    #[test]
+    fn coord_crashes_sample_indices_not_node_ids() {
+        let profile = FaultProfile {
+            coord_crashes: 3,
+            ..FaultProfile::default()
+        };
+        let plan = FaultPlan::sample(&profile, 5, &[0, 1, 1_000_000, 1_000_001], &[0, 1]);
+        let crashes: Vec<(u32, u64)> = plan.coord_crashes().collect();
+        assert_eq!(crashes.len(), 3);
+        for (coord, at_us) in crashes {
+            assert!(coord < 2, "two coordinators in this topology");
+            assert!(at_us >= profile.crash_at_us.0 && at_us <= profile.crash_at_us.1);
+        }
+        // No coordinators in the node set: the knob degrades to nothing.
+        let none = FaultPlan::sample(&profile, 5, &[0, 1], &[0, 1]);
+        assert_eq!(none.coord_crashes().count(), 0);
+        assert!(profile.violates_coord_liveness());
+        assert!(!FaultProfile::default().violates_coord_liveness());
     }
 }

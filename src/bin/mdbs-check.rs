@@ -37,7 +37,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("usage: mdbs-check lint [--root <dir>] [--json|--github]");
     eprintln!("       mdbs-check conc [--root <dir>] [--json|--github]");
     eprintln!(
-        "       mdbs-check explore [--preset smoke-2cm|smoke-cgm|conflict|mutation-interval]"
+        "       mdbs-check explore [--preset smoke-2cm|smoke-cgm|conflict|mutation-interval|coord-failover|coord-crash-direct]"
     );
     eprintln!("                          [--mode full|no-certification|prepare-cert-only|prepare-order|ticket-order|broken-basic-cert]");
     eprintln!("                          [--cgm] [--delays N] [--faults N] [--crashes N]");
@@ -164,6 +164,8 @@ fn run_explore_cmd(mut args: std::env::Args) -> ExitCode {
                     Some("smoke-cgm") => ExploreConfig::smoke_cgm(),
                     Some("conflict") => ExploreConfig::conflict(),
                     Some("mutation-interval") => ExploreConfig::mutation_interval(),
+                    Some("coord-failover") => ExploreConfig::coord_failover(),
+                    Some("coord-crash-direct") => ExploreConfig::coord_crash_direct(),
                     Some(other) => return usage(&format!("unknown preset {other:?}")),
                     None => return usage("--preset needs a name"),
                 };

@@ -23,7 +23,7 @@ const SWEEP_SEEDS: [u64; 3] = [3, 77, 2026];
 #[test]
 fn chaos_sweep_holds_every_expectation() {
     let runs = sweep(&SWEEP_SEEDS, &SWEEP_PROTOCOLS, &builtin_profiles());
-    assert_eq!(runs.len(), 3 * 3 * 6);
+    assert_eq!(runs.len(), 3 * 3 * 7);
     let failures: Vec<String> = runs
         .iter()
         .filter_map(|r| {
@@ -51,7 +51,7 @@ fn chaos_sweep_holds_every_expectation() {
             .filter(|r| r.profile == profile.name)
             .map(|r| r.faults_applied)
             .sum();
-        let crashed = profile.crashes > 0;
+        let crashed = profile.crashes > 0 || profile.coord_crashes > 0;
         assert!(
             applied > 0 || crashed,
             "profile {} never applied a fault across the sweep",
@@ -79,12 +79,36 @@ fn chaos_cases_reproduce_bit_for_bit() {
     }
 }
 
+/// Coordinator failover soak: with `F=1` Paxos Commit, crashing a
+/// coordinator mid-run is an assumption-preserving fault — every case is
+/// held to the strict bar (settlement + full checks), and every plan must
+/// actually crash someone for the case to prove anything.
+#[test]
+fn coord_failover_soak_settles_under_paxos_commit() {
+    let profile = chaos::coord_failover();
+    for &seed in &SWEEP_SEEDS {
+        let cfg = chaos::failover_cfg(seed, Protocol::TwoCm(CertifierMode::Full));
+        let run = chaos::run_case_on(cfg, &profile);
+        assert_eq!(run.expectation, Expectation::strict());
+        assert_eq!(run.plan.coord_crashes().count(), 1, "seed={seed}");
+        assert!(run.failure.is_none(), "seed={seed}: {:?}", run.failure);
+    }
+
+    // The takeover path really runs: a backup must adopt the crashed
+    // coordinator's transactions, visible in the simulation's metrics.
+    let mut cfg = chaos::failover_cfg(SWEEP_SEEDS[0], Protocol::TwoCm(CertifierMode::Full));
+    cfg.faults = Some(plan_for(&cfg, &profile));
+    let report = Simulation::new(cfg).run();
+    assert_eq!(report.metrics.counter("coord_crashes"), 1);
+    assert!(report.metrics.counter("coord_takeovers") >= 1);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Satellite property: the seed and plan fully determine the run.
     #[test]
-    fn same_seed_and_plan_same_digest(seed in 0u64..1000, pick in 0usize..6) {
+    fn same_seed_and_plan_same_digest(seed in 0u64..1000, pick in 0usize..7) {
         let profile = &builtin_profiles()[pick];
         let protocol = SWEEP_PROTOCOLS[(seed % 3) as usize];
         let a = run_case(seed, protocol, profile);
@@ -176,7 +200,7 @@ fn shrinker_minimizes_a_fifo_violation_to_a_reproducer() {
 fn chaos_soak_extended_seed_grid() {
     const SOAK_SEEDS: [u64; 10] = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89];
     let runs = sweep(&SOAK_SEEDS, &SWEEP_PROTOCOLS, &builtin_profiles());
-    assert_eq!(runs.len(), 10 * 3 * 6);
+    assert_eq!(runs.len(), 10 * 3 * 7);
     let failures: Vec<String> = runs
         .iter()
         .filter_map(|r| {

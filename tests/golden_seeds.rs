@@ -120,6 +120,29 @@ fn golden_digests_reproduce() {
 }
 
 #[test]
+fn f0_direct_commit_matches_goldens() {
+    // The consensus layer's F=0 path (`DirectCommit`) must be wire- and
+    // digest-identical to plain 2PC: no extra messages, no reordering, no
+    // RNG consumption. Setting `consensus_f = 0` explicitly reproduces
+    // every golden digest bit for bit.
+    for (seed, label, expected) in GOLDEN {
+        let protocol = PROTOCOLS
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, p)| *p)
+            .expect("label in table");
+        let mut cfg = golden_cfg(seed, protocol);
+        cfg.consensus_f = 0;
+        let got = digest(&Simulation::new(cfg).run());
+        assert_eq!(
+            got, expected,
+            "F=0 DirectCommit drifted from the golden history for seed={seed} \
+             protocol={label}: got {got:#018x}, expected {expected:#018x}"
+        );
+    }
+}
+
+#[test]
 fn golden_runs_settle_all_transactions() {
     for (label, protocol) in PROTOCOLS {
         let report = run(SEEDS[0], protocol);

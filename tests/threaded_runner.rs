@@ -166,6 +166,51 @@ fn threaded_runner_unwinds_promptly_when_a_node_panics() {
 }
 
 #[test]
+fn threaded_paxos_commit_f1_failure_free_is_correct() {
+    // F=1 spins up 3 acceptor threads and routes every vote through the
+    // quorum; with no crash the outcome must match direct 2PC exactly.
+    let mut c = cfg(Protocol::TwoCm(CertifierMode::Full), 0.0);
+    c.coordinators = 2;
+    c.consensus_f = 1;
+    let globals = c.workload.global_txns as u64;
+    let report = ThreadedRunner::new(c).run();
+    assert_eq!(report.committed, globals, "metrics:\n{}", report.metrics);
+    assert!(report.checks.passed(), "{:?}", report.checks);
+}
+
+#[test]
+fn threaded_coordinator_crash_fails_over_and_settles() {
+    use rigorous_mdbs::simkit::SimTime;
+    // Coordinator 1 crash-stops just before processing its 2nd READY —
+    // after votes are already fanned to the acceptor quorum. The driver
+    // promotes coordinator 0, which adopts the dead coordinator's
+    // in-flight transactions through the quorum; every transaction must
+    // still settle and the history must pass the full checker stack.
+    let mut c = cfg(Protocol::TwoCm(CertifierMode::Full), 0.0);
+    c.coordinators = 2;
+    c.consensus_f = 1;
+    c.coord_crash_after_ready = Some((1, 2));
+    c.time_limit = SimTime::from_secs(60);
+    let globals = c.workload.global_txns as u64;
+    let locals = (c.workload.sites * c.workload.local_txns_per_site) as u64;
+    let report = ThreadedRunner::new(c).run();
+    assert_eq!(report.metrics.counter("coord_crashes"), 1);
+    assert_eq!(report.metrics.counter("coord_takeovers"), 1);
+    assert_eq!(
+        report.committed + report.aborted,
+        globals,
+        "every global must settle despite the coordinator crash; metrics:\n{}",
+        report.metrics
+    );
+    assert_eq!(report.local_committed + report.local_aborted, locals);
+    assert!(
+        report.checks.passed(),
+        "failover history must pass all checkers: {:?}",
+        report.checks
+    );
+}
+
+#[test]
 fn threaded_runner_counts_messages() {
     let report = run_and_check(Protocol::TwoCm(CertifierMode::Full), 0.0);
     // Each 2-site committed transaction needs >= 12 protocol messages.
