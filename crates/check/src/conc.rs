@@ -41,7 +41,11 @@ use std::path::Path;
 use mdbs_histories::graph::DiGraph;
 
 use crate::lint::Finding;
-use crate::scan::{ident_occurrences, match_brace, SourceFile};
+use crate::scan::{
+    calls_in, discover_fns, guard_scope, ident_end, ident_occurrences, ident_start, idents_in,
+    is_ident_byte, is_method_call, lock_call_end, loops_in, match_brace, next_nonws, nonws_from,
+    prev_nonws_at, stmt_leads_with, stmt_start, FnInfo, SourceFile,
+};
 
 /// The files that spawn or service OS threads, in pass order.
 pub const CONC_FILES: &[&str] = &[
@@ -120,12 +124,6 @@ pub(crate) fn check_file(src: &SourceFile, declared: &[&str], findings: &mut Vec
 // File model: locks, functions, call graph, blocking closure.
 // ---------------------------------------------------------------------------
 
-/// One function item: name, interior body range, offset of its `fn` token.
-struct FnInfo {
-    name: String,
-    body: (usize, usize),
-}
-
 /// Token-level model of one file.
 struct Model {
     /// Discovered `Mutex`/`RwLock` struct fields: (name, declaration offset).
@@ -170,8 +168,7 @@ impl Model {
         }
         let calls: Vec<Vec<usize>> = (0..model.fns.len())
             .map(|i| {
-                model
-                    .calls_in(code, model.fns[i].body)
+                calls_in(code, &model.fns, model.fns[i].body)
                     .into_iter()
                     .map(|(callee, _)| callee)
                     .collect()
@@ -252,26 +249,6 @@ impl Model {
         out
     }
 
-    /// Calls inside `range` to functions defined in this file:
-    /// (callee index, call-site offset). Token-level: any occurrence of the
-    /// function's name followed by `(`, excluding its own definition site.
-    fn calls_in(&self, code: &str, range: (usize, usize)) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        for (idx, f) in self.fns.iter().enumerate() {
-            for occ in idents_in(code, &f.name, range) {
-                if next_nonws(code, occ + f.name.len()) != Some(b'(') {
-                    continue;
-                }
-                // Skip the definition itself (`fn name(`).
-                if prev_ident_is(code, occ, "fn") {
-                    continue;
-                }
-                out.push((idx, occ));
-            }
-        }
-        out.sort_by_key(|(_, o)| *o);
-        out
-    }
 }
 
 /// One `<lock>.lock()/read()/write()` site.
@@ -333,44 +310,6 @@ fn discover_locks(code: &str) -> Vec<(String, usize)> {
     out
 }
 
-/// Every `fn name … { body }` item (free functions, methods, nested fns).
-fn discover_fns(code: &str) -> Vec<FnInfo> {
-    let bytes = code.as_bytes();
-    let mut out = Vec::new();
-    for occ in ident_occurrences(code, "fn") {
-        let Some(ns) = nonws_from(code, occ + 2) else {
-            continue;
-        };
-        if !is_ident_byte(bytes[ns]) {
-            continue; // `fn(` pointer type
-        }
-        let ne = ident_end(bytes, ns);
-        let name = code[ns..ne].to_string();
-        // Skip the signature — parens/brackets only — to the body brace.
-        let mut depth = 0i32;
-        let mut j = ne;
-        while j < bytes.len() {
-            match bytes[j] {
-                b'(' | b'[' => depth += 1,
-                b')' | b']' => depth -= 1,
-                b'{' if depth == 0 => {
-                    if let Some(close) = match_brace(code, j) {
-                        out.push(FnInfo {
-                            name,
-                            body: (j + 1, close - 1),
-                        });
-                    }
-                    break;
-                }
-                b';' if depth == 0 => break, // trait method declaration
-                _ => {}
-            }
-            j += 1;
-        }
-    }
-    out
-}
-
 // ---------------------------------------------------------------------------
 // Rule 1: the declared lock-order table is verified, not inferred.
 // ---------------------------------------------------------------------------
@@ -420,7 +359,7 @@ fn guard_rules(src: &SourceFile, model: &Model, declared: &[&str], findings: &mu
     let mut edges: DiGraph<String> = DiGraph::new();
     for f in &model.fns {
         for acq in model.acquisitions(code, f.body) {
-            let Some(scope) = guard_scope(code, f.body, &acq) else {
+            let Some(scope) = guard_scope(code, f.body, acq.at, acq.call_end) else {
                 continue; // statement-scoped temporary: guard drops at `;`
             };
             let held = model.locks[acq.lock].0.clone();
@@ -444,7 +383,7 @@ fn guard_rules(src: &SourceFile, model: &Model, declared: &[&str], findings: &mu
                 }
             }
             // Calls to local functions while the guard is held.
-            for (callee, at) in model.calls_in(code, scope) {
+            for (callee, at) in calls_in(code, &model.fns, scope) {
                 let cname = &model.fns[callee].name;
                 if let Some(why) = &model.fn_blocks[callee] {
                     push(
@@ -494,8 +433,7 @@ fn guard_rules(src: &SourceFile, model: &Model, declared: &[&str], findings: &mu
                     .into_iter()
                     .map(|a| a.lock)
                     .chain(
-                        model
-                            .calls_in(code, body)
+                        calls_in(code, &model.fns, body)
                             .into_iter()
                             .flat_map(|(c, _)| model.fn_acquires[c].iter().copied()),
                     )
@@ -561,57 +499,6 @@ fn check_order(
             findings,
         );
     }
-}
-
-/// If the acquisition is a let-bound guard, the range over which the guard
-/// stays live: from the end of the binding statement to the end of the
-/// enclosing block. `None` for statement-scoped temporaries.
-fn guard_scope(code: &str, body: (usize, usize), acq: &Acquisition) -> Option<(usize, usize)> {
-    let bytes = code.as_bytes();
-    let ss = stmt_start(code, body, acq.at);
-    // The statement must be a `let` binding…
-    let first = nonws_from(code, ss)?;
-    if !code[first..].starts_with("let") || !is_boundary(bytes, first + 3) {
-        return None;
-    }
-    // …whose initializer is the bare lock path (`=` then only `&`, `mut`,
-    // `*`, path segments up to the acquisition). Indexing — the sharded
-    // idiom `self.shards[slot].buf.lock()` — still names a single lock, so
-    // `[`/`]` are allowed: such a guard is *held*, and skipping it here
-    // would exempt every sharded lock from the guard rules.
-    let eq = find_plain_eq(code, ss, acq.at)?;
-    if !code[eq + 1..acq.at].bytes().all(|b| {
-        b.is_ascii_whitespace()
-            || is_ident_byte(b)
-            || matches!(b, b'&' | b'*' | b'.' | b':' | b'[' | b']')
-    }) {
-        return None;
-    }
-    // …optionally chained through unwrap/expect/ok, ending at `;`.
-    let mut i = acq.call_end;
-    let stmt_end = loop {
-        let p = nonws_from(code, i)?;
-        match bytes[p] {
-            b';' => break p,
-            b'.' => {
-                let ws = nonws_from(code, p + 1)?;
-                if !is_ident_byte(bytes[ws]) {
-                    return None;
-                }
-                let we = ident_end(bytes, ws);
-                if !matches!(&code[ws..we], "unwrap" | "expect" | "ok") {
-                    return None;
-                }
-                let open = nonws_from(code, we)?;
-                if bytes[open] != b'(' {
-                    return None;
-                }
-                i = match_brace(code, open)?;
-            }
-            _ => return None,
-        }
-    };
-    Some((stmt_end + 1, enclosing_block_end(code, body, acq.at)))
 }
 
 // ---------------------------------------------------------------------------
@@ -728,220 +615,6 @@ fn panic_rule(src: &SourceFile, findings: &mut Vec<Finding>) {
             }
         }
     }
-}
-
-// ---------------------------------------------------------------------------
-// Token-level helpers.
-// ---------------------------------------------------------------------------
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// No identifier character at `i` (or `i` is past the end).
-fn is_boundary(bytes: &[u8], i: usize) -> bool {
-    bytes.get(i).is_none_or(|&b| !is_ident_byte(b))
-}
-
-/// Offset of the first non-whitespace byte at or after `i`.
-fn nonws_from(code: &str, i: usize) -> Option<usize> {
-    code.as_bytes()
-        .iter()
-        .enumerate()
-        .skip(i)
-        .find(|(_, b)| !b.is_ascii_whitespace())
-        .map(|(p, _)| p)
-}
-
-/// The first non-whitespace byte at or after `i`, if any.
-fn next_nonws(code: &str, i: usize) -> Option<u8> {
-    nonws_from(code, i).map(|p| code.as_bytes()[p])
-}
-
-/// Offset of the last non-whitespace byte strictly before `i`.
-fn prev_nonws_at(code: &str, i: usize) -> Option<usize> {
-    code.as_bytes()[..i]
-        .iter()
-        .rposition(|b| !b.is_ascii_whitespace())
-}
-
-fn ident_start(bytes: &[u8], mut i: usize) -> usize {
-    while i > 0 && is_ident_byte(bytes[i - 1]) {
-        i -= 1;
-    }
-    i
-}
-
-fn ident_end(bytes: &[u8], mut i: usize) -> usize {
-    while i < bytes.len() && is_ident_byte(bytes[i]) {
-        i += 1;
-    }
-    i
-}
-
-/// Whether the identifier ending just before `occ` (skipping whitespace) is
-/// `word`.
-fn prev_ident_is(code: &str, occ: usize, word: &str) -> bool {
-    let bytes = code.as_bytes();
-    let Some(p) = prev_nonws_at(code, occ) else {
-        return false;
-    };
-    if !is_ident_byte(bytes[p]) {
-        return false;
-    }
-    let s = ident_start(bytes, p);
-    &code[s..=p] == word
-}
-
-/// If the bytes after a lock identifier (ending at `after`) are
-/// `.lock(…)`, `.read(…)` or `.write(…)`, the offset just past the call's
-/// closing `)`.
-fn lock_call_end(code: &str, after: usize) -> Option<usize> {
-    let bytes = code.as_bytes();
-    let dot = nonws_from(code, after)?;
-    if bytes[dot] != b'.' {
-        return None;
-    }
-    let ms = nonws_from(code, dot + 1)?;
-    if !is_ident_byte(bytes[ms]) {
-        return None;
-    }
-    let me = ident_end(bytes, ms);
-    if !matches!(&code[ms..me], "lock" | "read" | "write") {
-        return None;
-    }
-    let open = nonws_from(code, me)?;
-    if bytes[open] != b'(' {
-        return None;
-    }
-    match_brace(code, open)
-}
-
-/// `<recv>.name(` shape: the identifier at `occ` is preceded by `.` and
-/// followed by `(`.
-fn is_method_call(code: &str, occ: usize, len: usize) -> bool {
-    prev_nonws_at(code, occ).map(|p| code.as_bytes()[p]) == Some(b'.')
-        && next_nonws(code, occ + len) == Some(b'(')
-}
-
-/// Occurrences of `word` as an identifier within `range`.
-fn idents_in(code: &str, word: &str, range: (usize, usize)) -> Vec<usize> {
-    ident_occurrences(code, word)
-        .into_iter()
-        .filter(|&o| o >= range.0 && o < range.1)
-        .collect()
-}
-
-/// Offset of the first byte of the statement containing `pos`: just past
-/// the nearest `;`, `{` or `}` before it (clamped to `range`).
-fn stmt_start(code: &str, range: (usize, usize), pos: usize) -> usize {
-    let bytes = code.as_bytes();
-    let mut i = pos;
-    while i > range.0 {
-        match bytes[i - 1] {
-            b';' | b'{' | b'}' => return i,
-            _ => i -= 1,
-        }
-    }
-    range.0
-}
-
-/// Whether the statement starting at `ss` leads with exactly the given
-/// identifier sequence.
-fn stmt_leads_with(code: &str, ss: usize, words: &[&str]) -> bool {
-    let bytes = code.as_bytes();
-    let mut i = ss;
-    for w in words {
-        let Some(p) = nonws_from(code, i) else {
-            return false;
-        };
-        if !is_ident_byte(bytes[p]) {
-            return false;
-        }
-        let e = ident_end(bytes, p);
-        if &code[p..e] != *w {
-            return false;
-        }
-        i = e;
-    }
-    true
-}
-
-/// The first plain `=` (not `==`, `=>`, `<=`, …) between `from` and `to`.
-fn find_plain_eq(code: &str, from: usize, to: usize) -> Option<usize> {
-    let bytes = code.as_bytes();
-    (from..to).find(|&i| {
-        bytes[i] == b'='
-            && bytes.get(i + 1) != Some(&b'=')
-            && bytes.get(i + 1) != Some(&b'>')
-            && (i == 0
-                || !matches!(
-                    bytes[i - 1],
-                    b'=' | b'<'
-                        | b'>'
-                        | b'!'
-                        | b'+'
-                        | b'-'
-                        | b'*'
-                        | b'/'
-                        | b'%'
-                        | b'&'
-                        | b'|'
-                        | b'^'
-                ))
-    })
-}
-
-/// End of the innermost `{…}` block (within `body`) containing `pos`.
-fn enclosing_block_end(code: &str, body: (usize, usize), pos: usize) -> usize {
-    let bytes = code.as_bytes();
-    let mut stack = Vec::new();
-    let mut i = body.0;
-    while i < pos && i < bytes.len() {
-        match bytes[i] {
-            b'{' => stack.push(i),
-            b'}' => {
-                stack.pop();
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    match stack.last() {
-        Some(&open) => match_brace(code, open).map(|e| e - 1).unwrap_or(body.1),
-        None => body.1,
-    }
-}
-
-/// `for`/`while`/`loop` constructs within `range`: (keyword offset,
-/// interior body range).
-fn loops_in(code: &str, range: (usize, usize)) -> Vec<(usize, (usize, usize))> {
-    let bytes = code.as_bytes();
-    let mut out = Vec::new();
-    for kw in ["for", "while", "loop"] {
-        for occ in idents_in(code, kw, range) {
-            // Scan the loop header — parens/brackets only — to the body brace.
-            let mut depth = 0i32;
-            let mut j = occ + kw.len();
-            while j < range.1 {
-                match bytes[j] {
-                    b'(' | b'[' => depth += 1,
-                    b')' | b']' => depth -= 1,
-                    b'{' if depth == 0 => {
-                        if let Some(close) = match_brace(code, j) {
-                            out.push((occ, (j + 1, close - 1)));
-                        }
-                        break;
-                    }
-                    b';' if depth == 0 => break,
-                    _ => {}
-                }
-                j += 1;
-            }
-        }
-    }
-    out.sort_by_key(|(o, _)| *o);
-    out
 }
 
 /// Append a finding unless the site is test-only or suppressed.

@@ -17,6 +17,11 @@
 //!   manager): lock-order discipline against a checked-in table, blocking
 //!   calls under held guards, guards held across locking loops, poison
 //!   handling, and panic-freedom on worker threads.
+//! - [`hotpath`] — a static performance pass over the per-message hot
+//!   paths named in its checked-in `HOT_PATHS` table: allocation inside
+//!   hot loops, guards live across sends, repeated same-key lookups,
+//!   linear scans in handlers, and unbounded collection growth without a
+//!   drain site. Suppressions require a written justification.
 //! - [`mutate`] — the certifier mutation kill matrix: a catalog of
 //!   deliberate protocol deviations (each breaking one §4/§5/Appendix
 //!   mechanism) run against every checker; the matrix fails if any mutant
@@ -26,6 +31,7 @@
 
 pub mod conc;
 pub mod explore;
+pub mod hotpath;
 pub mod lint;
 pub mod mutate;
 pub mod scan;

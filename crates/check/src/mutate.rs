@@ -138,6 +138,12 @@ pub fn catalog() -> Vec<Mutant> {
             summary: "ROLLBACK acknowledges but leaves the entry in the alive-interval table",
         },
         Mutant {
+            id: "agent-done-cap-ignored",
+            spec: MutantSpec::Agent(CertifierMode::MutIgnoreDoneCap),
+            mechanism: "done-set compaction bound (hotpath growth fix)",
+            summary: "note_done ignores the configured done_cap: terminated-transaction ids accumulate without bound",
+        },
+        Mutant {
             id: "drop-dup-ready-retransmit",
             spec: MutantSpec::Coord(CoordMutation::DropDupReadyRetransmit),
             mechanism: "§2 2PC decision retransmission",
@@ -311,6 +317,7 @@ const CHECKERS: &[(&str, Checker)] = &[
     ("probe-rollback-evict", |s, _| {
         probe_rollback_evict(agent_mode(s))
     }),
+    ("probe-done-bound", |s, _| probe_done_bound(agent_mode(s))),
     ("probe-dup-ready", |s, _| probe_dup_ready(coord_mutation(s))),
     ("probe-commit-record", |s, _| {
         probe_commit_record(coord_mutation(s))
@@ -684,6 +691,36 @@ fn probe_rollback_evict(mode: CertifierMode) -> Result<(), String> {
         return Err(
             "§4.2: rolled-back subtransaction still occupies the alive-interval table".to_string(),
         );
+    }
+    Ok(())
+}
+
+/// Drive ten transactions to terminal outcomes at an agent whose done-set
+/// is capped at four, then check the cap held. Terminal outcomes insert
+/// into the duplicate-detection done-set regardless of whether the
+/// PREPARE was admitted or refused, so every certifier mode grows the set
+/// at the same rate and only a compaction defect can breach the bound —
+/// the hotpath pass's `hot-unbounded-growth` concern made executable.
+fn probe_done_bound(mode: CertifierMode) -> Result<(), String> {
+    const CAP: usize = 4;
+    let mut a = Agent::new(
+        SITE,
+        AgentConfig {
+            mode,
+            done_cap: CAP,
+            ..AgentConfig::default()
+        },
+    );
+    for k in 1..=10u32 {
+        let t = k as u64 * 100;
+        let _ = prepare_one(&mut a, k, t, t, t);
+        a.handle(t + 10, AgentInput::Deliver(Message::Rollback { gtxn: g(k) }));
+    }
+    if a.done_len() > CAP {
+        return Err(format!(
+            "done-set compaction bound ignored: {} terminated ids retained, cap {CAP}",
+            a.done_len()
+        ));
     }
     Ok(())
 }

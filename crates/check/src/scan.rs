@@ -258,7 +258,8 @@ fn blank_char_or_lifetime(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
     i + 1 // lifetime: leave as-is
 }
 
-fn is_ident_byte(b: u8) -> bool {
+/// Whether `b` can be part of an identifier.
+pub fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
@@ -547,6 +548,343 @@ pub fn fn_body(code: &str, name: &str, range: (usize, usize)) -> Option<(usize, 
         j += 1;
     }
     None
+}
+
+// ---------------------------------------------------------------------------
+// Function items, call graph, loops, guards: the token-level machinery the
+// conc and hotpath passes share. All of it operates over the blanked `code`
+// text of a [`SourceFile`] and stays strictly file-local — calls are matched
+// by name against the functions defined in the same file.
+// ---------------------------------------------------------------------------
+
+/// One function item: name and interior body range.
+pub struct FnInfo {
+    pub name: String,
+    pub body: (usize, usize),
+}
+
+/// Every `fn name … { body }` item (free functions, methods, nested fns).
+pub fn discover_fns(code: &str) -> Vec<FnInfo> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for occ in ident_occurrences(code, "fn") {
+        let Some(ns) = nonws_from(code, occ + 2) else {
+            continue;
+        };
+        if !is_ident_byte(bytes[ns]) {
+            continue; // `fn(` pointer type
+        }
+        let ne = ident_end(bytes, ns);
+        let name = code[ns..ne].to_string();
+        // Skip the signature — parens/brackets only — to the body brace.
+        let mut depth = 0i32;
+        let mut j = ne;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    if let Some(close) = match_brace(code, j) {
+                        out.push(FnInfo {
+                            name,
+                            body: (j + 1, close - 1),
+                        });
+                    }
+                    break;
+                }
+                b';' if depth == 0 => break, // trait method declaration
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Calls inside `range` to functions in `fns` (functions defined in the same
+/// file): (callee index, call-site offset). Token-level: any occurrence of a
+/// function's name followed by `(`, excluding its own definition site.
+pub fn calls_in(code: &str, fns: &[FnInfo], range: (usize, usize)) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (idx, f) in fns.iter().enumerate() {
+        for occ in idents_in(code, &f.name, range) {
+            if next_nonws(code, occ + f.name.len()) != Some(b'(') {
+                continue;
+            }
+            // Skip the definition itself (`fn name(`).
+            if prev_ident_is(code, occ, "fn") {
+                continue;
+            }
+            out.push((idx, occ));
+        }
+    }
+    out.sort_by_key(|(_, o)| *o);
+    out
+}
+
+/// `for`/`while`/`loop` constructs within `range`: (keyword offset,
+/// interior body range).
+pub fn loops_in(code: &str, range: (usize, usize)) -> Vec<(usize, (usize, usize))> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for kw in ["for", "while", "loop"] {
+        for occ in idents_in(code, kw, range) {
+            // Scan the loop header — parens/brackets only — to the body brace.
+            let mut depth = 0i32;
+            let mut j = occ + kw.len();
+            while j < range.1 {
+                match bytes[j] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth == 0 => {
+                        if let Some(close) = match_brace(code, j) {
+                            out.push((occ, (j + 1, close - 1)));
+                        }
+                        break;
+                    }
+                    b';' if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+    out.sort_by_key(|(o, _)| *o);
+    out
+}
+
+/// If the acquisition at `at` (whose call ends just past `call_end`) is a
+/// let-bound guard, the range over which the guard stays live: from the end
+/// of the binding statement to the end of the enclosing block. `None` for
+/// statement-scoped temporaries.
+pub fn guard_scope(
+    code: &str,
+    body: (usize, usize),
+    at: usize,
+    call_end: usize,
+) -> Option<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let ss = stmt_start(code, body, at);
+    // The statement must be a `let` binding…
+    let first = nonws_from(code, ss)?;
+    if !code[first..].starts_with("let") || !is_boundary(bytes, first + 3) {
+        return None;
+    }
+    // …whose initializer is the bare lock path (`=` then only `&`, `mut`,
+    // `*`, path segments up to the acquisition). Indexing — the sharded
+    // idiom `self.shards[slot].buf.lock()` — still names a single lock, so
+    // `[`/`]` are allowed: such a guard is *held*, and skipping it here
+    // would exempt every sharded lock from the guard rules.
+    let eq = find_plain_eq(code, ss, at)?;
+    if !code[eq + 1..at].bytes().all(|b| {
+        b.is_ascii_whitespace()
+            || is_ident_byte(b)
+            || matches!(b, b'&' | b'*' | b'.' | b':' | b'[' | b']')
+    }) {
+        return None;
+    }
+    // …optionally chained through unwrap/expect/ok, ending at `;`.
+    let mut i = call_end;
+    let stmt_end = loop {
+        let p = nonws_from(code, i)?;
+        match bytes[p] {
+            b';' => break p,
+            b'.' => {
+                let ws = nonws_from(code, p + 1)?;
+                if !is_ident_byte(bytes[ws]) {
+                    return None;
+                }
+                let we = ident_end(bytes, ws);
+                if !matches!(&code[ws..we], "unwrap" | "expect" | "ok") {
+                    return None;
+                }
+                let open = nonws_from(code, we)?;
+                if bytes[open] != b'(' {
+                    return None;
+                }
+                i = match_brace(code, open)?;
+            }
+            _ => return None,
+        }
+    };
+    Some((stmt_end + 1, enclosing_block_end(code, body, at)))
+}
+
+/// If the bytes after a lock identifier (ending at `after`) are
+/// `.lock(…)`, `.read(…)` or `.write(…)`, the offset just past the call's
+/// closing `)`.
+pub fn lock_call_end(code: &str, after: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let dot = nonws_from(code, after)?;
+    if bytes[dot] != b'.' {
+        return None;
+    }
+    let ms = nonws_from(code, dot + 1)?;
+    if !is_ident_byte(bytes[ms]) {
+        return None;
+    }
+    let me = ident_end(bytes, ms);
+    if !matches!(&code[ms..me], "lock" | "read" | "write") {
+        return None;
+    }
+    let open = nonws_from(code, me)?;
+    if bytes[open] != b'(' {
+        return None;
+    }
+    match_brace(code, open)
+}
+
+/// No identifier character at `i` (or `i` is past the end).
+pub fn is_boundary(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i).is_none_or(|&b| !is_ident_byte(b))
+}
+
+/// Offset of the first non-whitespace byte at or after `i`.
+pub fn nonws_from(code: &str, i: usize) -> Option<usize> {
+    code.as_bytes()
+        .iter()
+        .enumerate()
+        .skip(i)
+        .find(|(_, b)| !b.is_ascii_whitespace())
+        .map(|(p, _)| p)
+}
+
+/// The first non-whitespace byte at or after `i`, if any.
+pub fn next_nonws(code: &str, i: usize) -> Option<u8> {
+    nonws_from(code, i).map(|p| code.as_bytes()[p])
+}
+
+/// Offset of the last non-whitespace byte strictly before `i`.
+pub fn prev_nonws_at(code: &str, i: usize) -> Option<usize> {
+    code.as_bytes()[..i]
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+}
+
+/// Start of the identifier run containing `i` (walking left).
+pub fn ident_start(bytes: &[u8], mut i: usize) -> usize {
+    while i > 0 && is_ident_byte(bytes[i - 1]) {
+        i -= 1;
+    }
+    i
+}
+
+/// End of the identifier run starting at `i` (walking right).
+pub fn ident_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && is_ident_byte(bytes[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Whether the identifier ending just before `occ` (skipping whitespace) is
+/// `word`.
+pub fn prev_ident_is(code: &str, occ: usize, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let Some(p) = prev_nonws_at(code, occ) else {
+        return false;
+    };
+    if !is_ident_byte(bytes[p]) {
+        return false;
+    }
+    let s = ident_start(bytes, p);
+    &code[s..=p] == word
+}
+
+/// `<recv>.name(` shape: the identifier at `occ` is preceded by `.` and
+/// followed by `(`.
+pub fn is_method_call(code: &str, occ: usize, len: usize) -> bool {
+    prev_nonws_at(code, occ).map(|p| code.as_bytes()[p]) == Some(b'.')
+        && next_nonws(code, occ + len) == Some(b'(')
+}
+
+/// Occurrences of `word` as an identifier within `range`.
+pub fn idents_in(code: &str, word: &str, range: (usize, usize)) -> Vec<usize> {
+    ident_occurrences(code, word)
+        .into_iter()
+        .filter(|&o| o >= range.0 && o < range.1)
+        .collect()
+}
+
+/// Offset of the first byte of the statement containing `pos`: just past
+/// the nearest `;`, `{` or `}` before it (clamped to `range`).
+pub fn stmt_start(code: &str, range: (usize, usize), pos: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut i = pos;
+    while i > range.0 {
+        match bytes[i - 1] {
+            b';' | b'{' | b'}' => return i,
+            _ => i -= 1,
+        }
+    }
+    range.0
+}
+
+/// Whether the statement starting at `ss` leads with exactly the given
+/// identifier sequence.
+pub fn stmt_leads_with(code: &str, ss: usize, words: &[&str]) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = ss;
+    for w in words {
+        let Some(p) = nonws_from(code, i) else {
+            return false;
+        };
+        if !is_ident_byte(bytes[p]) {
+            return false;
+        }
+        let e = ident_end(bytes, p);
+        if &code[p..e] != *w {
+            return false;
+        }
+        i = e;
+    }
+    true
+}
+
+/// The first plain `=` (not `==`, `=>`, `<=`, …) between `from` and `to`.
+pub fn find_plain_eq(code: &str, from: usize, to: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    (from..to).find(|&i| {
+        bytes[i] == b'='
+            && bytes.get(i + 1) != Some(&b'=')
+            && bytes.get(i + 1) != Some(&b'>')
+            && (i == 0
+                || !matches!(
+                    bytes[i - 1],
+                    b'=' | b'<'
+                        | b'>'
+                        | b'!'
+                        | b'+'
+                        | b'-'
+                        | b'*'
+                        | b'/'
+                        | b'%'
+                        | b'&'
+                        | b'|'
+                        | b'^'
+                ))
+    })
+}
+
+/// End of the innermost `{…}` block (within `body`) containing `pos`.
+pub fn enclosing_block_end(code: &str, body: (usize, usize), pos: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut stack = Vec::new();
+    let mut i = body.0;
+    while i < pos && i < bytes.len() {
+        match bytes[i] {
+            b'{' => stack.push(i),
+            b'}' => {
+                stack.pop();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    match stack.last() {
+        Some(&open) => match_brace(code, open).map(|e| e - 1).unwrap_or(body.1),
+        None => body.1,
+    }
 }
 
 #[cfg(test)]

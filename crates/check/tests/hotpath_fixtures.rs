@@ -1,0 +1,253 @@
+//! Fixture coverage for every `mdbs-check hotpath` rule: one snippet
+//! where the rule fires (with the right file:line anchor) and one
+//! near-miss that must stay silent, plus the suppression contract
+//! (a justification is mandatory) and the workspace-clean pin.
+
+use std::path::Path;
+
+use mdbs_check::hotpath::{check_file, run_hotpath, HotKind};
+use mdbs_check::lint::Finding;
+use mdbs_check::scan::SourceFile;
+
+fn workspace_root() -> &'static Path {
+    // crates/check -> the workspace root.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// Run the hotpath pass over a synthetic file with `handle` as its only
+/// per-message entry point.
+fn check(raw: &str) -> Vec<Finding> {
+    let src = SourceFile::parse(raw.to_string(), "fixture.rs".to_string());
+    let mut findings = Vec::new();
+    check_file(&src, &[("handle", HotKind::Handler)], &mut findings);
+    findings
+}
+
+fn line_of(raw: &str, needle: &str) -> usize {
+    let at = raw.find(needle).expect("needle present in fixture");
+    raw[..at].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+// ---------------------------------------------------------------------------
+// hot-alloc-in-loop
+// ---------------------------------------------------------------------------
+
+#[test]
+fn alloc_in_loop_fires_on_format_in_a_hot_loop() {
+    let raw = "impl S {\n\
+               fn handle(&mut self) {\n\
+               for x in 0..4 {\n\
+               let _s = format!(\"x={x}\");\n\
+               }\n\
+               }\n\
+               }\n";
+    let f = check(raw);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "hot-alloc-in-loop");
+    assert_eq!(f[0].line, line_of(raw, "format!"));
+}
+
+#[test]
+fn alloc_outside_any_loop_stays_silent() {
+    // Same allocation, same hot function — but once per message, not per
+    // iteration.
+    let raw = "impl S {\n\
+               fn handle(&mut self) {\n\
+               let _s = format!(\"once\");\n\
+               }\n\
+               }\n";
+    assert!(check(raw).is_empty(), "{:?}", check(raw));
+}
+
+// ---------------------------------------------------------------------------
+// hot-lock-across-send
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lock_across_send_fires_on_a_guard_live_at_the_send() {
+    let raw = "impl S {\n\
+               fn handle(&self) {\n\
+               let g = self.state.lock().unwrap();\n\
+               self.tx.send(*g);\n\
+               }\n\
+               }\n";
+    let f = check(raw);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "hot-lock-across-send");
+    assert_eq!(f[0].line, line_of(raw, "self.tx.send"));
+}
+
+#[test]
+fn lock_released_before_the_send_stays_silent() {
+    // The guard's block closes before the send: nothing held across it.
+    let raw = "impl S {\n\
+               fn handle(&self) {\n\
+               let v = {\n\
+               let g = self.state.lock().unwrap();\n\
+               *g\n\
+               };\n\
+               self.tx.send(v);\n\
+               }\n\
+               }\n";
+    assert!(check(raw).is_empty(), "{:?}", check(raw));
+}
+
+// ---------------------------------------------------------------------------
+// hot-repeated-lookup
+// ---------------------------------------------------------------------------
+
+#[test]
+fn repeated_lookup_fires_on_the_second_same_key_lookup() {
+    let raw = "impl S {\n\
+               fn handle(&mut self, k: u64) {\n\
+               let a = self.map.get(&k);\n\
+               let b = self.map.get(&k);\n\
+               let _ = (a, b);\n\
+               }\n\
+               }\n";
+    let f = check(raw);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "hot-repeated-lookup");
+    assert_eq!(f[0].line, line_of(raw, "let b"));
+}
+
+#[test]
+fn lookups_with_different_keys_stay_silent() {
+    let raw = "impl S {\n\
+               fn handle(&mut self, a: u64, b: u64) {\n\
+               let x = self.map.get(&a);\n\
+               let y = self.map.get(&b);\n\
+               let _ = (x, y);\n\
+               }\n\
+               }\n";
+    assert!(check(raw).is_empty(), "{:?}", check(raw));
+}
+
+// ---------------------------------------------------------------------------
+// hot-linear-scan
+// ---------------------------------------------------------------------------
+
+#[test]
+fn linear_scan_fires_on_a_full_walk_of_a_grown_field() {
+    // `table` is grown elsewhere in the file (with its own drain, so only
+    // the scan rule is in play); the handler walks all of it per message.
+    let raw = "impl S {\n\
+               fn grow(&mut self, k: u64) {\n\
+               self.table.insert(k);\n\
+               self.table.retain(|_| true);\n\
+               }\n\
+               fn handle(&self) {\n\
+               for e in &self.table {\n\
+               let _ = e;\n\
+               }\n\
+               }\n\
+               }\n";
+    let f = check(raw);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "hot-linear-scan");
+    assert_eq!(f[0].line, line_of(raw, "for e"));
+}
+
+#[test]
+fn bounded_range_scan_stays_silent() {
+    // The `.range(…)` window is the fix the rule asks for.
+    let raw = "impl S {\n\
+               fn grow(&mut self, k: u64) {\n\
+               self.table.insert(k);\n\
+               self.table.retain(|_| true);\n\
+               }\n\
+               fn handle(&self) {\n\
+               for e in self.table.range(0..4) {\n\
+               let _ = e;\n\
+               }\n\
+               }\n\
+               }\n";
+    assert!(check(raw).is_empty(), "{:?}", check(raw));
+}
+
+// ---------------------------------------------------------------------------
+// hot-unbounded-growth
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unbounded_growth_fires_on_an_undrained_field() {
+    let raw = "impl S {\n\
+               fn handle(&mut self, k: u64) {\n\
+               self.log.push(k);\n\
+               }\n\
+               }\n";
+    let f = check(raw);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "hot-unbounded-growth");
+    assert_eq!(f[0].line, line_of(raw, "self.log.push"));
+}
+
+#[test]
+fn growth_with_a_drain_site_anywhere_in_the_file_stays_silent() {
+    let raw = "impl S {\n\
+               fn handle(&mut self, k: u64) {\n\
+               self.log.push(k);\n\
+               }\n\
+               fn compact(&mut self) {\n\
+               self.log.clear();\n\
+               }\n\
+               }\n";
+    assert!(check(raw).is_empty(), "{:?}", check(raw));
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn suppression_without_justification_does_not_suppress() {
+    let raw = "impl S {\n\
+               fn handle(&mut self) {\n\
+               for x in 0..4 {\n\
+               // mdbs-check: allow(hot-alloc-in-loop)\n\
+               let _s = format!(\"x={x}\");\n\
+               }\n\
+               }\n\
+               }\n";
+    let f = check(raw);
+    // The original finding survives, and the bare allow is itself flagged.
+    assert!(
+        f.iter().any(|x| x.rule == "hot-alloc-in-loop"),
+        "unjustified allow must not suppress: {f:?}"
+    );
+    assert!(
+        f.iter().any(|x| x.rule == "hot-config"),
+        "unjustified allow must be reported: {f:?}"
+    );
+}
+
+#[test]
+fn suppression_with_justification_silences_the_finding() {
+    let raw = "impl S {\n\
+               fn handle(&mut self) {\n\
+               for x in 0..4 {\n\
+               // mdbs-check: allow(hot-alloc-in-loop, \"one label per admission, measured harmless\")\n\
+               let _s = format!(\"x={x}\");\n\
+               }\n\
+               }\n\
+               }\n";
+    assert!(check(raw).is_empty(), "{:?}", check(raw));
+}
+
+// ---------------------------------------------------------------------------
+// Workspace pin
+// ---------------------------------------------------------------------------
+
+#[test]
+fn the_workspace_is_hotpath_clean() {
+    let findings = run_hotpath(workspace_root()).expect("hotpath run");
+    assert!(
+        findings.is_empty(),
+        "hotpath findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -29,6 +29,7 @@ const CHECKERS: &[&str] = &[
     "probe-resubmission",
     "probe-commit-order",
     "probe-rollback-evict",
+    "probe-done-bound",
     "probe-dup-ready",
     "probe-commit-record",
     "probe-consensus-quorum",
@@ -74,6 +75,7 @@ const PINNED: &[(&str, &[&str])] = &[
         "keep-rollback-in-table",
         &["probe-rollback-evict", "explore-interval", "sim-conflict"],
     ),
+    ("agent-done-cap-ignored", &["probe-done-bound"]),
     ("drop-dup-ready-retransmit", &["probe-dup-ready"]),
     ("skip-commit-record", &["probe-commit-record"]),
     ("quorum-shortcut", &["probe-consensus-quorum"]),

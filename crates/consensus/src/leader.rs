@@ -318,6 +318,7 @@ impl Leader {
         for (rs, vs) in t.promises.values() {
             for r in rs {
                 regs.entry(r.gtxn)
+                    // mdbs-check: allow(hot-alloc-in-loop, "takeover merge runs once per coordinator failure, not per message; the union must own its participant sets")
                     .or_insert((r.coord, r.participants.clone()));
             }
             for v in vs {
@@ -332,6 +333,7 @@ impl Leader {
             if coord == node || t.adopted.contains_key(&gtxn) {
                 continue; // our own live transactions are not orphans
             }
+            // mdbs-check: allow(hot-alloc-in-loop, "one proposal map per orphan transaction, built once per takeover — a failover event, not a message-rate path")
             let mut proposal: BTreeMap<SiteId, Vote> = BTreeMap::new();
             for &site in &participants {
                 let vote = if mutation == LeaderMutation::StaleBallotReplay {
@@ -362,6 +364,7 @@ impl Leader {
                 AdoptedTxn {
                     participants,
                     votes: proposal,
+                    // mdbs-check: allow(hot-alloc-in-loop, "adopted-transaction records are created once per takeover; each owns its ack map")
                     acks: BTreeMap::new(),
                     decided: false,
                 },

@@ -479,6 +479,13 @@ impl Agent {
         self.subtxns.get(&gtxn).map(|s| s.incarnation)
     }
 
+    /// Size of the duplicate-detection done-set (terminated transaction
+    /// ids retained). The kill matrix's `probe-done-bound` checker uses
+    /// this to verify [`AgentConfig::done_cap`] compaction actually holds.
+    pub fn done_len(&self) -> usize {
+        self.done.len()
+    }
+
     /// Whether the agent still tracks `gtxn` in any phase. `mdbs-check
     /// explore` uses this to prune inert alive/commit-retry timer firings
     /// (a timer for a settled transaction is a no-op and would otherwise
@@ -616,6 +623,7 @@ impl Agent {
             }
             Message::Prepare { gtxn, sn } => self.on_prepare(now, gtxn, sn),
             Message::Commit { gtxn } => {
+                // mdbs-check: allow(hot-repeated-lookup, "the three subtxn lookups sit in mutually exclusive match arms of on_message; exactly one runs per delivered message")
                 if let Some(st) = self.subtxns.get_mut(&gtxn) {
                     if !st.in_table() {
                         // COMMIT overtook the PREPARE (injected same-link
@@ -795,13 +803,27 @@ impl Agent {
         ]
     }
 
+    /// Record a terminal outcome in the duplicate-detection done-set,
+    /// compacting it to `config.done_cap` entries when the cap is set
+    /// (0 = keep everything; see [`AgentConfig::done_cap`]). Eviction is
+    /// oldest-id-first: transaction ids are issued in arrival order, so
+    /// `pop_first` discards the ids least likely to be replayed.
+    fn note_done(&mut self, gtxn: GlobalTxnId) {
+        self.done.insert(gtxn);
+        if self.config.done_cap > 0 && !self.config.mode.ignores_done_cap() {
+            while self.done.len() > self.config.done_cap {
+                self.done.pop_first();
+            }
+        }
+    }
+
     /// Refuse a PREPARE: abort the local subtransaction (if it still runs),
     /// forget the transaction, answer REFUSE.
     fn refuse(&mut self, gtxn: GlobalTxnId, coord: u32, reason: RefuseReason) -> Vec<AgentAction> {
         let Some(st) = self.subtxns.remove(&gtxn) else {
             return vec![]; // unreachable: callers only refuse table entries
         };
-        self.done.insert(gtxn);
+        self.note_done(gtxn);
         self.log.append(LogRecord::Rollback { gtxn });
         let mut actions = Vec::new();
         if !st.aborted {
@@ -1066,7 +1088,7 @@ impl Agent {
             return vec![]; // unreachable: presence checked above
         };
         self.idx.remove(gtxn);
-        self.done.insert(gtxn);
+        self.note_done(gtxn);
         if !self.config.mode.skips_max_committed_update() {
             if let Some(sn) = st.sn {
                 if self.max_committed_sn.is_none_or(|m| sn > m) {
@@ -1103,7 +1125,7 @@ impl Agent {
         self.log.append(LogRecord::Rollback { gtxn });
         // Terminal either way: a BEGIN surfacing after this point (injected
         // reordering) must not start a fresh conversation.
-        self.done.insert(gtxn);
+        self.note_done(gtxn);
         let Some(st) = self.subtxns.get(&gtxn) else {
             // Two ways to get here. A ROLLBACK crossing our REFUSE needs
             // no reply (the coordinator counts the refusal as settled).

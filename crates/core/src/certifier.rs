@@ -206,6 +206,7 @@ impl CertIndex {
             }
         }
         for sid in new_shards {
+            // mdbs-check: allow(hot-repeated-lookup, "the two loops walk the outgoing frozen and incoming alive shard sets; each shard id is looked up once per transition")
             if let Some(sh) = self.shards.get_mut(sid) {
                 sh.alive += 1;
             }

@@ -88,6 +88,12 @@ pub enum CertifierMode {
     /// §5.3 extension certifies against stale state.
     #[doc(hidden)]
     MutStaleMaxSn,
+    /// Mutant: `note_done` ignores the configured [`AgentConfig::done_cap`]
+    /// — terminated-transaction ids accumulate without bound, the exact
+    /// defect the hotpath pass's `hot-unbounded-growth` rule exists to
+    /// prevent.
+    #[doc(hidden)]
+    MutIgnoreDoneCap,
 }
 
 impl CertifierMode {
@@ -192,6 +198,12 @@ impl CertifierMode {
     pub fn skips_max_committed_update(&self) -> bool {
         matches!(self, CertifierMode::MutStaleMaxSn)
     }
+
+    /// Whether the done-set compaction bound is ignored.
+    #[doc(hidden)]
+    pub fn ignores_done_cap(&self) -> bool {
+        matches!(self, CertifierMode::MutIgnoreDoneCap)
+    }
 }
 
 /// Timing and policy knobs of one 2PC Agent. Durations are in microseconds
@@ -227,6 +239,17 @@ pub struct AgentConfig {
     /// touched, so disjoint-key subtransactions certify independently.
     /// 0 is treated as 1.
     pub cert_shards: usize,
+    /// Bound on the agent's duplicate-detection done-set (terminated
+    /// transaction ids kept to screen replayed BEGIN/COMMIT/ROLLBACK).
+    /// 0 (the default) keeps every id forever — the behavior the golden
+    /// digests are recorded against. With k > 0 the set is compacted to
+    /// the k most recent ids after each insertion, the same way the
+    /// consensus layer's `Clear` compacts acceptor state: under sustained
+    /// load the set stays O(k) instead of growing with run length, at the
+    /// cost that a duplicate older than the k retained ids would restart
+    /// a conversation.
+    #[serde(default)]
+    pub done_cap: usize,
 }
 
 impl Default for AgentConfig {
@@ -238,6 +261,7 @@ impl Default for AgentConfig {
             stored_intervals: 1,
             max_commit_retries: 1_000_000,
             cert_shards: 1,
+            done_cap: 0,
         }
     }
 }

@@ -260,6 +260,7 @@ impl Coordinator {
         }
         txn.results.push(result);
         txn.step += 1;
+        // mdbs-check: allow(hot-repeated-lookup, "txn.step advanced on the line above; the two lookups address different program entries")
         if let Some(&(site, command)) = txn.program.get(txn.step) {
             return vec![CoordAction::ToAgent {
                 site,

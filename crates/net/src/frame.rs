@@ -123,7 +123,9 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// If `payload` exceeds [`MAX_FRAME_LEN`] — encoding oversized frames is
 /// a local programming error, not a peer's.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
-    encode_frame_versioned(WIRE_VERSION, payload)
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_frame_versioned(WIRE_VERSION, payload, &mut out);
+    out
 }
 
 /// Wrap a batch payload (`wire::encode_batch`) in a version 2 frame.
@@ -133,22 +135,35 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
 /// If `payload` exceeds [`MAX_FRAME_LEN`] — encoding oversized frames is
 /// a local programming error, not a peer's.
 pub fn encode_batch_frame(payload: &[u8]) -> Vec<u8> {
-    encode_frame_versioned(WIRE_VERSION_BATCH, payload)
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_frame_versioned(WIRE_VERSION_BATCH, payload, &mut out);
+    out
 }
 
-fn encode_frame_versioned(version: u8, payload: &[u8]) -> Vec<u8> {
+/// [`encode_frame`] into a caller-owned buffer (cleared first), so a hot
+/// writer loop can reuse one allocation across frames.
+pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    encode_frame_versioned(WIRE_VERSION, payload, out);
+}
+
+/// [`encode_batch_frame`] into a caller-owned buffer (cleared first).
+pub fn encode_batch_frame_into(payload: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    encode_frame_versioned(WIRE_VERSION_BATCH, payload, out);
+}
+
+fn encode_frame_versioned(version: u8, payload: &[u8], out: &mut Vec<u8>) {
     assert!(
         payload.len() <= MAX_FRAME_LEN,
         "refusing to encode a {}-byte frame (cap {MAX_FRAME_LEN})",
         payload.len()
     );
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(version);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
-    out
 }
 
 /// One complete frame out of the decoder: which payload format the header

@@ -49,7 +49,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use mdbs_dtm::Message;
 use mdbs_runtime::{CtrlMsg, Timer, Transport};
 
-use crate::frame::{encode_batch_frame, encode_frame, FrameDecoder};
+use crate::frame::{encode_batch_frame_into, encode_frame, encode_frame_into, FrameDecoder};
 use crate::wire::{decode_frame_payload, encode_msg, Wire, WireMsg};
 
 /// How long blocked reads/writes wait before re-checking the stop flag.
@@ -171,6 +171,9 @@ pub struct TcpTransport {
     /// out: the channel moves whole frame-groups, this hands them out one
     /// at a time without a lock per message.
     ready: VecDeque<WireMsg>,
+    /// Scratch for the non-blocking inbound drain in `pop_ready`; reused
+    /// across polls so the hot poll loop does not allocate per call.
+    drain_scratch: Vec<Vec<WireMsg>>,
     timers: std::collections::BinaryHeap<Reverse<TimerEntry>>,
     timer_seq: u64,
     stop: Arc<AtomicBool>,
@@ -237,6 +240,7 @@ impl TcpTransport {
             inbound_tx,
             inbound,
             ready: VecDeque::new(),
+            drain_scratch: Vec::new(),
             timers: std::collections::BinaryHeap::new(),
             timer_seq: 0,
             stop,
@@ -321,9 +325,8 @@ impl TcpTransport {
         if let Some(msg) = self.ready.pop_front() {
             return Some(msg);
         }
-        let mut groups = Vec::new();
-        if self.inbound.try_recv_many(&mut groups, OUTBOX_DRAIN) > 0 {
-            for g in groups {
+        if self.inbound.try_recv_many(&mut self.drain_scratch, OUTBOX_DRAIN) > 0 {
+            for g in self.drain_scratch.drain(..) {
                 self.ready.extend(g);
             }
             return self.ready.pop_front();
@@ -531,6 +534,13 @@ impl BatchBuf {
         }
     }
 
+    /// Empty the batch for reuse, keeping the payload allocation (and the
+    /// 4-byte count slot) so the writer loop amortizes it across frames.
+    fn reset(&mut self) {
+        self.payload.truncate(4);
+        self.count = 0;
+    }
+
     fn push_group(&mut self, msgs: &[WireMsg]) {
         for m in msgs {
             m.put(&mut self.payload);
@@ -544,21 +554,30 @@ impl BatchBuf {
         self.count > 0 && (self.count + more > batch_max || self.payload.len() >= BATCH_SOFT_BYTES)
     }
 
-    /// The finished frame: version 1 when exactly one message was
-    /// coalesced (bit-identical to the pre-batching wire format), version
-    /// 2 otherwise.
-    fn into_frame(mut self) -> (Vec<u8>, usize) {
+    /// Write the finished frame into `out` (cleared first): version 1 when
+    /// exactly one message was coalesced (bit-identical to the
+    /// pre-batching wire format), version 2 otherwise. Returns the message
+    /// count. Both the batch and `out` are caller-reused buffers.
+    fn frame_into(&mut self, out: &mut Vec<u8>) -> usize {
         let n = self.count;
         if n == 1 {
-            return (encode_frame(&self.payload[4..]), n);
+            encode_frame_into(&self.payload[4..], out);
+            return n;
         }
         self.payload[..4].copy_from_slice(&(n as u32).to_le_bytes());
-        (encode_batch_frame(&self.payload), n)
+        encode_batch_frame_into(&self.payload, out);
+        n
     }
 }
 
 impl PeerWriter {
     fn run(mut self) {
+        // Scratch buffers reused across iterations: the batch payload, the
+        // encoded frame, and the outbox drain vector each amortize to one
+        // allocation for the writer's lifetime.
+        let mut batch = BatchBuf::new();
+        let mut frame: Vec<u8> = Vec::new();
+        let mut drained: Vec<Vec<WireMsg>> = Vec::new();
         // recv() keeps returning queued groups after the senders drop, so
         // shutdown flushes the outbox before this loop ends.
         loop {
@@ -569,10 +588,10 @@ impl PeerWriter {
                     Err(_) => return,
                 },
             };
-            let mut batch = BatchBuf::new();
+            batch.reset();
             batch.push_group(&first);
-            self.coalesce(&mut batch);
-            let (frame, n) = batch.into_frame();
+            self.coalesce(&mut batch, &mut drained);
+            let n = batch.frame_into(&mut frame);
             if !self.deliver(&frame, n as u64) {
                 return; // stop requested while the peer was unreachable
             }
@@ -581,7 +600,9 @@ impl PeerWriter {
 
     /// Grow `batch` with whole queued groups until the size threshold
     /// closes it or the adaptive deadline expires with the queue dry.
-    fn coalesce(&mut self, batch: &mut BatchBuf) {
+    /// `drained` is caller-owned scratch for the outbox drain; it is
+    /// emptied into `pending` before returning.
+    fn coalesce(&mut self, batch: &mut BatchBuf, drained: &mut Vec<Vec<WireMsg>>) {
         loop {
             // Whatever is already queued, up to the thresholds.
             while let Some(g) = self.pending.front() {
@@ -594,9 +615,8 @@ impl PeerWriter {
                 };
                 batch.push_group(&g);
             }
-            let mut drained = Vec::new();
-            if self.rx.try_recv_many(&mut drained, OUTBOX_DRAIN) > 0 {
-                self.pending.extend(drained);
+            if self.rx.try_recv_many(drained, OUTBOX_DRAIN) > 0 {
+                self.pending.extend(drained.drain(..));
                 continue;
             }
             // Queue dry: hold the batch open for up to the adaptive

@@ -4,6 +4,7 @@
 //! ```text
 //! mdbs-check lint [--root <dir>] [--json|--github]
 //! mdbs-check conc [--root <dir>] [--json|--github]
+//! mdbs-check hotpath [--root <dir>] [--json|--github]
 //! mdbs-check explore [--preset <name>] [--mode <certifier>] [--cgm]
 //!                    [--delays N] [--faults N] [--crashes N]
 //!                    [--max-steps N] [--max-runs N] [--no-interval-check]
@@ -14,7 +15,10 @@
 //! panic-freedom in decode paths, message-vocabulary exhaustiveness);
 //! `conc` runs the static concurrency pass over the threaded crates
 //! (lock order, blocking under guards, poison handling, panic-freedom on
-//! worker threads). Both exit 1 if any finding survives suppression, and
+//! worker threads); `hotpath` runs the static performance pass over the
+//! per-message hot paths (allocation in hot loops, guards across sends,
+//! repeated lookups, linear scans in handlers, unbounded growth). All
+//! three exit 1 if any finding survives suppression, and
 //! can emit findings as JSON lines (`--json`) or GitHub Actions error
 //! annotations (`--github`). `explore` runs the bounded model checker on
 //! a preset world and exits 1 with a minimized trace if a schedule
@@ -28,6 +32,7 @@ use std::process::ExitCode;
 
 use mdbs_check::conc::run_conc;
 use mdbs_check::explore::{explore, ExploreConfig, ExploreOutcome};
+use mdbs_check::hotpath::run_hotpath;
 use mdbs_check::lint::{run_lint, Finding};
 use mdbs_check::mutate::{render, run_matrix, Budget};
 use mdbs_dtm::CertifierMode;
@@ -36,6 +41,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("mdbs-check: {err}");
     eprintln!("usage: mdbs-check lint [--root <dir>] [--json|--github]");
     eprintln!("       mdbs-check conc [--root <dir>] [--json|--github]");
+    eprintln!("       mdbs-check hotpath [--root <dir>] [--json|--github]");
     eprintln!(
         "       mdbs-check explore [--preset smoke-2cm|smoke-cgm|conflict|mutation-interval|coord-failover|coord-crash-direct]"
     );
@@ -101,7 +107,7 @@ fn print_findings(tool: &str, findings: &[Finding], output: Output) {
     }
 }
 
-/// Shared driver for the two source passes (`lint` and `conc`).
+/// Shared driver for the source passes (`lint`, `conc`, `hotpath`).
 fn run_findings_cmd(
     tool: &str,
     mut args: std::env::Args,
@@ -303,6 +309,7 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("lint") => run_findings_cmd("lint", args, run_lint),
         Some("conc") => run_findings_cmd("conc", args, run_conc),
+        Some("hotpath") => run_findings_cmd("hotpath", args, run_hotpath),
         Some("explore") => run_explore_cmd(args),
         Some("mutate") => run_mutate_cmd(args),
         Some(other) => usage(&format!("unknown command {other:?}")),
