@@ -248,7 +248,6 @@ impl Model {
         out.sort_by_key(|a| a.at);
         out
     }
-
 }
 
 /// One `<lock>.lock()/read()/write()` site.

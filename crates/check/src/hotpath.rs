@@ -40,9 +40,9 @@ use std::path::Path;
 
 use crate::lint::Finding;
 use crate::scan::{
-    calls_in, discover_fns, find_token_seq, guard_scope, ident_end, ident_occurrences,
-    ident_start, idents_in, is_ident_byte, is_method_call, loops_in, match_brace, next_nonws,
-    nonws_from, prev_ident_is, prev_nonws_at, SourceFile,
+    calls_in, discover_fns, find_token_seq, guard_scope, ident_end, ident_occurrences, ident_start,
+    idents_in, is_ident_byte, is_method_call, loops_in, match_brace, next_nonws, nonws_from,
+    prev_ident_is, prev_nonws_at, SourceFile,
 };
 
 /// How an entry point is hot.

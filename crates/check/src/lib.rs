@@ -22,6 +22,12 @@
 //!   hot loops, guards live across sends, repeated same-key lookups,
 //!   linear scans in handlers, and unbounded collection growth without a
 //!   drain site. Suppressions require a written justification.
+//! - [`proto`] — a static protocol-conformance pass over the 2PC/certify
+//!   message flow: per node kind, a checked-in `PROTOCOL` table declares
+//!   the handled message arms, allowed emissions, required duplicate
+//!   guards, and required timers, and a `PARITY` table pins the dispatch
+//!   vocabulary the sim/threaded/TCP drivers must share. Suppressions
+//!   require a written justification.
 //! - [`mutate`] — the certifier mutation kill matrix: a catalog of
 //!   deliberate protocol deviations (each breaking one §4/§5/Appendix
 //!   mechanism) run against every checker; the matrix fails if any mutant
@@ -34,4 +40,5 @@ pub mod explore;
 pub mod hotpath;
 pub mod lint;
 pub mod mutate;
+pub mod proto;
 pub mod scan;

@@ -24,6 +24,11 @@
 //!   (or a runtime panic). Agent-side mutants only: the simulator has no
 //!   coordinator-mutation knob, and growing one is not worth weakening the
 //!   goldens' "defaults untouched" guarantee.
+//! - **Static analysis** (`proto-static`) — [`crate::proto`]'s protocol
+//!   pass run over an in-memory mutated source tree: a [`ProtoMutation`]
+//!   is a textual edit that deletes a table obligation (a dup guard, a
+//!   timer), and the kill is the named rule firing at *lint* time — no
+//!   execution at all, the matrix's first lint-time kills.
 //!
 //! Every mutant is off by default and unreachable from configuration files,
 //! so shipping the catalog changes no golden digest.
@@ -41,6 +46,7 @@ use mdbs_sim::{Protocol, SimConfig, Simulation};
 use mdbs_workload::WorkloadSpec;
 
 use crate::explore::{explore, ExploreConfig, ExploreOutcome};
+use crate::proto::{run_proto_with, ProtoMutation};
 
 /// One deliberate protocol deviation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +57,9 @@ pub enum MutantSpec {
     Coord(CoordMutation),
     /// A Paxos Commit leader deviation.
     Consensus(LeaderMutation),
+    /// A source-level protocol deviation, applied in memory and killed
+    /// statically by `mdbs-check proto` — never installed in a runtime.
+    Proto(ProtoMutation),
 }
 
 /// A catalog entry: the deviation plus the paper mechanism it breaks.
@@ -167,6 +176,18 @@ pub fn catalog() -> Vec<Mutant> {
             mechanism: "Paxos Commit phase-1 promise adoption",
             summary: "failover ignores the quorum's accepted votes and proposes from its stale view",
         },
+        Mutant {
+            id: "ready-dup-guard-dropped",
+            spec: MutantSpec::Proto(ProtoMutation::DropReadyDupGuard),
+            mechanism: "§2 duplicate-READY phase guard (source-level)",
+            summary: "textually removes the coordinator's committing-phase test on a duplicate READY",
+        },
+        Mutant {
+            id: "alive-timer-skipped",
+            spec: MutantSpec::Proto(ProtoMutation::SkipAliveTimer),
+            mechanism: "§2 blocked-agent alive timer (source-level)",
+            summary: "textually removes the alive-timer action armed with the READY vote",
+        },
     ]
 }
 
@@ -174,14 +195,18 @@ pub fn catalog() -> Vec<Mutant> {
 fn agent_mode(spec: MutantSpec) -> CertifierMode {
     match spec {
         MutantSpec::Agent(m) => m,
-        MutantSpec::Coord(_) | MutantSpec::Consensus(_) => CertifierMode::Full,
+        MutantSpec::Coord(_) | MutantSpec::Consensus(_) | MutantSpec::Proto(_) => {
+            CertifierMode::Full
+        }
     }
 }
 
 /// The coordinator mutation a spec installs.
 fn coord_mutation(spec: MutantSpec) -> CoordMutation {
     match spec {
-        MutantSpec::Agent(_) | MutantSpec::Consensus(_) => CoordMutation::None,
+        MutantSpec::Agent(_) | MutantSpec::Consensus(_) | MutantSpec::Proto(_) => {
+            CoordMutation::None
+        }
         MutantSpec::Coord(c) => c,
     }
 }
@@ -189,7 +214,7 @@ fn coord_mutation(spec: MutantSpec) -> CoordMutation {
 /// The consensus-leader mutation a spec installs.
 fn leader_mutation(spec: MutantSpec) -> LeaderMutation {
     match spec {
-        MutantSpec::Agent(_) | MutantSpec::Coord(_) => LeaderMutation::None,
+        MutantSpec::Agent(_) | MutantSpec::Coord(_) | MutantSpec::Proto(_) => LeaderMutation::None,
         MutantSpec::Consensus(m) => m,
     }
 }
@@ -335,6 +360,7 @@ const CHECKERS: &[(&str, Checker)] = &[
         explore_world(ExploreConfig::conflict(), s, b)
     }),
     ("sim-conflict", |s, _| sim_conflict(s)),
+    ("proto-static", |s, _| proto_static(s)),
 ];
 
 fn run_row(
@@ -714,7 +740,10 @@ fn probe_done_bound(mode: CertifierMode) -> Result<(), String> {
     for k in 1..=10u32 {
         let t = k as u64 * 100;
         let _ = prepare_one(&mut a, k, t, t, t);
-        a.handle(t + 10, AgentInput::Deliver(Message::Rollback { gtxn: g(k) }));
+        a.handle(
+            t + 10,
+            AgentInput::Deliver(Message::Rollback { gtxn: g(k) }),
+        );
     }
     if a.done_len() > CAP {
         return Err(format!(
@@ -995,6 +1024,55 @@ fn sim_conflict(spec: MutantSpec) -> Result<(), String> {
                     why.push("not view serializable");
                 }
                 Err(why.join("; "))
+            }
+        }
+    }
+}
+
+/// The `proto-static` checker: run `mdbs-check proto` over the source
+/// tree with the mutant's textual edit applied in memory. The kill is the
+/// edit's named rule firing — a lint-time kill, no runtime involved. For
+/// the real protocol (and for runtime-level mutants, whose source is the
+/// real tree) the pass must come back clean.
+fn proto_static(spec: MutantSpec) -> Result<(), String> {
+    // Compile-time workspace root: mutate.rs lives in crates/check.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mutation = match spec {
+        MutantSpec::Proto(m) => Some(m),
+        _ => None,
+    };
+    let findings = run_proto_with(&root, &|rel| {
+        let (file, anchor, replacement, _) = mutation?.edit();
+        if rel != file {
+            return None;
+        }
+        let raw = std::fs::read_to_string(root.join(rel)).ok()?;
+        // An absent anchor means the mutant no longer applies; returning
+        // the pristine text makes the row survive and the matrix fail
+        // loudly instead of passing vacuously.
+        Some(raw.replace(anchor, replacement))
+    })
+    .map_err(|e| format!("proto pass failed to run: {e}"))?;
+    match mutation {
+        Some(m) => {
+            let (_, _, _, expected) = m.edit();
+            if findings.iter().any(|f| f.rule == expected) {
+                Err(format!(
+                    "static kill: `{expected}` fired on the mutated source"
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        None => {
+            if findings.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "the real protocol has {} proto finding(s): {}",
+                    findings.len(),
+                    findings[0]
+                ))
             }
         }
     }

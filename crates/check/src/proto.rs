@@ -1,0 +1,1288 @@
+//! `mdbs-check proto`: static protocol-conformance over the 2PC/certify
+//! message flow.
+//!
+//! The paper's correctness story (§3 prepare/commit flow, §4.2
+//! certification, §2 failure assumptions) is a message-protocol contract:
+//! for every node kind there is a fixed vocabulary of messages it must
+//! handle, a fixed set it may emit from each handler arm, a duplicate
+//! guard wherever an arm mutates 2PC/consensus state (the PR 2/PR 8
+//! hardening), and a timer wherever an arm enters a blocking wait (§2's
+//! blocked-agent assumptions). The runtime checkers exercise that contract
+//! on executions; this pass pins it to the *source*, so a refactor that
+//! drops a handler arm, a dup guard, or a timeout fails the build before
+//! any scenario runs.
+//!
+//! Like `conc` (DECLARED_LOCK_ORDER) and `hotpath` (HOT_PATHS), the
+//! contract is a checked-in table: [`PROTOCOL`] declares, per node kind,
+//! the implementation surface (files + entry functions), the handled
+//! message arms with their allowed emissions / required guards / required
+//! timers, and [`PARITY`] declares the dispatch vocabulary each of the
+//! three drivers (sim, threaded, TCP) must wire for that node kind. The
+//! analysis is token-level over [`crate::scan`]'s blanked source model and
+//! uses [`FileSet`] to follow handler arms across crate boundaries
+//! (runtime dispatch → core handler → consensus role).
+//!
+//! Rules:
+//! - `proto-unhandled` — a variant the table says peers send to this node
+//!   kind, with no handler arm (pattern) anywhere in the entry closure.
+//! - `proto-unexpected-send` — a protocol-enum construction in the entry
+//!   closure that no reaching arm (nor the spec's free-send list) allows.
+//! - `proto-missing-dup-guard` — an arm required to consult a
+//!   done-set/step-guard/ballot check has none of its declared guard
+//!   token sequences in its closure.
+//! - `proto-no-timeout` — an arm that enters a blocking wait has none of
+//!   its declared timer tokens in its closure.
+//! - `proto-driver-parity` — a driver's dispatch closure is missing a
+//!   vocabulary token another driver wires for the same node kind.
+//! - `proto-config` — the table itself drifted from the source (stale
+//!   file/entry/enum vocabulary), or a suppression lacks a justification.
+//!
+//! Suppressions mirror `hotpath`: `// mdbs-check: allow(proto-…, "why")`
+//! on the finding's line or the one above. The justification string is
+//! mandatory — a bare `allow(proto-…)` is itself a `proto-config` finding
+//! and suppresses nothing.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::lint::Finding;
+use crate::scan::{self, FileSet, SourceFile};
+
+pub const RULE_UNHANDLED: &str = "proto-unhandled";
+pub const RULE_UNEXPECTED_SEND: &str = "proto-unexpected-send";
+pub const RULE_DUP_GUARD: &str = "proto-missing-dup-guard";
+pub const RULE_NO_TIMEOUT: &str = "proto-no-timeout";
+pub const RULE_PARITY: &str = "proto-driver-parity";
+pub const RULE_CONFIG: &str = "proto-config";
+
+/// One handled message arm of a node kind.
+pub struct ArmSpec {
+    /// Protocol enum the arm matches (`Message`, `CtrlMsg`, `PaxosMsg`).
+    pub enum_name: &'static str,
+    pub variant: &'static str,
+    /// Emissions allowed from this arm's closure, as (enum, variant).
+    pub sends: &'static [(&'static str, &'static str)],
+    /// Duplicate-guard token-sequence alternatives: at least one must
+    /// appear in the arm's closure. Empty = the arm mutates no guarded
+    /// state.
+    pub dup_guard: &'static [&'static [&'static str]],
+    /// Timer token-sequence alternatives: at least one must appear if the
+    /// arm enters a blocking wait. Empty = the arm never blocks.
+    pub timeout: &'static [&'static [&'static str]],
+}
+
+/// One node kind's handler surface.
+pub struct HandlerSpec {
+    pub node: &'static str,
+    /// Workspace-relative implementation files. `files[0]` defines the
+    /// entry functions; the closure may cross into any listed file.
+    pub files: &'static [&'static str],
+    /// Entry functions (dispatch surface) defined in `files[0]`.
+    pub entries: &'static [&'static str],
+    pub arms: &'static [ArmSpec],
+    /// Emissions allowed from entry paths outside every arm closure
+    /// (timer callbacks, LTM completions, recovery, begin).
+    pub free_sends: &'static [(&'static str, &'static str)],
+}
+
+/// One driver's dispatch surface for a node kind.
+pub struct DriverSpec {
+    pub driver: &'static str,
+    pub file: &'static str,
+    pub entries: &'static [&'static str],
+}
+
+/// Cross-driver dispatch parity for one node kind: each driver's entry
+/// closure must contain every vocabulary token.
+pub struct ParitySpec {
+    pub node: &'static str,
+    pub vocab: &'static [&'static str],
+    pub drivers: &'static [DriverSpec],
+}
+
+const AGENT: &str = "crates/core/src/agent.rs";
+const COORD: &str = "crates/core/src/coordinator.rs";
+const RT_SITE: &str = "crates/runtime/src/site.rs";
+const RT_COORD: &str = "crates/runtime/src/coordinator.rs";
+const RT_CENTRAL: &str = "crates/runtime/src/central.rs";
+const RT_ACCEPTOR: &str = "crates/runtime/src/acceptor.rs";
+const CONS_LIB: &str = "crates/consensus/src/lib.rs";
+const CONS_LEADER: &str = "crates/consensus/src/leader.rs";
+const CONS_ACCEPTOR: &str = "crates/consensus/src/acceptor.rs";
+const SIM: &str = "crates/mdbs/src/sim.rs";
+const THREADED: &str = "crates/mdbs/src/threaded.rs";
+const TCP_NODE: &str = "crates/net/src/node.rs";
+
+/// The protocol enums whose declared vocabulary the table pins, with the
+/// file declaring each. `run_proto` cross-checks these against the real
+/// `enum` items so table drift is a `proto-config` finding, not silence.
+const ENUM_DECLS: &[(&str, &str, &[&str])] = &[
+    (
+        "Message",
+        "crates/core/src/msg.rs",
+        &[
+            "Begin",
+            "Dml",
+            "Prepare",
+            "Commit",
+            "Rollback",
+            "DmlResult",
+            "Failed",
+            "Ready",
+            "Refuse",
+            "CommitAck",
+            "RollbackAck",
+            "NewCoord",
+        ],
+    ),
+    (
+        "CtrlMsg",
+        "crates/runtime/src/host.rs",
+        &[
+            "CgmRequest",
+            "CgmAdmitted",
+            "CgmVote",
+            "CgmVoteResult",
+            "CgmFinished",
+            "Paxos",
+        ],
+    ),
+    (
+        "PaxosMsg",
+        "crates/consensus/src/msg.rs",
+        &[
+            "Begin",
+            "Vote2a",
+            "Accepted",
+            "Prepare1a",
+            "Promise1b",
+            "Propose2a",
+            "Clear",
+        ],
+    ),
+];
+
+/// §3/§5 + DESIGN §10, per node kind. Derivation notes inline.
+pub const PROTOCOL: &[HandlerSpec] = &[
+    // The site agent (§3 participant): the runtime dispatch in
+    // `site.rs` feeds `Agent::handle`, whose downstream arms live in
+    // `agent.rs`. Votes fan out to the acceptors (DESIGN §10) from the
+    // runtime layer, outside any arm — hence the free CtrlMsg::Paxos.
+    HandlerSpec {
+        node: "site",
+        files: &[RT_SITE, AGENT],
+        entries: &[
+            "agent_input",
+            "ltm_exec",
+            "start_local",
+            "inject_abort",
+            "kill_local_deadlocks",
+            "abort_on_timeout",
+            "crash",
+        ],
+        arms: &[
+            ArmSpec {
+                enum_name: "Message",
+                variant: "Begin",
+                sends: &[],
+                // A duplicate BEGIN after DONE would start a second
+                // incarnation and leak locks forever (PR 2 hardening).
+                dup_guard: &[&["done", ".", "contains"]],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "Message",
+                variant: "Dml",
+                sends: &[("Message", "Failed")],
+                // Re-delivered DML must not double-apply a step.
+                dup_guard: &[&["last_dml_step"]],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "Message",
+                variant: "Prepare",
+                sends: &[("Message", "Ready"), ("Message", "Refuse")],
+                // Certification runs once per incarnation: only an Active
+                // subtransaction may vote (§4.2).
+                dup_guard: &[&["Phase", "::", "Active"]],
+                // Voting READY enters the §2 blocked window — the alive
+                // timer must be armed with the vote.
+                timeout: &[&["StartAliveTimer"]],
+            },
+            ArmSpec {
+                enum_name: "Message",
+                variant: "Commit",
+                sends: &[("Message", "CommitAck")],
+                // A COMMIT overtaking its PREPARE must not commit an
+                // uncertified incarnation.
+                dup_guard: &[&["in_table"]],
+                // Commit certification can defer; the retry timer is the
+                // only way forward (Appendix C ordering).
+                timeout: &[&["StartCommitRetryTimer"]],
+            },
+            ArmSpec {
+                enum_name: "Message",
+                variant: "Rollback",
+                sends: &[("Message", "RollbackAck")],
+                // Terminal either way: the done-set records the outcome so
+                // a reordered BEGIN cannot resurrect the transaction.
+                dup_guard: &[&["note_done"]],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "Message",
+                variant: "NewCoord",
+                sends: &[],
+                // Redirect bookkeeping only; the redirects table is the
+                // guard consulted by the later Commit/Rollback.
+                dup_guard: &[&["redirects"]],
+                timeout: &[],
+            },
+        ],
+        // Non-arm paths: LTM completions reply DmlResult, unilateral
+        // aborts reply Failed, crash recovery re-votes Ready/Failed, the
+        // vote fan-out mirrors Ready/Refuse/Failed to the acceptors as
+        // CtrlMsg::Paxos (DESIGN §10).
+        free_sends: &[
+            ("Message", "DmlResult"),
+            ("Message", "Failed"),
+            ("Message", "Ready"),
+            ("CtrlMsg", "Paxos"),
+            ("PaxosMsg", "Vote2a"),
+        ],
+    },
+    // The coordinator (§3 coordinator + DESIGN §10 leader): upstream 2PC
+    // arms in `coordinator.rs`, control-plane arms (CGM admission/vote,
+    // Paxos Commit) in the runtime wrapper, consensus roles in the
+    // consensus crate.
+    HandlerSpec {
+        node: "coordinator",
+        files: &[RT_COORD, COORD, CONS_LIB, CONS_LEADER],
+        entries: &["begin", "on_message", "on_ctrl", "take_over", "cgm_cleanup"],
+        arms: &[
+            ArmSpec {
+                enum_name: "Message",
+                variant: "DmlResult",
+                sends: &[
+                    ("Message", "Dml"),
+                    ("Message", "Prepare"),
+                    ("CtrlMsg", "CgmVote"),
+                ],
+                // Only the awaited step from the awaited site advances the
+                // program; a stale result must not.
+                dup_guard: &[&["TxnPhase", "::", "Executing"]],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "Message",
+                variant: "Ready",
+                sends: &[("Message", "Commit"), ("CtrlMsg", "CgmVote")],
+                // The committing-phase duplicate-READY branch is 2PC
+                // recovery (retransmit the decision) — dropping it strands
+                // a recovered site forever. The full comparison is pinned
+                // (not just the variant path) because the arm also
+                // *assigns* `phase = TxnPhase::Committing` on the decide
+                // path, which must not satisfy the guard.
+                dup_guard: &[&["phase", "==", "TxnPhase", "::", "Committing"]],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "Message",
+                variant: "Refuse",
+                sends: &[("Message", "Rollback"), ("CtrlMsg", "CgmVote")],
+                dup_guard: &[&["TxnPhase", "::", "Aborting"]],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "Message",
+                variant: "Failed",
+                sends: &[("Message", "Rollback"), ("CtrlMsg", "CgmVote")],
+                dup_guard: &[&["TxnPhase", "::", "Aborting"]],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "Message",
+                variant: "CommitAck",
+                sends: &[("CtrlMsg", "CgmVote")],
+                // An ack only counts against the matching phase/outcome.
+                dup_guard: &[&["TxnPhase", "::", "Committing"]],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "Message",
+                variant: "RollbackAck",
+                sends: &[("CtrlMsg", "CgmVote")],
+                dup_guard: &[&["TxnPhase", "::", "Aborting"]],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "CtrlMsg",
+                variant: "CgmAdmitted",
+                // Admission releases the held `begin`: BEGIN + first DML
+                // (§5.3). The closure shares `begin` with the CGM request
+                // path, so its control messages are reachable too.
+                sends: &[
+                    ("Message", "Begin"),
+                    ("Message", "Dml"),
+                    ("CtrlMsg", "CgmRequest"),
+                    ("CtrlMsg", "CgmVote"),
+                    ("PaxosMsg", "Begin"),
+                ],
+                dup_guard: &[],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "CtrlMsg",
+                variant: "CgmVoteResult",
+                sends: &[("Message", "Rollback"), ("CtrlMsg", "CgmVote")],
+                dup_guard: &[],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "CtrlMsg",
+                variant: "Paxos",
+                sends: &[
+                    ("CtrlMsg", "Paxos"),
+                    ("CtrlMsg", "CgmVote"),
+                    ("Message", "Commit"),
+                    ("Message", "Rollback"),
+                    ("Message", "NewCoord"),
+                    ("PaxosMsg", "Propose2a"),
+                    ("PaxosMsg", "Clear"),
+                ],
+                // A decision applies only while Preparing; a stale ballot
+                // must not re-decide (PR 8 hardening).
+                dup_guard: &[&["TxnPhase", "::", "Preparing"]],
+                timeout: &[],
+            },
+        ],
+        // `begin`/`take_over` are externally driven (not message arms):
+        // they open 2PC, register at the acceptors, and run phase 1.
+        free_sends: &[
+            ("Message", "Begin"),
+            ("Message", "Dml"),
+            ("Message", "Prepare"),
+            ("Message", "Commit"),
+            ("Message", "Rollback"),
+            ("Message", "NewCoord"),
+            ("CtrlMsg", "CgmRequest"),
+            ("CtrlMsg", "CgmVote"),
+            ("CtrlMsg", "Paxos"),
+            ("PaxosMsg", "Begin"),
+            ("PaxosMsg", "Prepare1a"),
+            ("PaxosMsg", "Propose2a"),
+            ("PaxosMsg", "Clear"),
+        ],
+    },
+    // The CGM central scheduler (§5.3): admission locks + commit-graph
+    // vote. Pure request/response — every arm answers with exactly one
+    // control-message kind.
+    HandlerSpec {
+        node: "central",
+        files: &[RT_CENTRAL],
+        entries: &["on_ctrl"],
+        arms: &[
+            ArmSpec {
+                enum_name: "CtrlMsg",
+                variant: "CgmRequest",
+                sends: &[("CtrlMsg", "CgmAdmitted")],
+                dup_guard: &[],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "CtrlMsg",
+                variant: "CgmVote",
+                sends: &[("CtrlMsg", "CgmVoteResult")],
+                // The vote consults the commit graph before inserting —
+                // that cycle check is the §5.3 safety guard.
+                dup_guard: &[&["would_cycle"]],
+                timeout: &[],
+            },
+            ArmSpec {
+                enum_name: "CtrlMsg",
+                variant: "CgmFinished",
+                sends: &[("CtrlMsg", "CgmAdmitted")],
+                dup_guard: &[],
+                timeout: &[],
+            },
+        ],
+        free_sends: &[],
+    },
+    // The Paxos Commit acceptor (DESIGN §10): one control-plane arm
+    // wrapping the durable ballot/vote log.
+    HandlerSpec {
+        node: "acceptor",
+        files: &[RT_ACCEPTOR, CONS_ACCEPTOR],
+        entries: &["on_ctrl"],
+        arms: &[ArmSpec {
+            enum_name: "CtrlMsg",
+            variant: "Paxos",
+            sends: &[
+                ("CtrlMsg", "Paxos"),
+                ("PaxosMsg", "Accepted"),
+                ("PaxosMsg", "Promise1b"),
+            ],
+            // Ballot fencing: phase 1/2 messages below the promised
+            // ballot must be refused (PR 8 hardening).
+            dup_guard: &[&["self", ".", "promised"]],
+            timeout: &[],
+        }],
+        free_sends: &[],
+    },
+];
+
+/// Per node kind, the dispatch vocabulary every driver must wire. Tokens
+/// are runtime entry-point names and timer-input variants; a driver whose
+/// dispatch closure lacks one silently drops that input kind.
+pub const PARITY: &[ParitySpec] = &[
+    ParitySpec {
+        node: "site",
+        vocab: &[
+            "agent_input",
+            "ltm_exec",
+            "abort_on_timeout",
+            "kill_local_deadlocks",
+            "AliveTimer",
+            "CommitRetryTimer",
+            "LtmExec",
+        ],
+        drivers: &[
+            DriverSpec {
+                driver: "sim",
+                file: SIM,
+                entries: &["dispatch"],
+            },
+            DriverSpec {
+                driver: "threaded",
+                file: THREADED,
+                entries: &["site_loop"],
+            },
+            DriverSpec {
+                driver: "tcp",
+                file: TCP_NODE,
+                entries: &["run_site"],
+            },
+        ],
+    },
+    ParitySpec {
+        node: "coordinator",
+        vocab: &["on_message", "on_ctrl", "begin", "take_over"],
+        drivers: &[
+            DriverSpec {
+                driver: "sim",
+                file: SIM,
+                entries: &["dispatch"],
+            },
+            DriverSpec {
+                driver: "threaded",
+                file: THREADED,
+                entries: &["coord_loop"],
+            },
+            // The TCP driver node hosts coord:0 itself, so its takeover
+            // and dispatch surface is split across both loops.
+            DriverSpec {
+                driver: "tcp",
+                file: TCP_NODE,
+                entries: &["run_coordinator", "run_driver"],
+            },
+        ],
+    },
+    ParitySpec {
+        node: "central",
+        vocab: &["on_ctrl"],
+        drivers: &[
+            DriverSpec {
+                driver: "sim",
+                file: SIM,
+                entries: &["dispatch"],
+            },
+            DriverSpec {
+                driver: "threaded",
+                file: THREADED,
+                entries: &["central_loop"],
+            },
+            DriverSpec {
+                driver: "tcp",
+                file: TCP_NODE,
+                entries: &["run_central"],
+            },
+        ],
+    },
+    ParitySpec {
+        node: "acceptor",
+        vocab: &["on_ctrl"],
+        drivers: &[
+            DriverSpec {
+                driver: "sim",
+                file: SIM,
+                entries: &["dispatch"],
+            },
+            DriverSpec {
+                driver: "threaded",
+                file: THREADED,
+                entries: &["acceptor_loop"],
+            },
+            DriverSpec {
+                driver: "tcp",
+                file: TCP_NODE,
+                entries: &["run_acceptor"],
+            },
+        ],
+    },
+];
+
+/// Run the protocol pass over the workspace at `root`.
+pub fn run_proto(root: &Path) -> Result<Vec<Finding>, String> {
+    run_proto_with(root, &|_| None)
+}
+
+/// Like [`run_proto`], with a source override hook: `override_of(rel)`
+/// may return replacement raw text for a workspace-relative path. The
+/// mutation kill matrix uses this to run the pass over a mutated source
+/// tree without touching the working copy.
+pub fn run_proto_with(
+    root: &Path,
+    override_of: &dyn Fn(&str) -> Option<String>,
+) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+
+    // The declared enum vocabulary must match the real declarations.
+    for &(name, rel, variants) in ENUM_DECLS {
+        let f = load_file(root, rel, override_of)?;
+        match scan::enum_variants(&f.code, name) {
+            Some(real) => {
+                if real != variants {
+                    findings.push(Finding {
+                        rule: RULE_CONFIG,
+                        file: f.rel.clone(),
+                        line: 1,
+                        msg: format!(
+                            "enum `{name}` declares [{}] but the PROTOCOL table pins [{}] — update ENUM_DECLS and the affected specs",
+                            real.join(", "),
+                            variants.join(", "),
+                        ),
+                    });
+                }
+            }
+            None => findings.push(Finding {
+                rule: RULE_CONFIG,
+                file: f.rel.clone(),
+                line: 1,
+                msg: format!("enum `{name}` not found (stale ENUM_DECLS entry)"),
+            }),
+        }
+    }
+
+    for spec in PROTOCOL {
+        let mut files = Vec::new();
+        for rel in spec.files {
+            files.push(load_file(root, rel, override_of)?);
+        }
+        let fs = FileSet::from_files(files);
+        check_set(&fs, spec, &mut findings);
+    }
+
+    for spec in PARITY {
+        let mut sets = Vec::new();
+        for d in spec.drivers {
+            sets.push(FileSet::from_files(vec![load_file(
+                root,
+                d.file,
+                override_of,
+            )?]));
+        }
+        check_parity(&sets, spec, &mut findings);
+    }
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.msg.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.msg.as_str(),
+        ))
+    });
+    findings
+        .dedup_by(|a, b| (a.rule, &a.file, a.line, &a.msg) == (b.rule, &b.file, b.line, &b.msg));
+    Ok(findings)
+}
+
+fn load_file(
+    root: &Path,
+    rel: &str,
+    override_of: &dyn Fn(&str) -> Option<String>,
+) -> Result<SourceFile, String> {
+    match override_of(rel) {
+        Some(raw) => Ok(SourceFile::parse(raw, rel.to_string())),
+        None => SourceFile::read(&root.join(rel), rel.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mention model: each `Enum::Variant` token occurrence in a closure is a
+// pattern (handling evidence), a construction (an emission), or a test
+// (`matches!`/`==` — consults, neither handles nor sends).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mention {
+    /// A match arm / let binding; carries the arm body range.
+    Pattern((usize, usize)),
+    Construct,
+    Test,
+}
+
+/// All `enum_name::variant` occurrences in `code[range]` (offset of the
+/// enum token, offset past the variant token).
+fn variant_mentions(
+    code: &str,
+    enum_name: &str,
+    variant: &str,
+    range: (usize, usize),
+) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for occ in scan::idents_in(code, enum_name, range) {
+        let Some(c) = scan::nonws_from(code, occ + enum_name.len()) else {
+            continue;
+        };
+        if !code[c..].starts_with("::") {
+            continue;
+        }
+        let Some(v) = scan::nonws_from(code, c + 2) else {
+            continue;
+        };
+        if !code[v..].starts_with(variant) {
+            continue;
+        }
+        let vend = v + variant.len();
+        if vend < bytes.len() && scan::is_ident_byte(bytes[vend]) {
+            continue; // a longer identifier that merely starts with it
+        }
+        out.push((occ, vend));
+    }
+    out
+}
+
+/// Byte ranges of `matches!(...)` argument lists in `code`.
+fn matches_ranges(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for occ in scan::ident_occurrences(code, "matches") {
+        let bang = occ + "matches".len();
+        if bytes.get(bang) != Some(&b'!') {
+            continue;
+        }
+        let Some(open) = scan::nonws_from(code, bang + 1) else {
+            continue;
+        };
+        if bytes[open] != b'(' {
+            continue;
+        }
+        if let Some(close) = scan::match_brace(code, open) {
+            out.push((open, close));
+        }
+    }
+    out
+}
+
+/// Classify the mention at `(occ, vend)`. `hi` bounds forward scans (the
+/// end of the enclosing region).
+fn classify(code: &str, vend: usize, hi: usize, tests: &[(usize, usize)]) -> Mention {
+    if tests.iter().any(|&(lo, t_hi)| vend > lo && vend < t_hi) {
+        return Mention::Test;
+    }
+    let bytes = code.as_bytes();
+    // Skip the optional payload `{…}` / `(…)`.
+    let mut after = vend;
+    if let Some(p) = scan::nonws_from(code, vend) {
+        if bytes[p] == b'{' || bytes[p] == b'(' {
+            after = scan::match_brace(code, p).unwrap_or(vend);
+        }
+    }
+    // Scan forward at bracket depth 0 for the pattern markers `=>` (match
+    // arm, possibly through an or-pattern or guard) or `=` (let binding).
+    // Anything that terminates the expression first is a construction.
+    let mut depth = 0i32;
+    let mut j = after;
+    let scan_hi = hi.min(code.len()).min(after + 2048);
+    while j < scan_hi {
+        match bytes[j] {
+            // A depth-0 brace block is another or-pattern alternative's
+            // payload (`A { .. } | B { .. } =>`) or a trailing struct
+            // literal — skip it and keep looking for the marker.
+            b'{' if depth == 0 => match scan::match_brace(code, j) {
+                Some(close) => {
+                    j = close;
+                    continue;
+                }
+                None => return Mention::Construct,
+            },
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Mention::Construct;
+                }
+            }
+            b'=' if depth == 0 => {
+                if bytes.get(j + 1) == Some(&b'>') {
+                    return Mention::Pattern(arm_body(code, j + 2, hi));
+                }
+                if bytes.get(j + 1) == Some(&b'=') {
+                    return Mention::Test; // value comparison
+                }
+                // `if let PAT = expr { body }`: the body is the brace
+                // block that follows.
+                return Mention::Pattern(let_body(code, j + 1, hi));
+            }
+            b',' | b';' if depth == 0 => return Mention::Construct,
+            _ => {}
+        }
+        j += 1;
+    }
+    Mention::Construct
+}
+
+/// The body range of a match arm whose `=>` ends at `after_arrow`.
+fn arm_body(code: &str, after_arrow: usize, hi: usize) -> (usize, usize) {
+    let bytes = code.as_bytes();
+    let Some(start) = scan::nonws_from(code, after_arrow) else {
+        return (after_arrow, after_arrow);
+    };
+    if bytes[start] == b'{' {
+        if let Some(close) = scan::match_brace(code, start) {
+            return (start + 1, close - 1);
+        }
+    }
+    // Expression arm: up to the top-level `,` or the match's closing `}`.
+    let mut depth = 0i32;
+    let mut j = start;
+    let hi = hi.min(code.len());
+    while j < hi {
+        match bytes[j] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return (start, j);
+                }
+            }
+            b',' if depth == 0 => return (start, j),
+            _ => {}
+        }
+        j += 1;
+    }
+    (start, hi)
+}
+
+/// The body range of an `if let`/`while let` whose `=` ends at `after_eq`:
+/// the next top-level brace block.
+fn let_body(code: &str, after_eq: usize, hi: usize) -> (usize, usize) {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    let mut j = after_eq;
+    let hi = hi.min(code.len());
+    while j < hi {
+        match bytes[j] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'{' if depth == 0 => {
+                if let Some(close) = scan::match_brace(code, j) {
+                    return (j + 1, close - 1);
+                }
+                return (j + 1, hi);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (after_eq, after_eq)
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// mdbs-check: allow(proto-…, "why")`, justification
+// mandatory, covering the comment's own line and the next (the hotpath
+// contract).
+// ---------------------------------------------------------------------------
+
+fn proto_suppressions(src: &SourceFile) -> (Vec<BTreeSet<String>>, Vec<Finding>) {
+    let mut sets: Vec<BTreeSet<String>> = Vec::new();
+    let mut bad = Vec::new();
+    let mut offset = 0usize;
+    for (idx, line) in src.raw.lines().enumerate() {
+        sets.push(BTreeSet::new());
+        let line_off = offset;
+        offset += line.len() + 1;
+        let Some(pos) = line.find("mdbs-check: allow(") else {
+            continue;
+        };
+        let rest = &line[pos + "mdbs-check: allow(".len()..];
+        let mut rules: Vec<String> = Vec::new();
+        let mut justification: Option<String> = None;
+        let mut cur = String::new();
+        let mut quote: Option<String> = None;
+        for ch in rest.chars() {
+            if let Some(buf) = quote.as_mut() {
+                if ch == '"' {
+                    justification = Some(quote.take().unwrap_or_default());
+                } else {
+                    buf.push(ch);
+                }
+                continue;
+            }
+            match ch {
+                '"' => quote = Some(String::new()),
+                ',' | ')' => {
+                    if !cur.trim().is_empty() {
+                        rules.push(cur.trim().to_string());
+                    }
+                    cur.clear();
+                    if ch == ')' {
+                        break;
+                    }
+                }
+                _ => cur.push(ch),
+            }
+        }
+        let proto_rules: Vec<String> = rules
+            .iter()
+            .filter(|r| r.starts_with("proto-"))
+            .cloned()
+            .collect();
+        if proto_rules.is_empty() || src.in_test(line_off) {
+            continue;
+        }
+        match justification.as_deref().map(str::trim) {
+            Some(j) if !j.is_empty() => {
+                for r in proto_rules {
+                    sets[idx].insert(r);
+                }
+            }
+            _ => {
+                bad.push(Finding {
+                    rule: RULE_CONFIG,
+                    file: src.rel.clone(),
+                    line: idx + 1,
+                    msg: format!(
+                        "suppressing `{}` requires a justification: \
+                         // mdbs-check: allow({}, \"why this deviation is sound\")",
+                        proto_rules.join("`, `"),
+                        proto_rules.join(", "),
+                    ),
+                });
+            }
+        }
+    }
+    (sets, bad)
+}
+
+/// Whether `rule` is justified-suppressed at 1-based `line` (the comment
+/// covers its own line and the next).
+fn suppressed_at(allowed: &[BTreeSet<String>], rule: &str, line: usize) -> bool {
+    let check = |l: usize| allowed.get(l).is_some_and(|s| s.contains(rule));
+    check(line.wrapping_sub(1)) || (line >= 2 && check(line - 2))
+}
+
+// ---------------------------------------------------------------------------
+// The handler-spec check.
+// ---------------------------------------------------------------------------
+
+/// Regions (file index, byte range) making up one closure.
+type Regions = Vec<(usize, (usize, usize))>;
+
+fn contains(regions: &Regions, file: usize, off: usize) -> bool {
+    regions
+        .iter()
+        .any(|&(f, (lo, hi))| f == file && off >= lo && off < hi)
+}
+
+fn region_has_seq(fs: &FileSet, regions: &Regions, words: &[&str]) -> bool {
+    regions.iter().any(|&(f, range)| {
+        let code = &fs.file(f).code;
+        scan::find_token_seq(code, words, (range.0, range.1.min(code.len()))).is_some()
+    })
+}
+
+/// Check one node kind's handler spec against its scanned file set,
+/// appending findings. Public so fixture tests can drive it with
+/// synthetic sources.
+pub fn check_set(fs: &FileSet, spec: &HandlerSpec, findings: &mut Vec<Finding>) {
+    let mut allowed = Vec::new();
+    for src in fs.files() {
+        let (sets, bad) = proto_suppressions(src);
+        findings.extend(bad);
+        allowed.push(sets);
+    }
+    let mut seen: BTreeSet<(usize, usize, &'static str)> = BTreeSet::new();
+    let push = |fs: &FileSet,
+                findings: &mut Vec<Finding>,
+                seen: &mut BTreeSet<(usize, usize, &'static str)>,
+                rule: &'static str,
+                file: usize,
+                off: usize,
+                msg: String| {
+        let src = fs.file(file);
+        if src.in_test(off) {
+            return;
+        }
+        let line = src.line_of(off);
+        if suppressed_at(&allowed[file], rule, line) {
+            return;
+        }
+        if !seen.insert((file, line, rule)) {
+            return;
+        }
+        findings.push(Finding {
+            rule,
+            file: src.rel.clone(),
+            line,
+            msg,
+        });
+    };
+
+    let (entry_refs, missing) = fs.closure_of_names(0, spec.entries);
+    let entry_anchor = fs
+        .fns(0)
+        .iter()
+        .find(|f| spec.entries.contains(&f.name.as_str()))
+        .map(|f| f.body.0)
+        .unwrap_or(0);
+    for name in &missing {
+        push(
+            fs,
+            findings,
+            &mut seen,
+            RULE_CONFIG,
+            0,
+            0,
+            format!(
+                "node `{}`: entry fn `{name}` not found in {} (stale PROTOCOL table)",
+                spec.node,
+                fs.file(0).rel,
+            ),
+        );
+    }
+    let spec_regions: Regions = entry_refs
+        .iter()
+        .map(|&r| (r.0, fs.fn_info(r).body))
+        .collect();
+    let test_ranges: Vec<Vec<(usize, usize)>> =
+        fs.files().iter().map(|f| matches_ranges(&f.code)).collect();
+
+    // Per-arm: handling evidence, then guard/timer/send obligations.
+    let mut arm_regions: Vec<Regions> = Vec::new();
+    for arm in spec.arms {
+        let mut regions: Regions = Vec::new();
+        let mut anchor: Option<(usize, usize)> = None;
+        for &(file, range) in &spec_regions {
+            let src = fs.file(file);
+            for (occ, vend) in variant_mentions(&src.code, arm.enum_name, arm.variant, range) {
+                if src.in_test(occ) {
+                    continue;
+                }
+                if let Mention::Pattern(body) =
+                    classify(&src.code, vend, range.1, &test_ranges[file])
+                {
+                    anchor.get_or_insert((file, occ));
+                    // The guard sits between the pattern and the body, so
+                    // the arm region starts at the pattern itself.
+                    regions.push((file, (occ, body.1)));
+                    let mut seeds = Vec::new();
+                    for (_, name) in fs.call_names(file, body) {
+                        if scan::SKIP_CALLEES.contains(&name.as_str()) {
+                            continue;
+                        }
+                        seeds.extend(fs.resolve_all(&name));
+                    }
+                    for r in fs.closure(&seeds) {
+                        regions.push((r.0, fs.fn_info(r).body));
+                    }
+                }
+            }
+        }
+        match anchor {
+            None => push(
+                fs,
+                findings,
+                &mut seen,
+                RULE_UNHANDLED,
+                0,
+                entry_anchor,
+                format!(
+                    "node `{}`: no handler arm matches `{}::{}` in the closure of {:?} (peers can send it; §3 requires a handler)",
+                    spec.node, arm.enum_name, arm.variant, spec.entries,
+                ),
+            ),
+            Some((file, occ)) => {
+                if !arm.dup_guard.is_empty()
+                    && !arm.dup_guard.iter().any(|alt| region_has_seq(fs, &regions, alt))
+                {
+                    push(
+                        fs,
+                        findings,
+                        &mut seen,
+                        RULE_DUP_GUARD,
+                        file,
+                        occ,
+                        format!(
+                            "node `{}`: arm `{}::{}` mutates 2PC/consensus state without its declared duplicate guard ({})",
+                            spec.node,
+                            arm.enum_name,
+                            arm.variant,
+                            guard_names(arm.dup_guard),
+                        ),
+                    );
+                }
+                if !arm.timeout.is_empty()
+                    && !arm.timeout.iter().any(|alt| region_has_seq(fs, &regions, alt))
+                {
+                    push(
+                        fs,
+                        findings,
+                        &mut seen,
+                        RULE_NO_TIMEOUT,
+                        file,
+                        occ,
+                        format!(
+                            "node `{}`: arm `{}::{}` enters a blocking wait with no timer scheduled ({} required; §2 blocked-agent assumptions)",
+                            spec.node,
+                            arm.enum_name,
+                            arm.variant,
+                            guard_names(arm.timeout),
+                        ),
+                    );
+                }
+            }
+        }
+        arm_regions.push(regions);
+    }
+
+    // Emissions: every protocol-enum construction in the entry closure
+    // must be allowed by a reaching arm or by the free-send list.
+    for &(enum_name, _, variants) in ENUM_DECLS {
+        for variant in variants {
+            for &(file, range) in &spec_regions {
+                let src = fs.file(file);
+                for (occ, vend) in variant_mentions(&src.code, enum_name, variant, range) {
+                    if src.in_test(occ)
+                        || classify(&src.code, vend, range.1, &test_ranges[file])
+                            != Mention::Construct
+                    {
+                        continue;
+                    }
+                    let reaching: Vec<usize> = (0..spec.arms.len())
+                        .filter(|&i| contains(&arm_regions[i], file, occ))
+                        .collect();
+                    let ok = if reaching.is_empty() {
+                        spec.free_sends.contains(&(enum_name, variant))
+                    } else {
+                        reaching
+                            .iter()
+                            .any(|&i| spec.arms[i].sends.contains(&(enum_name, variant)))
+                    };
+                    if !ok {
+                        let from = match reaching.first() {
+                            Some(&i) => format!(
+                                "arm `{}::{}`",
+                                spec.arms[i].enum_name, spec.arms[i].variant
+                            ),
+                            None => "outside every handler arm".to_string(),
+                        };
+                        push(
+                            fs,
+                            findings,
+                            &mut seen,
+                            RULE_UNEXPECTED_SEND,
+                            file,
+                            occ,
+                            format!(
+                                "node `{}`: emits `{enum_name}::{variant}` from {from}, which the PROTOCOL table does not allow",
+                                spec.node,
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn guard_names(alts: &[&[&str]]) -> String {
+    let names: Vec<String> = alts
+        .iter()
+        .map(|alt| format!("`{}`", alt.concat()))
+        .collect();
+    names.join(" or ")
+}
+
+// ---------------------------------------------------------------------------
+// Driver parity.
+// ---------------------------------------------------------------------------
+
+/// Check one node kind's cross-driver dispatch parity. `sets[i]` is the
+/// scanned file set for `spec.drivers[i]` (single file each). Public so
+/// fixture tests can drive it with synthetic sources.
+pub fn check_parity(sets: &[FileSet], spec: &ParitySpec, findings: &mut Vec<Finding>) {
+    let mut present: Vec<BTreeSet<&str>> = Vec::new();
+    let mut anchors: Vec<(String, usize)> = Vec::new();
+    let mut allowed_per: Vec<Vec<BTreeSet<String>>> = Vec::new();
+    for (d, fs) in spec.drivers.iter().zip(sets) {
+        let src = fs.file(0);
+        let (sets_a, bad) = proto_suppressions(src);
+        findings.extend(bad);
+        allowed_per.push(sets_a);
+        let (refs, missing) = fs.closure_of_names(0, d.entries);
+        for name in &missing {
+            findings.push(Finding {
+                rule: RULE_CONFIG,
+                file: src.rel.clone(),
+                line: 1,
+                msg: format!(
+                    "node `{}`: driver `{}` entry fn `{name}` not found (stale PARITY table)",
+                    spec.node, d.driver,
+                ),
+            });
+        }
+        let anchor_off = fs
+            .fns(0)
+            .iter()
+            .find(|f| d.entries.contains(&f.name.as_str()))
+            .map(|f| f.body.0)
+            .unwrap_or(0);
+        anchors.push((src.rel.clone(), src.line_of(anchor_off)));
+        let mut have = BTreeSet::new();
+        for token in spec.vocab {
+            let hit = refs.iter().any(|&r| {
+                let body = fs.fn_info(r).body;
+                scan::idents_in(&src.code, token, body)
+                    .iter()
+                    .any(|&occ| !src.in_test(occ))
+            });
+            if hit {
+                have.insert(*token);
+            }
+        }
+        present.push(have);
+    }
+    for token in spec.vocab {
+        let havers: Vec<&str> = spec
+            .drivers
+            .iter()
+            .zip(&present)
+            .filter(|(_, have)| have.contains(token))
+            .map(|(d, _)| d.driver)
+            .collect();
+        if havers.is_empty() {
+            findings.push(Finding {
+                rule: RULE_CONFIG,
+                file: anchors[0].0.clone(),
+                line: 1,
+                msg: format!(
+                    "node `{}`: vocabulary token `{token}` is dispatched by no driver (stale PARITY table)",
+                    spec.node,
+                ),
+            });
+            continue;
+        }
+        for (i, d) in spec.drivers.iter().enumerate() {
+            if present[i].contains(token) {
+                continue;
+            }
+            let (file, line) = &anchors[i];
+            if suppressed_at(&allowed_per[i], RULE_PARITY, *line) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: RULE_PARITY,
+                file: file.clone(),
+                line: *line,
+                msg: format!(
+                    "node `{}`: driver `{}` does not dispatch `{token}` but {} — the three drivers must share one handled vocabulary",
+                    spec.node,
+                    d.driver,
+                    list_does(&havers),
+                ),
+            });
+        }
+    }
+}
+
+fn list_does(havers: &[&str]) -> String {
+    match havers {
+        [one] => format!("`{one}` does"),
+        many => format!(
+            "{} do",
+            many.iter()
+                .map(|h| format!("`{h}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static protocol mutants (the kill matrix's lint-time kills).
+// ---------------------------------------------------------------------------
+
+/// A deliberate textual protocol deviation, applied in memory via
+/// [`run_proto_with`] — never to the working copy. Each edit removes a
+/// table obligation and names the rule that must catch it.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoMutation {
+    /// Remove the committing-phase duplicate-READY branch from the
+    /// coordinator (the 2PC recovery retransmit): `proto-missing-dup-guard`.
+    DropReadyDupGuard,
+    /// Remove the alive-timer action armed with the READY vote:
+    /// `proto-no-timeout`.
+    SkipAliveTimer,
+}
+
+impl ProtoMutation {
+    /// (file, anchor text, replacement, expected rule).
+    pub fn edit(self) -> (&'static str, &'static str, &'static str, &'static str) {
+        match self {
+            // Blank the phase test so the arm keeps compiling-shaped
+            // tokens but loses the `TxnPhase::Committing` guard.
+            ProtoMutation::DropReadyDupGuard => (
+                COORD,
+                "if txn.phase == TxnPhase::Committing {",
+                "if txn.phase_is_committing_unchecked() {",
+                RULE_DUP_GUARD,
+            ),
+            ProtoMutation::SkipAliveTimer => (
+                AGENT,
+                "AgentAction::StartAliveTimer {\n                gtxn,\n                after_us: self.config.alive_check_interval_us,\n            },",
+                "AgentAction::Bind {\n                keys: vec![],\n                owner: Txn::Global(gtxn),\n            },",
+                RULE_NO_TIMEOUT,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every mutant's anchor text must exist in its target file — a
+    /// refactor that moves the anchor would otherwise silently turn the
+    /// mutant into a no-op (the kill matrix would then fail loudly, but
+    /// this pins the cause to the anchor).
+    #[test]
+    fn mutation_anchors_exist() {
+        let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        for m in [
+            ProtoMutation::DropReadyDupGuard,
+            ProtoMutation::SkipAliveTimer,
+        ] {
+            let (rel, anchor, _, _) = m.edit();
+            let raw = std::fs::read_to_string(root.join(rel)).expect("read target");
+            assert!(
+                raw.contains(anchor),
+                "{m:?}: anchor not found in {rel}:\n{anchor}"
+            );
+        }
+    }
+}

@@ -887,6 +887,190 @@ pub fn enclosing_block_end(code: &str, body: (usize, usize), pos: usize) -> usiz
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-file symbol resolution. The section above is strictly file-local;
+// the protocol pass needs to follow a handler arm into helpers defined in
+// *other* crates (core handler logic called from runtime dispatch, consensus
+// roles called from the coordinator). A [`FileSet`] scans a declared list of
+// files together and resolves call names across all of them, same-file
+// definitions shadowing cross-file ones. Resolution is deliberately
+// over-approximate — the token scanner cannot see `use` paths — which is the
+// right direction for every rule built on it: an over-wide closure can only
+// make "the guard/timer/handler is present" easier to satisfy and flags
+// nothing spurious.
+// ---------------------------------------------------------------------------
+
+/// A function's address within a [`FileSet`]: (file index, fn index).
+pub type FnRef = (usize, usize);
+
+/// Callee names never traversed when building a call closure: constructors
+/// and conversions whose definitions live in std (or are type-specific
+/// boilerplate), so following a same-named local `fn` would wire unrelated
+/// code into every closure.
+pub const SKIP_CALLEES: &[&str] = &["new", "with_capacity", "default", "clone", "from", "into"];
+
+/// A set of source files scanned together for cross-file call resolution.
+pub struct FileSet {
+    files: Vec<SourceFile>,
+    fns: Vec<Vec<FnInfo>>,
+}
+
+impl FileSet {
+    /// Read `rels` (workspace-relative paths) under `root`.
+    pub fn load(root: &Path, rels: &[&str]) -> Result<FileSet, String> {
+        let mut files = Vec::new();
+        for rel in rels {
+            files.push(SourceFile::read(&root.join(rel), (*rel).to_string())?);
+        }
+        Ok(FileSet::from_files(files))
+    }
+
+    /// Build from already-scanned files (tests and mutated-source runs).
+    pub fn from_files(files: Vec<SourceFile>) -> FileSet {
+        let fns = files.iter().map(|f| discover_fns(&f.code)).collect();
+        FileSet { files, fns }
+    }
+
+    pub fn files(&self) -> &[SourceFile] {
+        &self.files
+    }
+
+    pub fn file(&self, i: usize) -> &SourceFile {
+        &self.files[i]
+    }
+
+    pub fn fns(&self, i: usize) -> &[FnInfo] {
+        &self.fns[i]
+    }
+
+    pub fn fn_info(&self, r: FnRef) -> &FnInfo {
+        &self.fns[r.0][r.1]
+    }
+
+    /// Resolve a callee name as seen from `from_file`. A definition in the
+    /// same file shadows same-named functions elsewhere; otherwise every
+    /// definition of that name across the set matches.
+    pub fn resolve(&self, name: &str, from_file: usize) -> Vec<FnRef> {
+        let local: Vec<FnRef> = self.fns[from_file]
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == name)
+            .map(|(j, _)| (from_file, j))
+            .collect();
+        if !local.is_empty() {
+            return local;
+        }
+        let mut out = Vec::new();
+        for (i, fns) in self.fns.iter().enumerate() {
+            if i == from_file {
+                continue;
+            }
+            for (j, f) in fns.iter().enumerate() {
+                if f.name == name {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Every definition of `name` across the whole set. [`Self::closure`]
+    /// traverses with this rather than [`Self::resolve`]: a wrapper type
+    /// calling `self.inner.begin(...)` must reach the inner `begin` in
+    /// another crate even when the wrapper defines its own `begin`, and
+    /// for presence-style rules an over-wide closure is the safe
+    /// direction.
+    pub fn resolve_all(&self, name: &str) -> Vec<FnRef> {
+        let mut out = Vec::new();
+        for (i, fns) in self.fns.iter().enumerate() {
+            for (j, f) in fns.iter().enumerate() {
+                if f.name == name {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Call-site names within `range` of file `i`: every `name(` where the
+    /// name is a plausible function (lowercase/underscore start — fn items
+    /// here are snake_case, uppercase names are types and tuple/enum
+    /// constructors), excluding definitions (`fn name(`) and macros
+    /// (`name!(`). Returns (offset, name) in source order.
+    pub fn call_names(&self, i: usize, range: (usize, usize)) -> Vec<(usize, String)> {
+        let code = &self.files[i].code;
+        let bytes = code.as_bytes();
+        let mut out = Vec::new();
+        let mut j = range.0;
+        let hi = range.1.min(bytes.len());
+        while j < hi {
+            if !is_ident_byte(bytes[j]) || (j > 0 && is_ident_byte(bytes[j - 1])) {
+                j += 1;
+                continue;
+            }
+            let end = ident_end(bytes, j);
+            let first = bytes[j];
+            let named = first.is_ascii_lowercase() || first == b'_';
+            if named
+                && end < bytes.len()
+                && bytes[end] != b'!'
+                && next_nonws(code, end) == Some(b'(')
+                && !prev_ident_is(code, j, "fn")
+            {
+                out.push((j, code[j..end].to_string()));
+            }
+            j = end;
+        }
+        out
+    }
+
+    /// Transitive closure of functions reachable from `seeds`, following
+    /// calls across files and skipping [`SKIP_CALLEES`]. Returns refs in
+    /// BFS discovery order, seeds first.
+    pub fn closure(&self, seeds: &[FnRef]) -> Vec<FnRef> {
+        let mut seen: BTreeSet<FnRef> = seeds.iter().copied().collect();
+        let mut order: Vec<FnRef> = seeds.to_vec();
+        let mut queue: Vec<FnRef> = seeds.to_vec();
+        while let Some(r) = queue.pop() {
+            let body = self.fns[r.0][r.1].body;
+            for (_, name) in self.call_names(r.0, body) {
+                if SKIP_CALLEES.contains(&name.as_str()) {
+                    continue;
+                }
+                for callee in self.resolve_all(&name) {
+                    if seen.insert(callee) {
+                        order.push(callee);
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Closure of the named entry functions of file 0 plus every body
+    /// reachable from them: convenience for "seed by name" callers. Names
+    /// with no definition in file `entry_file` are reported back so the
+    /// caller can flag a stale table.
+    pub fn closure_of_names(&self, entry_file: usize, names: &[&str]) -> (Vec<FnRef>, Vec<String>) {
+        let mut seeds = Vec::new();
+        let mut missing = Vec::new();
+        for name in names {
+            let mut found = false;
+            for (j, f) in self.fns[entry_file].iter().enumerate() {
+                if f.name == *name {
+                    seeds.push((entry_file, j));
+                    found = true;
+                }
+            }
+            if !found {
+                missing.push((*name).to_string());
+            }
+        }
+        (self.closure(&seeds), missing)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -970,5 +1154,88 @@ mod tests {
         let put = fn_body(code, "put", body).unwrap();
         assert!(find_token_seq(code, &["Foo", "::", "A"], put).is_some());
         assert!(find_token_seq(code, &["Foo", "::", "B"], put).is_none());
+    }
+
+    fn set(sources: &[(&str, &str)]) -> FileSet {
+        FileSet::from_files(
+            sources
+                .iter()
+                .map(|(rel, raw)| SourceFile::parse((*raw).to_string(), (*rel).to_string()))
+                .collect(),
+        )
+    }
+
+    fn names_of(fs: &FileSet, refs: &[FnRef]) -> Vec<String> {
+        refs.iter().map(|&r| fs.fn_info(r).name.clone()).collect()
+    }
+
+    #[test]
+    fn closure_crosses_file_boundaries() {
+        let fs = set(&[
+            ("a.rs", "fn entry(x: u32) { helper(x); }"),
+            ("b.rs", "fn helper(x: u32) { leaf(); }\nfn leaf() {}"),
+        ]);
+        let (refs, missing) = fs.closure_of_names(0, &["entry"]);
+        assert!(missing.is_empty());
+        let mut names = names_of(&fs, &refs);
+        names.sort();
+        assert_eq!(names, vec!["entry", "helper", "leaf"]);
+    }
+
+    #[test]
+    fn same_file_definitions_shadow_cross_file_ones_in_resolve() {
+        let fs = set(&[
+            ("a.rs", "fn entry() { helper(); }\nfn helper() {}"),
+            ("b.rs", "fn helper() { other(); }\nfn other() {}"),
+        ]);
+        assert_eq!(fs.resolve("helper", 0), vec![(0, 1)]);
+        // Without a local definition, every cross-file match resolves.
+        assert_eq!(fs.resolve("other", 0), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn closure_follows_every_same_named_definition() {
+        // A wrapper delegating to `self.inner.begin(...)` must pull the
+        // inner crate's `begin` into the closure even though the wrapper
+        // defines its own `begin` — closures resolve by union, not shadow.
+        let fs = set(&[
+            ("wrapper.rs", "fn begin(&mut self) { self.inner.begin(); }"),
+            ("inner.rs", "fn begin(&mut self) { leaf(); }\nfn leaf() {}"),
+        ]);
+        let (refs, _) = fs.closure_of_names(0, &["begin"]);
+        let mut names = names_of(&fs, &refs);
+        names.sort();
+        assert_eq!(names, vec!["begin", "begin", "leaf"]);
+    }
+
+    #[test]
+    fn call_names_skip_macros_types_and_definitions() {
+        let fs = set(&[(
+            "a.rs",
+            "fn entry() { Vec::new(); vec![1]; println!(\"{}\", 0); Some(3); SiteId(0); helper(); }",
+        )]);
+        let body = fs.fns(0)[0].body;
+        let names: Vec<String> = fs.call_names(0, body).into_iter().map(|(_, n)| n).collect();
+        // `new` is reported (the closure skip-list drops it), macros and
+        // uppercase constructors are not, and the `fn entry(` definition
+        // site itself never counts as a call.
+        assert_eq!(names, vec!["new", "helper"]);
+    }
+
+    #[test]
+    fn closure_respects_the_skip_list() {
+        let fs = set(&[
+            ("a.rs", "fn entry() { Thing::new(); }"),
+            ("b.rs", "fn new() { trapdoor(); }\nfn trapdoor() {}"),
+        ]);
+        let (refs, _) = fs.closure_of_names(0, &["entry"]);
+        assert_eq!(names_of(&fs, &refs), vec!["entry"]);
+    }
+
+    #[test]
+    fn missing_entries_are_reported_for_stale_tables() {
+        let fs = set(&[("a.rs", "fn entry() {}")]);
+        let (_, missing) = fs.closure_of_names(0, &["entry", "gone"]);
+        assert_eq!(missing, vec!["gone"]);
     }
 }

@@ -37,6 +37,7 @@ const CHECKERS: &[&str] = &[
     "explore-interval",
     "explore-conflict",
     "sim-conflict",
+    "proto-static",
 ];
 
 /// Expected killers per mutant under `Budget::Quick`, in catalog order.
@@ -80,6 +81,11 @@ const PINNED: &[(&str, &[&str])] = &[
     ("skip-commit-record", &["probe-commit-record"]),
     ("quorum-shortcut", &["probe-consensus-quorum"]),
     ("stale-ballot-replay", &["probe-consensus-takeover"]),
+    // The two source-level mutants are killed at lint time by the proto
+    // pass alone — no runtime checker ever sees them (their spec installs
+    // the unmutated protocol everywhere else).
+    ("ready-dup-guard-dropped", &["proto-static"]),
+    ("alive-timer-skipped", &["proto-static"]),
 ];
 
 /// The quick-budget matrix, computed once and shared across tests.

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::io::Read;
 use std::net::TcpListener;
 use std::sync::atomic::Ordering;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use mdbs_dtm::CertifierMode;
@@ -32,6 +33,16 @@ use mdbs_sim::{Protocol, SimConfig, SimReport, Simulation};
 
 const SITES: u32 = 3;
 const GLOBALS: u64 = 12;
+
+/// Serializes the cluster-spawning tests in this binary. Each spawns a
+/// 4–5 process loopback cluster, and `cargo test` runs the tests on
+/// parallel threads: with three clusters up at once the box is CPU
+/// oversubscribed, which skews the real-time CGM admission ordering
+/// enough to drift the outcome digest away from the deterministic sim
+/// (the load-flaky pin noted in PR 9). The protocol is deterministic
+/// under one cluster per box — so run one cluster per box.
+/// Poison-tolerant: one failing test must not cascade into the rest.
+static CLUSTER_SERIAL: Mutex<()> = Mutex::new(());
 
 fn scenario(protocol: Protocol) -> SimConfig {
     let mut cfg = SimConfig::default();
@@ -97,6 +108,7 @@ fn assert_matches_sim(cluster: &ClusterOutcome, sim: &SimReport) {
 }
 
 fn differential(protocol: Protocol) {
+    let _serial = CLUSTER_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let sim = sim_reference(protocol);
 
     // batch_max = 1, deadline 0: byte-for-byte the pre-batching wire
@@ -150,6 +162,7 @@ fn cgm_digests_are_identical_batched_and_unbatched() {
 /// digests cannot move.
 #[test]
 fn a_connection_drop_under_batching_leaves_digests_unchanged() {
+    let _serial = CLUSTER_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let protocol = Protocol::TwoCm(CertifierMode::Full);
     let sim = sim_reference(protocol);
     let dropped = run_cluster(protocol, 64, 100, vec![(1, 10)]);

@@ -5,6 +5,7 @@
 //! mdbs-check lint [--root <dir>] [--json|--github]
 //! mdbs-check conc [--root <dir>] [--json|--github]
 //! mdbs-check hotpath [--root <dir>] [--json|--github]
+//! mdbs-check proto [--root <dir>] [--json|--github]
 //! mdbs-check explore [--preset <name>] [--mode <certifier>] [--cgm]
 //!                    [--delays N] [--faults N] [--crashes N]
 //!                    [--max-steps N] [--max-runs N] [--no-interval-check]
@@ -17,8 +18,11 @@
 //! (lock order, blocking under guards, poison handling, panic-freedom on
 //! worker threads); `hotpath` runs the static performance pass over the
 //! per-message hot paths (allocation in hot loops, guards across sends,
-//! repeated lookups, linear scans in handlers, unbounded growth). All
-//! three exit 1 if any finding survives suppression, and
+//! repeated lookups, linear scans in handlers, unbounded growth);
+//! `proto` runs the static protocol-conformance pass (unhandled message
+//! variants, unexpected emissions, missing duplicate guards, missing
+//! timers, cross-driver dispatch parity). All
+//! four exit 1 if any finding survives suppression, and
 //! can emit findings as JSON lines (`--json`) or GitHub Actions error
 //! annotations (`--github`). `explore` runs the bounded model checker on
 //! a preset world and exits 1 with a minimized trace if a schedule
@@ -35,6 +39,7 @@ use mdbs_check::explore::{explore, ExploreConfig, ExploreOutcome};
 use mdbs_check::hotpath::run_hotpath;
 use mdbs_check::lint::{run_lint, Finding};
 use mdbs_check::mutate::{render, run_matrix, Budget};
+use mdbs_check::proto::run_proto;
 use mdbs_dtm::CertifierMode;
 
 fn usage(err: &str) -> ExitCode {
@@ -42,6 +47,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("usage: mdbs-check lint [--root <dir>] [--json|--github]");
     eprintln!("       mdbs-check conc [--root <dir>] [--json|--github]");
     eprintln!("       mdbs-check hotpath [--root <dir>] [--json|--github]");
+    eprintln!("       mdbs-check proto [--root <dir>] [--json|--github]");
     eprintln!(
         "       mdbs-check explore [--preset smoke-2cm|smoke-cgm|conflict|mutation-interval|coord-failover|coord-crash-direct]"
     );
@@ -310,6 +316,7 @@ fn main() -> ExitCode {
         Some("lint") => run_findings_cmd("lint", args, run_lint),
         Some("conc") => run_findings_cmd("conc", args, run_conc),
         Some("hotpath") => run_findings_cmd("hotpath", args, run_hotpath),
+        Some("proto") => run_findings_cmd("proto", args, run_proto),
         Some("explore") => run_explore_cmd(args),
         Some("mutate") => run_mutate_cmd(args),
         Some(other) => usage(&format!("unknown command {other:?}")),
